@@ -1,0 +1,15 @@
+"""Helpers shared by the figure benches."""
+
+from __future__ import annotations
+
+
+def emit(result) -> None:
+    """Print a figure's series table (visible with ``pytest -s`` and in the
+    benchmark run logs)."""
+    print()
+    print(result.to_text())
+
+
+def series_mean(result, name: str) -> float:
+    values = result.series[name]
+    return sum(values) / len(values)

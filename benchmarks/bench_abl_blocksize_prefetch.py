@@ -1,0 +1,26 @@
+"""Ablation (Sec. IV-B): block size x prefetching for block-disabling.
+
+Smaller blocks keep more capacity under faults (Fig. 6); the suggested
+mitigation for their lost spatial locality is prefetching.  This bench
+runs the full cross of {32, 64, 128}B x {no prefetch, next-line prefetch}.
+"""
+
+from _bench_utils import emit
+
+from repro.experiments.ablation import blocksize_prefetch_study
+
+
+def test_abl_blocksize_prefetch(benchmark):
+    result = benchmark.pedantic(blocksize_prefetch_study, rounds=1, iterations=1)
+    emit(result)
+    # Plain block-disable never beats its fault-free baseline; the
+    # prefetcher may exceed it (the baseline has no prefetcher).
+    for value in result.series["block-disable"]:
+        assert 0.3 < value <= 1.0 + 1e-9
+    for plain, prefetched in zip(
+        result.series["block-disable"], result.series["block-disable+prefetch"]
+    ):
+        assert prefetched > plain - 0.10
+    benchmark.extra_info["rows"] = dict(
+        zip(result.index, result.series["block-disable"])
+    )

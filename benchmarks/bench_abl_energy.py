@@ -1,0 +1,23 @@
+"""Ablation: energy per task below Vcc-min (the Fig. 1 motivation,
+quantified with measured cycle counts).
+
+Reference: fault-free cache at Vcc-min.  Candidates: word- and
+block-disabling at the voltage where pfail = 0.001.  Block-disabling's
+higher low-voltage performance translates directly into lower energy.
+"""
+
+from _bench_utils import emit, series_mean
+
+from repro.experiments.ablation import energy_study
+
+
+def test_abl_energy(benchmark):
+    result = benchmark.pedantic(energy_study, rounds=1, iterations=1)
+    emit(result)
+    word = series_mean(result, "word-disable energy")
+    block = series_mean(result, "block-disable energy")
+    assert block < word  # better IPC at low voltage => less energy
+    benchmark.extra_info["relative_energy"] = {
+        "word": round(word, 4),
+        "block": round(block, 4),
+    }

@@ -1,0 +1,27 @@
+"""Ablation: disable granularity (block vs set vs way) — why the paper
+disables blocks.
+
+Analytical prediction (repro.analysis.granularity): at pfail = 0.001 the
+expected capacities are ~58% (block), ~1.3% (set), ~10^-13 (way).  The
+performance study confirms the coarse schemes degenerate to L2 streaming.
+"""
+
+from _bench_utils import emit, series_mean
+
+from repro.experiments.ablation import granularity_performance_study
+
+
+def test_abl_granularity(benchmark):
+    result = benchmark.pedantic(
+        granularity_performance_study, rounds=1, iterations=1
+    )
+    emit(result)
+    block = series_mean(result, "block-disable")
+    set_ = series_mean(result, "set-disable")
+    way = series_mean(result, "way-disable")
+    assert block > set_ >= way - 1e-6
+    benchmark.extra_info["means"] = {
+        "block": round(block, 4),
+        "set": round(set_, 4),
+        "way": round(way, 4),
+    }

@@ -1,0 +1,24 @@
+"""Ablation (paper future work, Sec. VIII): block-disabling the L2.
+
+The L2 loses the same ~42% of blocks at pfail = 0.001, but only L1 misses
+see it — the performance cost should be second-order compared to the L1
+loss.
+"""
+
+from _bench_utils import emit, series_mean
+
+from repro.experiments.ablation import l2_low_voltage_study
+
+
+def test_abl_l2_block_disable(benchmark):
+    result = benchmark.pedantic(l2_low_voltage_study, rounds=1, iterations=1)
+    emit(result)
+    l1_only = series_mean(result, "L1 only")
+    l1_l2 = series_mean(result, "L1+L2")
+    assert l1_l2 <= l1_only + 1e-9
+    # Second-order: disabling the L2 costs less than the L1 did.
+    assert (l1_only - l1_l2) < (1.0 - l1_only) + 0.05
+    benchmark.extra_info["means"] = {
+        "L1_only": round(l1_only, 4),
+        "L1_plus_L2": round(l1_l2, 4),
+    }

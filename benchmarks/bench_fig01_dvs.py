@@ -1,0 +1,17 @@
+"""Fig. 1: voltage scaling vs power and performance (1a conventional DVS,
+1b with sub-Vcc-min operation)."""
+
+from _bench_utils import emit
+
+from repro.experiments.figures import fig1_data
+
+
+def test_fig1_voltage_scaling(benchmark):
+    result = benchmark(fig1_data)
+    emit(result)
+    # The low-voltage zone exists: performance under a disabling scheme
+    # drops below the frequency-tracking line somewhere below Vcc-min.
+    conventional = result.series["perf_conventional(1a)"]
+    below = result.series["perf_below_vccmin(1b)"]
+    assert any(b < c - 1e-6 for b, c in zip(below, conventional))
+    benchmark.extra_info["vccmin_note"] = result.notes

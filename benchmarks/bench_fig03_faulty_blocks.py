@@ -1,0 +1,22 @@
+"""Fig. 3: mean fraction of faulty blocks vs pfail (Eq. 2)."""
+
+import pytest
+from _bench_utils import emit
+
+from repro.experiments.figures import fig3_data
+
+
+def test_fig3_faulty_block_fraction(benchmark):
+    result = benchmark(fig3_data)
+    emit(result)
+    faulty = dict(zip(result.index, result.series["faulty_blocks"]))
+    # Paper anchor: ~41.6% of blocks faulty at pfail = 0.001.
+    at_0001 = faulty[min(result.index, key=lambda p: abs(p - 0.001))]
+    assert at_0001 == pytest.approx(0.416, abs=0.02)
+    # Concavity: the marginal fraction of *newly* faulty blocks shrinks as
+    # pfail grows — the paper's 'faults increasingly occur in already
+    # faulty blocks'.
+    series = result.series["faulty_blocks"]
+    first_step = series[1] - series[0]
+    last_step = series[-1] - series[-2]
+    assert last_step < first_step

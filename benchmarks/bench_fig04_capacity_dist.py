@@ -1,0 +1,20 @@
+"""Fig. 4: probability distribution of block-disabled cache capacity at
+pfail = 0.001 (Eq. 3)."""
+
+import pytest
+from _bench_utils import emit
+
+from repro.analysis.capacity_dist import capacity_distribution_for_geometry
+from repro.experiments.figures import fig4_data
+from repro.faults import PAPER_L1_GEOMETRY
+
+
+def test_fig4_capacity_distribution(benchmark):
+    result = benchmark(fig4_data)
+    emit(result)
+    dist = capacity_distribution_for_geometry(PAPER_L1_GEOMETRY, 0.001)
+    # Paper's reading of the figure: mean 58%, sigma ~2%, P[>50%] ~99.9%.
+    assert dist.mean_capacity == pytest.approx(0.58, abs=0.01)
+    assert dist.std_capacity == pytest.approx(0.02, abs=0.005)
+    assert dist.prob_capacity_above(0.5) > 0.999
+    assert sum(result.series["probability"]) == pytest.approx(1.0, abs=1e-6)

@@ -1,0 +1,18 @@
+"""Fig. 5: probability of whole-cache failure for word-disabling vs pfail
+(Eqs. 4-5)."""
+
+import pytest
+from _bench_utils import emit
+
+from repro.analysis.word_disable import whole_cache_failure_probability
+from repro.experiments.figures import fig5_data
+
+
+def test_fig5_whole_cache_failure(benchmark):
+    result = benchmark(fig5_data)
+    emit(result)
+    # Paper anchors: ~1/1000 at pfail 0.001, ~1/100 at pfail 0.0015.
+    assert whole_cache_failure_probability(0.001) == pytest.approx(1.6e-3, rel=0.5)
+    assert whole_cache_failure_probability(0.0015) == pytest.approx(1.1e-2, rel=0.5)
+    series = result.series["whole_cache_failure"]
+    assert all(b >= a for a, b in zip(series, series[1:]))

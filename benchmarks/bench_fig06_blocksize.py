@@ -1,0 +1,16 @@
+"""Fig. 6: block-disabling capacity vs pfail for 32B/64B/128B blocks."""
+
+from _bench_utils import emit
+
+from repro.experiments.figures import fig6_data
+
+
+def test_fig6_blocksize_capacity(benchmark):
+    result = benchmark(fig6_data)
+    emit(result)
+    c32 = result.series["32B"]
+    c64 = result.series["64B"]
+    c128 = result.series["128B"]
+    # Paper's ordering: smaller blocks always retain more capacity.
+    for i in range(1, len(c32)):
+        assert c32[i] > c64[i] > c128[i]

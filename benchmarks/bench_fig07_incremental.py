@@ -1,0 +1,19 @@
+"""Fig. 7: capacity of the incremental word-disabling scheme (Eq. 6)."""
+
+import pytest
+from _bench_utils import emit
+
+from repro.experiments.figures import fig7_data
+
+
+def test_fig7_incremental_capacity(benchmark):
+    result = benchmark(fig7_data)
+    emit(result)
+    capacity = dict(zip(result.index, result.series["capacity"]))
+    low = capacity[min(result.index, key=lambda p: abs(p - 0.0005))]
+    mid = capacity[min(result.index, key=lambda p: abs(p - 0.004))]
+    high = capacity[min(result.index, key=lambda p: abs(p - 0.010))]
+    # Paper's shape: >50% early, saturates toward 50%, then below 50%.
+    assert low > 0.55
+    assert mid == pytest.approx(0.5, abs=0.05)
+    assert high < 0.5

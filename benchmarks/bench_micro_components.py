@@ -1,0 +1,82 @@
+"""Micro-benchmarks of the simulation substrates themselves.
+
+These are classic pytest-benchmark timings (multiple rounds) of the four
+hot components: fault-map generation, the behavioural cache, the trace
+generator, and the pipeline timing model.  They bound the cost of scaling
+experiments toward the paper's full methodology.
+"""
+
+import numpy as np
+
+from repro.cache.hierarchy import LatencyConfig, MemoryHierarchy
+from repro.cache.set_assoc import SetAssociativeCache
+from repro.cpu.config import PAPER_PIPELINE
+from repro.cpu.pipeline import OutOfOrderPipeline
+from repro.faults import PAPER_L1_GEOMETRY, PAPER_L2_GEOMETRY, FaultMap
+from repro.workloads.generator import generate_trace
+
+
+def test_fault_map_generation(benchmark):
+    """Draw one paper-geometry fault map (512 x 537 cells)."""
+    rng = np.random.default_rng(0)
+    fmap = benchmark(FaultMap.generate, PAPER_L1_GEOMETRY, 0.001, rng)
+    assert fmap.faults.shape == (512, 537)
+
+
+def test_fault_map_block_analysis(benchmark):
+    """Block/word-level queries on a generated map."""
+    fmap = FaultMap.generate(PAPER_L1_GEOMETRY, 0.001, seed=1)
+
+    def analyse():
+        return (
+            fmap.faulty_block_mask().sum(),
+            fmap.faulty_words_per_block().sum(),
+            fmap.usable_ways_per_set().min(),
+        )
+
+    faulty_blocks, faulty_words, min_ways = benchmark(analyse)
+    assert faulty_blocks > 0
+
+
+def test_cache_access_throughput(benchmark):
+    """10k mixed lookups+fills on a 32KB 8-way cache."""
+    rng = np.random.default_rng(2)
+    addresses = [int(a) for a in rng.integers(0, 4096, size=10_000)]
+
+    def run():
+        cache = SetAssociativeCache(PAPER_L1_GEOMETRY)
+        hits = 0
+        for addr in addresses:
+            if cache.lookup(addr):
+                hits += 1
+            else:
+                cache.fill(addr)
+        return hits
+
+    hits = benchmark(run)
+    assert hits > 0
+
+
+def test_trace_generation_throughput(benchmark):
+    """Generate a 20k-instruction crafty trace."""
+    trace = benchmark(generate_trace, "crafty", 20_000, 7)
+    assert len(trace) == 20_000
+
+
+def test_pipeline_throughput(benchmark):
+    """Simulate 20k instructions through the full hierarchy."""
+    trace = generate_trace("crafty", 20_000, seed=7)
+
+    def run():
+        hierarchy = MemoryHierarchy(
+            SetAssociativeCache(PAPER_L1_GEOMETRY, name="l1i"),
+            SetAssociativeCache(PAPER_L1_GEOMETRY, name="l1d"),
+            PAPER_L2_GEOMETRY,
+            LatencyConfig(),
+            victim_entries_i=16,
+            victim_entries_d=16,
+        )
+        return OutOfOrderPipeline(PAPER_PIPELINE, hierarchy).run(trace)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.cycles > 0

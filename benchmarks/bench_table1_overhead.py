@@ -1,0 +1,24 @@
+"""Table I: transistor overhead of the disabling schemes — must match the
+paper's six totals exactly."""
+
+from _bench_utils import emit
+
+from repro.experiments.figures import table1_data
+
+PAPER_TOTALS = {
+    "baseline": 76_800,
+    "baseline+V$": 126_138,
+    "word-disable": 209_920,
+    "block-disable": 81_920,
+    "block-disable+V$ 10T": 164_150,
+    "block-disable+V$ 6T": 131_418,
+}
+
+
+def test_table1_overhead(benchmark):
+    result = benchmark(table1_data)
+    emit(result)
+    measured = dict(zip(result.index, result.series["total_transistors"]))
+    for scheme, expected in PAPER_TOTALS.items():
+        assert measured[scheme] == expected, scheme
+    benchmark.extra_info["totals"] = measured

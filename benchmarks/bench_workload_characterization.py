@@ -1,0 +1,23 @@
+"""Workload characterization (the suite's Table-II-style companion).
+
+Baseline high-voltage statistics for every synthetic SPEC CPU 2000
+benchmark, plus the behaviour-space check: the suite must span
+cache-friendly, capacity-bound, code-heavy, and branchy programs for the
+paper's comparisons to carry meaning.
+"""
+
+from _bench_utils import emit
+
+from repro.experiments.characterize import (
+    behaviour_space_check,
+    characterization_table,
+)
+
+
+def test_workload_characterization(benchmark):
+    result = benchmark.pedantic(characterization_table, rounds=1, iterations=1)
+    emit(result)
+    flags = behaviour_space_check(result)
+    missing = [label for label, present in flags.items() if not present]
+    assert not missing, f"suite does not span: {missing}"
+    benchmark.extra_info["behaviour_space"] = flags

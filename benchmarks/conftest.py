@@ -1,0 +1,22 @@
+"""Shared fixtures for the figure-regeneration benches.
+
+The performance figures (8-12) share one session-scoped
+:class:`ExperimentRunner`, so simulations run once and are reused across
+benches — exactly how the paper's figures share the same runs.
+
+Fidelity is environment-controlled (see ``RunnerSettings.from_env``):
+
+* quick (default):        REPRO_INSTR=40000, REPRO_MAPS=6
+* paper-scale statistics: REPRO_INSTR=200000 REPRO_MAPS=50
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import ExperimentRunner, RunnerSettings
+
+
+@pytest.fixture(scope="session")
+def runner() -> ExperimentRunner:
+    return ExperimentRunner(RunnerSettings.from_env())

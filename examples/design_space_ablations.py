@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Design-space ablations: the questions the paper raises but doesn't run.
+
+Four studies from :mod:`repro.experiments.ablation`, printed in sequence:
+
+1. **Granularity** — why disable *blocks*? Set- and way-disabling collapse
+   at sub-Vcc-min fault densities (Sohi-style yield repair does not
+   transfer to this regime).
+2. **L2 block-disabling** — the Section VIII future-work question: the L2
+   loses the same ~42% of blocks at pfail = 0.001, but the performance
+   cost is second-order.
+3. **Block size x prefetching** — Section IV-B's suggestion quantified.
+4. **Energy** — is dropping below Vcc-min worth it once the cache penalty
+   is accounted? (The whole point of the exercise.)
+
+Run:  python examples/design_space_ablations.py           (~2 minutes)
+"""
+
+from repro.analysis.granularity import granularity_tradeoff
+from repro.experiments.ablation import (
+    blocksize_prefetch_study,
+    energy_study,
+    granularity_performance_study,
+    l2_low_voltage_study,
+)
+from repro.faults import PAPER_L1_GEOMETRY
+
+# --- the analytic prediction first ------------------------------------------------
+print("analytic granularity trade-off at pfail = 0.001:")
+print(f"{'granularity':>12s} {'cells/unit':>11s} {'capacity':>9s} {'disable bits':>13s}")
+for point in granularity_tradeoff(PAPER_L1_GEOMETRY, 0.001):
+    print(
+        f"{point.granularity.value:>12s} {point.cells_per_unit:11d} "
+        f"{point.capacity:9.2%} {point.disable_bits:13d}"
+    )
+
+# --- then the four performance studies ---------------------------------------------
+for study in (
+    granularity_performance_study,
+    l2_low_voltage_study,
+    blocksize_prefetch_study,
+    energy_study,
+):
+    print()
+    print(study().to_text())

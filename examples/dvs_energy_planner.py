@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""DVS energy planning with sub-Vcc-min operation (Fig. 1 made concrete).
+
+Combines the three model layers the paper's motivation rests on:
+
+* the pfail(V) curve (exponential below Vcc-min);
+* the Section IV capacity analysis (capacity at that pfail);
+* a block-disabling IPC penalty calibrated from the Fig. 8 average;
+
+to answer an operator's question: *given a frequency floor, which supply
+voltage minimises energy per task, and how much does operation below
+Vcc-min buy?*
+
+Run:  python examples/dvs_energy_planner.py
+"""
+
+import numpy as np
+
+from repro import PAPER_L1_GEOMETRY
+from repro.analysis import expected_capacity_fraction
+from repro.power import DVSModel, energy_per_task
+
+model = DVSModel()
+vccmin = model.vccmin_model
+k = PAPER_L1_GEOMETRY.cells_per_block
+
+
+def block_disable_relative_ipc(voltage: float) -> float:
+    """IPC ratio of a block-disabled core at `voltage` (1.0 above Vcc-min).
+
+    Penalty model: 0.2 x capacity-loss — the proportionality that matches
+    the paper's Fig. 8 average (8.3% penalty at 58% capacity).
+    """
+    pfail = vccmin.pfail(voltage)
+    if pfail == 0.0:
+        return 1.0
+    capacity = expected_capacity_fraction(k, pfail)
+    return max(0.0, 1.0 - 0.2 * (1.0 - capacity))
+
+
+print(f"Vcc-min = {vccmin.vcc_min:.2f}V, nominal = {vccmin.vcc_nominal:.2f}V")
+print(f"\n{'V':>6s} {'freq':>7s} {'power':>7s} {'pfail':>9s} {'capacity':>9s} "
+      f"{'perf':>7s} {'energy/task':>12s}")
+
+voltages = np.linspace(1.0, 0.55, 19)
+best = None
+for v in voltages:
+    freq = model.frequency(v)
+    power = model.dynamic_power(v)
+    pfail = vccmin.pfail(v)
+    capacity = expected_capacity_fraction(k, pfail) if pfail > 0 else 1.0
+    perf = model.performance(v, block_disable_relative_ipc)
+    energy = energy_per_task(power, perf) if perf > 0 else float("inf")
+    marker = " <-- Vcc-min" if abs(v - vccmin.vcc_min) < 0.013 else ""
+    print(f"{v:6.2f} {freq:7.3f} {power:7.3f} {pfail:9.2e} {capacity:9.1%} "
+          f"{perf:7.3f} {energy:12.3f}{marker}")
+    if energy != float("inf") and (best is None or energy < best[1]):
+        best = (v, energy, perf)
+
+v_best, e_best, perf_best = best
+e_at_vccmin = energy_per_task(
+    model.dynamic_power(vccmin.vcc_min), model.performance(vccmin.vcc_min)
+)
+print(f"\nminimum energy/task: {e_best:.3f} at {v_best:.2f}V "
+      f"({perf_best:.1%} of nominal performance)")
+print(f"energy at Vcc-min:   {e_at_vccmin:.3f} at {vccmin.vcc_min:.2f}V")
+if v_best < vccmin.vcc_min:
+    print(f"-> operating {vccmin.vcc_min - v_best:.2f}V below Vcc-min saves "
+          f"{1 - e_best / e_at_vccmin:.1%} energy per task, enabled by "
+          "block-disabling's graceful capacity loss")

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Victim-cache sizing study for a block-disabled cache (Section III-A).
+
+The paper argues a victim cache is *especially* valuable for block-disabled
+caches: fault-thinned sets concentrate replacements, and a small fully
+associative buffer catches exactly those. This study quantifies that:
+
+1. sweep victim-cache entries (0..32) for a conflict-heavy benchmark at low
+   voltage, showing the hit curve and the performance recovered;
+2. weigh each point against its Table-I-style transistor cost, comparing
+   the 10T and 6T victim options.
+
+Run:  python examples/victim_cache_study.py
+"""
+
+from repro import (
+    PAPER_L1_GEOMETRY,
+    PAPER_L2_GEOMETRY,
+    PAPER_PIPELINE,
+    BlockDisableScheme,
+    FaultMap,
+    LatencyConfig,
+    MemoryHierarchy,
+    OutOfOrderPipeline,
+    SetAssociativeCache,
+    VoltageMode,
+    generate_trace,
+)
+from repro.analysis.victim import VictimCacheFaultAnalysis
+from repro.faults.cell import CellType
+
+BENCH = "crafty"
+trace = generate_trace(BENCH, 40_000, seed=3)
+fault_map = FaultMap.generate(PAPER_L1_GEOMETRY, 0.001, seed=11)
+config = BlockDisableScheme().configure(PAPER_L1_GEOMETRY, fault_map, VoltageMode.LOW)
+print(f"benchmark: {BENCH}; block-disabled cache at "
+      f"{config.capacity_fraction(PAPER_L1_GEOMETRY):.1%} capacity")
+
+latencies = LatencyConfig(l1i=3, l1d=3, victim=1, l2=20, memory=51)
+
+
+def run(victim_entries: int):
+    hierarchy = MemoryHierarchy(
+        config.build_cache("l1i"),
+        config.build_cache("l1d"),
+        PAPER_L2_GEOMETRY,
+        latencies,
+        victim_entries_i=victim_entries,
+        victim_entries_d=victim_entries,
+    )
+    result = OutOfOrderPipeline(PAPER_PIPELINE, hierarchy).run(trace)
+    victim_stats = result.hierarchy_stats["victim_d"]
+    return result, victim_stats
+
+
+print(f"\n{'entries':>8s} {'cycles':>10s} {'speedup':>8s} {'V$ hit rate':>12s} "
+      f"{'extra 10T cells':>16s}")
+base_cycles = None
+for entries in (0, 2, 4, 8, 16, 32):
+    result, victim_stats = run(entries)
+    if base_cycles is None:
+        base_cycles = result.cycles
+    # Victim storage: data bits + the paper's 31-bit tag column.
+    cells = (31 + entries * 512) if entries else 0
+    print(
+        f"{entries:8d} {result.cycles:10d} {base_cycles / result.cycles:8.3f} "
+        f"{victim_stats['hit_rate'] if entries else 0.0:12.1%} {cells:16d}"
+    )
+
+print("\nthe first few entries do most of the work: replacements concentrate")
+print("in the fault-thinned sets, exactly as Section III-A argues.")
+
+# --- 10T vs 6T sizing (Section V) ------------------------------------------------
+print("\n== 10T vs 6T victim cells at low voltage ==")
+analysis = VictimCacheFaultAnalysis(entries=16, cells_per_entry=512, pfail=0.001)
+print(f"6T victim cache at pfail=0.001: mean faulty entries "
+      f"{analysis.mean_faulty_entries:.1f}/16 "
+      f"(paper assumes 8 usable — a conservative sizing)")
+
+result_10t, _ = run(16)
+result_6t, _ = run(8)  # the paper's conservative 6T assumption
+cost_10t = (31 + 16 * 512) * CellType.SRAM_10T.transistors
+cost_6t = (31 + 16 * 512) * CellType.SRAM_6T.transistors + 16 * 10
+print(f"\n{'option':10s} {'usable':>7s} {'cycles':>10s} {'transistors':>12s}")
+print(f"{'10T':10s} {16:7d} {result_10t.cycles:10d} {cost_10t:12d}")
+print(f"{'6T':10s} {8:7d} {result_6t.cycles:10d} {cost_6t:12d}")
+ratio = (result_6t.cycles - result_10t.cycles) / result_10t.cycles
+print(f"\n6T saves {cost_10t - cost_6t} transistors for a "
+      f"{ratio:.1%} cycle increase on this benchmark")

@@ -1,0 +1,148 @@
+"""Probability analysis of random cell faults (paper Section IV).
+
+Closed-form models (Eqs. 1-6) of how uniformly random cell faults aggregate
+into faulty blocks, words, and whole caches, plus Monte Carlo validators and
+the extensions the paper lists as future work (clustered faults,
+bit-interleaving) or related-work context (SECDED ECC).
+"""
+
+from repro.analysis.bitfix import (
+    bitfix_capacity,
+    block_unrepairable_probability,
+    pair_fault_probability,
+    scheme_comparison,
+)
+from repro.analysis.blocksize import (
+    BlockSizeCapacitySeries,
+    capacity_at,
+    capacity_vs_blocksize,
+)
+from repro.analysis.granularity import (
+    DisableGranularity,
+    GranularityPoint,
+    capacity_curves,
+    cells_per_unit,
+    expected_capacity,
+    granularity_tradeoff,
+)
+from repro.analysis.capacity_dist import (
+    CapacityDistribution,
+    block_fault_probability,
+    capacity_distribution_for_geometry,
+)
+from repro.analysis.ecc import (
+    block_survival_probability,
+    ecc_capacity_curve,
+    ecc_storage_overhead,
+    ecc_vs_block_disable,
+    secded_check_bits,
+    word_survival_probability,
+)
+from repro.analysis.incremental import (
+    block_pair_disabled_probability,
+    block_pair_fault_free_probability,
+    incremental_capacity_curve,
+    incremental_capacity_for_geometry,
+    incremental_word_disable_capacity,
+)
+from repro.analysis.interleaving import (
+    InterleavingStudyResult,
+    clustered_interleaving_study,
+    interleave_fault_matrix,
+    uniform_fault_invariance,
+)
+from repro.analysis.montecarlo import (
+    MonteCarloEstimate,
+    sample_capacity_distribution,
+    sample_faulty_blocks,
+    sample_faulty_blocks_fixed_n,
+    sample_incremental_capacity,
+    sample_victim_usable_entries,
+    sample_whole_cache_failure,
+)
+from repro.analysis.urn import (
+    expected_capacity_fraction,
+    expected_faulty_blocks,
+    expected_faulty_blocks_exact,
+    expected_faulty_blocks_for_geometry,
+    expected_faulty_blocks_hypergeometric,
+    faulty_block_fraction,
+    faulty_block_fraction_curve,
+    pfail_for_capacity,
+)
+from repro.analysis.victim import VictimCacheFaultAnalysis, paper_victim_analysis
+from repro.analysis.word_disable import (
+    half_block_fail_probability,
+    whole_cache_failure_curve,
+    whole_cache_failure_for_geometry,
+    whole_cache_failure_probability,
+    word_disable_capacity,
+    word_fault_probability,
+)
+
+__all__ = [
+    # urn (Eqs. 1-2)
+    "expected_faulty_blocks_exact",
+    "expected_faulty_blocks_hypergeometric",
+    "expected_faulty_blocks",
+    "expected_faulty_blocks_for_geometry",
+    "faulty_block_fraction",
+    "faulty_block_fraction_curve",
+    "expected_capacity_fraction",
+    "pfail_for_capacity",
+    # capacity distribution (Eq. 3)
+    "CapacityDistribution",
+    "block_fault_probability",
+    "capacity_distribution_for_geometry",
+    # word-disable failure (Eqs. 4-5)
+    "word_fault_probability",
+    "half_block_fail_probability",
+    "whole_cache_failure_probability",
+    "whole_cache_failure_curve",
+    "whole_cache_failure_for_geometry",
+    "word_disable_capacity",
+    # incremental word-disable (Eq. 6)
+    "block_pair_fault_free_probability",
+    "block_pair_disabled_probability",
+    "incremental_word_disable_capacity",
+    "incremental_capacity_curve",
+    "incremental_capacity_for_geometry",
+    # block size (Fig. 6)
+    "BlockSizeCapacitySeries",
+    "capacity_vs_blocksize",
+    "capacity_at",
+    # victim cache
+    "VictimCacheFaultAnalysis",
+    "paper_victim_analysis",
+    # Monte Carlo
+    "MonteCarloEstimate",
+    "sample_faulty_blocks",
+    "sample_faulty_blocks_fixed_n",
+    "sample_capacity_distribution",
+    "sample_whole_cache_failure",
+    "sample_incremental_capacity",
+    "sample_victim_usable_entries",
+    # extensions
+    "secded_check_bits",
+    "word_survival_probability",
+    "block_survival_probability",
+    "ecc_capacity_curve",
+    "ecc_storage_overhead",
+    "ecc_vs_block_disable",
+    "InterleavingStudyResult",
+    "interleave_fault_matrix",
+    "clustered_interleaving_study",
+    "uniform_fault_invariance",
+    # granularity design space
+    "DisableGranularity",
+    "GranularityPoint",
+    "cells_per_unit",
+    "expected_capacity",
+    "granularity_tradeoff",
+    "capacity_curves",
+    # bit-fix model
+    "pair_fault_probability",
+    "block_unrepairable_probability",
+    "bitfix_capacity",
+    "scheme_comparison",
+]

@@ -1,0 +1,66 @@
+"""Block-size sensitivity of block-disabling capacity (Section IV-B, Fig. 6).
+
+The paper evaluates Eq. 2 for 32B, 64B, and 128B blocks at constant cache
+size and associativity (the set count absorbs the change).  Smaller blocks
+mean fewer cells per block, so a single faulty cell forfeits less capacity:
+the 32B curve dominates the 64B curve, which dominates the 128B curve.  The
+cost is lost spatial locality, which the paper suggests prefetching can
+recover (see :mod:`repro.cache.prefetch`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.urn import expected_capacity_fraction
+from repro.faults.geometry import CacheGeometry
+
+
+@dataclass(frozen=True)
+class BlockSizeCapacitySeries:
+    """One Fig. 6 curve: capacity vs pfail at a given block size."""
+
+    block_bytes: int
+    geometry: CacheGeometry
+    pfails: np.ndarray
+    capacities: np.ndarray
+
+
+def capacity_vs_blocksize(
+    base_geometry: CacheGeometry,
+    block_sizes: tuple[int, ...] = (32, 64, 128),
+    pfails: np.ndarray | list[float] | None = None,
+) -> list[BlockSizeCapacitySeries]:
+    """Fig. 6: block-disabling capacity curves for several block sizes.
+
+    Each variant keeps ``base_geometry``'s total size and associativity and
+    changes only the block size (and hence the number of sets), exactly as
+    the paper describes.
+    """
+    if pfails is None:
+        pfails = np.linspace(0.0, 0.0048, 25)
+    p = np.asarray(pfails, dtype=float)
+    series = []
+    for block_bytes in block_sizes:
+        geometry = base_geometry.with_block_bytes(block_bytes)
+        k = geometry.cells_per_block
+        capacities = np.array([expected_capacity_fraction(k, float(pi)) for pi in p])
+        series.append(
+            BlockSizeCapacitySeries(
+                block_bytes=block_bytes,
+                geometry=geometry,
+                pfails=p,
+                capacities=capacities,
+            )
+        )
+    return series
+
+
+def capacity_at(
+    base_geometry: CacheGeometry, block_bytes: int, pfail: float
+) -> float:
+    """Point query of the Fig. 6 surface."""
+    geometry = base_geometry.with_block_bytes(block_bytes)
+    return expected_capacity_fraction(geometry.cells_per_block, pfail)

@@ -1,0 +1,134 @@
+"""Capacity vs disable granularity: the design space around block-disabling.
+
+The related work disables caches at several granularities — lines, sets,
+ways, or the whole cache (Sohi 1989; Lee, Cho, Childers 2007).  The paper
+picks the block; this module quantifies *why* with the same Eq. 2 machinery:
+the expected capacity of disable-granularity g is
+
+    capacity(g) = (1 - pfail)^(cells per g-unit)
+
+because a unit dies with its first faulty cell.  Cells-per-unit grows from
+a word (32) through a block (537) and a set (8 blocks) to a way (64
+blocks), so capacity collapses double-exponentially with coarser
+granularity:
+
+* word-level retains the most capacity but needs per-word bookkeeping and
+  alignment (the word-disable cost the paper argues against);
+* block-level is the knee of the curve: fine enough to retain >50%
+  capacity at pfail = 0.001, coarse enough for one disable bit per block;
+* set- and way-level disabling — attractive for *manufacturing* defects
+  (a handful of faults) — are useless at sub-Vcc-min fault densities,
+  where every set and way contains faulty cells almost surely.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.faults.geometry import CacheGeometry
+
+
+class DisableGranularity(enum.Enum):
+    """Units at which a disabling scheme writes off storage."""
+
+    WORD = "word"
+    BLOCK = "block"
+    SET = "set"
+    WAY = "way"
+    CACHE = "cache"
+
+
+def cells_per_unit(geometry: CacheGeometry, granularity: DisableGranularity) -> int:
+    """6T cells that must all be fault-free for one unit to survive.
+
+    Word granularity counts data cells only (word-disable style 10T tags);
+    the coarser granularities count full blocks (tag + valid included),
+    matching how block-disabling accounts its blocks.
+    """
+    k = geometry.cells_per_block
+    if granularity is DisableGranularity.WORD:
+        return geometry.word_bits
+    if granularity is DisableGranularity.BLOCK:
+        return k
+    if granularity is DisableGranularity.SET:
+        return k * geometry.ways
+    if granularity is DisableGranularity.WAY:
+        return k * geometry.num_sets
+    if granularity is DisableGranularity.CACHE:
+        return geometry.total_cells
+    raise ValueError(f"unknown granularity {granularity!r}")
+
+
+def expected_capacity(
+    geometry: CacheGeometry, granularity: DisableGranularity, pfail: float
+) -> float:
+    """Mean surviving-capacity fraction when disabling at ``granularity``."""
+    if not 0.0 <= pfail <= 1.0:
+        raise ValueError(f"pfail must be a probability, got {pfail!r}")
+    return (1.0 - pfail) ** cells_per_unit(geometry, granularity)
+
+
+@dataclass(frozen=True)
+class GranularityPoint:
+    """One point of the granularity/capacity trade-off."""
+
+    granularity: DisableGranularity
+    cells_per_unit: int
+    capacity: float
+    disable_bits: int
+
+    @property
+    def bookkeeping_cost(self) -> int:
+        """10T cells spent on disable bits (area currency of Table I)."""
+        return self.disable_bits
+
+
+def granularity_tradeoff(
+    geometry: CacheGeometry, pfail: float
+) -> list[GranularityPoint]:
+    """The full design-space row: capacity and bookkeeping cost per
+    granularity, finest to coarsest."""
+    words = geometry.num_blocks * geometry.words_per_block
+    bits = {
+        DisableGranularity.WORD: words,
+        DisableGranularity.BLOCK: geometry.num_blocks,
+        DisableGranularity.SET: geometry.num_sets,
+        DisableGranularity.WAY: geometry.ways,
+        DisableGranularity.CACHE: 1,
+    }
+    return [
+        GranularityPoint(
+            granularity=g,
+            cells_per_unit=cells_per_unit(geometry, g),
+            capacity=expected_capacity(geometry, g, pfail),
+            disable_bits=bits[g],
+        )
+        for g in (
+            DisableGranularity.WORD,
+            DisableGranularity.BLOCK,
+            DisableGranularity.SET,
+            DisableGranularity.WAY,
+            DisableGranularity.CACHE,
+        )
+    ]
+
+
+def capacity_curves(
+    geometry: CacheGeometry,
+    pfails: np.ndarray | list[float],
+    granularities: tuple[DisableGranularity, ...] = (
+        DisableGranularity.WORD,
+        DisableGranularity.BLOCK,
+        DisableGranularity.SET,
+        DisableGranularity.WAY,
+    ),
+) -> dict[DisableGranularity, np.ndarray]:
+    """Capacity-vs-pfail series per granularity (the ablation figure)."""
+    p = np.asarray(pfails, dtype=float)
+    return {
+        g: np.array([expected_capacity(geometry, g, float(pi)) for pi in p])
+        for g in granularities
+    }

@@ -1,0 +1,100 @@
+"""Capacity analysis of *incremental* word-disabling (Eq. 6, Fig. 7).
+
+Section IV-C proposes a variant of word-disabling with three per-block-pair
+states instead of the all-or-nothing original:
+
+* **fault-free** — both physical blocks are pristine; the pair keeps full
+  capacity even at low voltage;
+* **half capacity** — the pair has faults but every half-block is repairable
+  (<= 4 faulty words); it operates merged, as in plain word-disabling;
+* **disabled** — some half-block exceeds the tolerance; only this pair is
+  lost, not the whole cache.
+
+Expected capacity (Eq. 6)::
+
+    capacity = pbpff + (1 - pbpff - pbpd) / 2
+
+with ``pbpff = (1 - pfail)^(2k)`` the probability a pair is fault-free
+(``k`` = data bits per block) and ``pbpd = 1 - (1 - phbf)^4`` the probability
+a pair is disabled (a pair spans 4 half-blocks; ``phbf`` from Eq. 5).
+
+The curve starts above 50% (many pristine pairs), saturates toward 50% as
+faults spread, then sinks below 50% as pairs start to be disabled — a
+graceful-degradation profile that never suffers whole-cache failure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.word_disable import half_block_fail_probability
+from repro.faults.geometry import CacheGeometry
+
+
+def block_pair_fault_free_probability(pfail: float, data_bits: int = 512) -> float:
+    """``pbpff``: probability that both blocks of a pair have zero faulty
+    data cells (tags are 10T-protected in this scheme)."""
+    if not 0.0 <= pfail <= 1.0:
+        raise ValueError(f"pfail must be a probability, got {pfail!r}")
+    if data_bits <= 0:
+        raise ValueError(f"data_bits must be positive, got {data_bits}")
+    return (1.0 - pfail) ** (2 * data_bits)
+
+
+def block_pair_disabled_probability(
+    pfail: float,
+    words_per_half_block: int = 8,
+    word_bits: int = 32,
+    half_blocks_per_pair: int = 4,
+) -> float:
+    """``pbpd``: probability that a block pair must be disabled because at
+    least one of its half-blocks has more faulty words than the scheme can
+    repair."""
+    if half_blocks_per_pair <= 0:
+        raise ValueError(
+            f"half_blocks_per_pair must be positive, got {half_blocks_per_pair}"
+        )
+    phbf = half_block_fail_probability(pfail, words_per_half_block, word_bits)
+    return 1.0 - (1.0 - phbf) ** half_blocks_per_pair
+
+
+def incremental_word_disable_capacity(
+    pfail: float,
+    data_bits: int = 512,
+    words_per_half_block: int = 8,
+    word_bits: int = 32,
+) -> float:
+    """Equation 6: expected capacity fraction of the incremental
+    word-disabling scheme."""
+    pbpff = block_pair_fault_free_probability(pfail, data_bits)
+    pbpd = block_pair_disabled_probability(pfail, words_per_half_block, word_bits)
+    return pbpff + (1.0 - pbpff - pbpd) / 2.0
+
+
+def incremental_capacity_curve(
+    pfails: np.ndarray | list[float],
+    data_bits: int = 512,
+    words_per_half_block: int = 8,
+    word_bits: int = 32,
+) -> np.ndarray:
+    """Fig. 7 series: Eq. 6 for each ``pfail``."""
+    return np.array(
+        [
+            incremental_word_disable_capacity(
+                float(p), data_bits, words_per_half_block, word_bits
+            )
+            for p in np.asarray(pfails, dtype=float)
+        ]
+    )
+
+
+def incremental_capacity_for_geometry(
+    geometry: CacheGeometry, pfail: float, subblock_words: int = 8
+) -> float:
+    """Eq. 6 on a concrete geometry."""
+    return incremental_word_disable_capacity(
+        pfail,
+        data_bits=geometry.data_bits_per_block,
+        words_per_half_block=subblock_words,
+        word_bits=geometry.word_bits,
+    )

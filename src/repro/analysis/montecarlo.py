@@ -1,0 +1,184 @@
+"""Monte Carlo cross-validation of the closed-form analysis (Section IV).
+
+Every equation in :mod:`repro.analysis` has an empirical twin here that
+estimates the same quantity by sampling :class:`~repro.faults.FaultMap`
+instances.  The paper validates its formulas implicitly (Eq. 1's worked
+example, Fig. 4's quoted moments); we make the validation explicit and use
+it in the test suite to bound the closed forms against simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.faults.fault_map import FaultMap
+from repro.faults.geometry import CacheGeometry
+
+
+@dataclass(frozen=True)
+class MonteCarloEstimate:
+    """A sampled statistic with its standard error."""
+
+    mean: float
+    std_error: float
+    samples: int
+
+    def within(self, expected: float, sigmas: float = 4.0) -> bool:
+        """Is ``expected`` within ``sigmas`` standard errors of the estimate?
+        (Loose by default: these are CI smoke checks, not physics.)"""
+        slack = sigmas * max(self.std_error, 1e-12)
+        return abs(self.mean - expected) <= slack
+
+
+def _estimate(samples: np.ndarray) -> MonteCarloEstimate:
+    n = len(samples)
+    if n == 0:
+        raise ValueError("need at least one sample")
+    mean = float(np.mean(samples))
+    std_error = float(np.std(samples, ddof=1) / np.sqrt(n)) if n > 1 else float("inf")
+    return MonteCarloEstimate(mean=mean, std_error=std_error, samples=n)
+
+
+def sample_faulty_blocks(
+    geometry: CacheGeometry,
+    pfail: float,
+    trials: int = 100,
+    seed: int = 0,
+    include_tag: bool = True,
+) -> MonteCarloEstimate:
+    """Empirical Eq. 2: mean number of faulty blocks over random maps."""
+    rng = np.random.default_rng(seed)
+    counts = np.array(
+        [
+            FaultMap.generate(geometry, pfail, rng).num_faulty_blocks(include_tag)
+            for _ in range(trials)
+        ],
+        dtype=float,
+    )
+    return _estimate(counts)
+
+
+def sample_faulty_blocks_fixed_n(
+    geometry: CacheGeometry,
+    n_faults: int,
+    trials: int = 100,
+    seed: int = 0,
+) -> MonteCarloEstimate:
+    """Empirical Eq. 1: mean distinct faulty blocks with exactly ``n``
+    faults placed without replacement."""
+    rng = np.random.default_rng(seed)
+    d = geometry.num_blocks
+    k = geometry.cells_per_block
+    total = d * k
+    if not 0 <= n_faults <= total:
+        raise ValueError(f"n_faults must be in [0, {total}]")
+    counts = np.empty(trials, dtype=float)
+    for t in range(trials):
+        cells = rng.choice(total, size=n_faults, replace=False)
+        blocks = np.unique(cells // k)
+        counts[t] = len(blocks)
+    return _estimate(counts)
+
+
+def sample_capacity_distribution(
+    geometry: CacheGeometry,
+    pfail: float,
+    trials: int = 200,
+    seed: int = 0,
+) -> np.ndarray:
+    """Empirical Fig. 4: capacity fraction per trial (compare moments with
+    :class:`~repro.analysis.capacity_dist.CapacityDistribution`)."""
+    rng = np.random.default_rng(seed)
+    return np.array(
+        [
+            FaultMap.generate(geometry, pfail, rng).capacity_fraction()
+            for _ in range(trials)
+        ]
+    )
+
+
+def sample_whole_cache_failure(
+    geometry: CacheGeometry,
+    pfail: float,
+    trials: int = 500,
+    seed: int = 0,
+    subblock_words: int = 8,
+    tolerance: int | None = None,
+) -> MonteCarloEstimate:
+    """Empirical Eq. 4: fraction of sampled caches unusable under
+    word-disabling (some subblock has more faulty words than tolerable)."""
+    rng = np.random.default_rng(seed)
+    if tolerance is None:
+        tolerance = subblock_words // 2
+    words_per_block = geometry.words_per_block
+    if words_per_block % subblock_words != 0:
+        raise ValueError(
+            f"{subblock_words}-word subblocks do not tile a "
+            f"{words_per_block}-word block"
+        )
+    failures = np.empty(trials, dtype=float)
+    for t in range(trials):
+        fmap = FaultMap.generate(geometry, pfail, rng)
+        word_faulty = fmap.faulty_word_mask()  # (d, words)
+        d = geometry.num_blocks
+        subblocks = word_faulty.reshape(d, -1, subblock_words)
+        faulty_words = subblocks.sum(axis=2)
+        failures[t] = float(np.any(faulty_words > tolerance))
+    return _estimate(failures)
+
+
+def sample_incremental_capacity(
+    geometry: CacheGeometry,
+    pfail: float,
+    trials: int = 100,
+    seed: int = 0,
+    subblock_words: int = 8,
+) -> MonteCarloEstimate:
+    """Empirical Eq. 6: realized capacity of incremental word-disabling.
+
+    Pairs ways (2i, 2i+1) within each set, classifies each pair as
+    fault-free / half-capacity / disabled, and scores capacity as
+    1 / 0.5 / 0 block-pairs respectively.
+    """
+    rng = np.random.default_rng(seed)
+    tolerance = subblock_words // 2
+    fractions = np.empty(trials, dtype=float)
+    d = geometry.num_blocks
+    for t in range(trials):
+        fmap = FaultMap.generate(geometry, pfail, rng)
+        data_fault_counts = fmap.data_faults.sum(axis=1)  # per block
+        word_faulty = fmap.faulty_word_mask()
+        subblocks = word_faulty.reshape(d, -1, subblock_words)
+        half_block_bad = (subblocks.sum(axis=2) > tolerance).any(axis=1)
+        # Pair blocks (2j, 2j+1); block layout is set-major so consecutive
+        # rows are adjacent ways of the same set.
+        first = np.arange(0, d, 2)
+        second = first + 1
+        pair_fault_free = (data_fault_counts[first] == 0) & (
+            data_fault_counts[second] == 0
+        )
+        pair_disabled = half_block_bad[first] | half_block_bad[second]
+        pair_half = ~pair_fault_free & ~pair_disabled
+        capacity_blocks = 2.0 * pair_fault_free.sum() + 1.0 * pair_half.sum()
+        fractions[t] = capacity_blocks / d
+    return _estimate(fractions)
+
+
+def sample_victim_usable_entries(
+    entries: int,
+    cells_per_entry: int,
+    pfail: float,
+    trials: int = 500,
+    seed: int = 0,
+) -> MonteCarloEstimate:
+    """Empirical victim-cache analysis: mean usable entries."""
+    rng = np.random.default_rng(seed)
+    usable = np.array(
+        [
+            float((rng.random((entries, cells_per_entry)) < pfail).any(axis=1).sum())
+            for _ in range(trials)
+        ]
+    )
+    return _estimate(entries - usable)

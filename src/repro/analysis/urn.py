@@ -1,0 +1,154 @@
+"""Urn-model analysis of random cell faults in a cache array (Section IV-A).
+
+The paper maps fault distribution onto a classical occupancy problem:
+selecting ``n`` balls without replacement from an urn of ``d*k`` balls in
+``d`` colours of ``k`` balls each.  The urn is the cache, colours are blocks,
+balls of one colour are the cells of one block, and the ``n`` drawn balls are
+the faulty cells.
+
+Two key quantities:
+
+* **Equation 1** (after Yao, CACM 1977) — the mean number of *distinct*
+  blocks containing at least one of ``n`` faulty cells::
+
+      u = d - d * prod_{i=0}^{k-1} (1 - n / (d*k - i))
+
+* **Equation 2** — the fixed-``pfail`` approximation, exact in the limit of
+  independent per-cell faults::
+
+      u = d - d * (1 - pfail)^k
+
+The paper's running example: d=512, k=537, n=275 faulty cells (pfail=0.001)
+→ u ≈ 213 distinct faulty blocks; the remaining 62 faults fall in blocks
+that are already faulty.  That concentration effect is the paper's central
+insight: **as faults accumulate, they increasingly land in already-faulty
+blocks**, so disabling whole blocks forfeits less capacity than a linear
+extrapolation suggests.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.faults.geometry import CacheGeometry
+
+
+def expected_faulty_blocks_exact(d: int, k: int, n: int) -> float:
+    """Equation 1: mean number of distinct blocks hit by ``n`` faults drawn
+    without replacement from ``d*k`` cells.
+
+    Parameters
+    ----------
+    d: number of blocks.
+    k: cells per block.
+    n: number of faulty cells, ``0 <= n <= d*k``.
+    """
+    _validate_dk(d, k)
+    total = d * k
+    if not 0 <= n <= total:
+        raise ValueError(f"n must be in [0, {total}], got {n}")
+    if n == 0:
+        return 0.0
+    # prod_{i=0}^{k-1} (1 - n/(dk - i)) in log space for numerical stability;
+    # if n > dk - k + 1 some factor is <= 0 and every block is hit.
+    if n > total - k:
+        return float(d)
+    log_prod = 0.0
+    for i in range(k):
+        log_prod += math.log1p(-n / (total - i))
+    return d - d * math.exp(log_prod)
+
+
+def expected_faulty_blocks_hypergeometric(d: int, k: int, n: int) -> float:
+    """Equivalent closed form of Eq. 1 via the hypergeometric complement:
+    ``u = d * (1 - C(dk-k, n) / C(dk, n))``.
+
+    A block escapes all ``n`` faults iff all faults land in the other
+    ``dk - k`` cells.  Kept as an independent derivation to cross-check
+    :func:`expected_faulty_blocks_exact` in tests.
+    """
+    _validate_dk(d, k)
+    total = d * k
+    if not 0 <= n <= total:
+        raise ValueError(f"n must be in [0, {total}], got {n}")
+    if n == 0:
+        return 0.0
+    if n > total - k:
+        return float(d)
+    # C(dk-k, n)/C(dk, n) = prod_{j=0}^{k-1} (dk - n - j) / (dk - j)
+    log_ratio = 0.0
+    for j in range(k):
+        log_ratio += math.log(total - n - j) - math.log(total - j)
+    return d * (1.0 - math.exp(log_ratio))
+
+
+def expected_faulty_blocks(d: int, k: int, pfail: float) -> float:
+    """Equation 2: mean number of faulty blocks for a fixed per-cell failure
+    probability ``pfail``: ``u = d - d * (1 - pfail)^k``."""
+    _validate_dk(d, k)
+    _validate_pfail(pfail)
+    return d - d * (1.0 - pfail) ** k
+
+
+def faulty_block_fraction(k: int, pfail: float) -> float:
+    """Mean *fraction* of faulty blocks, ``1 - (1-pfail)^k`` (the Fig. 3
+    y-axis; independent of ``d``)."""
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    _validate_pfail(pfail)
+    return 1.0 - (1.0 - pfail) ** k
+
+
+def expected_capacity_fraction(k: int, pfail: float) -> float:
+    """Mean block-disabling capacity: fraction of fault-free blocks."""
+    return 1.0 - faulty_block_fraction(k, pfail)
+
+
+def pfail_for_capacity(k: int, capacity: float) -> float:
+    """Invert Eq. 2: the ``pfail`` at which the mean block-disabling capacity
+    equals ``capacity``.
+
+    The paper's headline threshold: for k=537, capacity 0.5 is crossed at
+    pfail ≈ 0.0013 — below that, block-disabling beats word-disabling's
+    fixed 50% capacity.
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    if not 0.0 < capacity <= 1.0:
+        raise ValueError(f"capacity must be in (0, 1], got {capacity}")
+    return 1.0 - capacity ** (1.0 / k)
+
+
+def faulty_block_fraction_curve(
+    k: int, pfails: np.ndarray | list[float]
+) -> np.ndarray:
+    """Vectorised Fig. 3 series: fraction of faulty blocks per ``pfail``."""
+    p = np.asarray(pfails, dtype=float)
+    if np.any((p < 0) | (p > 1)):
+        raise ValueError("all pfail values must be probabilities")
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    return 1.0 - (1.0 - p) ** k
+
+
+def expected_faulty_blocks_for_geometry(
+    geometry: CacheGeometry, pfail: float
+) -> float:
+    """Eq. 2 evaluated on a :class:`CacheGeometry` (k = data+tag+valid)."""
+    return expected_faulty_blocks(
+        geometry.num_blocks, geometry.cells_per_block, pfail
+    )
+
+
+def _validate_dk(d: int, k: int) -> None:
+    if d <= 0:
+        raise ValueError(f"d must be positive, got {d}")
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+
+
+def _validate_pfail(pfail: float) -> None:
+    if not 0.0 <= pfail <= 1.0:
+        raise ValueError(f"pfail must be a probability, got {pfail!r}")

@@ -1,0 +1,187 @@
+"""Two-level memory hierarchy with optional victim caches (Tables II-III).
+
+The paper's memory system: split 32KB L1 instruction and data caches (each
+optionally backed by a 16-entry victim cache), a unified 2MB 8-way L2 with a
+20-cycle hit latency, and main memory (255 cycles at 3GHz high voltage, 51
+cycles at the 600MHz low-voltage operating point — same wall-clock time,
+fewer cycles).
+
+The hierarchy returns *load-to-use latencies in cycles*; the pipeline model
+adds them to dependence chains.  Latency composition:
+
+========================  =======================================
+outcome                   latency
+========================  =======================================
+L1 hit                    ``l1_latency``  (3, or 4 for word-disable)
+L1 miss, victim hit       ``l1_latency + victim_latency`` (+1)
+L1+victim miss, L2 hit    ``l1_latency + l2_latency`` (+20)
+all miss                  ``l1_latency + memory_latency``
+========================  =======================================
+
+On a victim hit the block swaps back into the L1 (the L1's evictee drops
+into the victim cache).  On an L2/memory fill the L1 evictee also goes to
+the victim cache, which is what makes it a victim cache rather than a
+miss buffer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.prefetch import NextLinePrefetcher
+from repro.cache.set_assoc import SetAssociativeCache
+from repro.cache.stats import HierarchyStats
+from repro.cache.victim import VictimCache
+from repro.faults.geometry import CacheGeometry
+
+
+@dataclass(frozen=True)
+class LatencyConfig:
+    """Cycle latencies of the hierarchy levels (Table III rows)."""
+
+    l1i: int = 3
+    l1d: int = 3
+    victim: int = 1
+    l2: int = 20
+    memory: int = 255
+
+    def __post_init__(self) -> None:
+        for field_name in ("l1i", "l1d", "victim", "l2", "memory"):
+            value = getattr(self, field_name)
+            if value < 0:
+                raise ValueError(f"{field_name} latency must be >= 0, got {value}")
+
+
+class CachePort:
+    """One L1 (instruction or data side) plus its optional victim cache,
+    backed by a shared L2."""
+
+    def __init__(
+        self,
+        l1: SetAssociativeCache,
+        victim: VictimCache | None,
+        l2: SetAssociativeCache,
+        l1_latency: int,
+        victim_latency: int,
+        l2_latency: int,
+        memory_latency: int,
+        prefetcher: NextLinePrefetcher | None = None,
+    ) -> None:
+        self.l1 = l1
+        self.victim = victim
+        self.l2 = l2
+        self.l1_latency = l1_latency
+        self.victim_latency = victim_latency
+        self.l2_latency = l2_latency
+        self.memory_latency = memory_latency
+        self.prefetcher = prefetcher
+        self.memory_accesses = 0
+
+    def access(self, block_addr: int, is_write: bool = False) -> int:
+        """Demand access; returns latency in cycles and updates all levels."""
+        if self.l1.lookup(block_addr, is_write):
+            if self.prefetcher is not None:
+                self.prefetcher.on_demand_hit(block_addr)
+            return self.l1_latency
+
+        if self.victim is not None and self.victim.lookup(block_addr):
+            # Swap: block returns to L1, the L1 evictee drops to the victim.
+            evicted = self.l1.fill(block_addr, is_write)
+            if evicted is not None:
+                self.victim.insert(evicted)
+            return self.l1_latency + self.victim_latency
+
+        if self.l2.lookup(block_addr):
+            latency = self.l1_latency + self.l2_latency
+        else:
+            self.l2.fill(block_addr)
+            self.memory_accesses += 1
+            latency = self.l1_latency + self.memory_latency
+
+        evicted = self.l1.fill(block_addr, is_write)
+        if self.victim is not None and evicted is not None:
+            self.victim.insert(evicted)
+        if self.prefetcher is not None:
+            self.prefetcher.on_demand_miss(block_addr)
+        return latency
+
+
+class MemoryHierarchy:
+    """Split L1I/L1D + unified L2 + memory, with per-side victim caches.
+
+    Parameters mirror Table III: per-side L1 caches (already configured by a
+    disabling scheme — enabled ways, geometry, latency), victim entry counts
+    (0 disables the victim cache), and the latency set.
+    """
+
+    def __init__(
+        self,
+        l1i: SetAssociativeCache,
+        l1d: SetAssociativeCache,
+        l2: CacheGeometry | SetAssociativeCache,
+        latencies: LatencyConfig,
+        victim_entries_i: int = 0,
+        victim_entries_d: int = 0,
+        prefetch_degree: int = 0,
+    ) -> None:
+        # L2 accepts either a geometry (fault-free, the common case) or a
+        # pre-built cache — e.g. one configured by a disabling scheme, for
+        # the paper's future-work question of block-disabling lower levels.
+        if isinstance(l2, CacheGeometry):
+            self.l2 = SetAssociativeCache(l2, name="l2")
+        else:
+            self.l2 = l2
+        self.victim_i = VictimCache(victim_entries_i, "victim-i") if victim_entries_i else None
+        self.victim_d = VictimCache(victim_entries_d, "victim-d") if victim_entries_d else None
+        prefetcher_i = NextLinePrefetcher(l1i, prefetch_degree) if prefetch_degree else None
+        prefetcher_d = NextLinePrefetcher(l1d, prefetch_degree) if prefetch_degree else None
+        self.latencies = latencies
+        self.iport = CachePort(
+            l1i,
+            self.victim_i,
+            self.l2,
+            latencies.l1i,
+            latencies.victim,
+            latencies.l2,
+            latencies.memory,
+            prefetcher_i,
+        )
+        self.dport = CachePort(
+            l1d,
+            self.victim_d,
+            self.l2,
+            latencies.l1d,
+            latencies.victim,
+            latencies.l2,
+            latencies.memory,
+            prefetcher_d,
+        )
+
+    @property
+    def l1i(self) -> SetAssociativeCache:
+        return self.iport.l1
+
+    @property
+    def l1d(self) -> SetAssociativeCache:
+        return self.dport.l1
+
+    def access_instruction(self, block_addr: int) -> int:
+        """Fetch-side access; returns latency in cycles."""
+        return self.iport.access(block_addr)
+
+    def access_data(self, block_addr: int, is_write: bool = False) -> int:
+        """Load/store access; returns latency in cycles."""
+        return self.dport.access(block_addr, is_write)
+
+    def stats(self) -> HierarchyStats:
+        stats = HierarchyStats(
+            l1i=self.iport.l1.stats,
+            l1d=self.dport.l1.stats,
+            l2=self.l2.stats,
+            memory_accesses=self.iport.memory_accesses + self.dport.memory_accesses,
+        )
+        if self.victim_i is not None:
+            stats.victim_i = self.victim_i.stats
+        if self.victim_d is not None:
+            stats.victim_d = self.victim_d.stats
+        return stats

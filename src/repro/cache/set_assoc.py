@@ -1,0 +1,193 @@
+"""Behavioural set-associative cache with per-set disabled ways.
+
+This is the substrate every disabling scheme runs on.  The cache itself
+knows nothing about faults or voltage: it is configured with a boolean
+*enabled-way* matrix (num_sets x ways) and simply never allocates into a
+disabled way.  Block-disabling hands it a fault-derived matrix (variable
+associativity per set, Section III); word-disabling hands it a halved
+geometry with all ways enabled; the baseline enables everything.
+
+Addresses are *block addresses* (byte address >> offset bits) — the
+hierarchy layer does the shifting once so the hot loop stays cheap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cache.replacement import ReplacementPolicy, make_policy
+from repro.cache.stats import CacheStats
+from repro.faults.geometry import CacheGeometry
+
+
+class SetAssociativeCache:
+    """A set-associative cache over block addresses.
+
+    Parameters
+    ----------
+    geometry:
+        Shape of the cache (sets/ways/block size).
+    enabled_ways:
+        Optional boolean matrix ``(num_sets, ways)``; ``False`` marks a way
+        that must never hold data (a disabled block).  ``None`` enables all.
+    policy:
+        Replacement policy name (``lru``/``fifo``/``random``) or instance.
+    name:
+        Label used in stats and error messages.
+    """
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        enabled_ways: np.ndarray | None = None,
+        policy: str | ReplacementPolicy = "lru",
+        name: str = "cache",
+        seed: int = 0,
+    ) -> None:
+        self.geometry = geometry
+        self.name = name
+        self.stats = CacheStats()
+        num_sets = geometry.num_sets
+        ways = geometry.ways
+
+        if enabled_ways is None:
+            enabled_ways = np.ones((num_sets, ways), dtype=bool)
+        enabled_ways = np.asarray(enabled_ways, dtype=bool)
+        if enabled_ways.shape != (num_sets, ways):
+            raise ValueError(
+                f"enabled_ways shape {enabled_ways.shape} does not match "
+                f"({num_sets}, {ways})"
+            )
+        self._enabled = enabled_ways
+        # Usable way indices per set, precomputed once (hot path reads only).
+        self._usable_ways: list[list[int]] = [
+            [w for w in range(ways) if enabled_ways[s, w]] for s in range(num_sets)
+        ]
+
+        if isinstance(policy, str):
+            policy = make_policy(policy, seed=seed)
+        self._policy = policy
+
+        # Per-set state, plain Python lists for scalar-access speed.
+        self._tags: list[list[int]] = [[-1] * ways for _ in range(num_sets)]
+        self._valid: list[list[bool]] = [[False] * ways for _ in range(num_sets)]
+        self._dirty: list[list[bool]] = [[False] * ways for _ in range(num_sets)]
+        self._last_touch: list[list[int]] = [[0] * ways for _ in range(num_sets)]
+        self._fill_time: list[list[int]] = [[0] * ways for _ in range(num_sets)]
+        self._clock = 0
+
+        self._set_mask = num_sets - 1
+        self._index_shift = 0  # block address already excludes the offset
+        # tag of a block address = block_addr >> index_bits
+        self._tag_shift = geometry.index_bits
+
+    # ----- capacity/introspection --------------------------------------------------
+
+    @property
+    def usable_blocks(self) -> int:
+        """Number of ways that may hold data (== capacity in blocks)."""
+        return int(self._enabled.sum())
+
+    @property
+    def capacity_fraction(self) -> float:
+        return self.usable_blocks / self.geometry.num_blocks
+
+    def usable_ways_in_set(self, set_index: int) -> int:
+        return len(self._usable_ways[set_index])
+
+    def resident_blocks(self) -> set[int]:
+        """Block addresses currently cached (for invariant checks)."""
+        resident = set()
+        for s in range(self.geometry.num_sets):
+            for w in self._usable_ways[s]:
+                if self._valid[s][w]:
+                    resident.add((self._tags[s][w] << self._tag_shift) | s)
+        return resident
+
+    # ----- core operations ----------------------------------------------------------
+
+    def lookup(self, block_addr: int, is_write: bool = False) -> bool:
+        """Probe for ``block_addr``; update recency and stats.  Returns hit."""
+        self._clock += 1
+        self.stats.accesses += 1
+        s = block_addr & self._set_mask
+        tag = block_addr >> self._tag_shift
+        tags = self._tags[s]
+        valid = self._valid[s]
+        for w in self._usable_ways[s]:
+            if valid[w] and tags[w] == tag:
+                self._last_touch[s][w] = self._clock
+                if is_write:
+                    self._dirty[s][w] = True
+                self.stats.hits += 1
+                return True
+        self.stats.misses += 1
+        return False
+
+    def fill(self, block_addr: int, is_write: bool = False) -> int | None:
+        """Allocate ``block_addr``, evicting if needed.
+
+        Returns the evicted block address, or ``None`` if nothing (valid)
+        was evicted.  If the set has zero usable ways the fill is *bypassed*
+        (the access was already counted as a miss; the block simply cannot
+        be cached) — this is how a fully-disabled set behaves under
+        block-disabling.
+        """
+        self._clock += 1
+        s = block_addr & self._set_mask
+        usable = self._usable_ways[s]
+        if not usable:
+            self.stats.bypassed_fills += 1
+            return None
+        tag = block_addr >> self._tag_shift
+        tags = self._tags[s]
+        valid = self._valid[s]
+        # Prefer an invalid usable way.
+        victim_way = None
+        for w in usable:
+            if not valid[w]:
+                victim_way = w
+                break
+        evicted = None
+        if victim_way is None:
+            victim_way = self._policy.victim(
+                usable, self._last_touch[s], self._fill_time[s]
+            )
+            evicted = (tags[victim_way] << self._tag_shift) | s
+            if self._dirty[s][victim_way]:
+                self.stats.writebacks += 1
+            self.stats.evictions += 1
+        tags[victim_way] = tag
+        valid[victim_way] = True
+        self._dirty[s][victim_way] = is_write
+        self._last_touch[s][victim_way] = self._clock
+        self._fill_time[s][victim_way] = self._clock
+        self.stats.fills += 1
+        return evicted
+
+    def invalidate(self, block_addr: int) -> bool:
+        """Drop ``block_addr`` if present.  Returns whether it was resident."""
+        s = block_addr & self._set_mask
+        tag = block_addr >> self._tag_shift
+        for w in self._usable_ways[s]:
+            if self._valid[s][w] and self._tags[s][w] == tag:
+                self._valid[s][w] = False
+                self._dirty[s][w] = False
+                return True
+        return False
+
+    def contains(self, block_addr: int) -> bool:
+        """Non-mutating probe (no stats, no recency update)."""
+        s = block_addr & self._set_mask
+        tag = block_addr >> self._tag_shift
+        return any(
+            self._valid[s][w] and self._tags[s][w] == tag
+            for w in self._usable_ways[s]
+        )
+
+    def flush(self) -> None:
+        """Invalidate everything (keeps stats)."""
+        for s in range(self.geometry.num_sets):
+            for w in range(self.geometry.ways):
+                self._valid[s][w] = False
+                self._dirty[s][w] = False

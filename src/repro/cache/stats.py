@@ -1,0 +1,75 @@
+"""Access statistics shared by every cache component."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CacheStats:
+    """Counters accumulated by one cache (or victim cache) instance."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    fills: int = 0
+    evictions: int = 0
+    bypassed_fills: int = 0
+    writebacks: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return self.hits / self.accesses
+
+    @property
+    def miss_rate(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+    def reset(self) -> None:
+        self.accesses = 0
+        self.hits = 0
+        self.misses = 0
+        self.fills = 0
+        self.evictions = 0
+        self.bypassed_fills = 0
+        self.writebacks = 0
+
+    def snapshot(self) -> dict[str, float]:
+        """Plain-dict view for reports and experiment records."""
+        return {
+            "accesses": self.accesses,
+            "hits": self.hits,
+            "misses": self.misses,
+            "fills": self.fills,
+            "evictions": self.evictions,
+            "bypassed_fills": self.bypassed_fills,
+            "writebacks": self.writebacks,
+            "hit_rate": self.hit_rate,
+            "miss_rate": self.miss_rate,
+        }
+
+
+@dataclass
+class HierarchyStats:
+    """Aggregated statistics of a full memory hierarchy."""
+
+    l1i: CacheStats = field(default_factory=CacheStats)
+    l1d: CacheStats = field(default_factory=CacheStats)
+    l2: CacheStats = field(default_factory=CacheStats)
+    victim_i: CacheStats = field(default_factory=CacheStats)
+    victim_d: CacheStats = field(default_factory=CacheStats)
+    memory_accesses: int = 0
+
+    def snapshot(self) -> dict[str, dict[str, float] | int]:
+        return {
+            "l1i": self.l1i.snapshot(),
+            "l1d": self.l1d.snapshot(),
+            "l2": self.l2.snapshot(),
+            "victim_i": self.victim_i.snapshot(),
+            "victim_d": self.victim_d.snapshot(),
+            "memory_accesses": self.memory_accesses,
+        }

@@ -1,0 +1,44 @@
+"""Low-voltage cache operation schemes — the paper's core subject.
+
+Importing this package registers every scheme in
+:data:`repro.core.schemes.SCHEMES` so callers can construct them by name.
+"""
+
+from repro.core.baseline import BaselineScheme
+from repro.core.block_disable import BlockDisableScheme
+from repro.core.coarse_disable import SetDisableScheme, WayDisableScheme
+from repro.core.capacity import (
+    CapacitySample,
+    capacity_samples,
+    mean_capacity,
+    per_set_associativity_histogram,
+    realized_capacity,
+)
+from repro.core.incremental import IncrementalWordDisableScheme
+from repro.core.schemes import (
+    SCHEMES,
+    CacheConfiguration,
+    LowVoltageScheme,
+    SchemeRegistry,
+    VoltageMode,
+)
+from repro.core.word_disable import WordDisableScheme
+
+__all__ = [
+    "SCHEMES",
+    "SchemeRegistry",
+    "LowVoltageScheme",
+    "CacheConfiguration",
+    "VoltageMode",
+    "BaselineScheme",
+    "BlockDisableScheme",
+    "WordDisableScheme",
+    "IncrementalWordDisableScheme",
+    "WayDisableScheme",
+    "SetDisableScheme",
+    "CapacitySample",
+    "realized_capacity",
+    "capacity_samples",
+    "mean_capacity",
+    "per_set_associativity_histogram",
+]

@@ -1,0 +1,43 @@
+"""Baseline (fault-intolerant) cache — the normalisation reference.
+
+The baseline has no disable machinery at all.  At high voltage it is simply
+the cache.  At low voltage it would be *incorrect* on real silicon, but the
+paper still uses "baseline at low-voltage frequency with its full cache" as
+the 100% mark for Figs. 8-10: the normalised performance of a scheme is how
+close it gets to a hypothetical fault-free cache at the same operating
+point.  We reproduce that convention: the baseline ignores fault maps.
+"""
+
+from __future__ import annotations
+
+from repro.core.schemes import (
+    SCHEMES,
+    CacheConfiguration,
+    LowVoltageScheme,
+    VoltageMode,
+)
+from repro.faults.fault_map import FaultMap
+from repro.faults.geometry import CacheGeometry
+
+
+@SCHEMES.register
+class BaselineScheme(LowVoltageScheme):
+    """Full cache, no latency adder, at every voltage."""
+
+    name = "baseline"
+
+    def configure(
+        self,
+        geometry: CacheGeometry,
+        fault_map: FaultMap | None,
+        voltage: VoltageMode,
+    ) -> CacheConfiguration:
+        return CacheConfiguration(
+            geometry=geometry,
+            enabled_ways=None,
+            latency_adder=0,
+            usable=True,
+            scheme_name=self.name,
+            voltage=voltage,
+            notes="fault-intolerant reference; low-voltage use is hypothetical",
+        )

@@ -1,0 +1,121 @@
+"""Coarse-grain disabling schemes: whole ways and whole sets.
+
+Related-work comparators (Sohi 1989; Lee, Cho, Childers 2007): disabling at
+way or set granularity is the classic yield-repair response to a *few*
+manufacturing defects.  These schemes run on the same substrate as
+block-disabling so the paper's choice of granularity can be evaluated
+head-to-head in the performance simulator, not just analytically
+(:mod:`repro.analysis.granularity`).
+
+At sub-Vcc-min fault densities they are expected to collapse: with
+pfail = 0.001 every way of the running-example cache contains faulty cells
+with probability ~1 - 10^-15, so a way-disabled cache keeps essentially
+nothing.  That collapse *is* the result — it is why the paper disables
+blocks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.schemes import (
+    SCHEMES,
+    CacheConfiguration,
+    LowVoltageScheme,
+    VoltageMode,
+)
+from repro.faults.fault_map import FaultMap
+from repro.faults.geometry import CacheGeometry
+
+
+@SCHEMES.register
+class WayDisableScheme(LowVoltageScheme):
+    """Disable every way (cache column) containing at least one faulty cell.
+
+    One 10T disable bit per way — the cheapest bookkeeping possible, at a
+    catastrophic capacity cost below Vcc-min.
+    """
+
+    name = "way-disable"
+
+    def __init__(self, include_tag_faults: bool = True) -> None:
+        self.include_tag_faults = include_tag_faults
+
+    def configure(
+        self,
+        geometry: CacheGeometry,
+        fault_map: FaultMap | None,
+        voltage: VoltageMode,
+    ) -> CacheConfiguration:
+        if voltage is VoltageMode.HIGH:
+            return CacheConfiguration(
+                geometry=geometry,
+                enabled_ways=None,
+                latency_adder=0,
+                usable=True,
+                scheme_name=self.name,
+                voltage=voltage,
+            )
+        fault_map = self._require_map(fault_map)
+        if fault_map.geometry != geometry:
+            raise ValueError("fault map geometry does not match the cache")
+        faulty = fault_map.faulty_ways_by_set(self.include_tag_faults)
+        dead_ways = faulty.any(axis=0)  # a way dies with its first faulty block
+        enabled = np.broadcast_to(
+            ~dead_ways, (geometry.num_sets, geometry.ways)
+        ).copy()
+        return CacheConfiguration(
+            geometry=geometry,
+            enabled_ways=enabled,
+            latency_adder=0,
+            usable=True,
+            scheme_name=self.name,
+            voltage=voltage,
+            notes=f"{int(dead_ways.sum())} of {geometry.ways} ways disabled",
+        )
+
+
+@SCHEMES.register
+class SetDisableScheme(LowVoltageScheme):
+    """Disable every set containing at least one faulty cell.
+
+    One 10T disable bit per set.  A disabled set caches nothing (accesses
+    stream through to L2) — the behavioural model of set-level repair
+    without a remap network.
+    """
+
+    name = "set-disable"
+
+    def __init__(self, include_tag_faults: bool = True) -> None:
+        self.include_tag_faults = include_tag_faults
+
+    def configure(
+        self,
+        geometry: CacheGeometry,
+        fault_map: FaultMap | None,
+        voltage: VoltageMode,
+    ) -> CacheConfiguration:
+        if voltage is VoltageMode.HIGH:
+            return CacheConfiguration(
+                geometry=geometry,
+                enabled_ways=None,
+                latency_adder=0,
+                usable=True,
+                scheme_name=self.name,
+                voltage=voltage,
+            )
+        fault_map = self._require_map(fault_map)
+        if fault_map.geometry != geometry:
+            raise ValueError("fault map geometry does not match the cache")
+        faulty = fault_map.faulty_ways_by_set(self.include_tag_faults)
+        dead_sets = faulty.any(axis=1)
+        enabled = np.repeat(~dead_sets[:, None], geometry.ways, axis=1)
+        return CacheConfiguration(
+            geometry=geometry,
+            enabled_ways=enabled,
+            latency_adder=0,
+            usable=True,
+            scheme_name=self.name,
+            voltage=voltage,
+            notes=f"{int(dead_sets.sum())} of {geometry.num_sets} sets disabled",
+        )

@@ -1,0 +1,114 @@
+"""Incremental word-disabling (Section IV-C).
+
+A graceful-degradation variant of word-disabling with three states per
+block pair instead of two outcomes for the whole cache:
+
+* **fault-free pair** → operates unmerged at full capacity, both ways live;
+* **repairable pair** → merges like ordinary word-disabling, one logical
+  way survives;
+* **unrepairable pair** (some subblock over the word tolerance) → only this
+  pair is disabled; the rest of the cache keeps working.
+
+Expected capacity follows Eq. 6, starting above 50%, saturating toward 50%,
+then sinking below it — with *no* whole-cache-failure cliff.  The paper
+evaluates this scheme analytically only (Fig. 7) and notes the hardware
+would be awkward (two access paths, non-deterministic latency); we both
+reproduce the analysis and let the performance simulator run it, charging
+the word-disable alignment cycle as the conservative latency model.
+
+Mapping onto the behavioural cache: ways (2i, 2i+1) of each set form pair
+``i``.  A fault-free pair enables both ways; a repairable pair enables one;
+an unrepairable pair enables none.  This preserves exactly the per-set
+associativity the hardware would offer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.schemes import (
+    SCHEMES,
+    CacheConfiguration,
+    LowVoltageScheme,
+    VoltageMode,
+)
+from repro.core.word_disable import WordDisableScheme
+from repro.faults.fault_map import FaultMap
+from repro.faults.geometry import CacheGeometry
+
+
+@SCHEMES.register
+class IncrementalWordDisableScheme(LowVoltageScheme):
+    """Three-state pairwise word-disabling (fault-free / merged / disabled)."""
+
+    name = "incremental-word-disable"
+
+    def __init__(self, subblock_words: int = 8) -> None:
+        self._word_disable = WordDisableScheme(subblock_words)
+        self.subblock_words = subblock_words
+
+    def latency_adder(self, voltage: VoltageMode) -> int:
+        # Conservative: the shifting network is on the path in both modes,
+        # as for plain word-disabling.
+        return 1
+
+    def pair_states(self, fault_map: FaultMap) -> np.ndarray:
+        """Per-pair state codes over pairs (2i, 2i+1): 2 = fault-free (both
+        ways live), 1 = repairable (one logical way), 0 = disabled.
+
+        Returned shape: (num_sets, ways // 2).
+        """
+        geometry = fault_map.geometry
+        if geometry.ways % 2 != 0:
+            raise ValueError("incremental word-disable needs an even way count")
+        data_fault_counts = fault_map.data_faults.sum(axis=1)
+        over_limit = (
+            self._word_disable.subblock_fault_counts(fault_map)
+            > self._word_disable.word_tolerance
+        ).any(axis=1)
+
+        d = geometry.num_blocks
+        first = np.arange(0, d, 2)
+        second = first + 1
+        fault_free = (data_fault_counts[first] == 0) & (data_fault_counts[second] == 0)
+        disabled = over_limit[first] | over_limit[second]
+        states = np.where(fault_free, 2, np.where(disabled, 0, 1))
+        return states.reshape(geometry.num_sets, geometry.ways // 2)
+
+    def configure(
+        self,
+        geometry: CacheGeometry,
+        fault_map: FaultMap | None,
+        voltage: VoltageMode,
+    ) -> CacheConfiguration:
+        if voltage is VoltageMode.HIGH:
+            return CacheConfiguration(
+                geometry=geometry,
+                enabled_ways=None,
+                latency_adder=self.latency_adder(voltage),
+                usable=True,
+                scheme_name=self.name,
+                voltage=voltage,
+                notes="full cache; +1 cycle shifting network",
+            )
+        fault_map = self._require_map(fault_map)
+        if fault_map.geometry != geometry:
+            raise ValueError("fault map geometry does not match the cache")
+        states = self.pair_states(fault_map)
+        num_sets, pairs = states.shape
+        enabled = np.zeros((num_sets, geometry.ways), dtype=bool)
+        enabled[:, 0::2] = states >= 1  # first way of a live pair
+        enabled[:, 1::2] = states == 2  # second way only when fault-free
+        return CacheConfiguration(
+            geometry=geometry,
+            enabled_ways=enabled,
+            latency_adder=self.latency_adder(voltage),
+            usable=True,
+            scheme_name=self.name,
+            voltage=voltage,
+            notes=(
+                f"pairs fault-free/merged/disabled: "
+                f"{int((states == 2).sum())}/{int((states == 1).sum())}/"
+                f"{int((states == 0).sum())}"
+            ),
+        )

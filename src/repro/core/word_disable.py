@@ -1,0 +1,109 @@
+"""Word-disabling: the comparator scheme of Wilkerson et al. (Section II).
+
+Faults are tracked per 32-bit word in a fault mask stored in a 10T tag
+array.  At low voltage, pairs of physical blocks in a set merge into one
+logical block: each physical block contributes its fault-free words to half
+of the logical block, so the cache presents **half the capacity and half the
+associativity** (32KB 8-way becomes 16KB 4-way in the paper's setup).
+
+Constraints and costs reproduced here:
+
+* Each ``subblock`` (8 words here) can lose at most half its words
+  (4).  One subblock anywhere over the limit → **whole-cache failure**:
+  the cache is unusable below Vcc-min (Fig. 5 quantifies how fast this
+  bites as pfail grows).
+* The shift/mux **alignment network** that reassembles logical blocks adds
+  one cycle to the cache latency — and the paper charges that cycle in
+  *both* voltage modes (Table III gives word-disabling a 4-cycle L1 at high
+  voltage too), which is what makes Figs. 11-12 interesting.
+* Tag arrays are 10T, so tag cells never fault under this scheme.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.schemes import (
+    SCHEMES,
+    CacheConfiguration,
+    LowVoltageScheme,
+    VoltageMode,
+)
+from repro.faults.fault_map import FaultMap
+from repro.faults.geometry import CacheGeometry
+
+
+@SCHEMES.register
+class WordDisableScheme(LowVoltageScheme):
+    """Pair-merging word-disable with an 8-word subblock by default."""
+
+    name = "word-disable"
+
+    def __init__(self, subblock_words: int = 8) -> None:
+        if subblock_words <= 0 or subblock_words % 2 != 0:
+            raise ValueError(
+                f"subblock_words must be a positive even count, got {subblock_words}"
+            )
+        self.subblock_words = subblock_words
+
+    @property
+    def word_tolerance(self) -> int:
+        """Max repairable faulty words per subblock (half of it)."""
+        return self.subblock_words // 2
+
+    def latency_adder(self, voltage: VoltageMode) -> int:
+        # The alignment network sits on the access path permanently.
+        return 1
+
+    def subblock_fault_counts(self, fault_map: FaultMap) -> np.ndarray:
+        """Faulty words per subblock, shape (num_blocks, subblocks_per_block)."""
+        word_faulty = fault_map.faulty_word_mask()
+        d = fault_map.geometry.num_blocks
+        words = fault_map.geometry.words_per_block
+        if words % self.subblock_words != 0:
+            raise ValueError(
+                f"{self.subblock_words}-word subblocks do not tile a "
+                f"{words}-word block"
+            )
+        return word_faulty.reshape(d, -1, self.subblock_words).sum(axis=2)
+
+    def whole_cache_failure(self, fault_map: FaultMap) -> bool:
+        """True if any subblock exceeds the repair tolerance (Section II:
+        'it turns the whole cache defective')."""
+        return bool(
+            (self.subblock_fault_counts(fault_map) > self.word_tolerance).any()
+        )
+
+    def configure(
+        self,
+        geometry: CacheGeometry,
+        fault_map: FaultMap | None,
+        voltage: VoltageMode,
+    ) -> CacheConfiguration:
+        if voltage is VoltageMode.HIGH:
+            return CacheConfiguration(
+                geometry=geometry,
+                enabled_ways=None,
+                latency_adder=self.latency_adder(voltage),
+                usable=True,
+                scheme_name=self.name,
+                voltage=voltage,
+                notes="full cache; +1 cycle alignment network",
+            )
+        fault_map = self._require_map(fault_map)
+        if fault_map.geometry != geometry:
+            raise ValueError("fault map geometry does not match the cache")
+        failed = self.whole_cache_failure(fault_map)
+        return CacheConfiguration(
+            geometry=geometry.with_halved_capacity(),
+            enabled_ways=None,
+            latency_adder=self.latency_adder(voltage),
+            usable=not failed,
+            scheme_name=self.name,
+            voltage=voltage,
+            notes=(
+                "whole-cache failure: some subblock exceeds the word tolerance"
+                if failed
+                else "half capacity, half associativity; +1 cycle alignment"
+            ),
+        )

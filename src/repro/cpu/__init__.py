@@ -1,0 +1,48 @@
+"""Trace-driven out-of-order CPU timing model (the sim-alpha substitute)."""
+
+from repro.cpu.branch import GsharePredictor, LinePredictor, ReturnAddressStack
+from repro.cpu.config import (
+    HIGH_VOLTAGE,
+    L1_GEOMETRY,
+    L2_GEOMETRY,
+    LOW_VOLTAGE,
+    PAPER_PIPELINE,
+    VICTIM_ENTRIES,
+    VICTIM_ENTRIES_6T_LOW_VOLTAGE,
+    OperatingPoint,
+    PipelineConfig,
+)
+from repro.cpu.isa import (
+    EXECUTION_LATENCY,
+    FU_OF_CLASS,
+    NO_REGISTER,
+    NUM_REGISTERS,
+    FUPool,
+    InstrClass,
+)
+from repro.cpu.pipeline import OutOfOrderPipeline, SimResult
+from repro.cpu.trace import Trace
+
+__all__ = [
+    "InstrClass",
+    "FUPool",
+    "FU_OF_CLASS",
+    "EXECUTION_LATENCY",
+    "NUM_REGISTERS",
+    "NO_REGISTER",
+    "Trace",
+    "GsharePredictor",
+    "ReturnAddressStack",
+    "LinePredictor",
+    "PipelineConfig",
+    "PAPER_PIPELINE",
+    "OperatingPoint",
+    "HIGH_VOLTAGE",
+    "LOW_VOLTAGE",
+    "L1_GEOMETRY",
+    "L2_GEOMETRY",
+    "VICTIM_ENTRIES",
+    "VICTIM_ENTRIES_6T_LOW_VOLTAGE",
+    "OutOfOrderPipeline",
+    "SimResult",
+]

@@ -1,0 +1,113 @@
+"""Processor configuration constants (Tables II and III).
+
+Table II parameters are fixed across every run; Table III parameters vary
+with the operating mode (high vs low voltage) and the scheme under test.
+The experiment layer composes these into concrete simulator inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.hierarchy import LatencyConfig
+from repro.faults.geometry import PAPER_L1_GEOMETRY, PAPER_L2_GEOMETRY, CacheGeometry
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Table II: parameters constant for all configurations."""
+
+    pipeline_depth: int = 15
+    fetch_width: int = 4
+    decode_width: int = 4
+    issue_width: int = 6
+    commit_width: int = 4
+    rob_entries: int = 128
+    iq_int_entries: int = 40
+    iq_fp_entries: int = 20
+    int_alu_units: int = 4
+    int_mul_units: int = 4
+    fp_alu_units: int = 1
+    fp_mul_units: int = 1
+    ras_entries: int = 16
+    gshare_history_bits: int = 15  # 8KB gshare
+    line_predictor_entries: int = 2048  # ~6.5KB line predictor
+    #: Front-end stages between a fetch leaving the I-cache and dispatch;
+    #: with the 3-cycle I-cache this yields the 15-stage pipeline's
+    #: branch-misprediction refill.
+    frontend_stages: int = 7
+
+    def __post_init__(self) -> None:
+        for name in (
+            "pipeline_depth",
+            "fetch_width",
+            "issue_width",
+            "commit_width",
+            "rob_entries",
+            "iq_int_entries",
+            "iq_fp_entries",
+            "int_alu_units",
+            "int_mul_units",
+            "fp_alu_units",
+            "fp_mul_units",
+        ):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+
+
+#: Table II defaults.
+PAPER_PIPELINE = PipelineConfig()
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """Table III row context: clock and memory latency per voltage mode.
+
+    The paper's machine runs 3GHz / 255-cycle memory at high voltage and
+    600MHz / 51-cycle memory at low voltage — the *wall-clock* memory time
+    is constant; only the cycle count scales with frequency.
+    """
+
+    name: str
+    frequency_hz: float
+    memory_latency: int
+    l1_base_latency: int = 3
+    l2_latency: int = 20
+    victim_latency: int = 1
+
+    def latencies(
+        self, l1i_latency: int | None = None, l1d_latency: int | None = None
+    ) -> LatencyConfig:
+        """Latency set with optional per-side L1 overrides (schemes add
+        their alignment-network cycles on top of ``l1_base_latency``)."""
+        return LatencyConfig(
+            l1i=self.l1i(l1i_latency),
+            l1d=self.l1d(l1d_latency),
+            victim=self.victim_latency,
+            l2=self.l2_latency,
+            memory=self.memory_latency,
+        )
+
+    def l1i(self, override: int | None = None) -> int:
+        return self.l1_base_latency if override is None else override
+
+    def l1d(self, override: int | None = None) -> int:
+        return self.l1_base_latency if override is None else override
+
+
+#: Table III operating points.
+HIGH_VOLTAGE = OperatingPoint(
+    name="high-voltage", frequency_hz=3.0e9, memory_latency=255
+)
+LOW_VOLTAGE = OperatingPoint(
+    name="low-voltage", frequency_hz=600.0e6, memory_latency=51
+)
+
+#: Cache geometries shared by all configurations.
+L1_GEOMETRY: CacheGeometry = PAPER_L1_GEOMETRY
+L2_GEOMETRY: CacheGeometry = PAPER_L2_GEOMETRY
+
+#: Victim cache sizing (Table III: 16 entries, 1-cycle latency); the 6T
+#: variant is assumed to keep only half its entries at low voltage (Sec. V).
+VICTIM_ENTRIES = 16
+VICTIM_ENTRIES_6T_LOW_VOLTAGE = 8

@@ -1,0 +1,81 @@
+"""Instruction classes and the trace record layout.
+
+The timing model is trace-driven: a trace is a sequence of committed
+instructions, each carrying its PC, class, register operands, memory
+address (loads/stores), and branch outcome (branches).  This mirrors what
+the paper's sim-alpha runs consume from SPEC binaries; here the traces come
+from :mod:`repro.workloads`.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class InstrClass(enum.IntEnum):
+    """Committed-instruction categories, mapped to Table II's FU pools."""
+
+    INT_ALU = 0
+    INT_MUL = 1
+    FP_ALU = 2
+    FP_MUL = 3
+    LOAD = 4
+    STORE = 5
+    BRANCH = 6
+    CALL = 7
+    RETURN = 8
+
+    @property
+    def is_memory(self) -> bool:
+        return self in (InstrClass.LOAD, InstrClass.STORE)
+
+    @property
+    def is_control(self) -> bool:
+        return self in (InstrClass.BRANCH, InstrClass.CALL, InstrClass.RETURN)
+
+    @property
+    def uses_fp_queue(self) -> bool:
+        """FP issue queue residency (Table II: 20 FP entries)."""
+        return self in (InstrClass.FP_ALU, InstrClass.FP_MUL)
+
+
+#: Execution latency per class, loosely following the Alpha 21264 pipeline
+#: sim-alpha models (loads get their latency from the cache hierarchy, so
+#: the LOAD entry here is only the address-generation component).
+EXECUTION_LATENCY: dict[InstrClass, int] = {
+    InstrClass.INT_ALU: 1,
+    InstrClass.INT_MUL: 7,
+    InstrClass.FP_ALU: 4,
+    InstrClass.FP_MUL: 4,
+    InstrClass.LOAD: 0,  # + cache access latency
+    InstrClass.STORE: 1,
+    InstrClass.BRANCH: 1,
+    InstrClass.CALL: 1,
+    InstrClass.RETURN: 1,
+}
+
+#: Functional-unit pool each class issues to (Table II: 4 INT ALUs,
+#: 4 INT mult/div, 1 FP ALU, 1 FP mult/div).  Loads/stores use the integer
+#: ALUs for address generation, as on the 21264.
+class FUPool(enum.IntEnum):
+    INT_ALU = 0
+    INT_MUL = 1
+    FP_ALU = 2
+    FP_MUL = 3
+
+
+FU_OF_CLASS: dict[InstrClass, FUPool] = {
+    InstrClass.INT_ALU: FUPool.INT_ALU,
+    InstrClass.INT_MUL: FUPool.INT_MUL,
+    InstrClass.FP_ALU: FUPool.FP_ALU,
+    InstrClass.FP_MUL: FUPool.FP_MUL,
+    InstrClass.LOAD: FUPool.INT_ALU,
+    InstrClass.STORE: FUPool.INT_ALU,
+    InstrClass.BRANCH: FUPool.INT_ALU,
+    InstrClass.CALL: FUPool.INT_ALU,
+    InstrClass.RETURN: FUPool.INT_ALU,
+}
+
+#: Register file split: architectural ids 0..31 integer, 32..63 floating.
+NUM_REGISTERS = 64
+NO_REGISTER = -1

@@ -1,0 +1,156 @@
+"""Command-line entry point: regenerate any paper figure or table.
+
+Usage::
+
+    python -m repro.experiments list
+    python -m repro.experiments fig3 fig4 fig5
+    python -m repro.experiments fig8 --instructions 100000 --maps 20
+    python -m repro.experiments all-analytical
+    python -m repro.experiments all-performance --benchmarks crafty,gzip
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.ablation import ABLATION_STUDIES
+from repro.experiments.characterize import characterization_table
+from repro.experiments.figures import ANALYTICAL_FIGURES, PERFORMANCE_FIGURES
+from repro.experiments.report import reproduction_report
+from repro.experiments.runner import ExperimentRunner, RunnerSettings
+from repro.workloads.spec2000 import ALL_BENCHMARKS
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate figures/tables from 'Performance-Effective "
+        "Operation below Vcc-min' (ISPASS 2010).",
+    )
+    parser.add_argument(
+        "targets",
+        nargs="+",
+        help="figure ids (fig1, table1, fig3..fig12, ext-incremental), "
+        "'list', 'all-analytical', or 'all-performance'",
+    )
+    parser.add_argument(
+        "--instructions", type=int, default=None, help="trace length per benchmark"
+    )
+    parser.add_argument(
+        "--maps", type=int, default=None, help="fault-map pairs (paper: 50)"
+    )
+    parser.add_argument(
+        "--benchmarks",
+        type=str,
+        default=None,
+        help="comma-separated benchmark subset",
+    )
+    parser.add_argument("--seed", type=int, default=None, help="master seed")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process count for parallel simulation (paper-scale runs)",
+    )
+    parser.add_argument(
+        "--csv",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help="also write each figure's data as DIR/<figure-id>.csv",
+    )
+    return parser
+
+
+def _settings_from_args(args: argparse.Namespace) -> RunnerSettings:
+    base = RunnerSettings.from_env()
+    benchmarks = base.benchmarks
+    if args.benchmarks:
+        benchmarks = tuple(b.strip() for b in args.benchmarks.split(",") if b.strip())
+    return RunnerSettings(
+        n_instructions=args.instructions or base.n_instructions,
+        n_fault_maps=args.maps or base.n_fault_maps,
+        benchmarks=benchmarks,
+        seed=args.seed if args.seed is not None else base.seed,
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    targets: list[str] = []
+    for target in args.targets:
+        if target == "list":
+            print("analytical figures :", ", ".join(ANALYTICAL_FIGURES))
+            print("performance figures:", ", ".join(PERFORMANCE_FIGURES))
+            print("ablation studies   :", ", ".join(ABLATION_STUDIES))
+            print("extras             : report, characterize")
+            print("benchmarks         :", ", ".join(ALL_BENCHMARKS))
+            return 0
+        if target == "all-analytical":
+            targets.extend(ANALYTICAL_FIGURES)
+        elif target == "all-performance":
+            targets.extend(PERFORMANCE_FIGURES)
+        elif target == "all-ablations":
+            targets.extend(ABLATION_STUDIES)
+        else:
+            targets.append(target)
+
+    known = (
+        set(ANALYTICAL_FIGURES)
+        | set(PERFORMANCE_FIGURES)
+        | set(ABLATION_STUDIES)
+        | {"report", "characterize"}
+    )
+    unknown = [t for t in targets if t not in known]
+    if unknown:
+        print(f"unknown targets: {', '.join(unknown)}", file=sys.stderr)
+        print("run 'python -m repro.experiments list' to see options", file=sys.stderr)
+        return 2
+
+    runner: ExperimentRunner | None = None
+
+    def shared_runner() -> ExperimentRunner:
+        nonlocal runner
+        if runner is None:
+            runner = ExperimentRunner(_settings_from_args(args))
+            if args.workers > 1:
+                from repro.experiments.figures import FIGURE_CONFIGS
+                from repro.experiments.parallel import prefill_cache
+
+                needed: list = []
+                for t in targets:
+                    needed.extend(FIGURE_CONFIGS.get(t, ()))
+                if needed:
+                    prefill_cache(runner, tuple(needed), workers=args.workers)
+        return runner
+
+    for target in targets:
+        if target == "report":
+            print(reproduction_report(shared_runner()))
+            print()
+            continue
+        if target == "characterize":
+            print(characterization_table().to_text())
+            print()
+            continue
+        if target in ANALYTICAL_FIGURES:
+            result = ANALYTICAL_FIGURES[target]()
+        elif target in ABLATION_STUDIES:
+            result = ABLATION_STUDIES[target]()
+        else:
+            result = PERFORMANCE_FIGURES[target](shared_runner())
+        print(result.to_text())
+        print()
+        if args.csv:
+            import pathlib
+
+            directory = pathlib.Path(args.csv)
+            directory.mkdir(parents=True, exist_ok=True)
+            (directory / f"{result.figure_id}.csv").write_text(result.to_csv())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

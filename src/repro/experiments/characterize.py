@@ -1,0 +1,97 @@
+"""Workload characterization: the suite's behavioural fingerprint.
+
+Papers characterize their workloads before evaluating on them; this module
+produces that table for the synthetic SPEC CPU 2000 suite — baseline IPC,
+L1 miss rates, L2 miss rate, and branch misprediction rate per benchmark at
+the high-voltage operating point.  It doubles as a validation artifact:
+the suite must span streaming / conflict-bound / capacity-bound / front-
+end-bound behaviour for the paper's comparisons to be meaningful.
+"""
+
+from __future__ import annotations
+
+from repro.cache.hierarchy import MemoryHierarchy
+from repro.cache.set_assoc import SetAssociativeCache
+from repro.cpu.config import HIGH_VOLTAGE, L1_GEOMETRY, L2_GEOMETRY, PAPER_PIPELINE
+from repro.cpu.pipeline import OutOfOrderPipeline
+from repro.experiments.results import FigureResult
+from repro.workloads.generator import TraceGenerator
+from repro.workloads.spec2000 import ALL_BENCHMARKS
+
+
+def characterization_table(
+    benchmarks: tuple[str, ...] = ALL_BENCHMARKS,
+    n_instructions: int = 30_000,
+    seed: int = 2010,
+    warmup: int = 10_000,
+) -> FigureResult:
+    """Baseline high-voltage statistics per benchmark (measured after a
+    SimPoint-style warmup prefix)."""
+    ipc = []
+    l1d_miss = []
+    l1i_miss = []
+    l2_miss = []
+    mispredict = []
+    for bench in benchmarks:
+        trace = TraceGenerator(bench, seed=seed).generate(n_instructions + warmup)
+        hierarchy = MemoryHierarchy(
+            SetAssociativeCache(L1_GEOMETRY, name="l1i"),
+            SetAssociativeCache(L1_GEOMETRY, name="l1d"),
+            L2_GEOMETRY,
+            HIGH_VOLTAGE.latencies(),
+        )
+        result = OutOfOrderPipeline(PAPER_PIPELINE, hierarchy).run(
+            trace, measure_from=warmup
+        )
+        ipc.append(result.ipc)
+        l1d_miss.append(result.hierarchy_stats["l1d"]["miss_rate"])
+        l1i_miss.append(result.hierarchy_stats["l1i"]["miss_rate"])
+        l2_miss.append(result.hierarchy_stats["l2"]["miss_rate"])
+        mispredict.append(result.misprediction_rate)
+    table = FigureResult(
+        figure_id="characterization",
+        title="Synthetic SPEC CPU 2000 baseline characterization (high voltage)",
+        index_label="benchmark",
+        index=list(benchmarks),
+        notes="32KB 8-way L1s, 2MB L2, 3-cycle L1 / 20-cycle L2 / "
+        "255-cycle memory; cold caches",
+    )
+    table.add_series("ipc", ipc)
+    table.add_series("l1d_miss", l1d_miss)
+    table.add_series("l1i_miss", l1i_miss)
+    table.add_series("l2_miss", l2_miss)
+    table.add_series("mispredict", mispredict)
+    return table
+
+
+def behaviour_space_check(table: FigureResult) -> dict[str, bool]:
+    """Does the suite span the behaviour classes the evaluation needs?
+
+    Returns one flag per class; all must be True for the Fig. 8 shape
+    arguments to be meaningful (see tests/experiments).
+    """
+    l1d = dict(zip(table.index, table.series["l1d_miss"]))
+    l1i = dict(zip(table.index, table.series["l1i_miss"]))
+    ipc = dict(zip(table.index, table.series["ipc"]))
+    mispredict = dict(zip(table.index, table.series["mispredict"]))
+    available = set(table.index)
+
+    def any_of(names: tuple[str, ...], predicate) -> bool:
+        return any(name in available and predicate(name) for name in names)
+
+    return {
+        "cache_friendly": any_of(
+            ("eon", "galgel", "mesa"), lambda b: l1d[b] < 0.10
+        ),
+        "capacity_bound": any_of(
+            ("mcf", "art", "ammp"), lambda b: l1d[b] > 0.08
+        ),
+        "code_heavy": any_of(
+            ("gcc", "vortex", "sixtrack", "perlbmk"), lambda b: l1i[b] > 0.01
+        ),
+        "branchy": any_of(
+            ("twolf", "gzip", "bzip", "vpr"), lambda b: mispredict[b] > 0.05
+        ),
+        "high_ipc": any_of(tuple(available), lambda b: ipc[b] > 1.0),
+        "low_ipc": any_of(tuple(available), lambda b: ipc[b] < 0.6),
+    }

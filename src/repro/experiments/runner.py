@@ -1,0 +1,248 @@
+"""Experiment runner: fault maps x benchmarks x configurations -> results.
+
+Reproduces the Section V methodology: every low-voltage, fault-dependent
+configuration is evaluated over ``n_fault_maps`` random fault-map pairs
+(the paper uses 50) at pfail = 0.001, and figures report the average and
+minimum normalized performance per benchmark.  Traces and simulation
+results are memoised so the five performance figures (8-12), which share
+most of their runs, cost one simulation each.
+
+Fidelity is controlled by :class:`RunnerSettings`; environment variables
+let the bench harness scale from CI-quick to paper-scale without code
+changes:
+
+* ``REPRO_INSTR`` — instructions per trace (quick default: 40,000)
+* ``REPRO_MAPS`` — fault-map pairs (quick default: 6; paper: 50)
+* ``REPRO_BENCHMARKS`` — comma list to restrict the suite
+* ``REPRO_SEED`` — master seed
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.cache.hierarchy import MemoryHierarchy
+from repro.core import SCHEMES
+from repro.core.schemes import VoltageMode
+from repro.cpu.config import (
+    HIGH_VOLTAGE,
+    L1_GEOMETRY,
+    L2_GEOMETRY,
+    LOW_VOLTAGE,
+    PAPER_PIPELINE,
+    OperatingPoint,
+    PipelineConfig,
+)
+from repro.cpu.pipeline import OutOfOrderPipeline, SimResult
+from repro.cpu.trace import Trace
+from repro.experiments.configs import RunConfig
+from repro.faults.fault_map import FaultMap, FaultMapPair, sample_fault_map_pairs
+from repro.workloads.generator import TraceGenerator
+from repro.workloads.spec2000 import ALL_BENCHMARKS
+
+
+@dataclass(frozen=True)
+class RunnerSettings:
+    """Fidelity and scope of an experiment campaign."""
+
+    n_instructions: int = 40_000
+    n_fault_maps: int = 6
+    benchmarks: tuple[str, ...] = ALL_BENCHMARKS
+    pfail: float = 0.001
+    seed: int = 2010  # ISPASS 2010
+    #: SimPoint-style warmup prefix: these instructions execute (warming
+    #: predictors and caches) before the measured region begins.
+    warmup_instructions: int = 10_000
+
+    def __post_init__(self) -> None:
+        if self.n_instructions <= 0:
+            raise ValueError("n_instructions must be positive")
+        if self.n_fault_maps <= 0:
+            raise ValueError("n_fault_maps must be positive")
+        if self.warmup_instructions < 0:
+            raise ValueError("warmup_instructions must be non-negative")
+        unknown = set(self.benchmarks) - set(ALL_BENCHMARKS)
+        if unknown:
+            raise ValueError(f"unknown benchmarks: {sorted(unknown)}")
+
+    @classmethod
+    def quick(cls) -> "RunnerSettings":
+        """CI-scale defaults (minutes for the whole figure set)."""
+        return cls()
+
+    @classmethod
+    def paper(cls) -> "RunnerSettings":
+        """The paper's statistical setup: 50 fault-map pairs.  Trace length
+        stays simulator-scale (the paper's 100M-instruction SimPoints are
+        out of reach for a pure-Python model, and the comparisons converge
+        long before that)."""
+        return cls(n_instructions=200_000, n_fault_maps=50, warmup_instructions=40_000)
+
+    @classmethod
+    def from_env(cls) -> "RunnerSettings":
+        """Quick defaults overridden by ``REPRO_*`` environment variables."""
+        base = cls.quick()
+        n_instr = int(os.environ.get("REPRO_INSTR", base.n_instructions))
+        n_maps = int(os.environ.get("REPRO_MAPS", base.n_fault_maps))
+        seed = int(os.environ.get("REPRO_SEED", base.seed))
+        warmup = int(os.environ.get("REPRO_WARMUP", base.warmup_instructions))
+        benchmarks = base.benchmarks
+        env_benchmarks = os.environ.get("REPRO_BENCHMARKS")
+        if env_benchmarks:
+            benchmarks = tuple(
+                name.strip() for name in env_benchmarks.split(",") if name.strip()
+            )
+        return cls(
+            n_instructions=n_instr,
+            n_fault_maps=n_maps,
+            benchmarks=benchmarks,
+            seed=seed,
+            warmup_instructions=warmup,
+        )
+
+
+@dataclass(frozen=True)
+class NormalizedSeries:
+    """Per-benchmark normalized performance of one configuration."""
+
+    config_label: str
+    benchmarks: tuple[str, ...]
+    average: tuple[float, ...]
+    minimum: tuple[float, ...]
+
+    @property
+    def mean_average(self) -> float:
+        return sum(self.average) / len(self.average)
+
+    @property
+    def mean_penalty(self) -> float:
+        """Average performance *loss* vs the normalisation baseline (the
+        paper's headline metric, e.g. 11.2% for word-disabling)."""
+        return 1.0 - self.mean_average
+
+
+class ExperimentRunner:
+    """Memoising simulation driver for the performance figures."""
+
+    def __init__(
+        self,
+        settings: RunnerSettings | None = None,
+        pipeline_config: PipelineConfig = PAPER_PIPELINE,
+    ) -> None:
+        self.settings = settings or RunnerSettings.from_env()
+        self.pipeline_config = pipeline_config
+        self._traces: dict[str, Trace] = {}
+        self._fault_maps: list[FaultMapPair] | None = None
+        self._results: dict[tuple, SimResult] = {}
+
+    # ----- inputs -------------------------------------------------------------
+
+    def trace(self, benchmark: str) -> Trace:
+        """Warmup prefix + measured region, generated once per benchmark."""
+        if benchmark not in self._traces:
+            generator = TraceGenerator(
+                benchmark, seed=self.settings.seed, geometry=L1_GEOMETRY
+            )
+            self._traces[benchmark] = generator.generate(
+                self.settings.n_instructions + self.settings.warmup_instructions
+            )
+        return self._traces[benchmark]
+
+    def fault_maps(self) -> list[FaultMapPair]:
+        if self._fault_maps is None:
+            self._fault_maps = list(
+                sample_fault_map_pairs(
+                    L1_GEOMETRY,
+                    self.settings.pfail,
+                    self.settings.n_fault_maps,
+                    seed=self.settings.seed,
+                )
+            )
+        return self._fault_maps
+
+    # ----- simulation ----------------------------------------------------------
+
+    def run(
+        self, benchmark: str, config: RunConfig, map_index: int | None = None
+    ) -> SimResult:
+        """Simulate one (benchmark, configuration, fault map) point.
+
+        ``map_index`` is required iff the configuration's performance
+        depends on the fault draw (see :meth:`RunConfig.needs_fault_map`).
+        """
+        if config.needs_fault_map:
+            if map_index is None:
+                raise ValueError(f"{config.label} requires a fault-map index")
+        else:
+            map_index = None
+        key = (benchmark, config, map_index)
+        if key not in self._results:
+            self._results[key] = self._simulate(benchmark, config, map_index)
+        return self._results[key]
+
+    def _simulate(
+        self, benchmark: str, config: RunConfig, map_index: int | None
+    ) -> SimResult:
+        scheme = SCHEMES.create(config.scheme)
+        operating: OperatingPoint = (
+            LOW_VOLTAGE if config.voltage is VoltageMode.LOW else HIGH_VOLTAGE
+        )
+        if map_index is not None:
+            pair = self.fault_maps()[map_index]
+            imap, dmap = pair.icache, pair.dcache
+        elif config.voltage is VoltageMode.LOW:
+            # Fault-independent low-voltage schemes (word-disabling's halved
+            # cache, the baseline reference) still need a map object for
+            # their usability checks; the empty map is the canonical one.
+            imap = dmap = FaultMap.empty(L1_GEOMETRY)
+        else:
+            imap = dmap = None
+
+        cfg_i = scheme.configure(L1_GEOMETRY, imap, config.voltage)
+        cfg_d = scheme.configure(L1_GEOMETRY, dmap, config.voltage)
+        latencies = operating.latencies(
+            operating.l1_base_latency + cfg_i.latency_adder,
+            operating.l1_base_latency + cfg_d.latency_adder,
+        )
+        hierarchy = MemoryHierarchy(
+            cfg_i.build_cache("l1i", seed=self.settings.seed),
+            cfg_d.build_cache("l1d", seed=self.settings.seed),
+            L2_GEOMETRY,
+            latencies,
+            victim_entries_i=config.victim_entries,
+            victim_entries_d=config.victim_entries,
+        )
+        pipeline = OutOfOrderPipeline(self.pipeline_config, hierarchy)
+        return pipeline.run(
+            self.trace(benchmark), measure_from=self.settings.warmup_instructions
+        )
+
+    # ----- normalized series (the figure bars) ---------------------------------
+
+    def normalized_series(
+        self, config: RunConfig, baseline: RunConfig
+    ) -> NormalizedSeries:
+        """Per-benchmark average and minimum performance of ``config``
+        normalized to ``baseline`` (which must be fault-independent)."""
+        if baseline.needs_fault_map:
+            raise ValueError("normalisation baseline must be fault-independent")
+        averages = []
+        minimums = []
+        for benchmark in self.settings.benchmarks:
+            base_cycles = self.run(benchmark, baseline).cycles
+            if config.needs_fault_map:
+                normalized = [
+                    base_cycles / self.run(benchmark, config, m).cycles
+                    for m in range(self.settings.n_fault_maps)
+                ]
+            else:
+                normalized = [base_cycles / self.run(benchmark, config).cycles]
+            averages.append(sum(normalized) / len(normalized))
+            minimums.append(min(normalized))
+        return NormalizedSeries(
+            config_label=config.label,
+            benchmarks=tuple(self.settings.benchmarks),
+            average=tuple(averages),
+            minimum=tuple(minimums),
+        )

@@ -1,0 +1,25 @@
+"""Fault substrate: cache geometry, SRAM cells, and low-voltage fault maps.
+
+This package models the physical layer the paper builds on: which SRAM cells
+of a cache array fail when the supply voltage drops below Vcc-min, and how
+those cells aggregate into blocks, words, sets, and ways.
+"""
+
+from repro.faults.cell import CellType, effective_pfail
+from repro.faults.fault_map import FaultMap, FaultMapPair, sample_fault_map_pairs
+from repro.faults.geometry import (
+    PAPER_L1_GEOMETRY,
+    PAPER_L2_GEOMETRY,
+    CacheGeometry,
+)
+
+__all__ = [
+    "CellType",
+    "effective_pfail",
+    "FaultMap",
+    "FaultMapPair",
+    "sample_fault_map_pairs",
+    "CacheGeometry",
+    "PAPER_L1_GEOMETRY",
+    "PAPER_L2_GEOMETRY",
+]

@@ -1,0 +1,71 @@
+"""SRAM cell library.
+
+The paper distinguishes two storage cell designs:
+
+* the standard **6-transistor (6T)** SRAM cell, which becomes unreliable when
+  the supply voltage drops below Vcc-min, and
+* the **10-transistor (10T) Schmitt-trigger** cell of Kulkarni et al.
+  (ISLPED 2007), which remains reliable even at sub-threshold voltages but
+  costs roughly twice the area (the paper accounts for it as twice the
+  transistor count, and so do we).
+
+Word-disabling stores its per-block fault masks in 10T cells so the masks
+themselves survive low voltage; block-disabling needs a single 10T disable
+bit per block.  The victim-cache variants of Section III-A differ precisely
+in which cell the victim array uses.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class CellType(enum.Enum):
+    """SRAM cell designs considered by the paper."""
+
+    SRAM_6T = "6T"
+    SRAM_10T = "10T"
+
+    @property
+    def transistors(self) -> int:
+        """Transistor count per cell, as accounted in the paper's Table I."""
+        return _CELL_PROPERTIES[self].transistors
+
+    @property
+    def fails_below_vccmin(self) -> bool:
+        """Whether the cell can flip/stick when operated below Vcc-min."""
+        return _CELL_PROPERTIES[self].fails_below_vccmin
+
+    @property
+    def relative_area(self) -> float:
+        """Area relative to a 6T cell (paper: 10T is ~2x)."""
+        return self.transistors / CellType.SRAM_6T.transistors
+
+
+@dataclass(frozen=True)
+class _CellProperties:
+    transistors: int
+    fails_below_vccmin: bool
+
+
+_CELL_PROPERTIES = {
+    CellType.SRAM_6T: _CellProperties(transistors=6, fails_below_vccmin=True),
+    CellType.SRAM_10T: _CellProperties(transistors=10, fails_below_vccmin=False),
+}
+
+
+def effective_pfail(cell: CellType, pfail: float) -> float:
+    """Per-cell failure probability of ``cell`` at a low-voltage operating
+    point whose 6T failure probability is ``pfail``.
+
+    10T Schmitt-trigger cells are treated as fault-free below Vcc-min,
+    matching the paper's assumption (Section II: the tag array "uses
+    10-transistor Schmitt trigger cells which are known to be robust even at
+    low-voltage").
+    """
+    if not 0.0 <= pfail <= 1.0:
+        raise ValueError(f"pfail must be a probability, got {pfail!r}")
+    if cell.fails_below_vccmin:
+        return pfail
+    return 0.0

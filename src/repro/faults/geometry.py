@@ -1,0 +1,199 @@
+"""Cache geometry: the (d, k) view of a cache array used throughout the paper.
+
+Section IV models a cache as an urn of ``d * k`` cells, where ``d`` is the
+number of blocks and ``k`` the number of cells per block (data bits + tag
+bits + valid bit).  The paper's running example is a 32KB, 8-way, 64B-block
+cache with a 24-bit tag and one valid bit::
+
+    d = 512 blocks
+    k = 64*8 + 24 + 1 = 537 cells/block
+    d*k = 274,944 cells
+
+:class:`CacheGeometry` captures this plus the set/way structure needed by the
+behavioural simulator (index/offset bit split, number of sets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+def _is_pow2(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def _log2(value: int) -> int:
+    return value.bit_length() - 1
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Shape of one cache array.
+
+    Parameters
+    ----------
+    size_bytes:
+        Total data capacity in bytes (e.g. ``32 * 1024``).
+    ways:
+        Associativity.  Must divide the number of blocks.
+    block_bytes:
+        Block (line) size in bytes.
+    address_bits:
+        Physical address width used to derive the tag width when ``tag_bits``
+        is not given.  The paper's example uses a 36-bit address so that a
+        32KB/8-way/64B cache has a 24-bit tag (36 - 6 index - 6 offset).
+    tag_bits:
+        Explicit tag width override.  ``None`` derives it from
+        ``address_bits``.
+    valid_bits:
+        Metadata bits per block that share the array with tag bits
+        (the paper counts 1 valid bit).
+    word_bits:
+        Architectural word size; word-disabling tracks faults at this
+        granularity (the paper assumes 32-bit words).
+    """
+
+    size_bytes: int = 32 * 1024
+    ways: int = 8
+    block_bytes: int = 64
+    address_bits: int = 36
+    tag_bits: int | None = None
+    valid_bits: int = 1
+    word_bits: int = 32
+
+    def __post_init__(self) -> None:
+        if not _is_pow2(self.size_bytes):
+            raise ValueError(f"size_bytes must be a power of two, got {self.size_bytes}")
+        if not _is_pow2(self.block_bytes):
+            raise ValueError(f"block_bytes must be a power of two, got {self.block_bytes}")
+        if not _is_pow2(self.ways):
+            raise ValueError(f"ways must be a power of two, got {self.ways}")
+        if self.size_bytes % (self.block_bytes * self.ways) != 0:
+            raise ValueError(
+                f"size {self.size_bytes}B is not divisible into {self.ways} ways "
+                f"of {self.block_bytes}B blocks"
+            )
+        if self.block_bytes * 8 % self.word_bits != 0:
+            raise ValueError("block must hold an integral number of words")
+        if self.tag_bits is not None and self.tag_bits <= 0:
+            raise ValueError("tag_bits must be positive when given")
+        derived = self.address_bits - self.index_bits - self.offset_bits
+        if self.tag_bits is None and derived <= 0:
+            raise ValueError(
+                "address_bits too small to derive a positive tag width; "
+                "pass tag_bits explicitly"
+            )
+
+    # ----- block-level structure -------------------------------------------------
+
+    @property
+    def num_blocks(self) -> int:
+        """``d`` in the paper's notation."""
+        return self.size_bytes // self.block_bytes
+
+    @property
+    def num_sets(self) -> int:
+        return self.num_blocks // self.ways
+
+    @property
+    def words_per_block(self) -> int:
+        return self.block_bytes * 8 // self.word_bits
+
+    # ----- address slicing -------------------------------------------------------
+
+    @property
+    def offset_bits(self) -> int:
+        return _log2(self.block_bytes)
+
+    @property
+    def index_bits(self) -> int:
+        return _log2(self.num_sets)
+
+    @property
+    def effective_tag_bits(self) -> int:
+        """Tag width: explicit override or derived from the address split."""
+        if self.tag_bits is not None:
+            return self.tag_bits
+        return self.address_bits - self.index_bits - self.offset_bits
+
+    def set_index(self, address: int) -> int:
+        return (address >> self.offset_bits) & (self.num_sets - 1)
+
+    def tag(self, address: int) -> int:
+        return address >> (self.offset_bits + self.index_bits)
+
+    def block_address(self, address: int) -> int:
+        return address >> self.offset_bits
+
+    # ----- cell accounting (the paper's k) ---------------------------------------
+
+    @property
+    def data_bits_per_block(self) -> int:
+        return self.block_bytes * 8
+
+    @property
+    def cells_per_block(self) -> int:
+        """``k``: data + tag + valid cells per block (paper Sec. IV-A)."""
+        return self.data_bits_per_block + self.effective_tag_bits + self.valid_bits
+
+    @property
+    def total_cells(self) -> int:
+        """``d * k``."""
+        return self.num_blocks * self.cells_per_block
+
+    @property
+    def data_cells(self) -> int:
+        return self.num_blocks * self.data_bits_per_block
+
+    # ----- derived geometries -----------------------------------------------------
+
+    def with_halved_capacity(self) -> "CacheGeometry":
+        """The cache word-disabling presents at low voltage: half the size
+        and half the associativity, same block size (paper Sec. II)."""
+        if self.ways < 2:
+            raise ValueError("cannot halve the associativity of a direct-mapped cache")
+        return replace(
+            self,
+            size_bytes=self.size_bytes // 2,
+            ways=self.ways // 2,
+            tag_bits=self.tag_bits,
+        )
+
+    def with_block_bytes(self, block_bytes: int) -> "CacheGeometry":
+        """Same capacity and associativity with a different block size
+        (the Fig. 6 sensitivity study changes block size and set count)."""
+        return replace(self, block_bytes=block_bytes)
+
+    def describe(self) -> str:
+        """Human-readable one-liner, e.g. ``32KB 8-way 64B/block (64 sets)``."""
+        size = self.size_bytes
+        unit = "B"
+        for candidate in ("KB", "MB"):
+            if size >= 1024 and size % 1024 == 0:
+                size //= 1024
+                unit = candidate
+        return (
+            f"{size}{unit} {self.ways}-way {self.block_bytes}B/block "
+            f"({self.num_sets} sets, tag {self.effective_tag_bits}b)"
+        )
+
+
+#: The paper's running example / L1 configuration (Tables I-III).
+PAPER_L1_GEOMETRY = CacheGeometry(
+    size_bytes=32 * 1024,
+    ways=8,
+    block_bytes=64,
+    address_bits=36,
+    valid_bits=1,
+    word_bits=32,
+)
+
+#: The paper's unified L2 (Table II): 2MB, 8-way, 64B blocks.
+PAPER_L2_GEOMETRY = CacheGeometry(
+    size_bytes=2 * 1024 * 1024,
+    ways=8,
+    block_bytes=64,
+    address_bits=36,
+    valid_bits=1,
+    word_bits=32,
+)

@@ -1,0 +1,5 @@
+"""Hardware overhead accounting (paper Table I)."""
+
+from repro.overhead.transistors import OverheadModel, OverheadRow
+
+__all__ = ["OverheadModel", "OverheadRow"]

@@ -1,0 +1,17 @@
+"""Voltage scaling and Vcc-min models (the paper's Fig. 1 motivation)."""
+
+from repro.power.dvs import DVSModel, ScalingCurve, energy_per_task, scaling_curves
+from repro.power.energy import EnergyComparison, EnergyModel, compare_operating_points
+from repro.power.vccmin import DEFAULT_VCCMIN_MODEL, VccMinModel
+
+__all__ = [
+    "DVSModel",
+    "ScalingCurve",
+    "scaling_curves",
+    "energy_per_task",
+    "VccMinModel",
+    "DEFAULT_VCCMIN_MODEL",
+    "EnergyModel",
+    "EnergyComparison",
+    "compare_operating_points",
+]

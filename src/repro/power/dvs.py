@@ -1,0 +1,126 @@
+"""Dynamic voltage/frequency scaling model (Fig. 1a / 1b).
+
+Fig. 1 illustrates the paper's motivation: with conventional DVS, power
+falls cubically with voltage (P = C V^2 f with f roughly linear in V) until
+Vcc-min, after which only linear frequency scaling remains.  Allowing
+operation below Vcc-min extends the cubic zone, at a *sub-linear*
+performance cost because the thinning cache degrades IPC on top of the
+frequency loss.
+
+This module generates those normalized curves.  Frequency follows the
+alpha-power law ``f ∝ (V - Vth)^alpha / V`` (alpha = 1.3, Vth = 0.35V by
+default, both configurable); power is ``V^2 f`` normalized to the nominal
+point; performance is frequency times a relative-IPC factor supplied by the
+caller (1.0 above Vcc-min; below it, the measured IPC ratio of a disabling
+scheme, which is where the Section VI results plug in).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.power.vccmin import DEFAULT_VCCMIN_MODEL, VccMinModel
+
+
+@dataclass(frozen=True)
+class DVSModel:
+    """Alpha-power-law voltage/frequency/power scaling."""
+
+    vccmin_model: VccMinModel = DEFAULT_VCCMIN_MODEL
+    threshold_voltage: float = 0.35
+    alpha: float = 1.3
+
+    def __post_init__(self) -> None:
+        if self.threshold_voltage >= self.vccmin_model.vcc_min:
+            raise ValueError("threshold voltage must sit below Vcc-min")
+        if self.alpha <= 0:
+            raise ValueError("alpha must be positive")
+
+    def frequency(self, voltage: float) -> float:
+        """Clock frequency at ``voltage``, normalized to the nominal point."""
+        vth = self.threshold_voltage
+        if voltage <= vth:
+            return 0.0
+        nominal = self.vccmin_model.vcc_nominal
+        f = (voltage - vth) ** self.alpha / voltage
+        f_nom = (nominal - vth) ** self.alpha / nominal
+        return f / f_nom
+
+    def dynamic_power(self, voltage: float) -> float:
+        """Dynamic power ``V^2 f``, normalized to the nominal point."""
+        nominal = self.vccmin_model.vcc_nominal
+        return (voltage / nominal) ** 2 * self.frequency(voltage)
+
+    def performance(
+        self,
+        voltage: float,
+        relative_ipc: Callable[[float], float] | None = None,
+    ) -> float:
+        """Normalized performance: frequency x relative IPC.
+
+        ``relative_ipc(voltage)`` defaults to 1.0 everywhere — the Fig. 1a
+        idealisation where performance tracks frequency.  For Fig. 1b, pass
+        a callable returning the measured IPC ratio of the disabling scheme
+        at the pfail corresponding to that voltage (< 1 below Vcc-min).
+        """
+        ipc = 1.0 if relative_ipc is None else relative_ipc(voltage)
+        if not 0.0 <= ipc <= 1.5:
+            raise ValueError(f"relative IPC {ipc} is not plausible")
+        return self.frequency(voltage) * ipc
+
+
+@dataclass(frozen=True)
+class ScalingCurve:
+    """One sweep of the DVS model (the Fig. 1 series)."""
+
+    voltages: np.ndarray
+    frequency: np.ndarray
+    power: np.ndarray
+    performance: np.ndarray
+    vcc_min: float
+
+    @property
+    def cubic_zone(self) -> np.ndarray:
+        """Mask of points at or above Vcc-min (cubic power reduction)."""
+        return self.voltages >= self.vcc_min
+
+
+def scaling_curves(
+    model: DVSModel | None = None,
+    min_voltage: float = 0.45,
+    points: int = 23,
+    relative_ipc: Callable[[float], float] | None = None,
+) -> ScalingCurve:
+    """Sweep voltage from nominal down to ``min_voltage``.
+
+    Without ``relative_ipc`` this reproduces Fig. 1a (performance undefined
+    below Vcc-min in a conventional design — we report frequency-tracking
+    performance for reference).  With a scheme-derived ``relative_ipc``,
+    the sub-Vcc-min region shows Fig. 1b's sub-linear performance.
+    """
+    model = model or DVSModel()
+    nominal = model.vccmin_model.vcc_nominal
+    if not model.threshold_voltage < min_voltage < nominal:
+        raise ValueError("min_voltage must lie between Vth and nominal")
+    voltages = np.linspace(nominal, min_voltage, points)
+    frequency = np.array([model.frequency(v) for v in voltages])
+    power = np.array([model.dynamic_power(v) for v in voltages])
+    performance = np.array([model.performance(v, relative_ipc) for v in voltages])
+    return ScalingCurve(
+        voltages=voltages,
+        frequency=frequency,
+        power=power,
+        performance=performance,
+        vcc_min=model.vccmin_model.vcc_min,
+    )
+
+
+def energy_per_task(power: float, performance: float) -> float:
+    """Normalized energy per unit of work: power / performance.  Quantifies
+    when dropping below Vcc-min is an energy win despite the IPC loss."""
+    if performance <= 0:
+        raise ValueError("performance must be positive")
+    return power / performance

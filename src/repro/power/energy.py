@@ -1,0 +1,108 @@
+"""Energy accounting for simulated runs: the quantitative Fig. 1b.
+
+The paper motivates sub-Vcc-min operation with power curves but reports
+only performance.  This module closes the loop: given a simulation result
+and its operating point, estimate the energy of the run under the DVS
+model, so the schemes can be compared on the axis that motivates the whole
+exercise — *energy per unit of work*.
+
+Model: for a run of ``C`` cycles at operating point with voltage ``V`` and
+frequency ``f(V)``::
+
+    time    = C / f(V)
+    P_dyn   = P0 * (V/Vnom)^2 * f(V)/f(Vnom)      (normalized CV^2f)
+    P_leak  = L0 * (V/Vnom)                        (linear leakage share)
+    energy  = (P_dyn + P_leak) * time
+
+Everything is normalized to the nominal-voltage, baseline-scheme run, so
+only ratios are meaningful — which is all the comparison needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpu.pipeline import SimResult
+from repro.power.dvs import DVSModel
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Combines the DVS model with a leakage share."""
+
+    dvs: DVSModel
+    #: Static power at nominal voltage as a fraction of dynamic power there
+    #: (a 2010-era high-performance design leaks heavily).
+    leakage_fraction: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.leakage_fraction < 0:
+            raise ValueError("leakage_fraction must be non-negative")
+
+    def power(self, voltage: float) -> float:
+        """Total normalized power at ``voltage``."""
+        nominal = self.dvs.vccmin_model.vcc_nominal
+        dynamic = self.dvs.dynamic_power(voltage)
+        leakage = self.leakage_fraction * (voltage / nominal)
+        return dynamic + leakage
+
+    def run_energy(self, result: SimResult, voltage: float) -> float:
+        """Normalized energy of one simulated run executed at ``voltage``.
+
+        Frequency scaling cancels per the model: the run takes
+        ``cycles / f(V)`` time at power that carries a factor ``f(V)`` in
+        its dynamic part, so dynamic energy is frequency-independent while
+        leakage energy grows as the clock slows — the classic race-to-idle
+        tension the paper's low-voltage zone navigates.
+        """
+        frequency = self.dvs.frequency(voltage)
+        if frequency <= 0:
+            raise ValueError(f"no valid clock at {voltage}V")
+        time = result.cycles / frequency
+        return self.power(voltage) * time
+
+
+@dataclass(frozen=True)
+class EnergyComparison:
+    """Energy/performance of one scheme run against a reference run."""
+
+    label: str
+    relative_energy: float
+    relative_runtime: float
+
+    @property
+    def energy_saving(self) -> float:
+        return 1.0 - self.relative_energy
+
+    @property
+    def slowdown(self) -> float:
+        return self.relative_runtime - 1.0
+
+
+def compare_operating_points(
+    model: EnergyModel,
+    reference: SimResult,
+    reference_voltage: float,
+    candidates: dict[str, tuple[SimResult, float]],
+) -> list[EnergyComparison]:
+    """Score candidate (result, voltage) pairs against a reference run.
+
+    Runtime ratios account for the frequency difference between operating
+    points; energy ratios use :meth:`EnergyModel.run_energy`.  Typical use:
+    reference = baseline at Vcc-min; candidates = disabling schemes at the
+    low-voltage point.
+    """
+    ref_energy = model.run_energy(reference, reference_voltage)
+    ref_time = reference.cycles / model.dvs.frequency(reference_voltage)
+    comparisons = []
+    for label, (result, voltage) in candidates.items():
+        energy = model.run_energy(result, voltage)
+        time = result.cycles / model.dvs.frequency(voltage)
+        comparisons.append(
+            EnergyComparison(
+                label=label,
+                relative_energy=energy / ref_energy,
+                relative_runtime=time / ref_time,
+            )
+        )
+    return comparisons

@@ -1,0 +1,71 @@
+"""Cell failure probability as a function of supply voltage.
+
+The paper's framing (Section I, citing Kulkarni et al.): "the probability of
+cell failure is growing exponentially with voltage decrease and, depending
+on the voltage and cache size, can be prevalent with 100s or even 1000s of
+faulty cells in an array".
+
+The exact pfail(V) curve of a 6T cell depends on the process; published
+measurements (e.g. Wilkerson et al., Fig. 1 of their ISCA 2008 paper) show
+roughly one decade of pfail per ~50mV below Vcc-min.  We model::
+
+    pfail(V) = PFAIL_AT_VCCMIN * 10^((VCC_MIN - V) / DECADE_MV)
+
+clamped to [0, 1], with the calibration point chosen so the paper's
+operating point (pfail = 0.001) sits about 75mV below Vcc-min.  Only the
+qualitative exponential matters for the paper's reasoning; every evaluated
+configuration pins pfail = 0.001 directly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class VccMinModel:
+    """Exponential pfail(V) model for a 6T SRAM cell."""
+
+    vcc_min: float = 0.75  # volts: minimum reliable supply
+    vcc_nominal: float = 1.0  # volts: nominal supply
+    pfail_at_vccmin: float = 1e-7  # residual failure probability at Vcc-min
+    decade_per_volt: float = 1 / 0.055  # one decade of pfail per 55 mV
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.vcc_min < self.vcc_nominal:
+            raise ValueError("need 0 < vcc_min < vcc_nominal")
+        if not 0.0 < self.pfail_at_vccmin < 1.0:
+            raise ValueError("pfail_at_vccmin must be in (0, 1)")
+        if self.decade_per_volt <= 0:
+            raise ValueError("decade_per_volt must be positive")
+
+    def pfail(self, voltage: float) -> float:
+        """Per-cell failure probability at ``voltage`` (volts)."""
+        if voltage <= 0:
+            raise ValueError(f"voltage must be positive, got {voltage}")
+        if voltage >= self.vcc_min:
+            return 0.0  # reliable at or above Vcc-min (paper's assumption)
+        exponent = (self.vcc_min - voltage) * self.decade_per_volt
+        return min(1.0, self.pfail_at_vccmin * 10.0**exponent)
+
+    def voltage_for_pfail(self, pfail: float) -> float:
+        """Invert :meth:`pfail`: the voltage at which a 6T cell fails with
+        probability ``pfail``.  The paper's pfail = 0.001 lands ~220mV
+        below Vcc-min with the default calibration."""
+        if not self.pfail_at_vccmin <= pfail <= 1.0:
+            raise ValueError(
+                f"pfail must be in [{self.pfail_at_vccmin}, 1], got {pfail}"
+            )
+        return self.vcc_min - math.log10(pfail / self.pfail_at_vccmin) / self.decade_per_volt
+
+    def expected_faulty_cells(self, voltage: float, total_cells: int) -> float:
+        """Expected faulty cells of a ``total_cells`` array at ``voltage`` —
+        the '100s or even 1000s' the introduction quotes."""
+        if total_cells <= 0:
+            raise ValueError("total_cells must be positive")
+        return self.pfail(voltage) * total_cells
+
+
+#: Default model used by the DVS curves.
+DEFAULT_VCCMIN_MODEL = VccMinModel()

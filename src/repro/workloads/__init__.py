@@ -1,0 +1,22 @@
+"""Synthetic SPEC CPU 2000 workload suite (the paper's 26 benchmarks)."""
+
+from repro.workloads.generator import TraceGenerator, generate_trace
+from repro.workloads.profiles import WorkloadProfile
+from repro.workloads.spec2000 import (
+    ALL_BENCHMARKS,
+    FP_BENCHMARKS,
+    INT_BENCHMARKS,
+    SPEC2000_PROFILES,
+    get_profile,
+)
+
+__all__ = [
+    "WorkloadProfile",
+    "TraceGenerator",
+    "generate_trace",
+    "SPEC2000_PROFILES",
+    "ALL_BENCHMARKS",
+    "FP_BENCHMARKS",
+    "INT_BENCHMARKS",
+    "get_profile",
+]

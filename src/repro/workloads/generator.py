@@ -1,0 +1,399 @@
+"""Synthetic trace generation from workload profiles.
+
+The generator builds a small program skeleton (basic blocks with fixed
+static branch biases and targets) and walks it, emitting committed
+instructions with memory addresses drawn from the profile's access-pattern
+mixture.  Everything is driven by one ``random.Random(seed)`` stream, so a
+(profile, seed, length) triple always yields the identical trace — the
+paper's requirement that every scheme sees the same dynamic instruction
+stream.
+
+Program model
+-------------
+* Code is laid out as consecutive basic blocks starting at ``CODE_BASE``;
+  block lengths are geometric with mean ``1 / control_fraction`` so the
+  emitted branch/call/return fractions match the profile's mix.
+* Each block ends in a control instruction with *static* properties chosen
+  at construction: a taken-bias (strongly biased for ``predictability`` of
+  the static branches, weakly biased otherwise) and a fixed taken-target
+  (backward for loops, forward otherwise).  gshare learns the biased
+  branches over the trace, reproducing realistic misprediction rates.
+* Calls push the fall-through block on a software stack and jump to a
+  random "function entry" block; returns pop it.
+
+Data model
+----------
+Four address generators share the data segment:
+
+* **stream** — four sequential walkers (8-byte strides) over a region,
+  giving high spatial locality and compulsory misses;
+* **stride** — two strided walkers (``stride_bytes``) for vector-ish codes;
+* **random** — uniform block-grain accesses over a region (capacity
+  pressure);
+* **conflict** — a round-robin pool of ``conflict_blocks`` blocks that all
+  map into ``conflict_sets`` cache sets: the associativity stressor that
+  separates an 8-way baseline, a 4-way word-disabled cache, a fault-thinned
+  block-disabled set, and a victim-cache-backed configuration.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass
+
+from repro.cpu.isa import NO_REGISTER, InstrClass
+from repro.cpu.trace import Trace
+from repro.faults.geometry import PAPER_L1_GEOMETRY, CacheGeometry
+from repro.workloads.profiles import WorkloadProfile
+from repro.workloads.spec2000 import get_profile
+
+CODE_BASE = 0x0040_0000
+DATA_BASE = 0x1000_0000
+CONFLICT_BASE = 0x2000_0000
+
+
+@dataclass
+class _BasicBlock:
+    start_pc: int
+    length: int  # instructions including the terminator
+    kind: int  # InstrClass.BRANCH / CALL / RETURN
+    taken_bias: float
+    target: int  # taken-target block index (branches); callee (calls)
+    #: Loop branches iterate a (mostly) fixed trip count instead of
+    #: flipping a coin per visit — real loops repeat their history
+    #: patterns, which is what lets a gshare predictor learn them.
+    trip_count: int = 0  # 0 = not a counted loop
+
+
+class TraceGenerator:
+    """Deterministic trace generator for one workload profile."""
+
+    def __init__(
+        self,
+        profile: WorkloadProfile | str,
+        seed: int = 0,
+        geometry: CacheGeometry = PAPER_L1_GEOMETRY,
+    ) -> None:
+        if isinstance(profile, str):
+            profile = get_profile(profile)
+        self.profile = profile
+        self.seed = seed
+        self.geometry = geometry
+        # zlib.crc32 is stable across processes (unlike hash()), keeping
+        # traces bit-identical for a given (benchmark, seed).
+        self._rng = random.Random(zlib.crc32(profile.name.encode()) * 65537 + seed)
+        self._blocks = self._build_code()
+        self._init_data_generators()
+
+    # ------------------------------------------------------------------ code
+
+    def _build_code(self) -> list[_BasicBlock]:
+        p = self.profile
+        rng = self._rng
+        ctrl_frac = p.branch_frac + 2 * p.call_frac
+        mean_len = max(3.0, 1.0 / max(ctrl_frac, 0.02))
+        total_instructions = p.code_kb * 1024 // 4
+
+        blocks: list[_BasicBlock] = []
+        pc = CODE_BASE
+        emitted = 0
+        while emitted < total_instructions:
+            length = max(3, min(int(rng.expovariate(1.0 / mean_len)) + 1, 64))
+            blocks.append(
+                _BasicBlock(start_pc=pc, length=length, kind=0, taken_bias=0.0, target=0)
+            )
+            pc += length * 4
+            emitted += length
+
+        n_blocks = len(blocks)
+        # Hot-function structure: real programs call a small set of hot
+        # functions over and over (the 90/10 rule); that repetition is what
+        # trains branch predictors and keeps the I-cache working set
+        # meaningful.  Cold calls still happen so the full footprint is
+        # exercised.
+        n_hot = max(4, n_blocks // 128)
+        hot_entries = [rng.randrange(n_blocks) for _ in range(n_hot)]
+        self._hot_entries = hot_entries
+        call_weight = 2 * p.call_frac / max(ctrl_frac, 1e-9)
+        for idx, block in enumerate(blocks):
+            roll = rng.random()
+            if roll < call_weight / 2:
+                block.kind = int(InstrClass.CALL)
+                if rng.random() < 0.9:
+                    block.target = hot_entries[rng.randrange(n_hot)]
+                else:
+                    block.target = rng.randrange(n_blocks)
+            elif roll < call_weight:
+                block.kind = int(InstrClass.RETURN)
+            else:
+                block.kind = int(InstrClass.BRANCH)
+                if rng.random() < p.predictability:
+                    if rng.random() < 0.5:
+                        # Counted loop: taken `trip_count` times, then one
+                        # not-taken exit.  Deterministic trip counts give
+                        # the recurring global-history patterns gshare
+                        # learns on real codes.
+                        block.taken_bias = 0.9  # long-run taken fraction
+                        block.trip_count = 2 + min(int(rng.expovariate(1 / 8.0)), 60)
+                        block.target = max(0, idx - rng.randint(1, 8))
+                    else:
+                        # Guard branch (error/rare-case check): the vast
+                        # majority are *never* taken at a given site, which
+                        # keeps per-path branch history deterministic; a
+                        # small minority flip occasionally.
+                        block.taken_bias = 0.0 if rng.random() < 0.9 else 0.05
+                        block.target = (idx + rng.randint(2, 32)) % n_blocks
+                else:
+                    # Data-dependent branch: genuinely unpredictable.
+                    block.taken_bias = rng.uniform(0.3, 0.7)
+                    if rng.random() < 0.5:
+                        block.target = max(0, idx - rng.randint(1, 16))
+                    else:
+                        block.target = (idx + rng.randint(2, 32)) % n_blocks
+        return blocks
+
+    # ------------------------------------------------------------------ data
+
+    def _init_data_generators(self) -> None:
+        p = self.profile
+        geometry = self.geometry
+        ws_bytes = p.ws_kb * 1024
+        weights = p.pattern_weights
+        # Partition the working set proportionally to the pattern mixture
+        # (conflict pool has its own fixed-size segment).
+        body = weights[0] + weights[1] + weights[2]
+        scale = 1.0 / body if body > 0 else 0.0
+        self._stream_region = max(4096, int(ws_bytes * weights[0] * scale))
+        self._stride_region = max(4096, int(ws_bytes * weights[1] * scale))
+        self._random_region = max(4096, int(ws_bytes * weights[2] * scale))
+
+        self._stream_ptrs = [
+            (i * self._stream_region) // 4 for i in range(4)
+        ]  # staggered starts
+        self._stream_next = 0
+        self._stride_ptrs = [0, self._stride_region // 2]
+        self._stride_next = 0
+
+        # Conflict pool: blocks j all land in `conflict_sets` sets.
+        set_stride = geometry.num_sets * geometry.block_bytes
+        block = geometry.block_bytes
+        self._conflict_pool = [
+            CONFLICT_BASE
+            + (j % p.conflict_sets) * block
+            + (j // p.conflict_sets) * set_stride
+            for j in range(p.conflict_blocks)
+        ]
+        self._conflict_next = 0
+
+        self._stream_base = DATA_BASE
+        self._stride_base = DATA_BASE + 2 * ws_bytes
+        self._random_base = DATA_BASE + 4 * ws_bytes
+
+    def _next_address(self) -> int:
+        """Draw the next data address from the pattern mixture."""
+        rng = self._rng
+        w_stream, w_stride, w_random, w_conflict = self.profile.pattern_weights
+        roll = rng.random()
+        if roll < w_stream:
+            s = self._stream_next
+            self._stream_next = (s + 1) & 3
+            addr = self._stream_base + self._stream_ptrs[s]
+            self._stream_ptrs[s] = (self._stream_ptrs[s] + 8) % self._stream_region
+            return addr
+        roll -= w_stream
+        if roll < w_stride:
+            s = self._stride_next
+            self._stride_next = 1 - s
+            addr = self._stride_base + self._stride_ptrs[s]
+            self._stride_ptrs[s] = (
+                self._stride_ptrs[s] + self.profile.stride_bytes
+            ) % self._stride_region
+            return addr
+        roll -= w_stride
+        if roll < w_random:
+            block = rng.randrange(self._random_region // 64)
+            return self._random_base + block * 64 + rng.randrange(8) * 8
+        # Conflict pool: random pick with a drifting hot window.  A pure
+        # round-robin sweep is the adversarial worst case for LRU (0% hit
+        # rate whenever the pool exceeds the ways); real hot structures
+        # rereference recent entries, so sample with recency bias instead.
+        pool = self._conflict_pool
+        if rng.random() < 0.5:
+            c = self._conflict_next  # sweep component keeps all blocks warm
+            self._conflict_next = (c + 1) % len(pool)
+        else:
+            c = rng.randrange(len(pool))
+        return pool[c]
+
+    # ------------------------------------------------------------- generation
+
+    def generate(self, n_instructions: int) -> Trace:
+        """Emit a committed-instruction trace of the requested length."""
+        if n_instructions <= 0:
+            raise ValueError(f"n_instructions must be positive, got {n_instructions}")
+        p = self.profile
+        rng = self._rng
+        trace = Trace(name=p.name)
+        append = trace.append
+
+        blocks = self._blocks
+        n_blocks = len(blocks)
+        call_stack: list[int] = []
+        loop_counters: dict[int, int] = {}
+
+        # Body-instruction mixture, renormalised without control classes.
+        ctrl_frac = p.branch_frac + 2 * p.call_frac
+        body_frac = 1.0 - ctrl_frac
+        load_p = p.load_frac / body_frac
+        store_p = load_p + p.store_frac / body_frac
+
+        INT_ALU = InstrClass.INT_ALU
+        INT_MUL = InstrClass.INT_MUL
+        FP_ALU = InstrClass.FP_ALU
+        FP_MUL = InstrClass.FP_MUL
+        LOAD = InstrClass.LOAD
+        STORE = InstrClass.STORE
+
+        # Register management: rotating destination pools and a recency
+        # window per class for dependence chains.
+        int_dest = 1
+        fp_dest = 33
+        recent_int = [28, 29, 30]  # stable base registers to start with
+        recent_fp = [60, 61, 62]
+        dep = p.dep_density
+
+        def int_src() -> int:
+            if rng.random() < dep:
+                return recent_int[-1 - rng.randrange(min(3, len(recent_int)))]
+            return 25 + rng.randrange(6)  # stable base registers r25..r30
+
+        def fp_src() -> int:
+            if rng.random() < dep:
+                return recent_fp[-1 - rng.randrange(min(3, len(recent_fp)))]
+            return 57 + rng.randrange(6)
+
+        bb_index = 0
+        emitted = 0
+        while emitted < n_instructions:
+            block = blocks[bb_index]
+            pc = block.start_pc
+            body_len = block.length - 1
+            for _ in range(body_len):
+                if emitted >= n_instructions:
+                    return trace
+                roll = rng.random()
+                if roll < load_p:
+                    addr = self._next_address()
+                    is_fp = rng.random() < p.fp_frac
+                    if is_fp:
+                        dest = fp_dest
+                        fp_dest = 33 + (fp_dest - 32) % 24
+                        recent_fp.append(dest)
+                        if len(recent_fp) > 8:
+                            recent_fp.pop(0)
+                    else:
+                        dest = int_dest
+                        int_dest = 1 + int_dest % 24
+                        recent_int.append(dest)
+                        if len(recent_int) > 8:
+                            recent_int.pop(0)
+                    append(pc, LOAD, addr, int_src(), NO_REGISTER, dest)
+                elif roll < store_p:
+                    addr = self._next_address()
+                    value_src = (
+                        recent_fp[-1] if rng.random() < p.fp_frac else recent_int[-1]
+                    )
+                    append(pc, STORE, addr, int_src(), value_src, NO_REGISTER)
+                else:
+                    is_fp = rng.random() < p.fp_frac
+                    is_mul = rng.random() < p.mul_frac
+                    if is_fp:
+                        cls = FP_MUL if is_mul else FP_ALU
+                        dest = fp_dest
+                        fp_dest = 33 + (fp_dest - 32) % 24
+                        append(pc, cls, -1, fp_src(), fp_src(), dest)
+                        recent_fp.append(dest)
+                        if len(recent_fp) > 8:
+                            recent_fp.pop(0)
+                    else:
+                        cls = INT_MUL if is_mul else INT_ALU
+                        dest = int_dest
+                        int_dest = 1 + int_dest % 24
+                        append(pc, cls, -1, int_src(), int_src(), dest)
+                        recent_int.append(dest)
+                        if len(recent_int) > 8:
+                            recent_int.pop(0)
+                pc += 4
+                emitted += 1
+
+            if emitted >= n_instructions:
+                return trace
+
+            # Terminator.
+            kind = block.kind
+            if kind == InstrClass.BRANCH:
+                if block.trip_count:
+                    # Counted loop: deterministic iterations, occasional
+                    # off-by-one wobble so histories are realistic rather
+                    # than perfectly periodic.
+                    remaining = loop_counters.get(bb_index)
+                    if remaining is None:
+                        remaining = block.trip_count
+                        if rng.random() < 0.02:
+                            remaining = max(1, remaining + rng.choice((-1, 1)))
+                    taken = remaining > 0
+                    if taken:
+                        loop_counters[bb_index] = remaining - 1
+                    else:
+                        loop_counters.pop(bb_index, None)
+                else:
+                    taken = rng.random() < block.taken_bias
+                append(
+                    pc,
+                    InstrClass.BRANCH,
+                    -1,
+                    recent_int[-1],
+                    NO_REGISTER,
+                    NO_REGISTER,
+                    taken=taken,
+                )
+                bb_index = block.target if taken else (bb_index + 1) % n_blocks
+            elif kind == InstrClass.CALL:
+                append(pc, InstrClass.CALL, -1, NO_REGISTER, NO_REGISTER, NO_REGISTER, taken=True)
+                call_stack.append((bb_index + 1) % n_blocks)
+                if len(call_stack) > 64:
+                    call_stack.pop(0)
+                bb_index = block.target
+            else:  # RETURN
+                append(pc, InstrClass.RETURN, -1, NO_REGISTER, NO_REGISTER, NO_REGISTER, taken=True)
+                if call_stack:
+                    bb_index = call_stack.pop()
+                else:
+                    # Underflow (we entered mid-function): resume at a hot
+                    # entry, as real control flow would.
+                    hot = self._hot_entries
+                    bb_index = hot[rng.randrange(len(hot))]
+            emitted += 1
+
+            # Irregular control flow (indirect jumps, phase changes): a small
+            # chance of teleporting keeps the walk ergodic over the code
+            # footprint, so I-cache pressure tracks `code_kb` instead of the
+            # luck of static branch targets.  Kept rare so it does not
+            # scramble global branch history unrealistically.
+            if rng.random() < 0.003:
+                bb_index = rng.randrange(n_blocks)
+
+        return trace
+
+
+def generate_trace(
+    benchmark: WorkloadProfile | str,
+    n_instructions: int,
+    seed: int = 0,
+    geometry: CacheGeometry = PAPER_L1_GEOMETRY,
+) -> Trace:
+    """One-call convenience: profile (or name) -> trace."""
+    return TraceGenerator(benchmark, seed=seed, geometry=geometry).generate(
+        n_instructions
+    )

@@ -1,0 +1,215 @@
+"""The 26 SPEC CPU 2000 benchmark profiles used by the paper (Section V).
+
+14 floating-point and 12 integer programs, in the order of the paper's
+figures.  Parameters are calibrated from the well-documented qualitative
+behaviour of each benchmark on Alpha-class machines:
+
+* streaming FP codes (swim, mgrid, applu, lucas, art) — large sequential
+  working sets whose L1 misses are compulsory, hence fairly insensitive to
+  cache *capacity* loss;
+* pointer-chasing / capacity-bound codes (mcf, ammp, equake, parser) —
+  large irregular working sets, sensitive to total capacity;
+* conflict-sensitive integer codes (crafty, gzip, gap, perlbmk, twolf, vpr,
+  wupwise, mesa) — working sets near the 16-32KB boundary with hot sets,
+  sensitive to associativity (these are the benchmarks whose *minimum*
+  block-disabling performance dips in Fig. 8 and which the victim cache
+  rescues);
+* code-footprint-heavy programs (gcc, vortex, eon, sixtrack, fma3d,
+  perlbmk) — I-cache pressure.
+
+Absolute SPEC behaviour cannot be reproduced without the binaries; these
+profiles aim to span the same behaviour space so that scheme *rankings* and
+sensitivity *shapes* match the paper (see DESIGN.md, substitution table).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.profiles import WorkloadProfile
+
+#: Figure order: 14 FP benchmarks first, then 12 INT (paper Figs. 8-12).
+FP_BENCHMARKS = (
+    "ammp",
+    "applu",
+    "apsi",
+    "art",
+    "equake",
+    "facerec",
+    "fma3d",
+    "galgel",
+    "lucas",
+    "mesa",
+    "mgrid",
+    "sixtrack",
+    "swim",
+    "wupwise",
+)
+INT_BENCHMARKS = (
+    "bzip",
+    "crafty",
+    "eon",
+    "gap",
+    "gcc",
+    "gzip",
+    "mcf",
+    "parser",
+    "perlbmk",
+    "twolf",
+    "vortex",
+    "vpr",
+)
+ALL_BENCHMARKS = FP_BENCHMARKS + INT_BENCHMARKS
+
+
+SPEC2000_PROFILES: dict[str, WorkloadProfile] = {
+    # ---------------- floating point ----------------
+    "ammp": WorkloadProfile(
+        name="ammp", suite="fp", load_frac=0.27, store_frac=0.09, branch_frac=0.06,
+        fp_frac=0.75, ws_kb=1536, stream_frac=0.2, stride_frac=0.2, random_frac=0.6,
+        code_kb=48, predictability=0.97, dep_density=0.45,
+    ),
+    "applu": WorkloadProfile(
+        name="applu", suite="fp", load_frac=0.28, store_frac=0.11, branch_frac=0.03,
+        fp_frac=0.85, ws_kb=192, stream_frac=0.7, stride_frac=0.25, random_frac=0.05,
+        code_kb=40, predictability=0.99, dep_density=0.30, stride_bytes=2048,
+    ),
+    "apsi": WorkloadProfile(
+        name="apsi", suite="fp", load_frac=0.25, store_frac=0.10, branch_frac=0.05,
+        fp_frac=0.70, ws_kb=96, stream_frac=0.45, stride_frac=0.35, random_frac=0.2,
+        code_kb=64, predictability=0.97, dep_density=0.35,
+    ),
+    "art": WorkloadProfile(
+        name="art", suite="fp", load_frac=0.33, store_frac=0.06, branch_frac=0.08,
+        fp_frac=0.70, ws_kb=3072, stream_frac=0.65, stride_frac=0.1, random_frac=0.25,
+        code_kb=16, predictability=0.97, dep_density=0.30,
+    ),
+    "equake": WorkloadProfile(
+        name="equake", suite="fp", load_frac=0.30, store_frac=0.08, branch_frac=0.07,
+        fp_frac=0.65, ws_kb=768, stream_frac=0.35, stride_frac=0.2, random_frac=0.45,
+        code_kb=32, predictability=0.97, dep_density=0.40,
+    ),
+    "facerec": WorkloadProfile(
+        name="facerec", suite="fp", load_frac=0.26, store_frac=0.08, branch_frac=0.04,
+        fp_frac=0.75, ws_kb=128, stream_frac=0.6, stride_frac=0.3, random_frac=0.1,
+        code_kb=48, predictability=0.98, dep_density=0.30,
+    ),
+    "fma3d": WorkloadProfile(
+        name="fma3d", suite="fp", load_frac=0.26, store_frac=0.12, branch_frac=0.06,
+        fp_frac=0.65, ws_kb=96, stream_frac=0.45, stride_frac=0.3, random_frac=0.17,
+        conflict_frac=0.05, conflict_blocks=10, conflict_sets=3, code_kb=160,
+        predictability=0.96, dep_density=0.35,
+    ),
+    "galgel": WorkloadProfile(
+        name="galgel", suite="fp", load_frac=0.30, store_frac=0.06, branch_frac=0.04,
+        fp_frac=0.80, ws_kb=28, stream_frac=0.5, stride_frac=0.4, random_frac=0.1,
+        code_kb=40, predictability=0.98, dep_density=0.30, stride_bytes=512,
+    ),
+    "lucas": WorkloadProfile(
+        name="lucas", suite="fp", load_frac=0.24, store_frac=0.10, branch_frac=0.02,
+        fp_frac=0.85, ws_kb=256, stream_frac=0.75, stride_frac=0.2, random_frac=0.05,
+        code_kb=24, predictability=0.99, dep_density=0.30, stride_bytes=4096,
+    ),
+    "mesa": WorkloadProfile(
+        name="mesa", suite="fp", load_frac=0.24, store_frac=0.11, branch_frac=0.09,
+        fp_frac=0.45, ws_kb=22, stream_frac=0.35, stride_frac=0.2, random_frac=0.2,
+        conflict_frac=0.18, conflict_blocks=11, conflict_sets=2, code_kb=96,
+        predictability=0.95, dep_density=0.35,
+    ),
+    "mgrid": WorkloadProfile(
+        name="mgrid", suite="fp", load_frac=0.32, store_frac=0.07, branch_frac=0.02,
+        fp_frac=0.85, ws_kb=4096, stream_frac=0.85, stride_frac=0.12, random_frac=0.03,
+        code_kb=24, predictability=0.99, dep_density=0.28, stride_bytes=8192,
+    ),
+    "sixtrack": WorkloadProfile(
+        name="sixtrack", suite="fp", load_frac=0.25, store_frac=0.09, branch_frac=0.05,
+        fp_frac=0.70, ws_kb=24, stream_frac=0.4, stride_frac=0.35, random_frac=0.25,
+        code_kb=224, predictability=0.97, dep_density=0.35,
+    ),
+    "swim": WorkloadProfile(
+        name="swim", suite="fp", load_frac=0.30, store_frac=0.09, branch_frac=0.01,
+        fp_frac=0.90, ws_kb=8192, stream_frac=0.9, stride_frac=0.08, random_frac=0.02,
+        code_kb=16, predictability=0.99, dep_density=0.25, stride_bytes=16384,
+    ),
+    "wupwise": WorkloadProfile(
+        name="wupwise", suite="fp", load_frac=0.26, store_frac=0.09, branch_frac=0.05,
+        fp_frac=0.70, ws_kb=30, stream_frac=0.3, stride_frac=0.25, random_frac=0.17,
+        conflict_frac=0.15, conflict_blocks=9, conflict_sets=2, code_kb=48,
+        predictability=0.98, dep_density=0.35,
+    ),
+    # ---------------- integer ----------------
+    "bzip": WorkloadProfile(
+        name="bzip", suite="int", load_frac=0.26, store_frac=0.10, branch_frac=0.12,
+        ws_kb=224, stream_frac=0.45, stride_frac=0.15, random_frac=0.4,
+        code_kb=32, predictability=0.90, dep_density=0.40,
+    ),
+    "crafty": WorkloadProfile(
+        name="crafty", suite="int", load_frac=0.28, store_frac=0.08, branch_frac=0.11,
+        ws_kb=36, stream_frac=0.2, stride_frac=0.15, random_frac=0.25,
+        conflict_frac=0.3, conflict_blocks=12, conflict_sets=2, code_kb=64,
+        predictability=0.92, dep_density=0.40, mul_frac=0.02,
+    ),
+    "eon": WorkloadProfile(
+        name="eon", suite="int", load_frac=0.26, store_frac=0.13, branch_frac=0.10,
+        call_frac=0.03, ws_kb=12, stream_frac=0.4, stride_frac=0.3, random_frac=0.3,
+        code_kb=176, predictability=0.96, dep_density=0.35, fp_frac=0.15,
+    ),
+    "gap": WorkloadProfile(
+        name="gap", suite="int", load_frac=0.26, store_frac=0.09, branch_frac=0.07,
+        ws_kb=48, stream_frac=0.35, stride_frac=0.2, random_frac=0.25,
+        conflict_frac=0.12, conflict_blocks=11, conflict_sets=3, code_kb=80,
+        predictability=0.95, dep_density=0.40,
+    ),
+    "gcc": WorkloadProfile(
+        name="gcc", suite="int", load_frac=0.25, store_frac=0.13, branch_frac=0.15,
+        call_frac=0.02, ws_kb=128, stream_frac=0.3, stride_frac=0.2, random_frac=0.5,
+        code_kb=448, predictability=0.94, dep_density=0.40,
+    ),
+    "gzip": WorkloadProfile(
+        name="gzip", suite="int", load_frac=0.25, store_frac=0.09, branch_frac=0.12,
+        ws_kb=160, stream_frac=0.4, stride_frac=0.1, random_frac=0.2,
+        conflict_frac=0.2, conflict_blocks=11, conflict_sets=2, code_kb=24,
+        predictability=0.90, dep_density=0.40,
+    ),
+    "mcf": WorkloadProfile(
+        name="mcf", suite="int", load_frac=0.35, store_frac=0.09, branch_frac=0.19,
+        ws_kb=8192, stream_frac=0.1, stride_frac=0.1, random_frac=0.8,
+        code_kb=16, predictability=0.95, dep_density=0.50,
+    ),
+    "parser": WorkloadProfile(
+        name="parser", suite="int", load_frac=0.25, store_frac=0.09, branch_frac=0.13,
+        ws_kb=36, stream_frac=0.3, stride_frac=0.2, random_frac=0.4,
+        code_kb=64, predictability=0.92, dep_density=0.45,
+    ),
+    "perlbmk": WorkloadProfile(
+        name="perlbmk", suite="int", load_frac=0.26, store_frac=0.12, branch_frac=0.13,
+        call_frac=0.03, ws_kb=32, stream_frac=0.3, stride_frac=0.2, random_frac=0.3,
+        conflict_frac=0.12, conflict_blocks=11, conflict_sets=2, code_kb=224,
+        predictability=0.94, dep_density=0.40,
+    ),
+    "twolf": WorkloadProfile(
+        name="twolf", suite="int", load_frac=0.26, store_frac=0.08, branch_frac=0.12,
+        ws_kb=24, stream_frac=0.25, stride_frac=0.25, random_frac=0.35,
+        conflict_frac=0.1, conflict_blocks=9, conflict_sets=3, code_kb=40,
+        predictability=0.88, dep_density=0.40,
+    ),
+    "vortex": WorkloadProfile(
+        name="vortex", suite="int", load_frac=0.27, store_frac=0.14, branch_frac=0.14,
+        call_frac=0.02, ws_kb=44, stream_frac=0.4, stride_frac=0.25, random_frac=0.35,
+        code_kb=320, predictability=0.98, dep_density=0.35,
+    ),
+    "vpr": WorkloadProfile(
+        name="vpr", suite="int", load_frac=0.27, store_frac=0.09, branch_frac=0.11,
+        ws_kb=24, stream_frac=0.25, stride_frac=0.25, random_frac=0.35,
+        conflict_frac=0.1, conflict_blocks=9, conflict_sets=3, code_kb=40,
+        predictability=0.90, dep_density=0.40,
+    ),
+}
+
+
+def get_profile(name: str) -> WorkloadProfile:
+    """Profile by benchmark name, with a helpful error for typos."""
+    try:
+        return SPEC2000_PROFILES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown benchmark {name!r}; choose from {sorted(SPEC2000_PROFILES)}"
+        ) from None

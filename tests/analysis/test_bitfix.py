@@ -1,0 +1,102 @@
+"""Tests for the bit-fix analytic model."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.bitfix import (
+    bitfix_capacity,
+    block_unrepairable_probability,
+    pair_fault_probability,
+    scheme_comparison,
+    whole_cache_failure_probability,
+)
+
+
+class TestPairProbability:
+    def test_zero(self):
+        assert pair_fault_probability(0.0) == 0.0
+
+    def test_two_cell_union(self):
+        p = 0.001
+        assert pair_fault_probability(p) == pytest.approx(1 - (1 - p) ** 2)
+
+    def test_rejects_bad(self):
+        with pytest.raises(ValueError):
+            pair_fault_probability(1.5)
+
+
+class TestBlockUnrepairable:
+    def test_negligible_at_paper_pfail(self):
+        """With a 10-pair budget, pfail = 0.001 virtually never defeats a
+        block (256 pairs, each broken w.p. ~0.002)."""
+        assert block_unrepairable_probability(0.001) < 1e-8
+
+    def test_grows_with_pfail(self):
+        assert block_unrepairable_probability(0.02) > block_unrepairable_probability(
+            0.005
+        )
+
+    def test_zero_tolerance_is_any_pair(self):
+        p_pair = pair_fault_probability(0.01)
+        expected = 1 - (1 - p_pair) ** 256
+        assert block_unrepairable_probability(
+            0.01, pairs_tolerated=0
+        ) == pytest.approx(expected, rel=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            block_unrepairable_probability(0.001, data_bits=511)
+        with pytest.raises(ValueError):
+            block_unrepairable_probability(0.001, pairs_tolerated=-1)
+
+
+class TestWholeCacheFailure:
+    def test_much_more_robust_than_word_disable(self):
+        """Bit-fix's cliff sits at far higher pfail than word-disabling's —
+        the published qualitative comparison."""
+        from repro.analysis.word_disable import (
+            whole_cache_failure_probability as wd_pwcf,
+        )
+
+        for pfail in (0.001, 0.002, 0.004):
+            assert whole_cache_failure_probability(pfail) < wd_pwcf(pfail)
+
+    def test_monotone(self):
+        values = [whole_cache_failure_probability(p) for p in (0.002, 0.006, 0.02)]
+        assert values[0] < values[1] < values[2]
+
+    def test_probability_range(self):
+        for p in (0.0, 0.001, 0.05):
+            assert 0.0 <= whole_cache_failure_probability(p) <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            whole_cache_failure_probability(0.001, num_blocks=0)
+        with pytest.raises(ValueError):
+            whole_cache_failure_probability(0.001, sacrifice_fraction=1.5)
+
+
+class TestCapacityAndComparison:
+    def test_capacity_is_three_quarters(self):
+        assert bitfix_capacity(0.001) == 0.75
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            bitfix_capacity(2.0)
+
+    def test_three_scheme_chart(self, paper_geometry):
+        pfails = np.linspace(0.0, 0.003, 7)
+        chart = scheme_comparison(paper_geometry, pfails)
+        assert set(chart) == {"block-disable", "word-disable", "bit-fix"}
+        # At pfail ~ 0: block-disable 100%, bit-fix 75%, word-disable 50%.
+        assert chart["block-disable"][0] == pytest.approx(1.0)
+        assert chart["bit-fix"][0] == pytest.approx(0.75)
+        assert chart["word-disable"][0] == pytest.approx(0.5)
+
+    def test_word_disable_cliff_visible(self, paper_geometry):
+        """By pfail = 0.004 word-disabling's expected capacity collapses
+        (whole-cache failures dominate) while bit-fix holds 75%."""
+        pfails = np.array([0.004])
+        chart = scheme_comparison(paper_geometry, pfails)
+        assert chart["word-disable"][0] < 0.25
+        assert chart["bit-fix"][0] == pytest.approx(0.75, abs=0.01)

@@ -1,0 +1,97 @@
+"""Tests for the block-size study (Fig. 6) and victim-cache fault analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.blocksize import capacity_at, capacity_vs_blocksize
+from repro.analysis.victim import VictimCacheFaultAnalysis, paper_victim_analysis
+
+
+class TestFig6BlockSizes:
+    def test_three_series_by_default(self, paper_geometry):
+        series = capacity_vs_blocksize(paper_geometry)
+        assert [s.block_bytes for s in series] == [32, 64, 128]
+
+    def test_smaller_blocks_keep_more_capacity(self, paper_geometry):
+        """Fig. 6's ordering: 32B >= 64B >= 128B at every pfail > 0."""
+        series = capacity_vs_blocksize(paper_geometry)
+        c32, c64, c128 = (s.capacities for s in series)
+        assert np.all(c32[1:] > c64[1:])
+        assert np.all(c64[1:] > c128[1:])
+
+    def test_capacity_one_at_zero_pfail(self, paper_geometry):
+        for s in capacity_vs_blocksize(paper_geometry):
+            assert s.capacities[0] == pytest.approx(1.0)
+
+    def test_constant_cache_size_and_ways(self, paper_geometry):
+        for s in capacity_vs_blocksize(paper_geometry):
+            assert s.geometry.size_bytes == paper_geometry.size_bytes
+            assert s.geometry.ways == paper_geometry.ways
+
+    def test_point_query_matches_series(self, paper_geometry):
+        pfails = np.array([0.002])
+        series = capacity_vs_blocksize(paper_geometry, pfails=pfails)
+        for s in series:
+            assert capacity_at(paper_geometry, s.block_bytes, 0.002) == pytest.approx(
+                s.capacities[0]
+            )
+
+    def test_custom_pfail_grid(self, paper_geometry):
+        pfails = [0.0, 0.001]
+        series = capacity_vs_blocksize(paper_geometry, pfails=pfails)
+        assert all(len(s.capacities) == 2 for s in series)
+
+
+class TestVictimAnalysis:
+    """Section V: mean 6.5 faulty victim entries of 16 at pfail = 0.001."""
+
+    def test_paper_mean_faulty_entries(self):
+        analysis = paper_victim_analysis(0.001)
+        assert analysis.mean_faulty_entries == pytest.approx(6.5, abs=0.2)
+
+    def test_usable_complements_faulty(self):
+        analysis = paper_victim_analysis(0.001)
+        assert analysis.mean_usable_entries == pytest.approx(
+            16 - analysis.mean_faulty_entries
+        )
+
+    def test_half_faulty_assumption_is_conservative(self):
+        """The paper assumes 8 of 16 usable; the expected value is ~9.6, so
+        the assumption under-promises."""
+        analysis = paper_victim_analysis(0.001)
+        assert analysis.mean_usable_entries > 8.0
+
+    def test_pmf_sums_to_one(self):
+        pmf = paper_victim_analysis(0.001).usable_entries_pmf()
+        assert pmf.sum() == pytest.approx(1.0)
+        assert len(pmf) == 17
+
+    def test_prob_usable_at_least_monotone(self):
+        analysis = paper_victim_analysis(0.001)
+        probs = [analysis.prob_usable_at_least(k) for k in range(17)]
+        assert all(b <= a + 1e-12 for a, b in zip(probs, probs[1:]))
+
+    def test_prob_usable_at_least_zero_is_one(self):
+        assert paper_victim_analysis(0.001).prob_usable_at_least(0) == pytest.approx(1.0)
+
+    def test_conservative_quantile_below_mean(self):
+        analysis = paper_victim_analysis(0.001)
+        assert analysis.conservative_usable_entries(0.05) <= analysis.mean_usable_entries
+
+    def test_zero_pfail_all_usable(self):
+        analysis = VictimCacheFaultAnalysis(entries=16, cells_per_entry=512, pfail=0.0)
+        assert analysis.mean_faulty_entries == 0.0
+        assert analysis.prob_usable_at_least(16) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VictimCacheFaultAnalysis(entries=0, cells_per_entry=512, pfail=0.001)
+        with pytest.raises(ValueError):
+            VictimCacheFaultAnalysis(entries=16, cells_per_entry=0, pfail=0.001)
+        with pytest.raises(ValueError):
+            VictimCacheFaultAnalysis(entries=16, cells_per_entry=512, pfail=2.0)
+        analysis = paper_victim_analysis()
+        with pytest.raises(ValueError):
+            analysis.prob_usable_at_least(17)
+        with pytest.raises(ValueError):
+            analysis.conservative_usable_entries(0.0)

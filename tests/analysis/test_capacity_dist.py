@@ -1,0 +1,107 @@
+"""Tests for the capacity distribution (Eq. 3, Fig. 4)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.capacity_dist import (
+    CapacityDistribution,
+    block_fault_probability,
+    capacity_distribution_for_geometry,
+)
+
+
+@pytest.fixture
+def paper_dist(paper_geometry):
+    return capacity_distribution_for_geometry(paper_geometry, 0.001)
+
+
+class TestBlockFaultProbability:
+    def test_paper_value(self):
+        assert block_fault_probability(537, 0.001) == pytest.approx(0.4157, abs=1e-3)
+
+    def test_zero_pfail(self):
+        assert block_fault_probability(537, 0.0) == 0.0
+
+    def test_unity_pfail(self):
+        assert block_fault_probability(537, 1.0) == 1.0
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            block_fault_probability(0, 0.001)
+
+
+class TestFig4Moments:
+    """The paper reads Fig. 4 as 'normal with mean at 58% and standard
+    deviation of 2.02' and P[capacity > 50%] = 99.9%."""
+
+    def test_mean_capacity(self, paper_dist):
+        assert paper_dist.mean_capacity == pytest.approx(0.584, abs=0.005)
+
+    def test_std_capacity_about_two_percent(self, paper_dist):
+        assert paper_dist.std_capacity == pytest.approx(0.0218, abs=0.002)
+
+    def test_prob_above_half_is_999(self, paper_dist):
+        assert paper_dist.prob_capacity_above(0.5) > 0.999
+
+    def test_mean_blocks_matches_eq2(self, paper_dist):
+        # d * (1 - pbf) == d - Eq.2
+        assert paper_dist.mean_blocks == pytest.approx(512 - 212.8, abs=0.3)
+
+
+class TestDistributionShape:
+    def test_pmf_sums_to_one(self, paper_dist):
+        assert paper_dist.pmf().sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_pmf_length(self, paper_dist):
+        assert len(paper_dist.pmf()) == 513
+
+    def test_capacity_fractions_range(self, paper_dist):
+        fr = paper_dist.capacity_fractions()
+        assert fr[0] == 0.0
+        assert fr[-1] == 1.0
+
+    def test_pmf_mean_matches_closed_form(self, paper_dist):
+        pmf = paper_dist.pmf()
+        x = np.arange(513)
+        assert (pmf * x).sum() == pytest.approx(paper_dist.mean_blocks, rel=1e-6)
+
+    def test_pmf_std_matches_closed_form(self, paper_dist):
+        pmf = paper_dist.pmf()
+        x = np.arange(513)
+        mean = (pmf * x).sum()
+        var = (pmf * (x - mean) ** 2).sum()
+        assert np.sqrt(var) == pytest.approx(paper_dist.std_blocks, rel=1e-6)
+
+    def test_cdf_complement_consistency(self, paper_dist):
+        assert paper_dist.prob_capacity_above(0.5) + paper_dist.prob_capacity_at_most(
+            0.5
+        ) == pytest.approx(1.0)
+
+    def test_quantiles_bracket_mean(self, paper_dist):
+        assert paper_dist.quantile(0.01) < paper_dist.mean_capacity
+        assert paper_dist.quantile(0.99) > paper_dist.mean_capacity
+
+    def test_normal_approximation_tuple(self, paper_dist):
+        mean, sigma = paper_dist.normal_approximation()
+        assert mean == paper_dist.mean_capacity
+        assert sigma == paper_dist.std_capacity
+
+
+class TestEdgeCases:
+    def test_zero_pfail_degenerate(self):
+        dist = CapacityDistribution(d=512, k=537, pfail=0.0)
+        pmf = dist.pmf()
+        assert pmf[-1] == pytest.approx(1.0)
+        assert dist.prob_capacity_above(0.99) == pytest.approx(1.0)
+
+    def test_high_pfail_collapses(self):
+        dist = CapacityDistribution(d=512, k=537, pfail=0.05)
+        assert dist.mean_capacity < 1e-9
+
+    def test_prob_rejects_bad_fraction(self, paper_dist):
+        with pytest.raises(ValueError):
+            paper_dist.prob_capacity_above(1.5)
+
+    def test_quantile_rejects_bad_q(self, paper_dist):
+        with pytest.raises(ValueError):
+            paper_dist.quantile(-0.1)

@@ -1,0 +1,105 @@
+"""Tests for the disable-granularity design-space analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.granularity import (
+    DisableGranularity,
+    capacity_curves,
+    cells_per_unit,
+    expected_capacity,
+    granularity_tradeoff,
+)
+
+
+class TestCellsPerUnit:
+    def test_word(self, paper_geometry):
+        assert cells_per_unit(paper_geometry, DisableGranularity.WORD) == 32
+
+    def test_block_is_k(self, paper_geometry):
+        assert cells_per_unit(paper_geometry, DisableGranularity.BLOCK) == 537
+
+    def test_set(self, paper_geometry):
+        assert cells_per_unit(paper_geometry, DisableGranularity.SET) == 537 * 8
+
+    def test_way(self, paper_geometry):
+        assert cells_per_unit(paper_geometry, DisableGranularity.WAY) == 537 * 64
+
+    def test_cache(self, paper_geometry):
+        assert (
+            cells_per_unit(paper_geometry, DisableGranularity.CACHE) == 274_944
+        )
+
+    def test_strict_ordering(self, paper_geometry):
+        order = [
+            DisableGranularity.WORD,
+            DisableGranularity.BLOCK,
+            DisableGranularity.SET,
+            DisableGranularity.WAY,
+            DisableGranularity.CACHE,
+        ]
+        sizes = [cells_per_unit(paper_geometry, g) for g in order]
+        assert all(b > a for a, b in zip(sizes, sizes[1:]))
+
+
+class TestExpectedCapacity:
+    def test_block_matches_eq2(self, paper_geometry):
+        from repro.analysis.urn import expected_capacity_fraction
+
+        assert expected_capacity(
+            paper_geometry, DisableGranularity.BLOCK, 0.001
+        ) == pytest.approx(expected_capacity_fraction(537, 0.001))
+
+    def test_finer_keeps_more(self, paper_geometry):
+        p = 0.001
+        word = expected_capacity(paper_geometry, DisableGranularity.WORD, p)
+        block = expected_capacity(paper_geometry, DisableGranularity.BLOCK, p)
+        set_ = expected_capacity(paper_geometry, DisableGranularity.SET, p)
+        way = expected_capacity(paper_geometry, DisableGranularity.WAY, p)
+        assert word > block > set_ > way
+
+    def test_coarse_collapse_at_paper_pfail(self, paper_geometry):
+        """The reason the paper picks blocks: sets and ways are hopeless at
+        sub-Vcc-min densities."""
+        assert expected_capacity(paper_geometry, DisableGranularity.SET, 0.001) < 0.02
+        assert expected_capacity(paper_geometry, DisableGranularity.WAY, 0.001) < 1e-10
+
+    def test_zero_pfail_full(self, paper_geometry):
+        for g in DisableGranularity:
+            assert expected_capacity(paper_geometry, g, 0.0) == 1.0
+
+    def test_rejects_bad_pfail(self, paper_geometry):
+        with pytest.raises(ValueError):
+            expected_capacity(paper_geometry, DisableGranularity.BLOCK, -1.0)
+
+
+class TestTradeoffTable:
+    def test_five_rows_fine_to_coarse(self, paper_geometry):
+        rows = granularity_tradeoff(paper_geometry, 0.001)
+        assert [r.granularity for r in rows] == [
+            DisableGranularity.WORD,
+            DisableGranularity.BLOCK,
+            DisableGranularity.SET,
+            DisableGranularity.WAY,
+            DisableGranularity.CACHE,
+        ]
+
+    def test_bookkeeping_decreases_with_coarseness(self, paper_geometry):
+        rows = granularity_tradeoff(paper_geometry, 0.001)
+        bits = [r.disable_bits for r in rows]
+        assert bits == [8192, 512, 64, 8, 1]
+        assert all(b < a for a, b in zip(bits, bits[1:]))
+
+    def test_capacity_decreases_with_coarseness(self, paper_geometry):
+        rows = granularity_tradeoff(paper_geometry, 0.001)
+        caps = [r.capacity for r in rows]
+        assert all(b <= a for a, b in zip(caps, caps[1:]))
+
+    def test_curves_match_scalar(self, paper_geometry):
+        pfails = [0.0, 0.001, 0.002]
+        curves = capacity_curves(paper_geometry, pfails)
+        for g, series in curves.items():
+            for p, value in zip(pfails, series):
+                assert value == pytest.approx(
+                    expected_capacity(paper_geometry, g, p)
+                )

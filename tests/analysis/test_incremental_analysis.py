@@ -1,0 +1,83 @@
+"""Tests for incremental word-disabling capacity (Eq. 6, Fig. 7)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.incremental import (
+    block_pair_disabled_probability,
+    block_pair_fault_free_probability,
+    incremental_capacity_curve,
+    incremental_capacity_for_geometry,
+    incremental_word_disable_capacity,
+)
+
+
+class TestPairProbabilities:
+    def test_fault_free_at_zero_pfail(self):
+        assert block_pair_fault_free_probability(0.0) == 1.0
+
+    def test_fault_free_paper_point(self):
+        # 0.999^1024 ~ 0.359
+        assert block_pair_fault_free_probability(0.001) == pytest.approx(0.359, abs=0.005)
+
+    def test_disabled_negligible_at_low_pfail(self):
+        assert block_pair_disabled_probability(0.001) < 1e-4
+
+    def test_disabled_grows_with_pfail(self):
+        assert block_pair_disabled_probability(0.01) > block_pair_disabled_probability(
+            0.001
+        )
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            block_pair_fault_free_probability(-0.1)
+        with pytest.raises(ValueError):
+            block_pair_fault_free_probability(0.001, data_bits=0)
+        with pytest.raises(ValueError):
+            block_pair_disabled_probability(0.001, half_blocks_per_pair=0)
+
+
+class TestEquation6Shape:
+    """Fig. 7: starts above 50%, saturates toward 50%, then sinks below."""
+
+    def test_full_capacity_at_zero(self):
+        assert incremental_word_disable_capacity(0.0) == pytest.approx(1.0)
+
+    def test_above_half_at_low_pfail(self):
+        assert incremental_word_disable_capacity(0.0005) > 0.5
+        assert incremental_word_disable_capacity(0.001) > 0.5
+
+    def test_saturates_toward_half(self):
+        capacity = incremental_word_disable_capacity(0.004)
+        assert 0.47 < capacity < 0.55
+
+    def test_below_half_at_high_pfail(self):
+        assert incremental_word_disable_capacity(0.010) < 0.5
+
+    def test_monotone_decreasing(self):
+        pfails = np.linspace(0.0, 0.01, 30)
+        curve = incremental_capacity_curve(pfails)
+        assert all(b <= a + 1e-12 for a, b in zip(curve, curve[1:]))
+
+    def test_no_cliff(self):
+        """Unlike plain word-disabling there is no whole-cache failure:
+        capacity degrades smoothly (max step between adjacent points is
+        small)."""
+        pfails = np.linspace(0.0, 0.01, 100)
+        curve = incremental_capacity_curve(pfails)
+        steps = np.abs(np.diff(curve))
+        assert steps.max() < 0.05
+
+    def test_geometry_wrapper(self, paper_geometry):
+        assert incremental_capacity_for_geometry(
+            paper_geometry, 0.001
+        ) == pytest.approx(incremental_word_disable_capacity(0.001))
+
+    def test_capacity_identity(self):
+        """Eq. 6 == pbpff + (1 - pbpff - pbpd)/2 exactly."""
+        p = 0.003
+        pbpff = block_pair_fault_free_probability(p)
+        pbpd = block_pair_disabled_probability(p)
+        assert incremental_word_disable_capacity(p) == pytest.approx(
+            pbpff + (1 - pbpff - pbpd) / 2
+        )

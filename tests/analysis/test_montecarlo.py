@@ -1,0 +1,113 @@
+"""Monte Carlo validation: the Section IV closed forms against sampled
+fault maps.  These are the reproduction's ground-truth checks."""
+
+import pytest
+
+from repro.analysis.capacity_dist import capacity_distribution_for_geometry
+from repro.analysis.incremental import incremental_word_disable_capacity
+from repro.analysis.montecarlo import (
+    MonteCarloEstimate,
+    sample_capacity_distribution,
+    sample_faulty_blocks,
+    sample_faulty_blocks_fixed_n,
+    sample_incremental_capacity,
+    sample_victim_usable_entries,
+    sample_whole_cache_failure,
+)
+from repro.analysis.urn import expected_faulty_blocks, expected_faulty_blocks_exact
+from repro.analysis.victim import paper_victim_analysis
+from repro.faults import CacheGeometry
+
+# A smaller geometry keeps Monte Carlo cheap while preserving structure.
+SMALL = CacheGeometry(size_bytes=8 * 1024, ways=8, block_bytes=64)
+
+
+class TestEstimateContainer:
+    def test_within_accepts_close_value(self):
+        est = MonteCarloEstimate(mean=10.0, std_error=0.5, samples=100)
+        assert est.within(10.8, sigmas=2.0)
+
+    def test_within_rejects_far_value(self):
+        est = MonteCarloEstimate(mean=10.0, std_error=0.5, samples=100)
+        assert not est.within(15.0, sigmas=2.0)
+
+    def test_needs_samples(self):
+        import numpy as np
+
+        from repro.analysis.montecarlo import _estimate
+
+        with pytest.raises(ValueError):
+            _estimate(np.array([]))
+
+
+class TestEquation2Validation:
+    def test_faulty_blocks_match_closed_form(self):
+        est = sample_faulty_blocks(SMALL, 0.001, trials=120, seed=0)
+        expected = expected_faulty_blocks(
+            SMALL.num_blocks, SMALL.cells_per_block, 0.001
+        )
+        assert est.within(expected)
+
+    def test_higher_pfail(self):
+        est = sample_faulty_blocks(SMALL, 0.004, trials=120, seed=1)
+        expected = expected_faulty_blocks(
+            SMALL.num_blocks, SMALL.cells_per_block, 0.004
+        )
+        assert est.within(expected)
+
+
+class TestEquation1Validation:
+    def test_fixed_fault_count_matches_urn_model(self):
+        n_faults = 80
+        est = sample_faulty_blocks_fixed_n(SMALL, n_faults, trials=150, seed=2)
+        expected = expected_faulty_blocks_exact(
+            SMALL.num_blocks, SMALL.cells_per_block, n_faults
+        )
+        assert est.within(expected)
+
+    def test_rejects_bad_fault_count(self):
+        with pytest.raises(ValueError):
+            sample_faulty_blocks_fixed_n(SMALL, -1)
+
+
+class TestEquation3Validation:
+    def test_capacity_moments(self):
+        samples = sample_capacity_distribution(SMALL, 0.001, trials=200, seed=3)
+        dist = capacity_distribution_for_geometry(SMALL, 0.001)
+        assert samples.mean() == pytest.approx(dist.mean_capacity, abs=0.01)
+        assert samples.std() == pytest.approx(dist.std_capacity, rel=0.5)
+
+
+class TestEquation4Validation:
+    def test_failure_rate_in_analytic_ballpark(self):
+        """At an exaggerated pfail the whole-cache-failure rate is large
+        enough to sample; compare with Eqs. 4-5."""
+        from repro.analysis.word_disable import whole_cache_failure_probability
+
+        pfail = 0.004
+        est = sample_whole_cache_failure(SMALL, pfail, trials=300, seed=4)
+        expected = whole_cache_failure_probability(
+            pfail, num_blocks=SMALL.num_blocks
+        )
+        assert est.within(expected, sigmas=4.0)
+
+    def test_tiling_validation(self):
+        with pytest.raises(ValueError):
+            sample_whole_cache_failure(SMALL, 0.001, trials=2, subblock_words=7)
+
+
+class TestEquation6Validation:
+    def test_incremental_capacity_matches(self):
+        pfail = 0.002
+        est = sample_incremental_capacity(SMALL, pfail, trials=100, seed=5)
+        expected = incremental_word_disable_capacity(
+            pfail, data_bits=SMALL.data_bits_per_block
+        )
+        assert est.within(expected)
+
+
+class TestVictimValidation:
+    def test_mean_faulty_victim_entries(self):
+        est = sample_victim_usable_entries(16, 512, 0.001, trials=400, seed=6)
+        expected = paper_victim_analysis(0.001).mean_usable_entries
+        assert est.within(expected)

@@ -1,0 +1,123 @@
+"""Tests for the urn-model analysis (Eqs. 1-2) against the paper's numbers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.urn import (
+    expected_capacity_fraction,
+    expected_faulty_blocks,
+    expected_faulty_blocks_exact,
+    expected_faulty_blocks_for_geometry,
+    expected_faulty_blocks_hypergeometric,
+    faulty_block_fraction,
+    faulty_block_fraction_curve,
+    pfail_for_capacity,
+)
+
+
+class TestEquation1:
+    """Paper worked example: d=512, k=537, 275 faults -> 213 faulty blocks."""
+
+    def test_paper_worked_example(self):
+        assert expected_faulty_blocks_exact(512, 537, 275) == pytest.approx(
+            213.0, abs=0.5
+        )
+
+    def test_matches_hypergeometric_derivation(self):
+        for n in (1, 10, 275, 5000, 50_000):
+            a = expected_faulty_blocks_exact(512, 537, n)
+            b = expected_faulty_blocks_hypergeometric(512, 537, n)
+            assert a == pytest.approx(b, rel=1e-9)
+
+    def test_zero_faults(self):
+        assert expected_faulty_blocks_exact(512, 537, 0) == 0.0
+
+    def test_all_cells_faulty(self):
+        assert expected_faulty_blocks_exact(512, 537, 512 * 537) == 512.0
+
+    def test_single_fault_hits_one_block(self):
+        assert expected_faulty_blocks_exact(512, 537, 1) == pytest.approx(1.0)
+
+    def test_monotone_in_n(self):
+        values = [expected_faulty_blocks_exact(512, 537, n) for n in range(0, 3000, 300)]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_bounded_by_d_and_n(self):
+        for n in (5, 100, 1000):
+            u = expected_faulty_blocks_exact(512, 537, n)
+            assert 0 <= u <= min(512, n)
+
+    def test_rejects_out_of_range_n(self):
+        with pytest.raises(ValueError):
+            expected_faulty_blocks_exact(512, 537, -1)
+        with pytest.raises(ValueError):
+            expected_faulty_blocks_exact(512, 537, 512 * 537 + 1)
+
+    def test_rejects_bad_dk(self):
+        with pytest.raises(ValueError):
+            expected_faulty_blocks_exact(0, 537, 1)
+        with pytest.raises(ValueError):
+            expected_faulty_blocks_exact(512, 0, 1)
+
+
+class TestEquation2:
+    """The fixed-pfail approximation the paper calls 'accurate for all
+    cache configurations we examined'."""
+
+    def test_paper_value_at_0_001(self):
+        # 512 * (1 - 0.999^537) ~ 212.8
+        assert expected_faulty_blocks(512, 537, 0.001) == pytest.approx(212.8, abs=0.2)
+
+    def test_approximates_eq1(self):
+        """Eq. 2 at pfail = n/(dk) tracks Eq. 1 with n draws."""
+        n = 275
+        exact = expected_faulty_blocks_exact(512, 537, n)
+        approx = expected_faulty_blocks(512, 537, n / (512 * 537))
+        assert approx == pytest.approx(exact, rel=0.01)
+
+    def test_fraction_independent_of_d(self):
+        assert faulty_block_fraction(537, 0.001) == pytest.approx(
+            expected_faulty_blocks(512, 537, 0.001) / 512
+        )
+
+    def test_capacity_is_complement(self):
+        assert expected_capacity_fraction(537, 0.001) == pytest.approx(
+            1.0 - faulty_block_fraction(537, 0.001)
+        )
+
+    def test_geometry_wrapper(self, paper_geometry):
+        assert expected_faulty_blocks_for_geometry(
+            paper_geometry, 0.001
+        ) == pytest.approx(expected_faulty_blocks(512, 537, 0.001))
+
+    def test_curve_matches_scalar(self):
+        pfails = np.array([0.0, 0.001, 0.005])
+        curve = faulty_block_fraction_curve(537, pfails)
+        for p, value in zip(pfails, curve):
+            assert value == pytest.approx(faulty_block_fraction(537, float(p)))
+
+    def test_curve_rejects_bad_probabilities(self):
+        with pytest.raises(ValueError):
+            faulty_block_fraction_curve(537, [0.5, 1.5])
+
+
+class TestCapacityThreshold:
+    """Section IV-A headline: >50% capacity iff pfail < 0.0013."""
+
+    def test_paper_threshold(self):
+        threshold = pfail_for_capacity(537, 0.5)
+        assert threshold == pytest.approx(0.00129, abs=0.00002)
+
+    def test_threshold_is_fixed_point(self):
+        threshold = pfail_for_capacity(537, 0.5)
+        assert expected_capacity_fraction(537, threshold) == pytest.approx(0.5)
+
+    def test_smaller_blocks_tolerate_more_faults(self):
+        # k for 32B blocks < k for 128B blocks -> higher threshold.
+        k32 = 32 * 8 + 25
+        k128 = 128 * 8 + 25
+        assert pfail_for_capacity(k32, 0.5) > pfail_for_capacity(k128, 0.5)
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            pfail_for_capacity(537, 0.0)

@@ -1,0 +1,112 @@
+"""Tests for the word-disable failure analysis (Eqs. 4-5, Fig. 5)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.word_disable import (
+    half_block_fail_probability,
+    whole_cache_failure_curve,
+    whole_cache_failure_for_geometry,
+    whole_cache_failure_probability,
+    word_disable_capacity,
+    word_fault_probability,
+)
+
+
+class TestWordFaultProbability:
+    def test_32bit_word_at_0_001(self):
+        # 1 - 0.999^32 ~ 0.0315
+        assert word_fault_probability(0.001) == pytest.approx(0.0315, abs=1e-3)
+
+    def test_zero_pfail(self):
+        assert word_fault_probability(0.0) == 0.0
+
+    def test_monotone_in_word_size(self):
+        assert word_fault_probability(0.001, 64) > word_fault_probability(0.001, 32)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            word_fault_probability(-0.1)
+        with pytest.raises(ValueError):
+            word_fault_probability(0.001, 0)
+
+
+class TestHalfBlockFailure:
+    def test_magnitude_at_paper_point(self):
+        # ~1.6e-6 at pfail = 0.001 for 8-word half-blocks.
+        phbf = half_block_fail_probability(0.001)
+        assert 1e-6 < phbf < 3e-6
+
+    def test_default_tolerance_is_half(self):
+        explicit = half_block_fail_probability(0.001, 8, 32, tolerance=4)
+        assert half_block_fail_probability(0.001) == pytest.approx(explicit)
+
+    def test_zero_tolerance_means_any_word_fault(self):
+        pwf = word_fault_probability(0.001)
+        phbf = half_block_fail_probability(0.001, 8, 32, tolerance=0)
+        assert phbf == pytest.approx(1 - (1 - pwf) ** 8, rel=1e-9)
+
+    def test_full_tolerance_never_fails(self):
+        assert half_block_fail_probability(0.5, 8, 32, tolerance=8) == 0.0
+
+    def test_monotone_in_pfail(self):
+        values = [half_block_fail_probability(p) for p in (0.0005, 0.001, 0.002, 0.004)]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_rejects_bad_tolerance(self):
+        with pytest.raises(ValueError):
+            half_block_fail_probability(0.001, 8, 32, tolerance=9)
+
+
+class TestWholeCacheFailure:
+    """Fig. 5: pwcf ~ 1e-3 at pfail 0.001, rising ~10x by pfail 0.0015."""
+
+    def test_paper_point_0_001(self):
+        pwcf = whole_cache_failure_probability(0.001)
+        assert 1e-3 < pwcf < 2.5e-3
+
+    def test_paper_point_0_0015(self):
+        pwcf = whole_cache_failure_probability(0.0015)
+        assert 8e-3 < pwcf < 2e-2
+
+    def test_tenfold_rise(self):
+        ratio = whole_cache_failure_probability(0.0015) / whole_cache_failure_probability(
+            0.001
+        )
+        assert 5 < ratio < 15
+
+    def test_zero_pfail_never_fails(self):
+        assert whole_cache_failure_probability(0.0) == 0.0
+
+    def test_is_probability(self):
+        for p in (0.0005, 0.001, 0.005, 0.02):
+            assert 0.0 <= whole_cache_failure_probability(p) <= 1.0
+
+    def test_more_blocks_more_failure(self):
+        small = whole_cache_failure_probability(0.001, num_blocks=256)
+        large = whole_cache_failure_probability(0.001, num_blocks=1024)
+        assert large > small
+
+    def test_curve_matches_scalar(self):
+        pfails = [0.0005, 0.001, 0.0015]
+        curve = whole_cache_failure_curve(pfails)
+        for p, value in zip(pfails, curve):
+            assert value == pytest.approx(whole_cache_failure_probability(p))
+
+    def test_geometry_wrapper(self, paper_geometry):
+        assert whole_cache_failure_for_geometry(
+            paper_geometry, 0.001
+        ) == pytest.approx(whole_cache_failure_probability(0.001))
+
+    def test_rejects_bad_blocks(self):
+        with pytest.raises(ValueError):
+            whole_cache_failure_probability(0.001, num_blocks=0)
+
+
+class TestCapacityConstant:
+    def test_word_disable_capacity_is_half(self):
+        assert word_disable_capacity(0.001) == 0.5
+
+    def test_rejects_bad_pfail(self):
+        with pytest.raises(ValueError):
+            word_disable_capacity(1.2)

@@ -1,0 +1,112 @@
+"""Tests for the two-level memory hierarchy and its latency composition."""
+
+import pytest
+
+from repro.cache.hierarchy import LatencyConfig, MemoryHierarchy
+from repro.cache.set_assoc import SetAssociativeCache
+from repro.faults import CacheGeometry
+
+L1 = CacheGeometry(size_bytes=4 * 1024, ways=4, block_bytes=64)
+L2 = CacheGeometry(size_bytes=64 * 1024, ways=8, block_bytes=64)
+LAT = LatencyConfig(l1i=3, l1d=3, victim=1, l2=20, memory=255)
+
+
+def make_hierarchy(victim_entries: int = 0) -> MemoryHierarchy:
+    return MemoryHierarchy(
+        SetAssociativeCache(L1, name="l1i"),
+        SetAssociativeCache(L1, name="l1d"),
+        L2,
+        LAT,
+        victim_entries_i=victim_entries,
+        victim_entries_d=victim_entries,
+    )
+
+
+class TestLatencyComposition:
+    def test_cold_miss_pays_memory(self):
+        h = make_hierarchy()
+        assert h.access_data(0x100) == 3 + 255
+
+    def test_l1_hit_after_fill(self):
+        h = make_hierarchy()
+        h.access_data(0x100)
+        assert h.access_data(0x100) == 3
+
+    def test_l2_hit_after_l1_eviction(self):
+        h = make_hierarchy()
+        target = 0x40  # set 0 of a 16-set L1 (block addr grain)
+        h.access_data(target)
+        # Evict it from L1 with 4 conflicting blocks (same L1 set, 16 sets).
+        for tag in range(1, 5):
+            h.access_data(target + tag * 16)
+        assert not h.l1d.contains(target)
+        assert h.access_data(target) == 3 + 20
+
+    def test_victim_hit_latency(self):
+        h = make_hierarchy(victim_entries=16)
+        target = 0x40
+        h.access_data(target)
+        for tag in range(1, 5):
+            h.access_data(target + tag * 16)
+        # target was evicted from L1 into the victim cache.
+        assert h.access_data(target) == 3 + 1
+
+    def test_victim_swap_returns_block_to_l1(self):
+        h = make_hierarchy(victim_entries=16)
+        target = 0x40
+        h.access_data(target)
+        for tag in range(1, 5):
+            h.access_data(target + tag * 16)
+        h.access_data(target)  # victim hit, swaps back
+        assert h.l1d.contains(target)
+        assert not h.victim_d.contains(target)
+
+    def test_instruction_and_data_ports_are_split(self):
+        h = make_hierarchy()
+        h.access_instruction(0x900)
+        assert h.l1i.contains(0x900)
+        assert not h.l1d.contains(0x900)
+
+    def test_shared_l2(self):
+        """A block brought in by the I-port is an L2 hit for the D-port."""
+        h = make_hierarchy()
+        h.access_instruction(0x900)
+        assert h.access_data(0x900) == 3 + 20
+
+
+class TestStatsPlumbing:
+    def test_memory_access_count(self):
+        h = make_hierarchy()
+        h.access_data(0x1)
+        h.access_data(0x1)
+        h.access_instruction(0x2)
+        stats = h.stats()
+        assert stats.memory_accesses == 2
+        assert stats.l1d.accesses == 2
+        assert stats.l1d.hits == 1
+        assert stats.l1i.accesses == 1
+
+    def test_victim_stats_present_when_enabled(self):
+        h = make_hierarchy(victim_entries=4)
+        target = 0x40
+        h.access_data(target)
+        for tag in range(1, 5):
+            h.access_data(target + tag * 16)
+        h.access_data(target)
+        snapshot = h.stats().snapshot()
+        assert snapshot["victim_d"]["hits"] == 1
+
+    def test_latency_validation(self):
+        with pytest.raises(ValueError):
+            LatencyConfig(l1i=-1)
+
+
+class TestWordDisableLatencyEffect:
+    def test_plus_one_cycle_l1(self):
+        """Word-disabling's +1 alignment cycle shows up in every L1 hit."""
+        lat = LatencyConfig(l1i=4, l1d=4, victim=1, l2=20, memory=255)
+        h = MemoryHierarchy(
+            SetAssociativeCache(L1), SetAssociativeCache(L1), L2, lat
+        )
+        h.access_data(0x10)
+        assert h.access_data(0x10) == 4

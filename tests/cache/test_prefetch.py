@@ -1,0 +1,72 @@
+"""Tests for the next-line prefetcher."""
+
+import numpy as np
+import pytest
+
+from repro.cache.prefetch import NextLinePrefetcher
+from repro.cache.set_assoc import SetAssociativeCache
+from repro.faults import CacheGeometry
+
+GEOMETRY = CacheGeometry(size_bytes=4 * 1024, ways=4, block_bytes=64)
+
+
+class TestPrefetch:
+    def test_miss_prefetches_next_block(self):
+        cache = SetAssociativeCache(GEOMETRY)
+        pf = NextLinePrefetcher(cache)
+        pf.on_demand_miss(100)
+        assert cache.contains(101)
+        assert pf.stats.issued == 1
+
+    def test_degree_two(self):
+        cache = SetAssociativeCache(GEOMETRY)
+        pf = NextLinePrefetcher(cache, degree=2)
+        pf.on_demand_miss(100)
+        assert cache.contains(101)
+        assert cache.contains(102)
+
+    def test_tagged_hit_counts_useful_and_chains(self):
+        cache = SetAssociativeCache(GEOMETRY)
+        pf = NextLinePrefetcher(cache)
+        pf.on_demand_miss(100)  # prefetches 101
+        pf.on_demand_hit(101)  # useful, chains to 102
+        assert pf.stats.useful == 1
+        assert cache.contains(102)
+
+    def test_hit_on_demand_block_not_useful(self):
+        cache = SetAssociativeCache(GEOMETRY)
+        pf = NextLinePrefetcher(cache)
+        cache.fill(100)
+        pf.on_demand_hit(100)  # not a prefetched block
+        assert pf.stats.useful == 0
+
+    def test_no_duplicate_prefetch(self):
+        cache = SetAssociativeCache(GEOMETRY)
+        pf = NextLinePrefetcher(cache)
+        cache.fill(101)
+        pf.on_demand_miss(100)
+        assert pf.stats.issued == 0  # 101 already resident
+
+    def test_prefetch_respects_disabled_sets(self):
+        enabled = np.ones((GEOMETRY.num_sets, GEOMETRY.ways), dtype=bool)
+        target_set = 101 % GEOMETRY.num_sets
+        enabled[target_set, :] = False
+        cache = SetAssociativeCache(GEOMETRY, enabled_ways=enabled)
+        pf = NextLinePrefetcher(cache)
+        pf.on_demand_miss(100)
+        assert not cache.contains(101)  # dropped, set fully disabled
+
+    def test_accuracy_metric(self):
+        cache = SetAssociativeCache(GEOMETRY)
+        pf = NextLinePrefetcher(cache)
+        pf.on_demand_miss(100)
+        pf.on_demand_hit(101)
+        assert pf.stats.accuracy == pytest.approx(0.5)  # 1 useful / 2 issued
+
+    def test_rejects_bad_degree(self):
+        with pytest.raises(ValueError):
+            NextLinePrefetcher(SetAssociativeCache(GEOMETRY), degree=0)
+
+    def test_zero_accuracy_when_idle(self):
+        pf = NextLinePrefetcher(SetAssociativeCache(GEOMETRY))
+        assert pf.stats.accuracy == 0.0

@@ -1,0 +1,64 @@
+"""Tests for replacement policies."""
+
+import pytest
+
+from repro.cache.replacement import (
+    FIFOPolicy,
+    LRUPolicy,
+    RandomPolicy,
+    make_policy,
+)
+
+
+class TestLRU:
+    def test_picks_least_recent(self):
+        policy = LRUPolicy()
+        assert policy.victim([0, 1, 2], last_touch=[5, 3, 9], fill_time=[0, 0, 0]) == 1
+
+    def test_respects_candidates(self):
+        policy = LRUPolicy()
+        # way 1 has the oldest touch but is not a candidate.
+        assert policy.victim([0, 2], last_touch=[5, 1, 9], fill_time=[0, 0, 0]) == 0
+
+
+class TestFIFO:
+    def test_picks_earliest_fill(self):
+        policy = FIFOPolicy()
+        assert policy.victim([0, 1, 2], last_touch=[1, 1, 1], fill_time=[4, 2, 8]) == 1
+
+    def test_ignores_touches(self):
+        policy = FIFOPolicy()
+        # way 0 was touched most recently but filled first: still the victim.
+        assert policy.victim([0, 1], last_touch=[99, 1], fill_time=[1, 2]) == 0
+
+
+class TestRandom:
+    def test_deterministic_with_seed(self):
+        a = RandomPolicy(seed=5)
+        b = RandomPolicy(seed=5)
+        picks_a = [a.victim([0, 1, 2, 3], [0] * 4, [0] * 4) for _ in range(20)]
+        picks_b = [b.victim([0, 1, 2, 3], [0] * 4, [0] * 4) for _ in range(20)]
+        assert picks_a == picks_b
+
+    def test_only_candidates_picked(self):
+        policy = RandomPolicy(seed=1)
+        for _ in range(50):
+            assert policy.victim([1, 3], [0] * 4, [0] * 4) in (1, 3)
+
+    def test_clone_resets_stream(self):
+        policy = RandomPolicy(seed=2)
+        first = [policy.victim([0, 1, 2, 3], [0] * 4, [0] * 4) for _ in range(10)]
+        clone = policy.clone()
+        second = [clone.victim([0, 1, 2, 3], [0] * 4, [0] * 4) for _ in range(10)]
+        assert first == second
+
+
+class TestFactory:
+    def test_known_names(self):
+        assert isinstance(make_policy("lru"), LRUPolicy)
+        assert isinstance(make_policy("fifo"), FIFOPolicy)
+        assert isinstance(make_policy("random"), RandomPolicy)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_policy("mru")

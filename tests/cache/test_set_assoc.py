@@ -1,0 +1,175 @@
+"""Tests for the set-associative cache with disabled ways."""
+
+import numpy as np
+import pytest
+
+from repro.cache.set_assoc import SetAssociativeCache
+from repro.faults import CacheGeometry
+
+GEOMETRY = CacheGeometry(size_bytes=4 * 1024, ways=4, block_bytes=64)  # 16 sets
+
+
+def block_in_set(set_index: int, tag: int, geometry: CacheGeometry = GEOMETRY) -> int:
+    """Construct a block address mapping to (set_index, tag)."""
+    return (tag << geometry.index_bits) | set_index
+
+
+class TestBasicOperation:
+    def test_cold_miss_then_hit(self):
+        cache = SetAssociativeCache(GEOMETRY)
+        addr = block_in_set(0, 1)
+        assert not cache.lookup(addr)
+        cache.fill(addr)
+        assert cache.lookup(addr)
+
+    def test_distinct_sets_do_not_interfere(self):
+        cache = SetAssociativeCache(GEOMETRY)
+        a = block_in_set(0, 1)
+        b = block_in_set(1, 1)
+        cache.fill(a)
+        assert not cache.lookup(b)
+        assert cache.lookup(a)
+
+    def test_associativity_capacity(self):
+        cache = SetAssociativeCache(GEOMETRY)
+        addrs = [block_in_set(3, t) for t in range(4)]
+        for addr in addrs:
+            cache.fill(addr)
+        assert all(cache.contains(a) for a in addrs)
+
+    def test_fifth_block_evicts_lru(self):
+        cache = SetAssociativeCache(GEOMETRY)
+        addrs = [block_in_set(3, t) for t in range(4)]
+        for addr in addrs:
+            cache.fill(addr)
+        for addr in addrs:
+            cache.lookup(addr)  # touch in order: addrs[0] is now LRU
+        evicted = cache.fill(block_in_set(3, 99))
+        assert evicted == addrs[0]
+        assert not cache.contains(addrs[0])
+
+    def test_lru_respects_recency(self):
+        cache = SetAssociativeCache(GEOMETRY)
+        addrs = [block_in_set(2, t) for t in range(4)]
+        for addr in addrs:
+            cache.fill(addr)
+        cache.lookup(addrs[0])  # make tag 0 MRU
+        evicted = cache.fill(block_in_set(2, 50))
+        assert evicted == addrs[1]
+
+    def test_invalidate(self):
+        cache = SetAssociativeCache(GEOMETRY)
+        addr = block_in_set(5, 7)
+        cache.fill(addr)
+        assert cache.invalidate(addr)
+        assert not cache.contains(addr)
+        assert not cache.invalidate(addr)  # second time: not resident
+
+    def test_flush_clears_everything(self):
+        cache = SetAssociativeCache(GEOMETRY)
+        addrs = [block_in_set(s, 1) for s in range(16)]
+        for addr in addrs:
+            cache.fill(addr)
+        cache.flush()
+        assert all(not cache.contains(a) for a in addrs)
+
+    def test_contains_does_not_touch_stats(self):
+        cache = SetAssociativeCache(GEOMETRY)
+        cache.contains(block_in_set(0, 1))
+        assert cache.stats.accesses == 0
+
+    def test_stats_counting(self):
+        cache = SetAssociativeCache(GEOMETRY)
+        addr = block_in_set(0, 1)
+        cache.lookup(addr)
+        cache.fill(addr)
+        cache.lookup(addr)
+        assert cache.stats.accesses == 2
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.fills == 1
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+
+    def test_dirty_writeback_counted(self):
+        cache = SetAssociativeCache(GEOMETRY)
+        addrs = [block_in_set(1, t) for t in range(5)]
+        cache.fill(addrs[0], is_write=True)
+        for addr in addrs[1:]:
+            cache.fill(addr)
+        assert cache.stats.writebacks == 1
+
+
+class TestDisabledWays:
+    def test_disabled_way_never_allocates(self):
+        enabled = np.ones((16, 4), dtype=bool)
+        enabled[3, :] = [True, False, False, False]  # set 3: one usable way
+        cache = SetAssociativeCache(GEOMETRY, enabled_ways=enabled)
+        a, b = block_in_set(3, 1), block_in_set(3, 2)
+        cache.fill(a)
+        cache.fill(b)  # must evict a: only one way
+        assert cache.contains(b)
+        assert not cache.contains(a)
+
+    def test_fully_disabled_set_bypasses_fills(self):
+        enabled = np.ones((16, 4), dtype=bool)
+        enabled[7, :] = False
+        cache = SetAssociativeCache(GEOMETRY, enabled_ways=enabled)
+        addr = block_in_set(7, 1)
+        assert cache.fill(addr) is None
+        assert not cache.contains(addr)
+        assert cache.stats.bypassed_fills == 1
+
+    def test_usable_blocks_counts_enabled(self):
+        enabled = np.ones((16, 4), dtype=bool)
+        enabled[0, 0] = False
+        enabled[5, :] = False
+        cache = SetAssociativeCache(GEOMETRY, enabled_ways=enabled)
+        assert cache.usable_blocks == 64 - 1 - 4
+        assert cache.capacity_fraction == pytest.approx((64 - 5) / 64)
+
+    def test_usable_ways_in_set(self):
+        enabled = np.ones((16, 4), dtype=bool)
+        enabled[2, 1:3] = False
+        cache = SetAssociativeCache(GEOMETRY, enabled_ways=enabled)
+        assert cache.usable_ways_in_set(2) == 2
+        assert cache.usable_ways_in_set(0) == 4
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(GEOMETRY, enabled_ways=np.ones((2, 2), dtype=bool))
+
+    def test_variable_associativity_from_fault_map(self, paper_geometry):
+        """End-to-end: a fault map's usable ways drive cache capacity."""
+        from repro.faults import FaultMap
+
+        fm = FaultMap.generate(paper_geometry, 0.001, seed=42)
+        cache = SetAssociativeCache(paper_geometry, enabled_ways=~fm.faulty_ways_by_set())
+        assert cache.usable_blocks == 512 - fm.num_faulty_blocks()
+
+
+class TestResidencyInvariants:
+    def test_resident_blocks_tracks_fills(self):
+        cache = SetAssociativeCache(GEOMETRY)
+        addrs = {block_in_set(s, t) for s in (0, 1) for t in (1, 2)}
+        for addr in addrs:
+            cache.fill(addr)
+        assert cache.resident_blocks() == addrs
+
+    def test_no_duplicate_blocks_after_refill(self):
+        cache = SetAssociativeCache(GEOMETRY)
+        addr = block_in_set(0, 1)
+        cache.fill(addr)
+        cache.fill(addr)  # double-fill must not duplicate
+        resident = [b for b in cache.resident_blocks() if b == addr]
+        assert len(resident) == 1
+
+    def test_replacement_policy_strings(self):
+        for policy in ("lru", "fifo", "random"):
+            cache = SetAssociativeCache(GEOMETRY, policy=policy)
+            addr = block_in_set(0, 1)
+            cache.fill(addr)
+            assert cache.lookup(addr)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(GEOMETRY, policy="plru")

@@ -1,0 +1,39 @@
+"""Tests for cache statistics containers."""
+
+import pytest
+
+from repro.cache.stats import CacheStats, HierarchyStats
+
+
+class TestCacheStats:
+    def test_rates_with_zero_accesses(self):
+        stats = CacheStats()
+        assert stats.hit_rate == 0.0
+        assert stats.miss_rate == 0.0
+
+    def test_rates(self):
+        stats = CacheStats(accesses=10, hits=7, misses=3)
+        assert stats.hit_rate == pytest.approx(0.7)
+        assert stats.miss_rate == pytest.approx(0.3)
+
+    def test_reset(self):
+        stats = CacheStats(accesses=5, hits=5)
+        stats.reset()
+        assert stats.accesses == 0
+        assert stats.hits == 0
+
+    def test_snapshot_keys(self):
+        snapshot = CacheStats(accesses=2, hits=1, misses=1).snapshot()
+        for key in ("accesses", "hits", "misses", "hit_rate", "miss_rate"):
+            assert key in snapshot
+        assert snapshot["hit_rate"] == pytest.approx(0.5)
+
+
+class TestHierarchyStats:
+    def test_snapshot_structure(self):
+        stats = HierarchyStats()
+        stats.memory_accesses = 42
+        snapshot = stats.snapshot()
+        assert snapshot["memory_accesses"] == 42
+        for level in ("l1i", "l1d", "l2", "victim_i", "victim_d"):
+            assert "hit_rate" in snapshot[level]

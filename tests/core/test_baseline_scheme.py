@@ -1,0 +1,47 @@
+"""Tests for the baseline (fault-intolerant) scheme."""
+
+import pytest
+
+from repro.core import BaselineScheme
+from repro.core.schemes import VoltageMode
+from repro.faults import FaultMap
+
+
+class TestBaseline:
+    def test_high_voltage_full_cache(self, paper_geometry):
+        config = BaselineScheme().configure(paper_geometry, None, VoltageMode.HIGH)
+        assert config.usable
+        assert config.enabled_ways is None
+        assert config.latency_adder == 0
+        assert config.usable_blocks == 512
+
+    def test_low_voltage_ignores_fault_map(self, paper_geometry, paper_fault_map):
+        """The baseline is the normalisation reference: it pretends the
+        cache is fault-free even below Vcc-min (paper Figs. 8-10)."""
+        config = BaselineScheme().configure(
+            paper_geometry, paper_fault_map, VoltageMode.LOW
+        )
+        assert config.usable_blocks == 512
+        assert config.capacity_fraction(paper_geometry) == 1.0
+
+    def test_low_voltage_without_map(self, paper_geometry):
+        config = BaselineScheme().configure(paper_geometry, None, VoltageMode.LOW)
+        assert config.usable
+
+    def test_notes_flag_hypothetical_use(self, paper_geometry):
+        config = BaselineScheme().configure(paper_geometry, None, VoltageMode.LOW)
+        assert "hypothetical" in config.notes
+
+    def test_latency_adder_zero_both_modes(self):
+        scheme = BaselineScheme()
+        assert scheme.latency_adder(VoltageMode.HIGH) == 0
+        assert scheme.latency_adder(VoltageMode.LOW) == 0
+
+    def test_builds_full_cache(self, paper_geometry):
+        cache = (
+            BaselineScheme()
+            .configure(paper_geometry, None, VoltageMode.HIGH)
+            .build_cache()
+        )
+        assert cache.usable_blocks == 512
+        assert cache.capacity_fraction == 1.0

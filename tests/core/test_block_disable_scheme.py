@@ -1,0 +1,86 @@
+"""Tests for the block-disabling scheme (the paper's proposal)."""
+
+import numpy as np
+import pytest
+
+from repro.core import BlockDisableScheme
+from repro.core.schemes import VoltageMode
+from repro.faults import FaultMap
+
+
+class TestHighVoltage:
+    """Section III: the disable bit is ignored at or above Vcc-min."""
+
+    def test_full_cache_no_mask(self, paper_geometry):
+        config = BlockDisableScheme().configure(paper_geometry, None, VoltageMode.HIGH)
+        assert config.enabled_ways is None
+        assert config.usable
+        assert config.usable_blocks == 512
+
+    def test_no_latency_adder(self, paper_geometry):
+        config = BlockDisableScheme().configure(paper_geometry, None, VoltageMode.HIGH)
+        assert config.latency_adder == 0
+
+    def test_latency_adder_method(self):
+        scheme = BlockDisableScheme()
+        assert scheme.latency_adder(VoltageMode.HIGH) == 0
+        assert scheme.latency_adder(VoltageMode.LOW) == 0
+
+
+class TestLowVoltage:
+    def test_disabled_blocks_match_fault_map(self, paper_geometry, paper_fault_map):
+        config = BlockDisableScheme().configure(
+            paper_geometry, paper_fault_map, VoltageMode.LOW
+        )
+        assert config.usable_blocks == 512 - paper_fault_map.num_faulty_blocks()
+
+    def test_enabled_ways_complement_faulty(self, paper_geometry, paper_fault_map):
+        config = BlockDisableScheme().configure(
+            paper_geometry, paper_fault_map, VoltageMode.LOW
+        )
+        assert np.array_equal(
+            config.enabled_ways, ~paper_fault_map.faulty_ways_by_set()
+        )
+
+    def test_tag_fault_disables_block(self, paper_geometry):
+        """Section III: 'a block is disabled when there is a faulty bit in
+        either or both the tag or data of a block'."""
+        faults = np.zeros((512, 537), dtype=bool)
+        faults[10, 536] = True  # valid bit
+        fm = FaultMap(paper_geometry, faults)
+        config = BlockDisableScheme().configure(paper_geometry, fm, VoltageMode.LOW)
+        assert config.usable_blocks == 511
+
+    def test_tag_protected_variant(self, paper_geometry):
+        faults = np.zeros((512, 537), dtype=bool)
+        faults[10, 536] = True  # tag-region fault only
+        fm = FaultMap(paper_geometry, faults)
+        scheme = BlockDisableScheme(include_tag_faults=False)
+        config = scheme.configure(paper_geometry, fm, VoltageMode.LOW)
+        assert config.usable_blocks == 512
+
+    def test_always_usable(self, paper_geometry):
+        """Block-disabling has no whole-cache-failure mode."""
+        fm = FaultMap.generate(paper_geometry, 0.05, seed=0)  # extreme pfail
+        config = BlockDisableScheme().configure(paper_geometry, fm, VoltageMode.LOW)
+        assert config.usable
+
+    def test_empty_map_keeps_everything(self, paper_geometry):
+        fm = FaultMap.empty(paper_geometry)
+        config = BlockDisableScheme().configure(paper_geometry, fm, VoltageMode.LOW)
+        assert config.usable_blocks == 512
+
+    def test_capacity_near_paper_mean(self, paper_geometry):
+        """At pfail = 0.001 capacity should hover around 58% (Fig. 4)."""
+        caps = []
+        for seed in range(10):
+            fm = FaultMap.generate(paper_geometry, 0.001, seed=seed)
+            config = BlockDisableScheme().configure(paper_geometry, fm, VoltageMode.LOW)
+            caps.append(config.capacity_fraction(paper_geometry))
+        assert 0.52 < np.mean(caps) < 0.65
+
+    def test_notes_mention_disabled_count(self, paper_geometry, paper_fault_map):
+        config = BlockDisableScheme().configure(
+            paper_geometry, paper_fault_map, VoltageMode.LOW
+        )
+        assert str(paper_fault_map.num_faulty_blocks()) in config.notes

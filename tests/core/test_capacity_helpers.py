@@ -1,0 +1,83 @@
+"""Tests for the realized-capacity helpers bridging schemes and analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BaselineScheme,
+    BlockDisableScheme,
+    WordDisableScheme,
+    capacity_samples,
+    mean_capacity,
+    per_set_associativity_histogram,
+    realized_capacity,
+)
+from repro.faults import FaultMap
+
+
+class TestRealizedCapacity:
+    def test_block_disable_matches_fault_map(self, paper_geometry, paper_fault_map):
+        sample = realized_capacity(BlockDisableScheme(), paper_geometry, paper_fault_map)
+        assert sample.capacity_fraction == pytest.approx(
+            paper_fault_map.capacity_fraction()
+        )
+        assert sample.usable
+
+    def test_word_disable_is_half_or_zero(self, paper_geometry, paper_fault_map):
+        sample = realized_capacity(WordDisableScheme(), paper_geometry, paper_fault_map)
+        assert sample.capacity_fraction in (0.0, 0.5)
+
+    def test_baseline_full(self, paper_geometry, paper_fault_map):
+        sample = realized_capacity(BaselineScheme(), paper_geometry, paper_fault_map)
+        assert sample.capacity_fraction == 1.0
+
+
+class TestSampling:
+    def test_sample_count(self, paper_geometry):
+        samples = capacity_samples(BlockDisableScheme(), paper_geometry, 0.001, 5, seed=0)
+        assert len(samples) == 5
+
+    def test_mean_capacity_matches_eq2(self, paper_geometry):
+        from repro.analysis.urn import expected_capacity_fraction
+
+        samples = capacity_samples(
+            BlockDisableScheme(), paper_geometry, 0.001, 30, seed=1
+        )
+        expected = expected_capacity_fraction(paper_geometry.cells_per_block, 0.001)
+        assert mean_capacity(samples) == pytest.approx(expected, abs=0.02)
+
+    def test_mean_capacity_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_capacity([])
+
+
+class TestAssociativityHistogram:
+    def test_histogram_sums_to_sets(self, paper_geometry, paper_fault_map):
+        hist = per_set_associativity_histogram(
+            BlockDisableScheme(), paper_geometry, paper_fault_map
+        )
+        assert hist.sum() == 64
+        assert len(hist) == 9  # 0..8 ways
+
+    def test_clean_map_all_sets_full(self, paper_geometry):
+        hist = per_set_associativity_histogram(
+            BlockDisableScheme(), paper_geometry, FaultMap.empty(paper_geometry)
+        )
+        assert hist[8] == 64
+        assert hist[:8].sum() == 0
+
+    def test_baseline_ignores_faults(self, paper_geometry, paper_fault_map):
+        hist = per_set_associativity_histogram(
+            BaselineScheme(), paper_geometry, paper_fault_map
+        )
+        assert hist[8] == 64
+
+    def test_variable_associativity_at_paper_pfail(
+        self, paper_geometry, paper_fault_map
+    ):
+        """Section III: block-disabling leaves *variable* associativity —
+        at pfail = 1e-3 several distinct way-counts coexist."""
+        hist = per_set_associativity_histogram(
+            BlockDisableScheme(), paper_geometry, paper_fault_map
+        )
+        assert (hist > 0).sum() >= 3

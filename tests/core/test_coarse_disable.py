@@ -1,0 +1,103 @@
+"""Tests for the way- and set-disabling comparator schemes."""
+
+import numpy as np
+import pytest
+
+from repro.core import SCHEMES, SetDisableScheme, WayDisableScheme
+from repro.core.schemes import VoltageMode
+from repro.faults import FaultMap
+
+
+class TestRegistration:
+    def test_registered(self):
+        assert "way-disable" in SCHEMES.names()
+        assert "set-disable" in SCHEMES.names()
+
+
+class TestWayDisable:
+    def test_high_voltage_untouched(self, paper_geometry):
+        config = WayDisableScheme().configure(paper_geometry, None, VoltageMode.HIGH)
+        assert config.usable_blocks == 512
+        assert config.latency_adder == 0
+
+    def test_single_fault_kills_whole_way(self, paper_geometry):
+        faults = np.zeros((512, 537), dtype=bool)
+        faults[3, 0] = True  # block 3 = set 0, way 3
+        fm = FaultMap(paper_geometry, faults)
+        config = WayDisableScheme().configure(paper_geometry, fm, VoltageMode.LOW)
+        enabled = config.enabled_ways
+        assert not enabled[:, 3].any()  # way 3 dead in every set
+        assert enabled[:, [0, 1, 2, 4, 5, 6, 7]].all()
+        assert config.usable_blocks == 512 - 64
+
+    def test_collapse_at_paper_pfail(self, paper_geometry, paper_fault_map):
+        """At pfail = 0.001 every way contains faults: capacity ~0."""
+        config = WayDisableScheme().configure(
+            paper_geometry, paper_fault_map, VoltageMode.LOW
+        )
+        assert config.usable_blocks == 0
+
+    def test_clean_map_keeps_all(self, paper_geometry):
+        config = WayDisableScheme().configure(
+            paper_geometry, FaultMap.empty(paper_geometry), VoltageMode.LOW
+        )
+        assert config.usable_blocks == 512
+
+    def test_geometry_mismatch(self, paper_geometry, small_geometry):
+        with pytest.raises(ValueError):
+            WayDisableScheme().configure(
+                paper_geometry, FaultMap.empty(small_geometry), VoltageMode.LOW
+            )
+
+    def test_cache_builds_and_operates(self, paper_geometry):
+        faults = np.zeros((512, 537), dtype=bool)
+        faults[3, 0] = True
+        fm = FaultMap(paper_geometry, faults)
+        config = WayDisableScheme().configure(paper_geometry, fm, VoltageMode.LOW)
+        cache = config.build_cache()
+        cache.fill(0)
+        assert cache.lookup(0)
+
+
+class TestSetDisable:
+    def test_single_fault_kills_whole_set(self, paper_geometry):
+        faults = np.zeros((512, 537), dtype=bool)
+        faults[8, 5] = True  # block 8 = set 1, way 0
+        fm = FaultMap(paper_geometry, faults)
+        config = SetDisableScheme().configure(paper_geometry, fm, VoltageMode.LOW)
+        enabled = config.enabled_ways
+        assert not enabled[1, :].any()
+        assert enabled[0, :].all()
+        assert config.usable_blocks == 512 - 8
+
+    def test_collapse_at_paper_pfail(self, paper_geometry, paper_fault_map):
+        """P(set clean) = (1-pbf)^8 ~ 1.3%: nearly all sets die."""
+        config = SetDisableScheme().configure(
+            paper_geometry, paper_fault_map, VoltageMode.LOW
+        )
+        assert config.usable_blocks < 0.1 * 512
+
+    def test_disabled_set_bypasses(self, paper_geometry):
+        faults = np.zeros((512, 537), dtype=bool)
+        faults[8, 5] = True  # kills set 1
+        fm = FaultMap(paper_geometry, faults)
+        cache = (
+            SetDisableScheme()
+            .configure(paper_geometry, fm, VoltageMode.LOW)
+            .build_cache()
+        )
+        block_in_set1 = 1  # block address with set index 1
+        assert cache.fill(block_in_set1) is None
+        assert not cache.contains(block_in_set1)
+
+    def test_matches_granularity_analysis(self, paper_geometry):
+        """Sampled set-disable capacity tracks the closed form."""
+        from repro.analysis.granularity import DisableGranularity, expected_capacity
+
+        caps = []
+        for seed in range(10):
+            fm = FaultMap.generate(paper_geometry, 0.0005, seed=seed)
+            config = SetDisableScheme().configure(paper_geometry, fm, VoltageMode.LOW)
+            caps.append(config.usable_blocks / 512)
+        expected = expected_capacity(paper_geometry, DisableGranularity.SET, 0.0005)
+        assert np.mean(caps) == pytest.approx(expected, abs=0.06)

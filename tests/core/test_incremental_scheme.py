@@ -1,0 +1,104 @@
+"""Tests for the incremental word-disabling scheme."""
+
+import numpy as np
+import pytest
+
+from repro.core import IncrementalWordDisableScheme
+from repro.core.schemes import VoltageMode
+from repro.faults import FaultMap
+
+
+class TestPairStates:
+    def test_clean_map_all_fault_free(self, paper_geometry):
+        fm = FaultMap.empty(paper_geometry)
+        states = IncrementalWordDisableScheme().pair_states(fm)
+        assert states.shape == (64, 4)
+        assert (states == 2).all()
+
+    def test_single_data_fault_makes_pair_half(self, paper_geometry):
+        faults = np.zeros((512, 537), dtype=bool)
+        faults[0, 100] = True  # block 0 => pair 0 of set 0
+        fm = FaultMap(paper_geometry, faults)
+        states = IncrementalWordDisableScheme().pair_states(fm)
+        assert states[0, 0] == 1
+        assert (states.ravel()[1:] == 2).sum() == 255
+
+    def test_overloaded_subblock_disables_pair(self, paper_geometry):
+        faults = np.zeros((512, 537), dtype=bool)
+        for word in range(5):
+            faults[1, word * 32] = True  # block 1 => pair 0 of set 0
+        fm = FaultMap(paper_geometry, faults)
+        states = IncrementalWordDisableScheme().pair_states(fm)
+        assert states[0, 0] == 0
+
+    def test_tag_faults_invisible(self, paper_geometry):
+        faults = np.zeros((512, 537), dtype=bool)
+        faults[:, 520] = True  # tag cells only
+        fm = FaultMap(paper_geometry, faults)
+        states = IncrementalWordDisableScheme().pair_states(fm)
+        assert (states == 2).all()
+
+
+class TestConfiguration:
+    def test_high_voltage_full_cache_plus_cycle(self, paper_geometry):
+        config = IncrementalWordDisableScheme().configure(
+            paper_geometry, None, VoltageMode.HIGH
+        )
+        assert config.usable
+        assert config.latency_adder == 1
+        assert config.usable_blocks == 512
+
+    def test_enabled_ways_encode_pair_states(self, paper_geometry):
+        faults = np.zeros((512, 537), dtype=bool)
+        faults[0, 100] = True  # pair 0 of set 0 -> half
+        for word in range(5):
+            faults[2, word * 32] = True  # pair 1 of set 0 -> disabled
+        fm = FaultMap(paper_geometry, faults)
+        config = IncrementalWordDisableScheme().configure(
+            paper_geometry, fm, VoltageMode.LOW
+        )
+        enabled = config.enabled_ways
+        assert enabled[0, 0] and not enabled[0, 1]  # half pair: one way
+        assert not enabled[0, 2] and not enabled[0, 3]  # disabled pair
+        assert enabled[0, 4:].all()  # untouched pairs at full strength
+
+    def test_never_whole_cache_failure(self, paper_geometry):
+        fm = FaultMap.generate(paper_geometry, 0.01, seed=3)
+        config = IncrementalWordDisableScheme().configure(
+            paper_geometry, fm, VoltageMode.LOW
+        )
+        assert config.usable
+
+    def test_capacity_tracks_eq6(self, paper_geometry):
+        """Sampled capacity is within a few points of the Eq. 6 expectation."""
+        from repro.analysis.incremental import incremental_word_disable_capacity
+
+        scheme = IncrementalWordDisableScheme()
+        caps = []
+        for seed in range(8):
+            fm = FaultMap.generate(paper_geometry, 0.001, seed=seed)
+            config = scheme.configure(paper_geometry, fm, VoltageMode.LOW)
+            caps.append(config.usable_blocks / 512)
+        expected = incremental_word_disable_capacity(0.001)
+        assert np.mean(caps) == pytest.approx(expected, abs=0.05)
+
+    def test_capacity_between_half_and_full_at_low_pfail(self, paper_geometry):
+        fm = FaultMap.generate(paper_geometry, 0.0005, seed=1)
+        config = IncrementalWordDisableScheme().configure(
+            paper_geometry, fm, VoltageMode.LOW
+        )
+        assert 0.5 < config.capacity_fraction(paper_geometry) <= 1.0
+
+    def test_odd_way_count_rejected(self):
+        from repro.faults import CacheGeometry
+
+        odd = CacheGeometry(size_bytes=4096, ways=1, block_bytes=64)
+        fm = FaultMap.empty(odd)
+        with pytest.raises(ValueError):
+            IncrementalWordDisableScheme().pair_states(fm)
+
+    def test_notes_summarise_states(self, paper_geometry, paper_fault_map):
+        config = IncrementalWordDisableScheme().configure(
+            paper_geometry, paper_fault_map, VoltageMode.LOW
+        )
+        assert "pairs" in config.notes

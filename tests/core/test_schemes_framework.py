@@ -1,0 +1,130 @@
+"""Tests for the scheme framework, registry, and CacheConfiguration."""
+
+import numpy as np
+import pytest
+
+import repro.core  # registers schemes  # noqa: F401
+from repro.core.schemes import (
+    SCHEMES,
+    CacheConfiguration,
+    SchemeRegistry,
+    VoltageMode,
+)
+from repro.faults import FaultMap
+
+
+class TestRegistry:
+    def test_all_paper_schemes_registered(self):
+        names = SCHEMES.names()
+        for expected in (
+            "baseline",
+            "block-disable",
+            "word-disable",
+            "incremental-word-disable",
+        ):
+            assert expected in names
+
+    def test_create_by_name(self):
+        scheme = SCHEMES.create("block-disable")
+        assert scheme.name == "block-disable"
+
+    def test_create_unknown_raises(self):
+        with pytest.raises(ValueError):
+            SCHEMES.create("row-disable")
+
+    def test_duplicate_registration_rejected(self):
+        registry = SchemeRegistry()
+
+        class Dummy:
+            name = "dummy"
+
+        registry.register(Dummy)  # type: ignore[arg-type]
+        with pytest.raises(ValueError):
+            registry.register(Dummy)  # type: ignore[arg-type]
+
+    def test_kwargs_forwarded(self):
+        scheme = SCHEMES.create("word-disable", subblock_words=4)
+        assert scheme.subblock_words == 4
+
+
+class TestCacheConfiguration:
+    def test_usable_blocks_all_enabled(self, paper_geometry):
+        config = CacheConfiguration(
+            geometry=paper_geometry,
+            enabled_ways=None,
+            latency_adder=0,
+            usable=True,
+            scheme_name="x",
+            voltage=VoltageMode.HIGH,
+        )
+        assert config.usable_blocks == 512
+        assert config.capacity_fraction(paper_geometry) == 1.0
+
+    def test_capacity_fraction_with_mask(self, paper_geometry):
+        enabled = np.ones((64, 8), dtype=bool)
+        enabled[:32, :] = False
+        config = CacheConfiguration(
+            geometry=paper_geometry,
+            enabled_ways=enabled,
+            latency_adder=0,
+            usable=True,
+            scheme_name="x",
+            voltage=VoltageMode.LOW,
+        )
+        assert config.capacity_fraction(paper_geometry) == pytest.approx(0.5)
+
+    def test_unusable_capacity_is_zero(self, paper_geometry):
+        config = CacheConfiguration(
+            geometry=paper_geometry,
+            enabled_ways=None,
+            latency_adder=1,
+            usable=False,
+            scheme_name="word-disable",
+            voltage=VoltageMode.LOW,
+        )
+        assert config.capacity_fraction(paper_geometry) == 0.0
+
+    def test_build_unusable_raises(self, paper_geometry):
+        config = CacheConfiguration(
+            geometry=paper_geometry,
+            enabled_ways=None,
+            latency_adder=1,
+            usable=False,
+            scheme_name="word-disable",
+            voltage=VoltageMode.LOW,
+        )
+        with pytest.raises(ValueError):
+            config.build_cache()
+
+    def test_halved_geometry_capacity_relative_to_reference(self, paper_geometry):
+        config = CacheConfiguration(
+            geometry=paper_geometry.with_halved_capacity(),
+            enabled_ways=None,
+            latency_adder=1,
+            usable=True,
+            scheme_name="word-disable",
+            voltage=VoltageMode.LOW,
+        )
+        assert config.capacity_fraction(paper_geometry) == pytest.approx(0.5)
+
+    def test_build_cache_honours_mask(self, paper_geometry, paper_fault_map):
+        from repro.core import BlockDisableScheme
+
+        config = BlockDisableScheme().configure(
+            paper_geometry, paper_fault_map, VoltageMode.LOW
+        )
+        cache = config.build_cache()
+        assert cache.usable_blocks == config.usable_blocks
+
+    def test_low_voltage_requires_map(self, paper_geometry):
+        from repro.core import BlockDisableScheme
+
+        with pytest.raises(ValueError):
+            BlockDisableScheme().configure(paper_geometry, None, VoltageMode.LOW)
+
+    def test_geometry_mismatch_rejected(self, paper_geometry, small_geometry):
+        from repro.core import BlockDisableScheme
+
+        fm = FaultMap.empty(small_geometry)
+        with pytest.raises(ValueError):
+            BlockDisableScheme().configure(paper_geometry, fm, VoltageMode.LOW)

@@ -1,0 +1,110 @@
+"""Tests for the word-disabling scheme (the comparator)."""
+
+import numpy as np
+import pytest
+
+from repro.core import WordDisableScheme
+from repro.core.schemes import VoltageMode
+from repro.faults import FaultMap
+
+
+class TestHighVoltage:
+    def test_full_cache_but_plus_one_cycle(self, paper_geometry):
+        config = WordDisableScheme().configure(paper_geometry, None, VoltageMode.HIGH)
+        assert config.usable
+        assert config.geometry == paper_geometry
+        assert config.latency_adder == 1  # alignment network always on path
+
+
+class TestLowVoltage:
+    def test_halved_geometry(self, paper_geometry):
+        fm = FaultMap.empty(paper_geometry)
+        config = WordDisableScheme().configure(paper_geometry, fm, VoltageMode.LOW)
+        assert config.geometry.size_bytes == 16 * 1024
+        assert config.geometry.ways == 4
+        assert config.latency_adder == 1
+
+    def test_capacity_is_half(self, paper_geometry):
+        fm = FaultMap.empty(paper_geometry)
+        config = WordDisableScheme().configure(paper_geometry, fm, VoltageMode.LOW)
+        assert config.capacity_fraction(paper_geometry) == pytest.approx(0.5)
+
+    def test_usable_at_paper_pfail_usually(self, paper_geometry):
+        """pwcf ~ 1.6e-3 at pfail = 0.001: ten random maps should all pass."""
+        scheme = WordDisableScheme()
+        for seed in range(10):
+            fm = FaultMap.generate(paper_geometry, 0.001, seed=seed)
+            assert scheme.configure(paper_geometry, fm, VoltageMode.LOW).usable
+
+    def test_whole_cache_failure_on_bad_subblock(self, paper_geometry):
+        """Five faulty words in one 8-word subblock kill the whole cache."""
+        faults = np.zeros((512, 537), dtype=bool)
+        for word in range(5):  # words 0..4 of block 3's first subblock
+            faults[3, word * 32] = True
+        fm = FaultMap(paper_geometry, faults)
+        config = WordDisableScheme().configure(paper_geometry, fm, VoltageMode.LOW)
+        assert not config.usable
+        assert config.capacity_fraction(paper_geometry) == 0.0
+
+    def test_four_faulty_words_tolerated(self, paper_geometry):
+        faults = np.zeros((512, 537), dtype=bool)
+        for word in range(4):
+            faults[3, word * 32] = True
+        fm = FaultMap(paper_geometry, faults)
+        config = WordDisableScheme().configure(paper_geometry, fm, VoltageMode.LOW)
+        assert config.usable
+
+    def test_five_faults_in_one_word_tolerated(self, paper_geometry):
+        """Many faulty cells in a single word cost only that word."""
+        faults = np.zeros((512, 537), dtype=bool)
+        faults[3, 0:5] = True  # five cells of word 0
+        fm = FaultMap(paper_geometry, faults)
+        config = WordDisableScheme().configure(paper_geometry, fm, VoltageMode.LOW)
+        assert config.usable
+
+    def test_tag_faults_ignored(self, paper_geometry):
+        """Word-disabling keeps its tags in 10T cells: tag faults are
+        invisible to it."""
+        faults = np.zeros((512, 537), dtype=bool)
+        faults[:, 512:] = True  # every tag/valid cell faulty
+        fm = FaultMap(paper_geometry, faults)
+        config = WordDisableScheme().configure(paper_geometry, fm, VoltageMode.LOW)
+        assert config.usable
+
+    def test_subblock_fault_counts_shape(self, paper_geometry, paper_fault_map):
+        counts = WordDisableScheme().subblock_fault_counts(paper_fault_map)
+        assert counts.shape == (512, 2)  # 16 words / 8-word subblocks
+
+    def test_custom_subblock_size(self, paper_geometry):
+        scheme = WordDisableScheme(subblock_words=4)
+        assert scheme.word_tolerance == 2
+        fm = FaultMap.empty(paper_geometry)
+        assert scheme.subblock_fault_counts(fm).shape == (512, 4)
+
+    def test_invalid_subblock_sizes(self):
+        with pytest.raises(ValueError):
+            WordDisableScheme(subblock_words=0)
+        with pytest.raises(ValueError):
+            WordDisableScheme(subblock_words=3)
+
+    def test_untileable_subblock_rejected(self, paper_geometry, paper_fault_map):
+        scheme = WordDisableScheme(subblock_words=6)
+        with pytest.raises(ValueError):
+            scheme.subblock_fault_counts(paper_fault_map)
+
+    def test_failure_rate_tracks_eq4(self, paper_geometry):
+        """At an exaggerated pfail, the sampled whole-cache-failure rate
+        matches the Eq. 4 prediction within Monte Carlo noise."""
+        from repro.analysis.word_disable import whole_cache_failure_probability
+
+        scheme = WordDisableScheme()
+        pfail = 0.004
+        trials = 150
+        failures = 0
+        for seed in range(trials):
+            fm = FaultMap.generate(paper_geometry, pfail, seed=seed)
+            failures += scheme.whole_cache_failure(fm)
+        rate = failures / trials
+        expected = whole_cache_failure_probability(pfail)
+        sigma = (expected * (1 - expected) / trials) ** 0.5
+        assert abs(rate - expected) < 5 * sigma + 0.01

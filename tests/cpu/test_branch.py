@@ -1,0 +1,129 @@
+"""Tests for the branch predictors (gshare, RAS, line predictor)."""
+
+import random
+
+import pytest
+
+from repro.cpu.branch import GsharePredictor, LinePredictor, ReturnAddressStack
+
+
+class TestGshare:
+    def test_storage_is_8kb_for_paper_config(self):
+        assert GsharePredictor(15).storage_bits == 8 * 1024 * 8
+
+    def test_learns_always_taken(self):
+        predictor = GsharePredictor(10)
+        for _ in range(100):
+            predictor.predict_and_update(0x400, True)
+        # After warmup, predictions are essentially perfect.
+        assert predictor.misprediction_rate < 0.1
+
+    def test_learns_biased_branch(self):
+        predictor = GsharePredictor(12)
+        rng = random.Random(1)
+        correct = 0
+        trials = 2000
+        for _ in range(trials):
+            taken = rng.random() < 0.95
+            correct += predictor.predict_and_update(0x400, taken)
+        assert correct / trials > 0.85
+
+    def test_random_branch_near_chance(self):
+        predictor = GsharePredictor(12)
+        rng = random.Random(2)
+        correct = sum(
+            predictor.predict_and_update(0x400, rng.random() < 0.5)
+            for _ in range(4000)
+        )
+        assert 0.35 < correct / 4000 < 0.65
+
+    def test_distinct_branches_do_not_destructively_alias(self):
+        """Two opposite-biased branches at different PCs both get learned."""
+        predictor = GsharePredictor(14)
+        correct = 0
+        for _ in range(500):
+            correct += predictor.predict_and_update(0x1000, True)
+            correct += predictor.predict_and_update(0x2000, False)
+        assert correct / 1000 > 0.8
+
+    def test_counts(self):
+        predictor = GsharePredictor(10)
+        predictor.predict_and_update(0, True)
+        assert predictor.predictions == 1
+
+    def test_rejects_bad_history_bits(self):
+        with pytest.raises(ValueError):
+            GsharePredictor(0)
+        with pytest.raises(ValueError):
+            GsharePredictor(30)
+
+    def test_zero_rate_before_use(self):
+        assert GsharePredictor(10).misprediction_rate == 0.0
+
+
+class TestRAS:
+    def test_matched_call_return(self):
+        ras = ReturnAddressStack(16)
+        ras.push(0x1004)
+        assert ras.pop_and_check(0x1004)
+        assert ras.mispredictions == 0
+
+    def test_mismatch_counts(self):
+        ras = ReturnAddressStack(16)
+        ras.push(0x1004)
+        assert not ras.pop_and_check(0x2000)
+        assert ras.mispredictions == 1
+
+    def test_empty_pop_mispredicts(self):
+        ras = ReturnAddressStack(16)
+        assert not ras.pop_and_check(0x1004)
+        assert ras.mispredictions == 1
+
+    def test_nested_calls_lifo(self):
+        ras = ReturnAddressStack(16)
+        ras.push(0xA)
+        ras.push(0xB)
+        assert ras.pop_and_check(0xB)
+        assert ras.pop_and_check(0xA)
+
+    def test_overflow_drops_deepest(self):
+        ras = ReturnAddressStack(2)
+        ras.push(0xA)
+        ras.push(0xB)
+        ras.push(0xC)  # drops 0xA
+        assert ras.pop_and_check(0xC)
+        assert ras.pop_and_check(0xB)
+        assert not ras.pop_and_check(0xA)  # lost to overflow
+
+    def test_depth(self):
+        ras = ReturnAddressStack(4)
+        ras.push(1)
+        ras.push(2)
+        assert ras.depth == 2
+
+    def test_rejects_zero_entries(self):
+        with pytest.raises(ValueError):
+            ReturnAddressStack(0)
+
+
+class TestLinePredictor:
+    def test_first_lookup_misses_then_learns(self):
+        lp = LinePredictor(64)
+        assert not lp.predict_and_update(0x400, 7)
+        assert lp.predict_and_update(0x400, 7)
+
+    def test_target_change_misses(self):
+        lp = LinePredictor(64)
+        lp.predict_and_update(0x400, 7)
+        assert not lp.predict_and_update(0x400, 8)
+        assert lp.predict_and_update(0x400, 8)
+
+    def test_miss_rate(self):
+        lp = LinePredictor(64)
+        lp.predict_and_update(0x400, 1)
+        lp.predict_and_update(0x400, 1)
+        assert lp.miss_rate == pytest.approx(0.5)
+
+    def test_rejects_non_pow2(self):
+        with pytest.raises(ValueError):
+            LinePredictor(100)

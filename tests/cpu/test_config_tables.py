@@ -1,0 +1,106 @@
+"""Table II and Table III constants, asserted against the paper's text."""
+
+import pytest
+
+from repro.cpu.config import (
+    HIGH_VOLTAGE,
+    L1_GEOMETRY,
+    L2_GEOMETRY,
+    LOW_VOLTAGE,
+    PAPER_PIPELINE,
+    VICTIM_ENTRIES,
+    VICTIM_ENTRIES_6T_LOW_VOLTAGE,
+    OperatingPoint,
+    PipelineConfig,
+)
+
+
+class TestTableII:
+    """Parameters constant for all configurations."""
+
+    def test_pipeline_depth(self):
+        assert PAPER_PIPELINE.pipeline_depth == 15
+
+    def test_widths(self):
+        # "Fetch/Decode/Issue/Commit up to 4/4/6/4 instr. per cycle"
+        assert PAPER_PIPELINE.fetch_width == 4
+        assert PAPER_PIPELINE.decode_width == 4
+        assert PAPER_PIPELINE.issue_width == 6
+        assert PAPER_PIPELINE.commit_width == 4
+
+    def test_issue_queues(self):
+        # "Issue Queue 40 INT entries, 20 FP entries"
+        assert PAPER_PIPELINE.iq_int_entries == 40
+        assert PAPER_PIPELINE.iq_fp_entries == 20
+
+    def test_functional_units(self):
+        # "4 INT ALUs, 4 INT mult/div, 1 FP ALUs, 1 FP mult/div"
+        assert PAPER_PIPELINE.int_alu_units == 4
+        assert PAPER_PIPELINE.int_mul_units == 4
+        assert PAPER_PIPELINE.fp_alu_units == 1
+        assert PAPER_PIPELINE.fp_mul_units == 1
+
+    def test_reorder_buffer(self):
+        assert PAPER_PIPELINE.rob_entries == 128
+
+    def test_front_end(self):
+        # "RAS 16 entries; 8 KB gshare (15 bits history)"
+        assert PAPER_PIPELINE.ras_entries == 16
+        assert PAPER_PIPELINE.gshare_history_bits == 15
+
+    def test_l2(self):
+        # "2 MB, 8-way, 64 B blocks, 20-cycle hit latency"
+        assert L2_GEOMETRY.size_bytes == 2 * 1024 * 1024
+        assert L2_GEOMETRY.ways == 8
+        assert L2_GEOMETRY.block_bytes == 64
+        assert HIGH_VOLTAGE.l2_latency == 20
+        assert LOW_VOLTAGE.l2_latency == 20
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PipelineConfig(commit_width=0)
+
+
+class TestTableIII:
+    """Configuration-dependent parameters."""
+
+    def test_high_voltage_point(self):
+        # "3GHz, 255-cycle memory"
+        assert HIGH_VOLTAGE.frequency_hz == pytest.approx(3.0e9)
+        assert HIGH_VOLTAGE.memory_latency == 255
+
+    def test_low_voltage_point(self):
+        # "600MHz, 51-cycle memory"
+        assert LOW_VOLTAGE.frequency_hz == pytest.approx(600e6)
+        assert LOW_VOLTAGE.memory_latency == 51
+
+    def test_memory_wall_clock_invariant(self):
+        """The memory's absolute time is constant; only cycles scale:
+        255 / 3GHz == 51 / 600MHz."""
+        hv = HIGH_VOLTAGE.memory_latency / HIGH_VOLTAGE.frequency_hz
+        lv = LOW_VOLTAGE.memory_latency / LOW_VOLTAGE.frequency_hz
+        assert hv == pytest.approx(lv)
+
+    def test_l1_base_latency(self):
+        # "32 KB, 8-way, 64 B, 3-cycle latency"
+        assert HIGH_VOLTAGE.l1_base_latency == 3
+        assert L1_GEOMETRY.size_bytes == 32 * 1024
+        assert L1_GEOMETRY.ways == 8
+        assert L1_GEOMETRY.block_bytes == 64
+
+    def test_victim_cache(self):
+        # "16 entries / 1 cycle"; 6T variant keeps 8 at low voltage.
+        assert VICTIM_ENTRIES == 16
+        assert VICTIM_ENTRIES_6T_LOW_VOLTAGE == 8
+        assert HIGH_VOLTAGE.victim_latency == 1
+
+    def test_latency_overrides(self):
+        lat = LOW_VOLTAGE.latencies(4, 4)  # the word-disable row
+        assert lat.l1i == 4
+        assert lat.l1d == 4
+        assert lat.memory == 51
+
+    def test_operating_point_defaults(self):
+        point = OperatingPoint(name="x", frequency_hz=1e9, memory_latency=100)
+        assert point.l1i() == 3
+        assert point.l1d(5) == 5

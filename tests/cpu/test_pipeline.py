@@ -1,0 +1,234 @@
+"""Tests for the one-pass out-of-order timing model.
+
+These validate the structural limits (widths, ROB, FUs), latency
+propagation through dependence chains, and the cache/branch interactions
+the paper's comparisons rest on.
+"""
+
+import pytest
+
+from repro.cache.hierarchy import LatencyConfig, MemoryHierarchy
+from repro.cache.set_assoc import SetAssociativeCache
+from repro.cpu.config import PipelineConfig
+from repro.cpu.isa import InstrClass
+from repro.cpu.pipeline import OutOfOrderPipeline
+from repro.cpu.trace import Trace
+from repro.faults import CacheGeometry
+
+L1 = CacheGeometry(size_bytes=32 * 1024, ways=8, block_bytes=64)
+L2 = CacheGeometry(size_bytes=256 * 1024, ways=8, block_bytes=64)
+
+
+def make_pipeline(l1_latency: int = 3, victim: int = 0) -> OutOfOrderPipeline:
+    lat = LatencyConfig(l1i=l1_latency, l1d=l1_latency, victim=1, l2=20, memory=100)
+    hierarchy = MemoryHierarchy(
+        SetAssociativeCache(L1, name="l1i"),
+        SetAssociativeCache(L1, name="l1d"),
+        L2,
+        lat,
+        victim_entries_i=victim,
+        victim_entries_d=victim,
+    )
+    return OutOfOrderPipeline(PipelineConfig(), hierarchy)
+
+
+def alu_trace(n: int, independent: bool = True) -> Trace:
+    """ALU-only trace looping through a small code region (so compulsory
+    I-cache misses amortise away, as they do in real loopy programs)."""
+    trace = Trace(name="alu")
+    for i in range(n):
+        if independent:
+            dest = 1 + i % 20
+            src = 25
+        else:
+            dest = 1
+            src = 1  # serial chain
+        trace.append(0x1000 + 4 * (i % 16), InstrClass.INT_ALU, src1=src, dest=dest)
+    return trace
+
+
+class TestStructuralLimits:
+    def test_empty_trace(self):
+        result = make_pipeline().run(Trace())
+        assert result.cycles == 0
+        assert result.instructions == 0
+
+    def test_ipc_bounded_by_commit_width(self):
+        result = make_pipeline().run(alu_trace(4000, independent=True))
+        assert result.ipc <= 4.0 + 1e-9
+
+    def test_independent_alus_achieve_high_ipc(self):
+        result = make_pipeline().run(alu_trace(4000, independent=True))
+        assert result.ipc > 2.0
+
+    def test_serial_chain_is_ipc_one(self):
+        """A fully serial dependence chain cannot exceed 1 ALU op/cycle."""
+        result = make_pipeline().run(alu_trace(2000, independent=False))
+        assert result.ipc == pytest.approx(1.0, abs=0.15)
+
+    def test_fp_alu_structural_hazard(self):
+        """One FP ALU (Table II): independent FP adds with 4-cycle latency
+        still issue at most one per cycle."""
+        trace = Trace(name="fp")
+        for i in range(2000):
+            trace.append(
+                0x1000 + 4 * (i % 16), InstrClass.FP_ALU, src1=57, dest=33 + i % 20
+            )
+        result = make_pipeline().run(trace)
+        assert result.ipc <= 1.0 + 1e-9
+        assert result.ipc > 0.8
+
+    def test_int_mul_latency_chain(self):
+        """Serial 7-cycle multiplies: IPC ~ 1/7."""
+        trace = Trace(name="mul")
+        for i in range(1000):
+            trace.append(0x1000 + 4 * (i % 16), InstrClass.INT_MUL, src1=1, dest=1)
+        result = make_pipeline().run(trace)
+        assert result.ipc == pytest.approx(1 / 7, rel=0.2)
+
+    def test_cycles_monotone_in_trace_length(self):
+        short = make_pipeline().run(alu_trace(500))
+        longer = make_pipeline().run(alu_trace(1000))
+        assert longer.cycles > short.cycles
+
+
+class TestMemoryBehaviour:
+    def test_load_chain_pays_l1_latency(self):
+        """Serial dependent loads that hit in L1 cost ~l1_latency each."""
+        trace = Trace(name="loads")
+        for i in range(1000):
+            trace.append(
+                0x1000 + 4 * (i % 16), InstrClass.LOAD, mem_addr=0x8000, src1=4, dest=4
+            )
+        result = make_pipeline(l1_latency=3).run(trace)
+        assert result.ipc == pytest.approx(1 / 3, rel=0.2)
+
+    def test_extra_l1_cycle_slows_load_chains(self):
+        """The word-disable +1 L1 cycle must show up in load-to-use chains
+        (4-cycle vs 3-cycle serial loads)."""
+        trace = Trace(name="loads")
+        for i in range(1000):
+            trace.append(
+                0x1000 + 4 * (i % 16), InstrClass.LOAD, mem_addr=0x8000, src1=4, dest=4
+            )
+        fast = make_pipeline(l1_latency=3).run(trace)
+        slow = make_pipeline(l1_latency=4).run(trace)
+        assert slow.cycles / fast.cycles == pytest.approx(4 / 3, rel=0.1)
+
+    def test_independent_misses_overlap(self):
+        """Memory-level parallelism: independent misses to distinct blocks
+        overlap, so total cycles are far below misses x memory latency."""
+        trace = Trace(name="mlp")
+        for i in range(512):
+            trace.append(
+                0x1000 + 4 * (i % 16),
+                InstrClass.LOAD,
+                mem_addr=0x100000 + i * 4096,
+                src1=25,
+                dest=1 + i % 20,
+            )
+        result = make_pipeline().run(trace)
+        assert result.cycles < 512 * 100 / 4
+
+    def test_store_does_not_stall_chain(self):
+        """Stores retire via the store buffer; a store between ALU ops must
+        not inject memory latency into the chain."""
+        trace = Trace(name="stores")
+        for i in range(500):
+            trace.append(0x1000 + 8 * (i % 8), InstrClass.INT_ALU, src1=1, dest=1)
+            trace.append(
+                0x1004 + 8 * (i % 8),
+                InstrClass.STORE,
+                mem_addr=0x200000 + i * 4096,
+                src1=25,
+                src2=1,
+            )
+        result = make_pipeline().run(trace)
+        assert result.ipc > 1.0
+
+
+class TestBranchBehaviour:
+    def test_mispredictions_cost_cycles(self):
+        """An unpredictable branch stream runs slower than a biased one."""
+        import random
+
+        rng = random.Random(0)
+
+        def branch_trace(random_outcomes: bool) -> Trace:
+            trace = Trace(name="br")
+            for i in range(4000):
+                trace.append(0x1000 + 8 * (i % 4), InstrClass.INT_ALU, src1=25, dest=1)
+                taken = rng.random() < 0.5 if random_outcomes else True
+                trace.append(0x1004 + 8 * (i % 4), InstrClass.BRANCH, src1=1, taken=taken)
+            return trace
+
+        predictable = make_pipeline().run(branch_trace(False))
+        unpredictable = make_pipeline().run(branch_trace(True))
+        assert unpredictable.cycles > predictable.cycles * 1.3
+        assert unpredictable.misprediction_rate > 0.2
+        assert predictable.misprediction_rate < 0.05
+
+    def test_calls_and_returns_use_ras(self):
+        trace = Trace(name="callret")
+        pc = 0x1000
+        for _ in range(200):
+            trace.append(pc, InstrClass.CALL, taken=True)
+            trace.append(0x9000, InstrClass.INT_ALU, src1=25, dest=1)
+            trace.append(0x9004, InstrClass.RETURN, taken=True)
+            trace.append(pc + 4, InstrClass.INT_ALU, src1=25, dest=2)
+            pc += 8
+        result = make_pipeline().run(trace)
+        # Well-nested call/return pairs: the RAS predicts returns correctly.
+        assert result.branch_mispredictions == 0
+
+    def test_results_are_deterministic(self):
+        a = make_pipeline().run(alu_trace(2000))
+        b = make_pipeline().run(alu_trace(2000))
+        assert a.cycles == b.cycles
+
+
+class TestSimResult:
+    def test_speedup_over(self):
+        fast = make_pipeline(l1_latency=3).run(alu_trace(1000))
+        slow = make_pipeline(l1_latency=4).run(alu_trace(1000))
+        assert slow.speedup_over(fast) <= 1.0
+
+    def test_speedup_requires_same_trace_length(self):
+        a = make_pipeline().run(alu_trace(100))
+        b = make_pipeline().run(alu_trace(200))
+        with pytest.raises(ValueError):
+            a.speedup_over(b)
+
+    def test_hierarchy_stats_attached(self):
+        result = make_pipeline().run(alu_trace(100))
+        assert "l1i" in result.hierarchy_stats
+
+
+class TestIssueQueueLimit:
+    def test_fp_queue_occupancy_stalls_dispatch(self):
+        """20 FP IQ entries (Table II): a long run of FP ops dependent on
+        one slow producer fills the queue; independent INT work behind it
+        must still retire no faster than the queue drains."""
+        trace = Trace(name="iqfull")
+        # One slow multiply chain the FP adds depend on.
+        trace.append(0x1000, InstrClass.FP_MUL, src1=57, dest=40)
+        for i in range(64):  # > 20 FP queue entries
+            trace.append(
+                0x1004 + 4 * (i % 8), InstrClass.FP_ALU, src1=40, dest=41 + i % 8
+            )
+        result = make_pipeline().run(trace)
+        # All 64 FP adds wait on the multiply, drain through 1 FP ALU:
+        # at least ~64 cycles beyond the producer.
+        assert result.cycles > 64
+
+    def test_rob_limit_binds(self):
+        """A load miss at the head of the ROB stalls dispatch of the
+        129th younger instruction (128-entry ROB)."""
+        trace = Trace(name="robfull")
+        trace.append(0x1000, InstrClass.LOAD, mem_addr=0x900000, src1=25, dest=1)
+        for i in range(300):
+            trace.append(0x1004 + 4 * (i % 8), InstrClass.INT_ALU, src1=25, dest=2 + i % 20)
+        result = make_pipeline().run(trace)
+        # The miss costs ~100 cycles; with a 128-entry ROB the first ~127
+        # ALUs dispatch behind it but the rest wait for the load to commit.
+        assert result.cycles > 100

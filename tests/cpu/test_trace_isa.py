@@ -1,0 +1,104 @@
+"""Tests for instruction classes and the trace container."""
+
+import numpy as np
+import pytest
+
+from repro.cpu.isa import (
+    EXECUTION_LATENCY,
+    FU_OF_CLASS,
+    NO_REGISTER,
+    FUPool,
+    InstrClass,
+)
+from repro.cpu.trace import Trace
+
+
+class TestInstrClass:
+    def test_memory_classes(self):
+        assert InstrClass.LOAD.is_memory
+        assert InstrClass.STORE.is_memory
+        assert not InstrClass.INT_ALU.is_memory
+
+    def test_control_classes(self):
+        for cls in (InstrClass.BRANCH, InstrClass.CALL, InstrClass.RETURN):
+            assert cls.is_control
+        assert not InstrClass.LOAD.is_control
+
+    def test_fp_queue_residency(self):
+        assert InstrClass.FP_ALU.uses_fp_queue
+        assert InstrClass.FP_MUL.uses_fp_queue
+        assert not InstrClass.LOAD.uses_fp_queue
+
+    def test_every_class_has_latency_and_fu(self):
+        for cls in InstrClass:
+            assert cls in EXECUTION_LATENCY
+            assert cls in FU_OF_CLASS
+
+    def test_memory_classes_use_int_alu_agus(self):
+        assert FU_OF_CLASS[InstrClass.LOAD] is FUPool.INT_ALU
+        assert FU_OF_CLASS[InstrClass.STORE] is FUPool.INT_ALU
+
+    def test_int_mul_slower_than_alu(self):
+        assert EXECUTION_LATENCY[InstrClass.INT_MUL] > EXECUTION_LATENCY[InstrClass.INT_ALU]
+
+
+class TestTrace:
+    def make_small_trace(self) -> Trace:
+        trace = Trace(name="t")
+        trace.append(0x100, InstrClass.INT_ALU, src1=1, src2=2, dest=3)
+        trace.append(0x104, InstrClass.LOAD, mem_addr=0x8000, src1=3, dest=4)
+        trace.append(0x108, InstrClass.STORE, mem_addr=0x8008, src1=3, src2=4)
+        trace.append(0x10C, InstrClass.BRANCH, src1=4, taken=True)
+        return trace
+
+    def test_len(self):
+        assert len(self.make_small_trace()) == 4
+
+    def test_validate_accepts_good_trace(self):
+        self.make_small_trace().validate()
+
+    def test_validate_rejects_memory_without_address(self):
+        trace = Trace()
+        trace.append(0, InstrClass.LOAD, mem_addr=-1)
+        with pytest.raises(ValueError):
+            trace.validate()
+
+    def test_validate_rejects_address_on_alu(self):
+        trace = Trace()
+        trace.append(0, InstrClass.INT_ALU, mem_addr=0x100)
+        with pytest.raises(ValueError):
+            trace.validate()
+
+    def test_validate_rejects_ragged_columns(self):
+        trace = self.make_small_trace()
+        trace.taken.pop()
+        with pytest.raises(ValueError):
+            trace.validate()
+
+    def test_class_mix(self):
+        mix = self.make_small_trace().class_mix()
+        assert mix["load"] == pytest.approx(0.25)
+        assert mix["branch"] == pytest.approx(0.25)
+
+    def test_class_mix_empty(self):
+        assert Trace().class_mix() == {}
+
+    def test_footprints(self):
+        trace = self.make_small_trace()
+        assert trace.memory_footprint_bytes() == 64  # 0x8000 and 0x8008 share a block
+        assert trace.code_footprint_bytes() == 64
+
+    def test_numpy_round_trip(self):
+        trace = self.make_small_trace()
+        arrays = trace.to_arrays()
+        back = Trace.from_arrays(arrays, name="t")
+        assert back.pc == trace.pc
+        assert back.iclass == trace.iclass
+        assert back.mem_addr == trace.mem_addr
+        assert back.taken == trace.taken
+
+    def test_no_register_constant(self):
+        trace = Trace()
+        trace.append(0, InstrClass.INT_ALU)
+        assert trace.src1[0] == NO_REGISTER
+        assert trace.dest[0] == NO_REGISTER

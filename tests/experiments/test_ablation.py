@@ -1,0 +1,102 @@
+"""Tests for the ablation studies (small scales for CI speed)."""
+
+import pytest
+
+from repro.experiments.ablation import (
+    ABLATION_STUDIES,
+    blocksize_prefetch_study,
+    energy_study,
+    granularity_performance_study,
+    l2_low_voltage_study,
+)
+
+BENCH = ("crafty", "swim")
+N = 6000
+
+
+class TestGranularityStudy:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return granularity_performance_study(benchmarks=BENCH, n_instructions=N)
+
+    def test_series_present(self, result):
+        assert set(result.series) == {"block-disable", "set-disable", "way-disable"}
+
+    def test_block_beats_coarser(self, result):
+        for i in range(len(result.index)):
+            assert result.series["block-disable"][i] > result.series["set-disable"][i]
+            assert (
+                result.series["block-disable"][i] > result.series["way-disable"][i]
+            )
+
+    def test_coarse_schemes_devastating(self, result):
+        """With ~0% capacity the cache degenerates to streaming via L2."""
+        for value in result.series["way-disable"]:
+            assert value < 0.85
+
+
+class TestL2Study:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return l2_low_voltage_study(benchmarks=BENCH, n_instructions=N)
+
+    def test_l2_disable_costs_less_than_l1(self, result):
+        """Adding L2 faults must cost less than the L1 faults did:
+        1 - perf(L1+L2) < 2 * (1 - perf(L1 only)) and the delta is small."""
+        for i in range(len(result.index)):
+            l1 = result.series["L1 only"][i]
+            both = result.series["L1+L2"][i]
+            assert both <= l1 + 1e-9
+            assert l1 - both < 0.2  # second-order effect
+
+    def test_notes_record_l2_capacity(self, result):
+        assert "L2 capacity" in result.notes
+
+
+class TestBlocksizePrefetchStudy:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return blocksize_prefetch_study(
+            benchmarks=("swim",), n_instructions=N, block_sizes=(32, 64)
+        )
+
+    def test_index_covers_grid(self, result):
+        assert result.index == ["swim/32B", "swim/64B"]
+
+    def test_smaller_blocks_keep_more_normalized_performance(self, result):
+        """Sec. IV-B: at the same pfail, 32B blocks lose less of the
+        fault-free performance than 64B blocks."""
+        assert result.series["block-disable"][0] >= result.series["block-disable"][1] - 0.02
+
+    def test_prefetch_never_catastrophic(self, result):
+        for plain, pf in zip(
+            result.series["block-disable"], result.series["block-disable+prefetch"]
+        ):
+            assert pf > plain - 0.10
+
+
+class TestEnergyStudy:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return energy_study(benchmarks=BENCH, n_instructions=N)
+
+    def test_block_disable_saves_vs_word_disable(self, result):
+        for i in range(len(result.index)):
+            assert (
+                result.series["block-disable energy"][i]
+                <= result.series["word-disable energy"][i] + 1e-9
+            )
+
+    def test_runtime_reported_as_slowdown(self, result):
+        for value in result.series["block-disable runtime"]:
+            assert value > 1.0  # 600MHz-class point vs Vcc-min clock
+
+
+class TestRegistry:
+    def test_all_studies_registered(self):
+        assert set(ABLATION_STUDIES) == {
+            "abl-granularity",
+            "abl-l2",
+            "abl-blocksize-prefetch",
+            "abl-energy",
+        }

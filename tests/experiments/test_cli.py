@@ -1,0 +1,57 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig3" in out
+        assert "fig8" in out
+        assert "crafty" in out
+
+    def test_analytical_figure(self, capsys):
+        assert main(["fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "fig3" in out
+        assert "faulty_blocks" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        assert "209920" in capsys.readouterr().out.replace(".0000", "")
+
+    def test_multiple_targets(self, capsys):
+        assert main(["fig5", "fig7"]) == 0
+        out = capsys.readouterr().out
+        assert "fig5" in out
+        assert "fig7" in out
+
+    def test_all_analytical(self, capsys):
+        assert main(["all-analytical"]) == 0
+        out = capsys.readouterr().out
+        for fig in ("fig1", "table1", "fig3", "fig4", "fig5", "fig6", "fig7"):
+            assert fig in out
+
+    def test_unknown_target(self, capsys):
+        assert main(["fig99"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_performance_figure_with_small_settings(self, capsys):
+        code = main(
+            [
+                "fig11",
+                "--instructions",
+                "3000",
+                "--maps",
+                "2",
+                "--benchmarks",
+                "swim",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fig11" in out
+        assert "swim" in out

@@ -1,0 +1,67 @@
+"""Tests for the parallel simulation driver."""
+
+import pytest
+
+from repro.experiments.configs import LV_BASELINE, LV_BLOCK, LV_WORD
+from repro.experiments.parallel import plan_tasks, prefill_cache
+from repro.experiments.runner import ExperimentRunner, RunnerSettings
+
+SMALL = RunnerSettings(
+    n_instructions=3000,
+    n_fault_maps=2,
+    warmup_instructions=1000,
+    benchmarks=("crafty", "swim"),
+)
+
+
+class TestPlanning:
+    def test_task_counts(self):
+        tasks = plan_tasks(SMALL, (LV_BASELINE, LV_WORD, LV_BLOCK))
+        # 2 benchmarks x (1 baseline + 1 word + 2 block maps) = 8.
+        assert len(tasks) == 8
+
+    def test_deduplication(self):
+        tasks = plan_tasks(SMALL, (LV_BASELINE, LV_BASELINE))
+        assert len(tasks) == 2
+
+    def test_fault_free_configs_get_none_index(self):
+        tasks = plan_tasks(SMALL, (LV_WORD,))
+        assert all(index is None for (_, _, index) in tasks)
+
+    def test_fault_configs_enumerate_maps(self):
+        tasks = plan_tasks(SMALL, (LV_BLOCK,))
+        indices = sorted(index for (b, _, index) in tasks if b == "crafty")
+        assert indices == [0, 1]
+
+
+class TestPrefill:
+    def test_single_process_fallback(self):
+        runner = ExperimentRunner(SMALL)
+        executed = prefill_cache(runner, (LV_BASELINE, LV_BLOCK), workers=1)
+        assert executed == 6  # 2 baseline + 4 block runs
+        # Cache hit: a second call does nothing.
+        assert prefill_cache(runner, (LV_BASELINE, LV_BLOCK), workers=1) == 0
+
+    def test_parallel_matches_single_process(self):
+        """Two workers produce bit-identical results to in-process runs."""
+        serial = ExperimentRunner(SMALL)
+        parallel = ExperimentRunner(SMALL)
+        prefill_cache(serial, (LV_BASELINE, LV_BLOCK), workers=1)
+        executed = prefill_cache(parallel, (LV_BASELINE, LV_BLOCK), workers=2)
+        assert executed == 6
+        for bench in SMALL.benchmarks:
+            assert (
+                serial.run(bench, LV_BASELINE).cycles
+                == parallel.run(bench, LV_BASELINE).cycles
+            )
+            for m in range(SMALL.n_fault_maps):
+                assert (
+                    serial.run(bench, LV_BLOCK, m).cycles
+                    == parallel.run(bench, LV_BLOCK, m).cycles
+                )
+
+    def test_figures_read_from_prefilled_cache(self):
+        runner = ExperimentRunner(SMALL)
+        prefill_cache(runner, (LV_BASELINE, LV_WORD, LV_BLOCK), workers=2)
+        series = runner.normalized_series(LV_BLOCK, LV_BASELINE)
+        assert len(series.average) == 2

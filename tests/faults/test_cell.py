@@ -1,0 +1,42 @@
+"""Tests for the SRAM cell library."""
+
+import pytest
+
+from repro.faults.cell import CellType, effective_pfail
+
+
+class TestCellType:
+    def test_6t_transistor_count(self):
+        assert CellType.SRAM_6T.transistors == 6
+
+    def test_10t_transistor_count(self):
+        assert CellType.SRAM_10T.transistors == 10
+
+    def test_6t_fails_below_vccmin(self):
+        assert CellType.SRAM_6T.fails_below_vccmin
+
+    def test_10t_robust_below_vccmin(self):
+        assert not CellType.SRAM_10T.fails_below_vccmin
+
+    def test_10t_relative_area_is_about_double(self):
+        # The paper: "roughly twice the area overhead of a regular 6T cell".
+        assert CellType.SRAM_10T.relative_area == pytest.approx(10 / 6)
+
+    def test_6t_relative_area_is_unity(self):
+        assert CellType.SRAM_6T.relative_area == 1.0
+
+
+class TestEffectivePfail:
+    def test_6t_passes_pfail_through(self):
+        assert effective_pfail(CellType.SRAM_6T, 0.001) == 0.001
+
+    def test_10t_never_fails(self):
+        assert effective_pfail(CellType.SRAM_10T, 0.5) == 0.0
+
+    def test_zero_pfail(self):
+        assert effective_pfail(CellType.SRAM_6T, 0.0) == 0.0
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.5, 2.0])
+    def test_rejects_non_probability(self, bad):
+        with pytest.raises(ValueError):
+            effective_pfail(CellType.SRAM_6T, bad)

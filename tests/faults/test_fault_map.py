@@ -1,0 +1,196 @@
+"""Tests for fault-map generation and queries."""
+
+import numpy as np
+import pytest
+
+from repro.faults import CacheGeometry, FaultMap, sample_fault_map_pairs
+
+
+class TestGeneration:
+    def test_shape_matches_geometry(self, paper_geometry):
+        fm = FaultMap.generate(paper_geometry, 0.001, seed=0)
+        assert fm.faults.shape == (512, 537)
+
+    def test_deterministic_for_seed(self, paper_geometry):
+        a = FaultMap.generate(paper_geometry, 0.001, seed=7)
+        b = FaultMap.generate(paper_geometry, 0.001, seed=7)
+        assert np.array_equal(a.faults, b.faults)
+
+    def test_different_seeds_differ(self, paper_geometry):
+        a = FaultMap.generate(paper_geometry, 0.001, seed=1)
+        b = FaultMap.generate(paper_geometry, 0.001, seed=2)
+        assert not np.array_equal(a.faults, b.faults)
+
+    def test_zero_pfail_is_clean(self, paper_geometry):
+        fm = FaultMap.generate(paper_geometry, 0.0, seed=0)
+        assert fm.num_faulty_cells == 0
+
+    def test_unity_pfail_is_all_faulty(self, small_geometry):
+        fm = FaultMap.generate(small_geometry, 1.0, seed=0)
+        assert fm.num_faulty_cells == small_geometry.total_cells
+
+    def test_fault_count_near_expectation(self, paper_geometry):
+        fm = FaultMap.generate(paper_geometry, 0.001, seed=3)
+        expected = 0.001 * paper_geometry.total_cells  # ~275
+        assert 0.5 * expected < fm.num_faulty_cells < 1.5 * expected
+
+    @pytest.mark.parametrize("bad", [-0.5, 1.0001])
+    def test_rejects_bad_pfail(self, paper_geometry, bad):
+        with pytest.raises(ValueError):
+            FaultMap.generate(paper_geometry, bad)
+
+    def test_empty_constructor(self, paper_geometry):
+        fm = FaultMap.empty(paper_geometry)
+        assert fm.num_faulty_cells == 0
+        assert fm.pfail == 0.0
+
+    def test_shape_mismatch_rejected(self, paper_geometry):
+        with pytest.raises(ValueError):
+            FaultMap(paper_geometry, np.zeros((2, 2), dtype=bool))
+
+    def test_non_bool_rejected(self, paper_geometry):
+        bad = np.zeros((512, 537), dtype=np.int8)
+        with pytest.raises(ValueError):
+            FaultMap(paper_geometry, bad)
+
+
+class TestClusteredGeneration:
+    def test_expected_density_matches(self, paper_geometry):
+        fm = FaultMap.generate_clustered(paper_geometry, 0.002, cluster_size=4.0, seed=5)
+        expected = 0.002 * paper_geometry.total_cells
+        assert 0.5 * expected < fm.num_faulty_cells <= 1.5 * expected
+
+    def test_clustering_concentrates_faults(self, paper_geometry):
+        """Same fault density, fewer distinct faulty blocks than uniform."""
+        uniform_blocks = np.mean(
+            [
+                FaultMap.generate(paper_geometry, 0.002, seed=s).num_faulty_blocks()
+                for s in range(10)
+            ]
+        )
+        clustered_blocks = np.mean(
+            [
+                FaultMap.generate_clustered(
+                    paper_geometry, 0.002, cluster_size=8.0, seed=s
+                ).num_faulty_blocks()
+                for s in range(10)
+            ]
+        )
+        assert clustered_blocks < uniform_blocks
+
+    def test_cluster_size_one_behaves_like_uniform(self, paper_geometry):
+        fm = FaultMap.generate_clustered(paper_geometry, 0.001, cluster_size=1.0, seed=1)
+        expected = 0.001 * paper_geometry.total_cells
+        assert 0.3 * expected < fm.num_faulty_cells < 2.0 * expected
+
+    def test_rejects_cluster_below_one(self, paper_geometry):
+        with pytest.raises(ValueError):
+            FaultMap.generate_clustered(paper_geometry, 0.001, cluster_size=0.5)
+
+
+class TestBlockQueries:
+    def test_faulty_block_mask_matches_counts(self, paper_fault_map):
+        counts = paper_fault_map.block_fault_counts()
+        mask = paper_fault_map.faulty_block_mask()
+        assert np.array_equal(mask, counts > 0)
+
+    def test_capacity_plus_faulty_fraction_is_one(self, paper_fault_map):
+        d = paper_fault_map.geometry.num_blocks
+        assert paper_fault_map.capacity_fraction() == pytest.approx(
+            1.0 - paper_fault_map.num_faulty_blocks() / d
+        )
+
+    def test_tag_exclusion_reduces_faulty_blocks(self, paper_geometry):
+        """Ignoring tag faults (the word-disable view) can only shrink the
+        faulty-block set."""
+        fm = FaultMap.generate(paper_geometry, 0.002, seed=11)
+        assert fm.num_faulty_blocks(include_tag=False) <= fm.num_faulty_blocks(
+            include_tag=True
+        )
+
+    def test_data_and_tag_views_partition_cells(self, paper_fault_map):
+        g = paper_fault_map.geometry
+        assert paper_fault_map.data_faults.shape == (512, g.data_bits_per_block)
+        assert paper_fault_map.tag_faults.shape == (
+            512,
+            g.effective_tag_bits + g.valid_bits,
+        )
+        total = paper_fault_map.data_faults.sum() + paper_fault_map.tag_faults.sum()
+        assert total == paper_fault_map.num_faulty_cells
+
+
+class TestWordQueries:
+    def test_word_counts_shape(self, paper_fault_map):
+        counts = paper_fault_map.word_fault_counts()
+        assert counts.shape == (512, 16)
+
+    def test_word_counts_sum_to_data_faults(self, paper_fault_map):
+        assert (
+            paper_fault_map.word_fault_counts().sum()
+            == paper_fault_map.data_faults.sum()
+        )
+
+    def test_faulty_words_consistent_with_mask(self, paper_fault_map):
+        per_block = paper_fault_map.faulty_words_per_block()
+        mask = paper_fault_map.faulty_word_mask()
+        assert np.array_equal(per_block, mask.sum(axis=1))
+
+    def test_tag_fault_does_not_mark_words(self, paper_geometry):
+        faults = np.zeros((512, 537), dtype=bool)
+        faults[3, 520] = True  # a tag cell
+        fm = FaultMap(paper_geometry, faults)
+        assert fm.faulty_words_per_block().sum() == 0
+        assert fm.num_faulty_blocks(include_tag=True) == 1
+        assert fm.num_faulty_blocks(include_tag=False) == 0
+
+
+class TestSetWayStructure:
+    def test_block_index_layout(self, paper_fault_map):
+        g = paper_fault_map.geometry
+        assert paper_fault_map.block_index(0, 0) == 0
+        assert paper_fault_map.block_index(0, 7) == 7
+        assert paper_fault_map.block_index(1, 0) == g.ways
+        assert paper_fault_map.block_index(63, 7) == 511
+
+    def test_block_index_bounds(self, paper_fault_map):
+        with pytest.raises(IndexError):
+            paper_fault_map.block_index(0, 8)
+        with pytest.raises(IndexError):
+            paper_fault_map.block_index(64, 0)
+
+    def test_usable_ways_complement_faulty(self, paper_fault_map):
+        usable = paper_fault_map.usable_ways_per_set()
+        faulty = paper_fault_map.faulty_ways_by_set().sum(axis=1)
+        assert np.array_equal(usable + faulty, np.full(64, 8))
+
+    def test_usable_ways_sum_matches_capacity(self, paper_fault_map):
+        assert paper_fault_map.usable_ways_per_set().sum() == (
+            512 - paper_fault_map.num_faulty_blocks()
+        )
+
+
+class TestFaultMapPairs:
+    def test_pair_count(self, paper_geometry):
+        pairs = list(sample_fault_map_pairs(paper_geometry, 0.001, 5, seed=1))
+        assert len(pairs) == 5
+
+    def test_prefix_stability(self, paper_geometry):
+        """Pair i is identical whether 3 or 10 pairs are drawn — quick and
+        full experiment runs stay comparable."""
+        three = list(sample_fault_map_pairs(paper_geometry, 0.001, 3, seed=9))
+        ten = list(sample_fault_map_pairs(paper_geometry, 0.001, 10, seed=9))
+        for a, b in zip(three, ten):
+            assert np.array_equal(a.icache.faults, b.icache.faults)
+            assert np.array_equal(a.dcache.faults, b.dcache.faults)
+
+    def test_icache_and_dcache_maps_differ(self, paper_geometry):
+        pair = next(iter(sample_fault_map_pairs(paper_geometry, 0.001, 1, seed=2)))
+        assert not np.array_equal(pair.icache.faults, pair.dcache.faults)
+
+    def test_pair_exposes_pfail(self, paper_geometry):
+        pair = next(iter(sample_fault_map_pairs(paper_geometry, 0.001, 1, seed=2)))
+        assert pair.pfail == 0.001
+
+    def test_negative_count_rejected(self, paper_geometry):
+        with pytest.raises(ValueError):
+            list(sample_fault_map_pairs(paper_geometry, 0.001, -1))

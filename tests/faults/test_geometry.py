@@ -1,0 +1,112 @@
+"""Tests for cache geometry: the paper's (d, k) accounting."""
+
+import pytest
+
+from repro.faults.geometry import (
+    PAPER_L1_GEOMETRY,
+    PAPER_L2_GEOMETRY,
+    CacheGeometry,
+)
+
+
+class TestPaperRunningExample:
+    """Section IV-A: d=512, k=537, dk=274,944 for 32KB/8-way/64B."""
+
+    def test_num_blocks(self):
+        assert PAPER_L1_GEOMETRY.num_blocks == 512
+
+    def test_cells_per_block(self):
+        # 64*8 data + 24 tag + 1 valid = 537
+        assert PAPER_L1_GEOMETRY.cells_per_block == 537
+
+    def test_total_cells(self):
+        assert PAPER_L1_GEOMETRY.total_cells == 274_944
+
+    def test_tag_bits(self):
+        assert PAPER_L1_GEOMETRY.effective_tag_bits == 24
+
+    def test_sets_and_index_bits(self):
+        assert PAPER_L1_GEOMETRY.num_sets == 64
+        assert PAPER_L1_GEOMETRY.index_bits == 6
+        assert PAPER_L1_GEOMETRY.offset_bits == 6
+
+    def test_words_per_block(self):
+        assert PAPER_L1_GEOMETRY.words_per_block == 16
+
+    def test_l2_shape(self):
+        assert PAPER_L2_GEOMETRY.size_bytes == 2 * 1024 * 1024
+        assert PAPER_L2_GEOMETRY.ways == 8
+        assert PAPER_L2_GEOMETRY.num_blocks == 32768
+
+
+class TestAddressSlicing:
+    def test_set_index_extracts_middle_bits(self):
+        g = PAPER_L1_GEOMETRY
+        addr = (0b101010 << 6) | 0b111111  # set 42, offset 63
+        assert g.set_index(addr) == 42
+
+    def test_tag_strips_index_and_offset(self):
+        g = PAPER_L1_GEOMETRY
+        addr = (0xABC << 12) | (7 << 6) | 5
+        assert g.tag(addr) == 0xABC
+
+    def test_block_address(self):
+        g = PAPER_L1_GEOMETRY
+        assert g.block_address(0x1000) == 0x1000 >> 6
+
+    def test_same_block_same_set(self):
+        g = PAPER_L1_GEOMETRY
+        assert g.set_index(0x2000) == g.set_index(0x2000 + 63)
+
+
+class TestValidation:
+    def test_rejects_non_pow2_size(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(size_bytes=3000)
+
+    def test_rejects_non_pow2_block(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(block_bytes=48)
+
+    def test_rejects_non_pow2_ways(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(ways=3)
+
+    def test_rejects_negative_tag_bits(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(tag_bits=-1)
+
+    def test_rejects_too_small_address(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(address_bits=10)
+
+    def test_explicit_tag_bits_override(self):
+        g = CacheGeometry(tag_bits=30)
+        assert g.effective_tag_bits == 30
+        assert g.cells_per_block == 512 + 30 + 1
+
+
+class TestDerivedGeometries:
+    def test_halved_capacity_is_word_disable_shape(self):
+        half = PAPER_L1_GEOMETRY.with_halved_capacity()
+        # Table III: 16KB, 4-way, 64B, same set count.
+        assert half.size_bytes == 16 * 1024
+        assert half.ways == 4
+        assert half.num_sets == PAPER_L1_GEOMETRY.num_sets
+
+    def test_halving_direct_mapped_fails(self):
+        g = CacheGeometry(size_bytes=4096, ways=1, block_bytes=64)
+        with pytest.raises(ValueError):
+            g.with_halved_capacity()
+
+    def test_with_block_bytes_keeps_size_and_ways(self):
+        g = PAPER_L1_GEOMETRY.with_block_bytes(32)
+        assert g.size_bytes == PAPER_L1_GEOMETRY.size_bytes
+        assert g.ways == PAPER_L1_GEOMETRY.ways
+        assert g.num_blocks == 1024  # twice as many smaller blocks
+
+    def test_describe_mentions_shape(self):
+        text = PAPER_L1_GEOMETRY.describe()
+        assert "32KB" in text
+        assert "8-way" in text
+        assert "64B" in text

@@ -1,0 +1,94 @@
+"""Tests for Table I transistor accounting — exact paper values."""
+
+import pytest
+
+from repro.faults import PAPER_L1_GEOMETRY, CacheGeometry
+from repro.overhead.transistors import OverheadModel
+
+
+@pytest.fixture
+def model():
+    return OverheadModel(PAPER_L1_GEOMETRY)
+
+
+class TestTableIExactValues:
+    """The six rows of Table I, transistor-for-transistor."""
+
+    def test_baseline(self, model):
+        assert model.baseline().total_transistors == 76_800
+
+    def test_baseline_with_victim(self, model):
+        assert model.baseline_with_victim().total_transistors == 126_138
+
+    def test_word_disabling(self, model):
+        assert model.word_disabling().total_transistors == 209_920
+
+    def test_block_disabling(self, model):
+        assert model.block_disabling().total_transistors == 81_920
+
+    def test_block_disabling_victim_10t(self, model):
+        assert model.block_disabling_victim_10t().total_transistors == 164_150
+
+    def test_block_disabling_victim_6t(self, model):
+        assert model.block_disabling_victim_6t().total_transistors == 131_418
+
+    def test_row_order_matches_paper(self, model):
+        schemes = [row.scheme for row in model.all_rows()]
+        assert schemes == [
+            "baseline",
+            "baseline+V$",
+            "word-disable",
+            "block-disable",
+            "block-disable+V$ 10T",
+            "block-disable+V$ 6T",
+        ]
+
+
+class TestPaperClaims:
+    def test_block_disabling_always_cheapest_addon(self, model):
+        """'It is evident that in all cases block-disabling has lower
+        overhead': every block-disable row undercuts word-disabling."""
+        word = model.word_disabling().total_transistors
+        assert model.block_disabling().total_transistors < word
+        assert model.block_disabling_victim_10t().total_transistors < word
+        assert model.block_disabling_victim_6t().total_transistors < word
+
+    def test_alignment_network_only_word_disable(self, model):
+        for row in model.all_rows():
+            assert row.needs_alignment_network == (row.scheme == "word-disable")
+
+    def test_cache_increase_order_of_magnitude(self, model):
+        """Section III: ~0.4% vs ~10% — more than an order of magnitude."""
+        block = model.block_disable_cache_increase()
+        word = model.word_disable_cache_increase()
+        assert block < 0.01
+        assert word > 0.05
+        assert word / block > 10
+
+    def test_overhead_vs_baseline(self, model):
+        baseline = model.baseline()
+        assert model.block_disabling().overhead_vs(baseline) == pytest.approx(
+            5120 / 76800
+        )
+        assert baseline.overhead_vs(baseline) == 0.0
+
+
+class TestParameterisation:
+    def test_different_geometry_scales(self):
+        small = OverheadModel(CacheGeometry(size_bytes=16 * 1024, ways=8, block_bytes=64))
+        assert small.baseline().total_transistors < 76_800
+
+    def test_victim_entries_scale(self):
+        bigger = OverheadModel(PAPER_L1_GEOMETRY, victim_entries=32)
+        assert (
+            bigger.baseline_with_victim().total_transistors
+            > OverheadModel(PAPER_L1_GEOMETRY).baseline_with_victim().total_transistors
+        )
+
+    def test_zero_baseline_rejected(self, model):
+        row = model.baseline()
+        from dataclasses import replace
+
+        zero = replace(row, tag_transistors=0)
+        with pytest.raises(ValueError):
+            row.overhead_vs(zero)

@@ -1,0 +1,90 @@
+"""Tests for the energy accounting model."""
+
+import pytest
+
+from repro.cpu.pipeline import SimResult
+from repro.power.dvs import DVSModel
+from repro.power.energy import (
+    EnergyComparison,
+    EnergyModel,
+    compare_operating_points,
+)
+
+
+def result_with_cycles(cycles: int) -> SimResult:
+    return SimResult(
+        benchmark="x",
+        instructions=1000,
+        cycles=cycles,
+        branch_mispredictions=0,
+        branch_predictions=0,
+    )
+
+
+@pytest.fixture
+def model():
+    return EnergyModel(dvs=DVSModel())
+
+
+class TestEnergyModel:
+    def test_power_at_nominal(self, model):
+        assert model.power(1.0) == pytest.approx(1.0 + model.leakage_fraction)
+
+    def test_power_decreases_with_voltage(self, model):
+        assert model.power(0.6) < model.power(0.8) < model.power(1.0)
+
+    def test_same_cycles_lower_voltage_less_energy_if_fast_enough(self, model):
+        """Dynamic energy is frequency-independent; leakage grows with
+        runtime. At moderate undervolting the net is still a big win."""
+        run = result_with_cycles(10_000)
+        assert model.run_energy(run, 0.8) < model.run_energy(run, 1.0)
+
+    def test_energy_proportional_to_cycles(self, model):
+        short = result_with_cycles(1_000)
+        long = result_with_cycles(3_000)
+        ratio = model.run_energy(long, 0.8) / model.run_energy(short, 0.8)
+        assert ratio == pytest.approx(3.0)
+
+    def test_no_clock_below_threshold(self, model):
+        with pytest.raises(ValueError):
+            model.run_energy(result_with_cycles(100), 0.3)
+
+    def test_negative_leakage_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyModel(dvs=DVSModel(), leakage_fraction=-0.1)
+
+    def test_zero_leakage_energy_voltage_squared(self):
+        """Without leakage, energy/task scales as V^2 for a fixed cycle
+        count — the canonical DVS argument."""
+        model = EnergyModel(dvs=DVSModel(), leakage_fraction=0.0)
+        run = result_with_cycles(1_000)
+        ratio = model.run_energy(run, 0.5) / model.run_energy(run, 1.0)
+        assert ratio == pytest.approx(0.25, rel=1e-6)
+
+
+class TestComparison:
+    def test_identity_comparison(self, model):
+        ref = result_with_cycles(10_000)
+        out = compare_operating_points(
+            model, ref, 0.8, {"same": (ref, 0.8)}
+        )
+        assert out[0].relative_energy == pytest.approx(1.0)
+        assert out[0].relative_runtime == pytest.approx(1.0)
+        assert out[0].energy_saving == pytest.approx(0.0)
+        assert out[0].slowdown == pytest.approx(0.0)
+
+    def test_undervolting_saves_energy_costs_time(self, model):
+        ref = result_with_cycles(10_000)
+        slower = result_with_cycles(11_000)  # scheme overhead in cycles
+        out = compare_operating_points(
+            model, ref, 0.75, {"low": (slower, 0.55)}
+        )[0]
+        assert out.relative_energy < 1.0
+        assert out.relative_runtime > 1.0
+
+    def test_labels_preserved(self, model):
+        ref = result_with_cycles(100)
+        out = compare_operating_points(
+            model, ref, 0.8, {"a": (ref, 0.8), "b": (ref, 0.9)}
+        )
+        assert {c.label for c in out} == {"a", "b"}

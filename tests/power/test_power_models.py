@@ -1,0 +1,150 @@
+"""Tests for the Vcc-min and DVS models (Fig. 1)."""
+
+import numpy as np
+import pytest
+
+from repro.power.dvs import DVSModel, energy_per_task, scaling_curves
+from repro.power.vccmin import DEFAULT_VCCMIN_MODEL, VccMinModel
+
+
+class TestVccMinModel:
+    def test_reliable_at_vccmin(self):
+        model = VccMinModel()
+        assert model.pfail(model.vcc_min) == 0.0
+        assert model.pfail(model.vcc_nominal) == 0.0
+
+    def test_exponential_growth_below(self):
+        """One decade per `1/decade_per_volt` volts."""
+        model = VccMinModel()
+        step = 1.0 / model.decade_per_volt
+        v1 = model.vcc_min - 2 * step
+        v2 = model.vcc_min - 3 * step
+        assert model.pfail(v2) / model.pfail(v1) == pytest.approx(10.0, rel=1e-6)
+
+    def test_clamped_to_one(self):
+        model = VccMinModel()
+        assert model.pfail(0.01) == 1.0
+
+    def test_voltage_for_pfail_inverts(self):
+        model = VccMinModel()
+        voltage = model.voltage_for_pfail(0.001)
+        assert model.pfail(voltage) == pytest.approx(0.001, rel=1e-6)
+
+    def test_paper_operating_point_below_vccmin(self):
+        """pfail = 0.001 sits meaningfully below Vcc-min."""
+        model = DEFAULT_VCCMIN_MODEL
+        v = model.voltage_for_pfail(0.001)
+        assert v < model.vcc_min
+        assert v > model.threshold_safety_margin if hasattr(model, "threshold_safety_margin") else True
+
+    def test_expected_faulty_cells_hundreds(self):
+        """Section I: faults 'can be prevalent with 100s or even 1000s of
+        faulty cells in an array'."""
+        model = DEFAULT_VCCMIN_MODEL
+        v = model.voltage_for_pfail(0.001)
+        expected = model.expected_faulty_cells(v, 274_944)
+        assert 100 < expected < 1000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VccMinModel(vcc_min=1.2, vcc_nominal=1.0)
+        with pytest.raises(ValueError):
+            VccMinModel(pfail_at_vccmin=0.0)
+        with pytest.raises(ValueError):
+            DEFAULT_VCCMIN_MODEL.pfail(-0.5)
+        with pytest.raises(ValueError):
+            DEFAULT_VCCMIN_MODEL.voltage_for_pfail(1e-12)
+        with pytest.raises(ValueError):
+            DEFAULT_VCCMIN_MODEL.expected_faulty_cells(0.5, 0)
+
+
+class TestDVSModel:
+    def test_normalised_at_nominal(self):
+        model = DVSModel()
+        assert model.frequency(1.0) == pytest.approx(1.0)
+        assert model.dynamic_power(1.0) == pytest.approx(1.0)
+
+    def test_frequency_monotone_in_voltage(self):
+        model = DVSModel()
+        voltages = np.linspace(0.45, 1.0, 10)
+        freqs = [model.frequency(v) for v in voltages]
+        assert all(b > a for a, b in zip(freqs, freqs[1:]))
+
+    def test_power_superlinear(self):
+        """Cubic-zone behaviour: halving... power falls much faster than
+        frequency."""
+        model = DVSModel()
+        assert model.dynamic_power(0.6) < 0.5 * model.frequency(0.6)
+
+    def test_zero_below_threshold(self):
+        model = DVSModel()
+        assert model.frequency(0.3) == 0.0
+
+    def test_performance_default_tracks_frequency(self):
+        model = DVSModel()
+        assert model.performance(0.8) == pytest.approx(model.frequency(0.8))
+
+    def test_performance_with_ipc_factor(self):
+        model = DVSModel()
+        scaled = model.performance(0.6, lambda v: 0.9)
+        assert scaled == pytest.approx(0.9 * model.frequency(0.6))
+
+    def test_performance_rejects_absurd_ipc(self):
+        model = DVSModel()
+        with pytest.raises(ValueError):
+            model.performance(0.6, lambda v: 7.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DVSModel(threshold_voltage=0.9)
+        with pytest.raises(ValueError):
+            DVSModel(alpha=-1.0)
+
+
+class TestScalingCurves:
+    def test_curve_shapes(self):
+        curve = scaling_curves(points=11)
+        assert len(curve.voltages) == 11
+        assert len(curve.power) == 11
+        assert curve.voltages[0] == pytest.approx(1.0)
+
+    def test_cubic_zone_mask(self):
+        curve = scaling_curves(points=23)
+        assert curve.cubic_zone.sum() > 0
+        assert (~curve.cubic_zone).sum() > 0
+
+    def test_sub_vccmin_performance_sublinear(self):
+        """Fig. 1b: below Vcc-min, performance with a disabling scheme falls
+        below the pure-frequency line."""
+        model = DVSModel()
+        with_ipc = scaling_curves(
+            model, points=23, relative_ipc=lambda v: 0.9 if v < model.vccmin_model.vcc_min else 1.0
+        )
+        without = scaling_curves(model, points=23)
+        below = ~with_ipc.cubic_zone
+        assert np.all(with_ipc.performance[below] < without.performance[below])
+        above = with_ipc.cubic_zone
+        assert np.allclose(with_ipc.performance[above], without.performance[above])
+
+    def test_min_voltage_validation(self):
+        with pytest.raises(ValueError):
+            scaling_curves(min_voltage=0.2)
+
+    def test_energy_per_task(self):
+        assert energy_per_task(0.5, 0.5) == pytest.approx(1.0)
+        assert energy_per_task(0.25, 0.5) == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            energy_per_task(1.0, 0.0)
+
+    def test_below_vccmin_energy_win(self):
+        """The paper's motivation: running below Vcc-min is an energy win
+        per unit of work even after the IPC loss."""
+        model = DVSModel()
+        v_low = 0.55  # below the default 0.75 Vcc-min
+        power = model.dynamic_power(v_low)
+        performance = model.performance(v_low, lambda v: 0.9)
+        energy_low = energy_per_task(power, performance)
+        energy_at_vccmin = energy_per_task(
+            model.dynamic_power(0.75), model.performance(0.75)
+        )
+        assert energy_low < energy_at_vccmin

@@ -1,0 +1,108 @@
+"""Property-based tests for the extension analyses (granularity, bit-fix,
+energy model)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.bitfix import (
+    block_unrepairable_probability,
+    pair_fault_probability,
+    whole_cache_failure_probability,
+)
+from repro.analysis.granularity import (
+    DisableGranularity,
+    cells_per_unit,
+    expected_capacity,
+)
+from repro.faults import CacheGeometry
+from repro.power.dvs import DVSModel
+from repro.power.energy import EnergyModel
+
+pfails = st.floats(min_value=0.0, max_value=0.05, allow_nan=False)
+
+GEOMETRY = CacheGeometry(size_bytes=8 * 1024, ways=8, block_bytes=64)
+
+
+class TestGranularityProperties:
+    @given(p=pfails)
+    @settings(max_examples=40, deadline=None)
+    def test_capacity_ordering_invariant(self, p):
+        """Finer granularity never keeps less capacity, at any pfail."""
+        order = [
+            DisableGranularity.WORD,
+            DisableGranularity.BLOCK,
+            DisableGranularity.SET,
+            DisableGranularity.WAY,
+            DisableGranularity.CACHE,
+        ]
+        capacities = [expected_capacity(GEOMETRY, g, p) for g in order]
+        for finer, coarser in zip(capacities, capacities[1:]):
+            assert finer >= coarser - 1e-12
+
+    @given(p=pfails)
+    @settings(max_examples=40, deadline=None)
+    def test_capacity_is_probability(self, p):
+        for g in DisableGranularity:
+            assert 0.0 <= expected_capacity(GEOMETRY, g, p) <= 1.0
+
+    @given(
+        p1=pfails,
+        p2=pfails,
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_monotone_in_pfail(self, p1, p2):
+        lo, hi = sorted((p1, p2))
+        for g in DisableGranularity:
+            assert (
+                expected_capacity(GEOMETRY, g, hi)
+                <= expected_capacity(GEOMETRY, g, lo) + 1e-12
+            )
+
+    def test_cells_partition_cache(self):
+        """Set and way units tile the cache exactly."""
+        set_cells = cells_per_unit(GEOMETRY, DisableGranularity.SET)
+        way_cells = cells_per_unit(GEOMETRY, DisableGranularity.WAY)
+        assert set_cells * GEOMETRY.num_sets == GEOMETRY.total_cells
+        assert way_cells * GEOMETRY.ways == GEOMETRY.total_cells
+
+
+class TestBitfixProperties:
+    @given(p=pfails)
+    @settings(max_examples=40, deadline=None)
+    def test_probabilities_in_range(self, p):
+        assert 0.0 <= pair_fault_probability(p) <= 1.0
+        assert 0.0 <= block_unrepairable_probability(p) <= 1.0
+        assert 0.0 <= whole_cache_failure_probability(p) <= 1.0
+
+    @given(p=pfails, tol1=st.integers(0, 20), tol2=st.integers(0, 20))
+    @settings(max_examples=40, deadline=None)
+    def test_more_tolerance_helps(self, p, tol1, tol2):
+        lo, hi = sorted((tol1, tol2))
+        assert block_unrepairable_probability(
+            p, pairs_tolerated=hi
+        ) <= block_unrepairable_probability(p, pairs_tolerated=lo) + 1e-12
+
+    @given(p=pfails)
+    @settings(max_examples=40, deadline=None)
+    def test_pair_dominates_cell(self, p):
+        assert pair_fault_probability(p) >= p - 1e-12
+
+
+class TestEnergyProperties:
+    model = EnergyModel(dvs=DVSModel())
+
+    @given(v=st.floats(min_value=0.45, max_value=1.0))
+    @settings(max_examples=40, deadline=None)
+    def test_power_positive_and_monotone_near(self, v):
+        assert self.model.power(v) > 0
+        assert self.model.power(v) <= self.model.power(1.0) + 1e-12
+
+    @given(
+        v1=st.floats(min_value=0.45, max_value=1.0),
+        v2=st.floats(min_value=0.45, max_value=1.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_power_monotone_in_voltage(self, v1, v2):
+        lo, hi = sorted((v1, v2))
+        assert self.model.power(lo) <= self.model.power(hi) + 1e-12
