@@ -2,7 +2,11 @@
 
 The performance figures (8-12) share one session-scoped
 :class:`ExperimentRunner`, so simulations run once and are reused across
-benches — exactly how the paper's figures share the same runs.
+benches — exactly how the paper's figures share the same runs.  Point
+``REPRO_STORE`` at a campaign directory and the runner reads/writes a
+persistent :class:`~repro.experiments.store.DiskStore` instead, so
+repeated bench sessions (and the CLI, and the figures) skip every
+simulation already on disk.
 
 Fidelity is environment-controlled (see ``RunnerSettings.from_env``):
 
@@ -12,11 +16,15 @@ Fidelity is environment-controlled (see ``RunnerSettings.from_env``):
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.experiments.runner import ExperimentRunner, RunnerSettings
+from repro.experiments.store import open_store
 
 
 @pytest.fixture(scope="session")
 def runner() -> ExperimentRunner:
-    return ExperimentRunner(RunnerSettings.from_env())
+    store = open_store(os.environ.get("REPRO_STORE"))
+    return ExperimentRunner(RunnerSettings.from_env(), store=store)

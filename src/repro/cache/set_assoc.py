@@ -59,9 +59,17 @@ class SetAssociativeCache:
                 f"({num_sets}, {ways})"
             )
         self._enabled = enabled_ways
-        # Usable way indices per set, precomputed once (hot path reads only).
-        self._usable_ways: list[list[int]] = [
-            [w for w in range(ways) if enabled_ways[s, w]] for s in range(num_sets)
+        # Usable way indices per set, precomputed once (hot path reads only;
+        # tuples are cheaper to iterate and can never be mutated by a scheme).
+        self._usable_ways: list[tuple[int, ...]] = [
+            tuple(w for w in range(ways) if enabled_ways[s, w])
+            for s in range(num_sets)
+        ]
+        # Fully-enabled sets (every baseline/word-disable/high-voltage cache,
+        # and most sets under block-disabling at pfail=0.001) take a C-speed
+        # ``list.index`` fast path in ``lookup`` instead of a Python way loop.
+        self._fully_enabled: list[bool] = [
+            len(usable) == ways for usable in self._usable_ways
         ]
 
         if isinstance(policy, str):
@@ -114,6 +122,28 @@ class SetAssociativeCache:
         tag = block_addr >> self._tag_shift
         tags = self._tags[s]
         valid = self._valid[s]
+        if self._fully_enabled[s]:
+            # All ways usable: a C-speed membership test rejects misses
+            # without iterating ways in Python, and list.index locates the
+            # hit.  Invalidated ways keep their stale tag, so matches that
+            # are not valid are skipped — same scan order, same answer as
+            # the way loop below.
+            if tag in tags:
+                w = tags.index(tag)
+                while not valid[w]:
+                    try:
+                        w = tags.index(tag, w + 1)
+                    except ValueError:
+                        w = -1
+                        break
+                if w >= 0:
+                    self._last_touch[s][w] = self._clock
+                    if is_write:
+                        self._dirty[s][w] = True
+                    self.stats.hits += 1
+                    return True
+            self.stats.misses += 1
+            return False
         for w in self._usable_ways[s]:
             if valid[w] and tags[w] == tag:
                 self._last_touch[s][w] = self._clock

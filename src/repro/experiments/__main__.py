@@ -7,18 +7,29 @@ Usage::
     python -m repro.experiments fig8 --instructions 100000 --maps 20
     python -m repro.experiments all-analytical
     python -m repro.experiments all-performance --benchmarks crafty,gzip
+
+Campaigns: pass ``--store DIR`` (or set ``REPRO_STORE``) to persist every
+simulation result under ``DIR``; reruns — including after a crash —
+execute only what the store is missing, and a summary line on stderr
+reports how many simulations actually ran.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.experiments.ablation import ABLATION_STUDIES
 from repro.experiments.characterize import characterization_table
-from repro.experiments.figures import ANALYTICAL_FIGURES, PERFORMANCE_FIGURES
-from repro.experiments.report import reproduction_report
+from repro.experiments.figures import (
+    ANALYTICAL_FIGURES,
+    PERFORMANCE_FIGURES,
+    configs_for_targets,
+)
+from repro.experiments.report import REPORT_CONFIGS, reproduction_report
 from repro.experiments.runner import ExperimentRunner, RunnerSettings
+from repro.experiments.store import DiskStore, MemoryStore, ResultStore, open_store
 from repro.workloads.spec2000 import ALL_BENCHMARKS
 
 
@@ -48,10 +59,30 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--seed", type=int, default=None, help="master seed")
     parser.add_argument(
+        "--warmup",
+        type=int,
+        default=None,
+        help="warmup instructions before the measured region",
+    )
+    parser.add_argument(
         "--workers",
         type=int,
         default=1,
         help="process count for parallel simulation (paper-scale runs)",
+    )
+    store_group = parser.add_mutually_exclusive_group()
+    store_group.add_argument(
+        "--store",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help="campaign directory: persist simulation results and reuse "
+        "them across invocations (default: $REPRO_STORE if set)",
+    )
+    store_group.add_argument(
+        "--no-store",
+        action="store_true",
+        help="keep results in memory even if REPRO_STORE is set",
     )
     parser.add_argument(
         "--csv",
@@ -73,7 +104,16 @@ def _settings_from_args(args: argparse.Namespace) -> RunnerSettings:
         n_fault_maps=args.maps or base.n_fault_maps,
         benchmarks=benchmarks,
         seed=args.seed if args.seed is not None else base.seed,
+        warmup_instructions=(
+            args.warmup if args.warmup is not None else base.warmup_instructions
+        ),
     )
+
+
+def _store_from_args(args: argparse.Namespace) -> ResultStore:
+    if args.no_store:
+        return MemoryStore()
+    return open_store(args.store or os.environ.get("REPRO_STORE"))
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -109,23 +149,52 @@ def main(argv: list[str] | None = None) -> int:
         print("run 'python -m repro.experiments list' to see options", file=sys.stderr)
         return 2
 
+    try:
+        store = _store_from_args(args)
+    except OSError as exc:
+        print(f"cannot open result store: {exc}", file=sys.stderr)
+        return 2
     runner: ExperimentRunner | None = None
+
+    def make_progress(unit: str):
+        def progress(done: int, total: int) -> None:
+            print(f"[campaign] {done}/{total} {unit}", file=sys.stderr)
+
+        return progress
 
     def shared_runner() -> ExperimentRunner:
         nonlocal runner
         if runner is None:
-            runner = ExperimentRunner(_settings_from_args(args))
+            runner = ExperimentRunner(_settings_from_args(args), store=store)
             if args.workers > 1:
-                from repro.experiments.figures import FIGURE_CONFIGS
                 from repro.experiments.parallel import prefill_cache
 
-                needed: list = []
-                for t in targets:
-                    needed.extend(FIGURE_CONFIGS.get(t, ()))
+                needed = list(configs_for_targets(targets))
+                if "report" in targets:
+                    needed.extend(c for c in REPORT_CONFIGS if c not in needed)
                 if needed:
-                    prefill_cache(runner, tuple(needed), workers=args.workers)
+                    prefill_cache(
+                        runner,
+                        tuple(needed),
+                        workers=args.workers,
+                        progress=make_progress("simulations"),
+                    )
         return runner
 
+    # Ablation studies build their own inputs (no shared runner), so with
+    # --workers they run one-study-per-process up front.
+    ablation_targets = [t for t in targets if t in ABLATION_STUDIES]
+    ablation_results: dict[str, object] = {}
+    if args.workers > 1 and len(ablation_targets) > 1:
+        from repro.experiments.parallel import run_studies
+
+        ablation_results = run_studies(
+            ablation_targets,
+            workers=args.workers,
+            progress=make_progress("ablation studies"),
+        )
+
+    ablations_rendered: set[str] = set()
     for target in targets:
         if target == "report":
             print(reproduction_report(shared_runner()))
@@ -138,7 +207,11 @@ def main(argv: list[str] | None = None) -> int:
         if target in ANALYTICAL_FIGURES:
             result = ANALYTICAL_FIGURES[target]()
         elif target in ABLATION_STUDIES:
-            result = ABLATION_STUDIES[target]()
+            ablations_rendered.add(target)
+            if target in ablation_results:
+                result = ablation_results[target]
+            else:
+                result = ABLATION_STUDIES[target]()
         else:
             result = PERFORMANCE_FIGURES[target](shared_runner())
         print(result.to_text())
@@ -149,6 +222,18 @@ def main(argv: list[str] | None = None) -> int:
             directory = pathlib.Path(args.csv)
             directory.mkdir(parents=True, exist_ok=True)
             (directory / f"{result.figure_id}.csv").write_text(result.to_csv())
+
+    if isinstance(store, DiskStore) or runner is not None:
+        executed = runner.simulations_executed if runner is not None else 0
+        summary = (
+            f"[campaign] simulations executed={executed} "
+            f"store={store.description} entries={len(store)}"
+        )
+        if ablations_rendered:
+            # Ablation studies build their own inputs and bypass the
+            # store; their simulations are not in the counts above.
+            summary += f" (+{len(ablations_rendered)} ablation studies, not store-backed)"
+        print(summary, file=sys.stderr)
     return 0
 
 

@@ -371,6 +371,20 @@ FIGURE_CONFIGS = {
     "ext-incremental": (LV_BASELINE, LV_WORD, LV_INCREMENTAL),
 }
 
+def configs_for_targets(targets) -> tuple:
+    """Union of the run configurations the given figure targets need, in
+    first-seen order — what the parallel executor prefills (store-level
+    dedup collapses the heavy overlap between figures)."""
+    needed = []
+    seen = set()
+    for target in targets:
+        for config in FIGURE_CONFIGS.get(target, ()):
+            if config not in seen:
+                seen.add(config)
+                needed.append(config)
+    return tuple(needed)
+
+
 #: Figure registry for the CLI and the bench harness.
 ANALYTICAL_FIGURES = {
     "fig1": fig1_data,

@@ -1,11 +1,19 @@
-"""Parallel simulation driver for paper-scale experiment campaigns.
+"""Streaming parallel executor for paper-scale experiment campaigns.
 
 The quick-fidelity defaults run in minutes single-threaded, but the paper's
 statistical setup (50 fault-map pairs x 26 benchmarks x several
 configurations) is hours of pure-Python simulation.  This module fans the
 independent (benchmark, configuration, fault-map) simulations across a
-process pool and fills an :class:`ExperimentRunner`'s result cache, after
-which every figure function reads from cache instantly.
+process pool and fills an :class:`ExperimentRunner`'s result store, after
+which every figure function reads from the store instantly.
+
+The executor *streams*: results are checkpointed to the runner's store as
+each worker chunk completes, not after the whole pool drains — so a killed
+paper-scale run against a ``DiskStore`` resumes from its last completed
+chunk, and tasks already in the store (from this run, a previous crash, or
+another process) are never dispatched at all.  Chunking adapts to the task
+count, and an optional ``progress(done, total)`` callback reports
+completion as it happens.
 
 Workers never receive traces or fault maps over the wire: both are
 deterministic functions of ``RunnerSettings`` (seeded generators), so each
@@ -17,34 +25,41 @@ bit-identical to the single-process path.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Callable
 
 from repro.cpu.pipeline import SimResult
 from repro.experiments.configs import RunConfig
 from repro.experiments.runner import ExperimentRunner, RunnerSettings
 
+#: One simulation point: (benchmark, config, map_index-or-None).
+Task = tuple[str, RunConfig, "int | None"]
+
+#: Completion callback: ``progress(done, total)``.
+ProgressFn = Callable[[int, int], None]
+
 # Per-worker memoised state (initialised lazily in each process).
 _WORKER_RUNNER: ExperimentRunner | None = None
 
 
-def _worker_init(settings: RunnerSettings) -> None:
+def _worker_init(settings: RunnerSettings, pipeline_config) -> None:
     global _WORKER_RUNNER
-    _WORKER_RUNNER = ExperimentRunner(settings)
+    _WORKER_RUNNER = ExperimentRunner(settings, pipeline_config=pipeline_config)
 
 
-def _worker_run(task: tuple[str, RunConfig, int | None]) -> tuple[tuple, SimResult]:
-    benchmark, config, map_index = task
+def _worker_run_chunk(chunk: list[Task]) -> list[tuple[Task, SimResult]]:
     assert _WORKER_RUNNER is not None, "worker not initialised"
-    result = _WORKER_RUNNER.run(benchmark, config, map_index)
-    return (benchmark, config, map_index), result
+    return [
+        (task, _WORKER_RUNNER.run(task[0], task[1], task[2])) for task in chunk
+    ]
 
 
 def plan_tasks(
     settings: RunnerSettings, configs: tuple[RunConfig, ...]
-) -> list[tuple[str, RunConfig, int | None]]:
+) -> list[Task]:
     """Every (benchmark, config, map) simulation the given configurations
     need, deduplicated."""
-    tasks: list[tuple[str, RunConfig, int | None]] = []
+    tasks: list[Task] = []
     seen: set[tuple] = set()
     for benchmark in settings.benchmarks:
         for config in configs:
@@ -61,31 +76,121 @@ def plan_tasks(
     return tasks
 
 
+def pending_tasks(
+    runner: ExperimentRunner, configs: tuple[RunConfig, ...]
+) -> list[Task]:
+    """The planned tasks whose results are not yet in the runner's store.
+
+    Distinct configs that build the same simulator (same content hash)
+    collapse here too, not just exact-tuple duplicates."""
+    tasks = []
+    seen_keys: set[str] = set()
+    for task in plan_tasks(runner.settings, configs):
+        key = runner.task_key(*task)
+        if key in seen_keys or key in runner.store:
+            continue
+        seen_keys.add(key)
+        tasks.append(task)
+    return tasks
+
+
+def adaptive_chunksize(n_tasks: int, workers: int) -> int:
+    """Chunk size balancing IPC amortisation against checkpoint
+    granularity: small campaigns get chunk 1 (every finished simulation is
+    durable immediately and the pool stays busy); large ones amortise
+    dispatch over up to 8 tasks while still checkpointing ~4 times per
+    worker."""
+    if n_tasks <= workers:
+        return 1
+    return max(1, min(8, n_tasks // (workers * 4)))
+
+
 def prefill_cache(
     runner: ExperimentRunner,
     configs: tuple[RunConfig, ...],
     workers: int | None = None,
+    progress: ProgressFn | None = None,
 ) -> int:
-    """Run every simulation the configurations need, in parallel, and store
-    the results in ``runner``'s cache.  Returns the number of simulations
-    executed.  ``workers=None`` uses the CPU count; ``workers<=1`` falls
-    back to in-process execution (useful under debuggers)."""
-    tasks = plan_tasks(runner.settings, configs)
-    # Skip anything already cached.
-    tasks = [t for t in tasks if (t[0], t[1], t[2]) not in runner._results]
-    if not tasks:
+    """Run every simulation the configurations still need and checkpoint
+    each to ``runner``'s store as it completes.  Returns the number of
+    simulations executed (tasks already stored are skipped, so rerunning a
+    killed campaign completes only the remainder).  ``workers=None`` uses
+    the CPU count; ``workers<=1`` executes in-process (useful under
+    debuggers) but still checkpoints result-by-result."""
+    tasks = pending_tasks(runner, configs)
+    total = len(tasks)
+    if total == 0:
         return 0
     if workers is None:
         workers = os.cpu_count() or 1
+    workers = min(workers, total)
+    done = 0
     if workers <= 1:
         for benchmark, config, map_index in tasks:
             runner.run(benchmark, config, map_index)
-        return len(tasks)
+            done += 1
+            if progress is not None:
+                progress(done, total)
+        return total
+    size = adaptive_chunksize(total, workers)
+    chunks = [tasks[i : i + size] for i in range(0, total, size)]
     with ProcessPoolExecutor(
         max_workers=workers,
         initializer=_worker_init,
-        initargs=(runner.settings,),
+        initargs=(runner.settings, runner.pipeline_config),
     ) as pool:
-        for key, result in pool.map(_worker_run, tasks, chunksize=4):
-            runner._results[key] = result
-    return len(tasks)
+        futures = [pool.submit(_worker_run_chunk, chunk) for chunk in chunks]
+        for future in as_completed(futures):
+            for (benchmark, config, map_index), result in future.result():
+                runner.store_result(benchmark, config, map_index, result)
+                runner.simulations_executed += 1
+                done += 1
+            if progress is not None:
+                progress(done, total)
+    return total
+
+
+# --------------------------------------------------------------------------
+# Study-level parallelism (ablations)
+# --------------------------------------------------------------------------
+
+def _study_worker(name: str):
+    # Imported in the worker to keep the module import graph acyclic.
+    from repro.experiments.ablation import ABLATION_STUDIES
+
+    return name, ABLATION_STUDIES[name]()
+
+
+def run_studies(
+    names: list[str],
+    workers: int | None = None,
+    progress: ProgressFn | None = None,
+) -> dict[str, "object"]:
+    """Run named ablation studies concurrently, one study per worker.
+
+    Ablation studies build their own traces/fault maps (different seeds
+    and warmup than the figure campaign), so they parallelise at study
+    granularity rather than through the result store.  Returns
+    ``{name: FigureResult}``; callers print in their own order.
+    """
+    unique = list(dict.fromkeys(names))
+    if workers is None:
+        workers = os.cpu_count() or 1
+    workers = min(workers, len(unique))
+    results: dict[str, object] = {}
+    if workers <= 1:
+        for i, name in enumerate(unique):
+            results[name] = _study_worker(name)[1]
+            if progress is not None:
+                progress(i + 1, len(unique))
+        return results
+    done = 0
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = [pool.submit(_study_worker, name) for name in unique]
+        for future in as_completed(futures):
+            name, result = future.result()
+            results[name] = result
+            done += 1
+            if progress is not None:
+                progress(done, len(unique))
+    return results

@@ -1,0 +1,67 @@
+"""Deterministic input providers: traces and fault maps from settings.
+
+Both inputs to a simulation are pure functions of
+:class:`~repro.experiments.runner.RunnerSettings` (seeded generators), so
+they are *regenerated*, never shipped between processes or persisted
+alongside results.  These providers own the memoisation that used to live
+inside ``ExperimentRunner``; the runner is now a thin façade over a
+:class:`TraceProvider`, a :class:`FaultMapProvider`, and a
+:class:`~repro.experiments.store.ResultStore`.
+"""
+
+from __future__ import annotations
+
+from repro.cpu.config import L1_GEOMETRY
+from repro.cpu.trace import Trace
+from repro.faults.fault_map import FaultMapPair, sample_fault_map_pairs
+from repro.workloads.generator import TraceGenerator
+
+
+class TraceProvider:
+    """Memoised per-benchmark traces (warmup prefix + measured region)."""
+
+    def __init__(self, settings) -> None:
+        self.settings = settings
+        self._traces: dict[str, Trace] = {}
+
+    def get(self, benchmark: str) -> Trace:
+        if benchmark not in self._traces:
+            generator = TraceGenerator(
+                benchmark, seed=self.settings.seed, geometry=L1_GEOMETRY
+            )
+            self._traces[benchmark] = generator.generate(
+                self.settings.n_instructions + self.settings.warmup_instructions
+            )
+        return self._traces[benchmark]
+
+    def __len__(self) -> int:
+        return len(self._traces)
+
+
+class FaultMapProvider:
+    """Memoised fault-map pairs for the campaign's (pfail, seed).
+
+    Pair *i* is drawn from an independent seed stream
+    (:func:`~repro.faults.fault_map.sample_fault_map_pairs`), so it is
+    identical in every process and for every ``n_fault_maps`` >= i+1 —
+    the property the store keys rely on.
+    """
+
+    def __init__(self, settings) -> None:
+        self.settings = settings
+        self._pairs: list[FaultMapPair] | None = None
+
+    def pairs(self) -> list[FaultMapPair]:
+        if self._pairs is None:
+            self._pairs = list(
+                sample_fault_map_pairs(
+                    L1_GEOMETRY,
+                    self.settings.pfail,
+                    self.settings.n_fault_maps,
+                    seed=self.settings.seed,
+                )
+            )
+        return self._pairs
+
+    def pair(self, index: int) -> FaultMapPair:
+        return self.pairs()[index]

@@ -27,6 +27,18 @@ from repro.faults.geometry import PAPER_L1_GEOMETRY
 from repro.overhead.transistors import OverheadModel
 
 
+#: Configurations :func:`simulation_lines` runs — exported so the CLI's
+#: parallel prefill covers the report target, not just the figures.
+REPORT_CONFIGS = (
+    LV_BASELINE,
+    LV_BASELINE_V,
+    LV_WORD,
+    LV_WORD_V,
+    LV_BLOCK,
+    LV_BLOCK_V10,
+)
+
+
 @dataclass(frozen=True)
 class ReportLine:
     """One claim: where it comes from, what the paper says, what we got."""

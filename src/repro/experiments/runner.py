@@ -15,6 +15,7 @@ changes:
 * ``REPRO_MAPS`` — fault-map pairs (quick default: 6; paper: 50)
 * ``REPRO_BENCHMARKS`` — comma list to restrict the suite
 * ``REPRO_SEED`` — master seed
+* ``REPRO_WARMUP`` — warmup instructions before the measured region
 """
 
 from __future__ import annotations
@@ -37,8 +38,9 @@ from repro.cpu.config import (
 from repro.cpu.pipeline import OutOfOrderPipeline, SimResult
 from repro.cpu.trace import Trace
 from repro.experiments.configs import RunConfig
-from repro.faults.fault_map import FaultMap, FaultMapPair, sample_fault_map_pairs
-from repro.workloads.generator import TraceGenerator
+from repro.experiments.providers import FaultMapProvider, TraceProvider
+from repro.experiments.store import MemoryStore, ResultStore, task_key
+from repro.faults.fault_map import FaultMap, FaultMapPair
 from repro.workloads.spec2000 import ALL_BENCHMARKS
 
 
@@ -123,63 +125,111 @@ class NormalizedSeries:
 
 
 class ExperimentRunner:
-    """Memoising simulation driver for the performance figures."""
+    """Thin façade binding the campaign's inputs to its result store.
+
+    Traces come from a :class:`~repro.experiments.providers.TraceProvider`,
+    fault maps from a
+    :class:`~repro.experiments.providers.FaultMapProvider`, and results
+    live in a :class:`~repro.experiments.store.ResultStore` — by default a
+    process-private :class:`~repro.experiments.store.MemoryStore`, or any
+    shared/persistent backend (``DiskStore``) the caller hands in.  The
+    cache API (:meth:`task_key`, :meth:`cached`, :meth:`store_result`) is
+    public: the parallel executor, benches, and CLI all speak it.
+    """
 
     def __init__(
         self,
         settings: RunnerSettings | None = None,
         pipeline_config: PipelineConfig = PAPER_PIPELINE,
+        store: ResultStore | None = None,
     ) -> None:
         self.settings = settings or RunnerSettings.from_env()
         self.pipeline_config = pipeline_config
-        self._traces: dict[str, Trace] = {}
-        self._fault_maps: list[FaultMapPair] | None = None
-        self._results: dict[tuple, SimResult] = {}
+        self.traces = TraceProvider(self.settings)
+        self.maps = FaultMapProvider(self.settings)
+        self.store = store if store is not None else MemoryStore()
+        # Content-hash keys are ~30us to compute (canonical JSON + sha256
+        # over per-runner constants); memoise them so warm-store reads stay
+        # dict-lookup cheap.
+        self._key_cache: dict[tuple, str] = {}
+        #: Simulations actually executed (not read from the store): lazy
+        #: :meth:`run` misses, plus what parallel workers ran —
+        #: :func:`~repro.experiments.parallel.prefill_cache` adds those as
+        #: it checkpoints them.  Store hits never count.
+        self.simulations_executed = 0
 
     # ----- inputs -------------------------------------------------------------
 
     def trace(self, benchmark: str) -> Trace:
         """Warmup prefix + measured region, generated once per benchmark."""
-        if benchmark not in self._traces:
-            generator = TraceGenerator(
-                benchmark, seed=self.settings.seed, geometry=L1_GEOMETRY
-            )
-            self._traces[benchmark] = generator.generate(
-                self.settings.n_instructions + self.settings.warmup_instructions
-            )
-        return self._traces[benchmark]
+        return self.traces.get(benchmark)
 
     def fault_maps(self) -> list[FaultMapPair]:
-        if self._fault_maps is None:
-            self._fault_maps = list(
-                sample_fault_map_pairs(
-                    L1_GEOMETRY,
-                    self.settings.pfail,
-                    self.settings.n_fault_maps,
-                    seed=self.settings.seed,
-                )
+        return self.maps.pairs()
+
+    # ----- cache API ------------------------------------------------------------
+
+    @staticmethod
+    def _normalize_map_index(config: RunConfig, map_index: int | None) -> int | None:
+        """``map_index`` is required iff performance depends on the fault
+        draw; fault-independent configs canonicalise to ``None`` so every
+        caller agrees on one key per physical simulation."""
+        if config.needs_fault_map:
+            if map_index is None:
+                raise ValueError(f"{config.label} requires a fault-map index")
+            return map_index
+        return None
+
+    def task_key(
+        self, benchmark: str, config: RunConfig, map_index: int | None = None
+    ) -> str:
+        """Stable store key of one simulation point (see
+        :func:`repro.experiments.store.task_key`)."""
+        map_index = self._normalize_map_index(config, map_index)
+        cache_key = (benchmark, config, map_index)
+        key = self._key_cache.get(cache_key)
+        if key is None:
+            key = task_key(
+                self.settings, benchmark, config, map_index, self.pipeline_config
             )
-        return self._fault_maps
+            self._key_cache[cache_key] = key
+        return key
+
+    def cached(
+        self, benchmark: str, config: RunConfig, map_index: int | None = None
+    ) -> SimResult | None:
+        """The stored result for this point, or ``None`` if unsimulated."""
+        return self.store.get(self.task_key(benchmark, config, map_index))
+
+    def store_result(
+        self,
+        benchmark: str,
+        config: RunConfig,
+        map_index: int | None,
+        result: SimResult,
+    ) -> None:
+        """Checkpoint an externally-computed result (parallel workers)."""
+        self.store.put(self.task_key(benchmark, config, map_index), result)
 
     # ----- simulation ----------------------------------------------------------
 
     def run(
         self, benchmark: str, config: RunConfig, map_index: int | None = None
     ) -> SimResult:
-        """Simulate one (benchmark, configuration, fault map) point.
+        """Simulate one (benchmark, configuration, fault map) point,
+        reading/writing through the result store.
 
         ``map_index`` is required iff the configuration's performance
         depends on the fault draw (see :meth:`RunConfig.needs_fault_map`).
         """
-        if config.needs_fault_map:
-            if map_index is None:
-                raise ValueError(f"{config.label} requires a fault-map index")
-        else:
-            map_index = None
-        key = (benchmark, config, map_index)
-        if key not in self._results:
-            self._results[key] = self._simulate(benchmark, config, map_index)
-        return self._results[key]
+        map_index = self._normalize_map_index(config, map_index)
+        key = self.task_key(benchmark, config, map_index)
+        result = self.store.get(key)
+        if result is None:
+            result = self._simulate(benchmark, config, map_index)
+            self.store.put(key, result)
+            self.simulations_executed += 1
+        return result
 
     def _simulate(
         self, benchmark: str, config: RunConfig, map_index: int | None

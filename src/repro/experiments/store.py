@@ -1,0 +1,256 @@
+"""Persistent result store for experiment campaigns.
+
+The paper's Section V methodology is a large campaign — every
+fault-dependent configuration x 26 SPEC benchmarks x 50 fault-map pairs —
+and a pure-Python simulator pays minutes-to-hours for it.  This module
+makes those simulations *durable*: every completed
+:class:`~repro.cpu.pipeline.SimResult` is keyed by a stable content hash of
+everything that determines it and written to a :class:`ResultStore`, so
+
+* a crashed paper-scale run resumes from its last checkpoint,
+* repeated CLI / figure / bench invocations share one set of runs, and
+* serial and parallel executors are interchangeable (same keys, same
+  bits).
+
+Two backends ship: :class:`MemoryStore` (the old process-private dict)
+and :class:`DiskStore` (append-only JSONL under a campaign directory).
+JSONL is deliberate: appends are atomic enough that a killed run loses at
+most its final, partially-written line, and :class:`DiskStore` skips any
+line it cannot parse instead of failing the whole campaign.
+
+Keys
+----
+:func:`task_key` hashes the *fidelity* fields of
+:class:`~repro.experiments.runner.RunnerSettings` (trace length, warmup,
+pfail, master seed) plus the benchmark, the physical content of the
+:class:`~repro.experiments.configs.RunConfig` (scheme, voltage, victim
+entries — not the cosmetic label), and the fault-map index.  Fields that
+do not change the simulated bits stay out of the key on purpose:
+``benchmarks`` only scopes the campaign, and ``n_fault_maps`` is excluded
+because :func:`~repro.faults.fault_map.sample_fault_map_pairs` derives
+pair *i* from an independent seed stream, identical regardless of how
+many pairs are drawn.  A quick ``--maps 6`` campaign therefore seeds the
+first six map columns of a later ``--maps 50`` one.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+import hashlib
+import json
+import os
+from typing import TYPE_CHECKING, Iterator
+
+from repro.cpu.config import PAPER_PIPELINE, PipelineConfig
+from repro.cpu.pipeline import SimResult
+from repro.experiments.configs import RunConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runner imports us)
+    from repro.experiments.runner import RunnerSettings
+
+#: Bump when the simulator's bits change incompatibly (invalidates stores).
+STORE_SCHEMA_VERSION = 1
+
+#: File name of the append-only result log inside a campaign directory.
+RESULTS_FILENAME = "results.jsonl"
+
+
+# --------------------------------------------------------------------------
+# Keys
+# --------------------------------------------------------------------------
+
+def fidelity_fingerprint(settings: "RunnerSettings") -> dict:
+    """The RunnerSettings fields that determine simulated bits.
+
+    Everything else (``benchmarks`` scope, ``n_fault_maps`` count) only
+    selects *which* simulations run, not what each one computes.
+    """
+    return {
+        "n_instructions": settings.n_instructions,
+        "warmup_instructions": settings.warmup_instructions,
+        "pfail": settings.pfail,
+        "seed": settings.seed,
+        "schema": STORE_SCHEMA_VERSION,
+    }
+
+
+def task_key(
+    settings: "RunnerSettings",
+    benchmark: str,
+    config: RunConfig,
+    map_index: int | None,
+    pipeline_config: PipelineConfig | None = None,
+) -> str:
+    """Stable content hash of one simulation point.
+
+    Identical across processes, interpreter restarts, and config *labels*
+    (two RunConfigs that build the same simulator share a key).
+    ``pipeline_config`` defaults to the paper's Table II pipeline; a runner
+    with a non-default pipeline gets disjoint keys, so mixed-pipeline
+    campaigns can share one store without cross-contamination.
+    """
+    payload = {
+        "fidelity": fidelity_fingerprint(settings),
+        "pipeline": dataclasses.asdict(pipeline_config or PAPER_PIPELINE),
+        "benchmark": benchmark,
+        "scheme": config.scheme,
+        "voltage": config.voltage.name,
+        "victim_entries": config.victim_entries,
+        "map_index": map_index,
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+# --------------------------------------------------------------------------
+# SimResult (de)serialization
+# --------------------------------------------------------------------------
+
+def result_to_dict(result: SimResult) -> dict:
+    """JSON-native rendering of a :class:`SimResult`."""
+    return {
+        "benchmark": result.benchmark,
+        "instructions": result.instructions,
+        "cycles": result.cycles,
+        "branch_mispredictions": result.branch_mispredictions,
+        "branch_predictions": result.branch_predictions,
+        "hierarchy_stats": result.hierarchy_stats,
+    }
+
+
+def result_from_dict(data: dict) -> SimResult:
+    """Inverse of :func:`result_to_dict` (raises on malformed input)."""
+    return SimResult(
+        benchmark=data["benchmark"],
+        instructions=int(data["instructions"]),
+        cycles=int(data["cycles"]),
+        branch_mispredictions=int(data["branch_mispredictions"]),
+        branch_predictions=int(data["branch_predictions"]),
+        hierarchy_stats=dict(data["hierarchy_stats"]),
+    )
+
+
+# --------------------------------------------------------------------------
+# Stores
+# --------------------------------------------------------------------------
+
+class ResultStore(abc.ABC):
+    """Keyed persistence for simulation results.
+
+    Implementations must make :meth:`put` durable immediately (a killed
+    campaign resumes from whatever was put), and must treat re-putting an
+    existing key as a harmless overwrite with identical content.
+    """
+
+    @abc.abstractmethod
+    def get(self, key: str) -> SimResult | None:
+        """The stored result, or ``None`` if absent."""
+
+    @abc.abstractmethod
+    def put(self, key: str, result: SimResult) -> None:
+        """Durably record ``result`` under ``key``."""
+
+    @abc.abstractmethod
+    def keys(self) -> Iterator[str]:
+        """Iterate over stored keys."""
+
+    def __contains__(self, key: str) -> bool:
+        return self.get(key) is not None
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    #: Human-readable location for campaign summaries.
+    description: str = "memory"
+
+
+class MemoryStore(ResultStore):
+    """Process-private dict — the pre-campaign behaviour."""
+
+    description = "memory"
+
+    def __init__(self) -> None:
+        self._results: dict[str, SimResult] = {}
+
+    def get(self, key: str) -> SimResult | None:
+        return self._results.get(key)
+
+    def put(self, key: str, result: SimResult) -> None:
+        self._results[key] = result
+
+    def keys(self) -> Iterator[str]:
+        return iter(dict(self._results))
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._results
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+
+class DiskStore(MemoryStore):
+    """Append-only JSONL store under a campaign directory.
+
+    Layout: ``<directory>/results.jsonl``, one ``{"key": ..., "result":
+    {...}}`` object per line.  The full file is indexed into memory on
+    open (results are small — a few hundred bytes each; the in-memory
+    index is inherited from :class:`MemoryStore`), and every :meth:`put`
+    appends and flushes one line, so a killed run loses at most the line
+    being written.  Unreadable lines — truncated tails from a crash,
+    stray corruption — are counted and skipped, never fatal.
+    """
+
+    def __init__(self, directory: str | os.PathLike) -> None:
+        super().__init__()
+        self.directory = os.fspath(directory)
+        self.description = self.directory
+        os.makedirs(self.directory, exist_ok=True)
+        self.path = os.path.join(self.directory, RESULTS_FILENAME)
+        self.skipped_lines = 0
+        self._load()
+
+    def _load(self) -> None:
+        if not os.path.exists(self.path):
+            return
+        with open(self.path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                    key = entry["key"]
+                    result = result_from_dict(entry["result"])
+                except (ValueError, KeyError, TypeError):
+                    self.skipped_lines += 1
+                    continue
+                self._results[key] = result
+        # A crash can leave the file without a trailing newline; repair it
+        # so the next append starts a fresh line instead of fusing onto
+        # (and losing along with) the truncated tail.
+        with open(self.path, "rb") as fh:
+            fh.seek(0, os.SEEK_END)
+            if fh.tell() > 0:
+                fh.seek(-1, os.SEEK_END)
+                needs_newline = fh.read(1) != b"\n"
+            else:
+                needs_newline = False
+        if needs_newline:
+            with open(self.path, "a", encoding="utf-8") as fh:
+                fh.write("\n")
+
+    def put(self, key: str, result: SimResult) -> None:
+        entry = {"key": key, "result": result_to_dict(result)}
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(entry, sort_keys=True) + "\n")
+            fh.flush()
+        super().put(key, result)
+
+
+def open_store(directory: str | os.PathLike | None) -> ResultStore:
+    """A :class:`DiskStore` at ``directory``, or a fresh
+    :class:`MemoryStore` when ``directory`` is ``None``/empty."""
+    if directory:
+        return DiskStore(directory)
+    return MemoryStore()

@@ -1,10 +1,17 @@
-"""Tests for the parallel simulation driver."""
+"""Tests for the streaming parallel simulation driver."""
 
 import pytest
 
 from repro.experiments.configs import LV_BASELINE, LV_BLOCK, LV_WORD
-from repro.experiments.parallel import plan_tasks, prefill_cache
+from repro.experiments.parallel import (
+    adaptive_chunksize,
+    pending_tasks,
+    plan_tasks,
+    prefill_cache,
+    run_studies,
+)
 from repro.experiments.runner import ExperimentRunner, RunnerSettings
+from repro.experiments.store import DiskStore
 
 SMALL = RunnerSettings(
     n_instructions=3000,
@@ -65,3 +72,74 @@ class TestPrefill:
         prefill_cache(runner, (LV_BASELINE, LV_WORD, LV_BLOCK), workers=2)
         series = runner.normalized_series(LV_BLOCK, LV_BASELINE)
         assert len(series.average) == 2
+
+    def test_parallel_streams_into_disk_store(self, tmp_path):
+        """Workers' results land in the persistent store and are
+        bit-identical to the serial path."""
+        serial = ExperimentRunner(SMALL)
+        prefill_cache(serial, (LV_BASELINE, LV_BLOCK), workers=1)
+        parallel = ExperimentRunner(SMALL, store=DiskStore(tmp_path))
+        assert prefill_cache(parallel, (LV_BASELINE, LV_BLOCK), workers=2) == 6
+        reopened = ExperimentRunner(SMALL, store=DiskStore(tmp_path))
+        for bench in SMALL.benchmarks:
+            assert (
+                reopened.run(bench, LV_BASELINE)
+                == serial.run(bench, LV_BASELINE)
+            )
+            for m in range(SMALL.n_fault_maps):
+                assert (
+                    reopened.run(bench, LV_BLOCK, m)
+                    == serial.run(bench, LV_BLOCK, m)
+                )
+        assert reopened.simulations_executed == 0
+
+    def test_progress_callback_reaches_total(self):
+        runner = ExperimentRunner(SMALL)
+        calls: list[tuple[int, int]] = []
+        prefill_cache(
+            runner,
+            (LV_BASELINE, LV_BLOCK),
+            workers=2,
+            progress=lambda done, total: calls.append((done, total)),
+        )
+        assert calls
+        assert all(total == 6 for _, total in calls)
+        dones = [done for done, _ in calls]
+        assert dones == sorted(dones)
+        assert dones[-1] == 6
+
+    def test_prefill_counts_executions_on_runner(self):
+        runner = ExperimentRunner(SMALL)
+        prefill_cache(runner, (LV_BASELINE, LV_BLOCK), workers=2)
+        assert runner.simulations_executed == 6
+
+    def test_pending_tasks_skips_stored_results(self):
+        runner = ExperimentRunner(SMALL)
+        runner.run("crafty", LV_BASELINE)
+        tasks = pending_tasks(runner, (LV_BASELINE, LV_BLOCK))
+        assert ("crafty", LV_BASELINE, None) not in tasks
+        assert len(tasks) == 5
+
+
+class TestChunking:
+    def test_tiny_campaigns_checkpoint_every_task(self):
+        assert adaptive_chunksize(4, 8) == 1
+        assert adaptive_chunksize(8, 8) == 1
+
+    def test_large_campaigns_amortise_dispatch(self):
+        assert adaptive_chunksize(10_000, 8) == 8
+
+    def test_mid_sized_campaigns_scale(self):
+        assert 1 <= adaptive_chunksize(100, 8) <= 8
+
+
+class TestStudies:
+    def test_run_studies_parallel_matches_serial(self):
+        # Two studies so workers=min(2, len) actually takes the pool branch.
+        names = ["abl-l2", "abl-energy"]
+        serial = run_studies(names, workers=1)
+        parallel = run_studies(names, workers=2)
+        assert serial.keys() == parallel.keys()
+        for name in names:
+            assert serial[name].series == parallel[name].series
+            assert serial[name].index == parallel[name].index

@@ -1,0 +1,337 @@
+"""Tests for the persistent result store and its campaign semantics."""
+
+import dataclasses
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.cpu.pipeline import SimResult
+from repro.experiments.configs import (
+    LV_BASELINE,
+    LV_BLOCK,
+    LV_BLOCK_V10,
+    LV_WORD,
+)
+from repro.experiments.parallel import pending_tasks, prefill_cache
+from repro.experiments.runner import ExperimentRunner, RunnerSettings
+from repro.experiments.store import (
+    DiskStore,
+    MemoryStore,
+    open_store,
+    result_from_dict,
+    result_to_dict,
+    task_key,
+)
+
+SMALL = RunnerSettings(
+    n_instructions=3000,
+    n_fault_maps=2,
+    warmup_instructions=1000,
+    benchmarks=("crafty", "swim"),
+)
+
+
+def make_result(cycles: int = 1234) -> SimResult:
+    return SimResult(
+        benchmark="crafty",
+        instructions=3000,
+        cycles=cycles,
+        branch_mispredictions=17,
+        branch_predictions=210,
+        hierarchy_stats={"l1d": {"accesses": 900, "miss_rate": 0.125}},
+    )
+
+
+class TestTaskKey:
+    def test_deterministic(self):
+        a = task_key(SMALL, "crafty", LV_BLOCK, 1)
+        b = task_key(SMALL, "crafty", LV_BLOCK, 1)
+        assert a == b
+
+    def test_distinguishes_points(self):
+        keys = {
+            task_key(SMALL, "crafty", LV_BLOCK, 0),
+            task_key(SMALL, "crafty", LV_BLOCK, 1),
+            task_key(SMALL, "swim", LV_BLOCK, 0),
+            task_key(SMALL, "crafty", LV_WORD, None),
+            task_key(SMALL, "crafty", LV_BASELINE, None),
+        }
+        assert len(keys) == 5
+
+    def test_fidelity_fields_change_key(self):
+        base = task_key(SMALL, "crafty", LV_BLOCK, 0)
+        for variant in (
+            RunnerSettings(**{**_fields(SMALL), "n_instructions": 4000}),
+            RunnerSettings(**{**_fields(SMALL), "warmup_instructions": 2000}),
+            RunnerSettings(**{**_fields(SMALL), "seed": 7}),
+            RunnerSettings(**{**_fields(SMALL), "pfail": 0.002}),
+        ):
+            assert task_key(variant, "crafty", LV_BLOCK, 0) != base
+
+    def test_scope_fields_do_not_change_key(self):
+        """Campaign scope (benchmark list, number of maps) selects which
+        points run, not what each computes — quick campaigns must seed
+        paper-scale ones."""
+        base = task_key(SMALL, "crafty", LV_BLOCK, 0)
+        wider = RunnerSettings(**{**_fields(SMALL), "n_fault_maps": 50})
+        rescoped = RunnerSettings(
+            **{**_fields(SMALL), "benchmarks": ("crafty",)}
+        )
+        assert task_key(wider, "crafty", LV_BLOCK, 0) == base
+        assert task_key(rescoped, "crafty", LV_BLOCK, 0) == base
+
+    def test_pipeline_config_changes_key(self):
+        """Runners with different pipelines must not read each other's
+        results out of a shared store."""
+        from repro.cpu.config import PAPER_PIPELINE, PipelineConfig
+
+        base = task_key(SMALL, "crafty", LV_BLOCK, 0)
+        assert task_key(SMALL, "crafty", LV_BLOCK, 0, PAPER_PIPELINE) == base
+        narrow = PipelineConfig(issue_width=2)
+        assert task_key(SMALL, "crafty", LV_BLOCK, 0, narrow) != base
+
+    def test_runner_with_custom_pipeline_gets_disjoint_store_rows(self, tmp_path):
+        from repro.cpu.config import PipelineConfig
+
+        default = ExperimentRunner(SMALL, store=DiskStore(tmp_path))
+        default.run("crafty", LV_BASELINE)
+        narrow = ExperimentRunner(
+            SMALL,
+            pipeline_config=PipelineConfig(issue_width=2),
+            store=DiskStore(tmp_path),
+        )
+        assert narrow.cached("crafty", LV_BASELINE) is None
+
+    def test_label_is_cosmetic(self):
+        from repro.experiments.configs import RunConfig
+
+        relabeled = RunConfig(
+            "a different label", LV_BLOCK.scheme, LV_BLOCK.voltage
+        )
+        assert task_key(SMALL, "crafty", relabeled, 0) == task_key(
+            SMALL, "crafty", LV_BLOCK, 0
+        )
+
+    def test_stable_across_processes(self):
+        """The key is a content hash, not a Python hash: a fresh
+        interpreter computes the identical string."""
+        code = (
+            "from repro.experiments.runner import RunnerSettings\n"
+            "from repro.experiments.store import task_key\n"
+            "from repro.experiments.configs import LV_BLOCK\n"
+            "s = RunnerSettings(n_instructions=3000, n_fault_maps=2,\n"
+            "                   warmup_instructions=1000,\n"
+            "                   benchmarks=('crafty', 'swim'))\n"
+            "print(task_key(s, 'crafty', LV_BLOCK, 1))\n"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        assert out.stdout.strip() == task_key(SMALL, "crafty", LV_BLOCK, 1)
+
+
+class TestSerde:
+    def test_round_trip(self):
+        result = make_result()
+        assert result_from_dict(result_to_dict(result)) == result
+
+    def test_json_round_trip_preserves_floats(self):
+        result = make_result()
+        rehydrated = result_from_dict(
+            json.loads(json.dumps(result_to_dict(result)))
+        )
+        assert rehydrated == result
+        assert (
+            rehydrated.hierarchy_stats["l1d"]["miss_rate"]
+            == result.hierarchy_stats["l1d"]["miss_rate"]
+        )
+
+
+class TestMemoryStore:
+    def test_put_get(self):
+        store = MemoryStore()
+        assert store.get("k") is None
+        assert "k" not in store
+        store.put("k", make_result())
+        assert store.get("k") == make_result()
+        assert "k" in store
+        assert len(store) == 1
+
+
+class TestDiskStore:
+    def test_round_trip_across_instances(self, tmp_path):
+        first = DiskStore(tmp_path / "campaign")
+        first.put("k1", make_result(100))
+        first.put("k2", make_result(200))
+        reopened = DiskStore(tmp_path / "campaign")
+        assert reopened.get("k1") == make_result(100)
+        assert reopened.get("k2") == make_result(200)
+        assert len(reopened) == 2
+        assert set(reopened.keys()) == {"k1", "k2"}
+
+    def test_truncated_line_is_skipped_not_fatal(self, tmp_path):
+        store = DiskStore(tmp_path)
+        store.put("good", make_result(300))
+        # Simulate a crash mid-append: a truncated JSON tail.
+        with open(store.path, "a", encoding="utf-8") as fh:
+            fh.write('{"key": "half", "result": {"benchmark": "cr')
+        reopened = DiskStore(tmp_path)
+        assert reopened.get("good") == make_result(300)
+        assert reopened.get("half") is None
+        assert reopened.skipped_lines == 1
+
+    def test_garbage_and_blank_lines_tolerated(self, tmp_path):
+        store = DiskStore(tmp_path)
+        store.put("good", make_result(300))
+        with open(store.path, "a", encoding="utf-8") as fh:
+            fh.write("\n")
+            fh.write("not json at all\n")
+            fh.write('{"key": "no-result-field"}\n')
+            fh.write('{"key": "bad", "result": {"cycles": 1}}\n')
+        reopened = DiskStore(tmp_path)
+        assert len(reopened) == 1
+        assert reopened.skipped_lines == 3  # blank lines are not counted
+
+    def test_resumed_writes_survive_a_truncated_tail(self, tmp_path):
+        """A crash can leave the file without a trailing newline; the next
+        open must repair it so resumed results do not fuse onto (and get
+        lost with) the corrupt line."""
+        store = DiskStore(tmp_path)
+        store.put("good", make_result(300))
+        with open(store.path, "a", encoding="utf-8") as fh:
+            fh.write('{"key": "half", "result": {"benchmark": "cr')  # no \n
+        resumed = DiskStore(tmp_path)
+        resumed.put("after-crash", make_result(400))
+        reopened = DiskStore(tmp_path)
+        assert reopened.get("good") == make_result(300)
+        assert reopened.get("after-crash") == make_result(400)
+        assert reopened.skipped_lines == 1
+
+    def test_last_write_wins(self, tmp_path):
+        store = DiskStore(tmp_path)
+        store.put("k", make_result(1))
+        store.put("k", make_result(2))
+        assert DiskStore(tmp_path).get("k") == make_result(2)
+
+    def test_open_store_helper(self, tmp_path):
+        assert isinstance(open_store(None), MemoryStore)
+        assert isinstance(open_store(""), MemoryStore)
+        assert isinstance(open_store(tmp_path), DiskStore)
+
+
+class TestCampaignResume:
+    def test_runner_reads_through_disk_store(self, tmp_path):
+        first = ExperimentRunner(SMALL, store=DiskStore(tmp_path))
+        result = first.run("crafty", LV_BLOCK, 0)
+        assert first.simulations_executed == 1
+        second = ExperimentRunner(SMALL, store=DiskStore(tmp_path))
+        assert second.run("crafty", LV_BLOCK, 0) == result
+        assert second.simulations_executed == 0
+
+    def test_interrupted_campaign_completes_only_remainder(self, tmp_path):
+        """Kill-and-rerun: results checkpointed before the 'crash' are
+        never simulated again."""
+        killed = ExperimentRunner(SMALL, store=DiskStore(tmp_path))
+        tasks = pending_tasks(killed, (LV_BASELINE, LV_BLOCK))
+        assert len(tasks) == 6
+        for task in tasks[:4]:  # the part that "finished" before the kill
+            killed.run(*task)
+        resumed = ExperimentRunner(SMALL, store=DiskStore(tmp_path))
+        executed = prefill_cache(resumed, (LV_BASELINE, LV_BLOCK), workers=1)
+        assert executed == 2
+        assert prefill_cache(resumed, (LV_BASELINE, LV_BLOCK), workers=1) == 0
+
+    def test_store_shared_across_config_objects_with_same_content(self, tmp_path):
+        from repro.core.schemes import VoltageMode
+        from repro.experiments.configs import RunConfig
+
+        runner = ExperimentRunner(SMALL, store=DiskStore(tmp_path))
+        runner.run("crafty", LV_BLOCK_V10, 0)
+        clone = RunConfig(
+            "same cache, new label",
+            LV_BLOCK_V10.scheme,
+            VoltageMode.LOW,
+            LV_BLOCK_V10.victim_entries,
+        )
+        assert runner.cached("crafty", clone, 0) is not None
+        assert pending_tasks(runner, (clone,)) == [
+            ("crafty", clone, 1),
+            ("swim", clone, 0),
+            ("swim", clone, 1),
+        ]
+
+
+class TestWarmupCLIFix:
+    def test_settings_from_args_preserves_env_warmup(self, monkeypatch):
+        from repro.experiments.__main__ import _build_parser, _settings_from_args
+
+        monkeypatch.setenv("REPRO_WARMUP", "12345")
+        args = _build_parser().parse_args(["fig8"])
+        assert _settings_from_args(args).warmup_instructions == 12345
+
+    def test_warmup_flag_overrides_env(self, monkeypatch):
+        from repro.experiments.__main__ import _build_parser, _settings_from_args
+
+        monkeypatch.setenv("REPRO_WARMUP", "12345")
+        args = _build_parser().parse_args(["fig8", "--warmup", "777"])
+        assert _settings_from_args(args).warmup_instructions == 777
+
+
+class TestCLICampaign:
+    def test_second_invocation_executes_zero_simulations(self, tmp_path, capsys):
+        from repro.experiments.__main__ import main
+
+        argv = [
+            "fig3",
+            "fig8",
+            "--instructions",
+            "2000",
+            "--maps",
+            "2",
+            "--benchmarks",
+            "gzip",
+            "--store",
+            str(tmp_path),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr()
+        assert "simulations executed=6" in first.err
+        assert main(argv) == 0
+        second = capsys.readouterr()
+        assert "simulations executed=0" in second.err
+        # Figure output is bit-identical when read back from the store.
+        assert first.out == second.out
+
+    def test_store_and_no_store_conflict(self, tmp_path, capsys):
+        from repro.experiments.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["fig3", "--store", str(tmp_path), "--no-store"])
+        assert "not allowed with" in capsys.readouterr().err
+
+    def test_no_store_forces_memory(self, tmp_path, capsys, monkeypatch):
+        from repro.experiments.__main__ import main
+
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path))
+        argv = [
+            "fig8",
+            "--instructions",
+            "2000",
+            "--maps",
+            "2",
+            "--benchmarks",
+            "gzip",
+            "--no-store",
+        ]
+        assert main(argv) == 0
+        assert "store=memory" in capsys.readouterr().err
+        assert not (tmp_path / "results.jsonl").exists()
+
+
+def _fields(settings: RunnerSettings) -> dict:
+    return dataclasses.asdict(settings)
