@@ -12,6 +12,9 @@ Fidelity is environment-controlled (see ``RunnerSettings.from_env``):
 
 * quick (default):        REPRO_INSTR=40000, REPRO_MAPS=6
 * paper-scale statistics: REPRO_INSTR=200000 REPRO_MAPS=50
+
+``REPRO_TRACE_CACHE`` applies here too: the runner's TraceProvider loads
+cached benchmark traces instead of regenerating them each session.
 """
 
 from __future__ import annotations

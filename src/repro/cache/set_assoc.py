@@ -9,6 +9,17 @@ geometry with all ways enabled; the baseline enables everything.
 
 Addresses are *block addresses* (byte address >> offset bits) — the
 hierarchy layer does the shifting once so the hot loop stays cheap.
+
+State is stored **flat**: ``_tags``/``_dirty``/``_last_touch``/
+``_fill_time`` are single lists indexed ``set * ways + way``, and an
+invalid way holds the sentinel tag -1 (block-address tags are
+non-negative, so the sentinel can never alias a resident block).  This
+layout is shared by reference with the fused engine
+(:mod:`repro.cache.engine`) — compiling a hierarchy is O(1) and the
+object model stays authoritative during fused runs — and makes the hit
+probe one C-speed slice membership test.  A way that is *disabled* also
+holds -1 forever: fills never select it, so lookups need no usable-way
+filtering at all.
 """
 
 from __future__ import annotations
@@ -51,39 +62,52 @@ class SetAssociativeCache:
         ways = geometry.ways
 
         if enabled_ways is None:
-            enabled_ways = np.ones((num_sets, ways), dtype=bool)
-        enabled_ways = np.asarray(enabled_ways, dtype=bool)
-        if enabled_ways.shape != (num_sets, ways):
-            raise ValueError(
-                f"enabled_ways shape {enabled_ways.shape} does not match "
-                f"({num_sets}, {ways})"
-            )
-        self._enabled = enabled_ways
-        # Usable way indices per set, precomputed once (hot path reads only;
-        # tuples are cheaper to iterate and can never be mutated by a scheme).
-        self._usable_ways: list[tuple[int, ...]] = [
-            tuple(w for w in range(ways) if enabled_ways[s, w])
-            for s in range(num_sets)
-        ]
-        # Fully-enabled sets (every baseline/word-disable/high-voltage cache,
-        # and most sets under block-disabling at pfail=0.001) take a C-speed
-        # ``list.index`` fast path in ``lookup`` instead of a Python way loop.
-        self._fully_enabled: list[bool] = [
-            len(usable) == ways for usable in self._usable_ways
-        ]
+            # The fully-enabled case (baseline, word-disable, every
+            # high-voltage cache, the L2) skips the matrix entirely.
+            self._enabled = None
+            all_ways = tuple(range(ways))
+            self._usable_ways: list[tuple[int, ...]] = [all_ways] * num_sets
+            self._fully_enabled: list[bool] = [True] * num_sets
+        else:
+            enabled_ways = np.asarray(enabled_ways, dtype=bool)
+            if enabled_ways.shape != (num_sets, ways):
+                raise ValueError(
+                    f"enabled_ways shape {enabled_ways.shape} does not match "
+                    f"({num_sets}, {ways})"
+                )
+            self._enabled = enabled_ways
+            # Usable way indices per set, precomputed once (hot path reads
+            # only; tuples are cheaper to iterate and can never be mutated
+            # by a scheme).
+            self._usable_ways = [
+                tuple(np.flatnonzero(enabled_ways[s]).tolist())
+                for s in range(num_sets)
+            ]
+            self._fully_enabled = [
+                len(usable) == ways for usable in self._usable_ways
+            ]
 
         if isinstance(policy, str):
             policy = make_policy(policy, seed=seed)
         self._policy = policy
 
-        # Per-set state, plain Python lists for scalar-access speed.
-        self._tags: list[list[int]] = [[-1] * ways for _ in range(num_sets)]
-        self._valid: list[list[bool]] = [[False] * ways for _ in range(num_sets)]
-        self._dirty: list[list[bool]] = [[False] * ways for _ in range(num_sets)]
-        self._last_touch: list[list[int]] = [[0] * ways for _ in range(num_sets)]
-        self._fill_time: list[list[int]] = [[0] * ways for _ in range(num_sets)]
+        # Flat per-way state (see module docstring); -1 tags mark both
+        # invalid and disabled ways, so the lookup probe needs no
+        # validity or usability scan.
+        n = num_sets * ways
+        self._tags: list[int] = [-1] * n
+        self._dirty: list[bool] = [False] * n
+        self._last_touch: list[int] = [0] * n
+        self._fill_time: list[int] = [0] * n
+        # Residency index: block address -> flat way index.  Kept exactly
+        # in sync with ``_tags`` by fill/invalidate/flush, it turns the
+        # hit probe into a single dict lookup (how fast software cache
+        # models index residency) without touching any decision the
+        # per-set state makes.
+        self._resident: dict[int, int] = {}
         self._clock = 0
 
+        self._ways = ways
         self._set_mask = num_sets - 1
         self._index_shift = 0  # block address already excludes the offset
         # tag of a block address = block_addr >> index_bits
@@ -94,6 +118,8 @@ class SetAssociativeCache:
     @property
     def usable_blocks(self) -> int:
         """Number of ways that may hold data (== capacity in blocks)."""
+        if self._enabled is None:
+            return self.geometry.num_blocks
         return int(self._enabled.sum())
 
     @property
@@ -105,12 +131,7 @@ class SetAssociativeCache:
 
     def resident_blocks(self) -> set[int]:
         """Block addresses currently cached (for invariant checks)."""
-        resident = set()
-        for s in range(self.geometry.num_sets):
-            for w in self._usable_ways[s]:
-                if self._valid[s][w]:
-                    resident.add((self._tags[s][w] << self._tag_shift) | s)
-        return resident
+        return set(self._resident)
 
     # ----- core operations ----------------------------------------------------------
 
@@ -118,39 +139,13 @@ class SetAssociativeCache:
         """Probe for ``block_addr``; update recency and stats.  Returns hit."""
         self._clock += 1
         self.stats.accesses += 1
-        s = block_addr & self._set_mask
-        tag = block_addr >> self._tag_shift
-        tags = self._tags[s]
-        valid = self._valid[s]
-        if self._fully_enabled[s]:
-            # All ways usable: a C-speed membership test rejects misses
-            # without iterating ways in Python, and list.index locates the
-            # hit.  Invalidated ways keep their stale tag, so matches that
-            # are not valid are skipped — same scan order, same answer as
-            # the way loop below.
-            if tag in tags:
-                w = tags.index(tag)
-                while not valid[w]:
-                    try:
-                        w = tags.index(tag, w + 1)
-                    except ValueError:
-                        w = -1
-                        break
-                if w >= 0:
-                    self._last_touch[s][w] = self._clock
-                    if is_write:
-                        self._dirty[s][w] = True
-                    self.stats.hits += 1
-                    return True
-            self.stats.misses += 1
-            return False
-        for w in self._usable_ways[s]:
-            if valid[w] and tags[w] == tag:
-                self._last_touch[s][w] = self._clock
-                if is_write:
-                    self._dirty[s][w] = True
-                self.stats.hits += 1
-                return True
+        index = self._resident.get(block_addr)
+        if index is not None:
+            self._last_touch[index] = self._clock
+            if is_write:
+                self._dirty[index] = True
+            self.stats.hits += 1
+            return True
         self.stats.misses += 1
         return False
 
@@ -164,60 +159,79 @@ class SetAssociativeCache:
         block-disabling.
         """
         self._clock += 1
+        index = self._resident.get(block_addr)
+        if index is not None:
+            # Refill of an already-resident block.  The demand path never
+            # does this (fills follow misses; the prefetcher checks
+            # contains() first), but direct API use can: refresh the
+            # existing way rather than allocating a duplicate — the
+            # residency index is single-valued by construction.
+            if is_write:
+                self._dirty[index] = True
+            self._last_touch[index] = self._clock
+            self._fill_time[index] = self._clock
+            self.stats.fills += 1
+            return None
         s = block_addr & self._set_mask
         usable = self._usable_ways[s]
         if not usable:
             self.stats.bypassed_fills += 1
             return None
         tag = block_addr >> self._tag_shift
-        tags = self._tags[s]
-        valid = self._valid[s]
+        ways = self._ways
+        base = s * ways
+        tags = self._tags
         # Prefer an invalid usable way.
-        victim_way = None
-        for w in usable:
-            if not valid[w]:
-                victim_way = w
-                break
+        victim_way = -1
+        segment = tags[base : base + ways]
+        if -1 in segment:
+            if self._fully_enabled[s]:
+                victim_way = segment.index(-1)
+            else:
+                for w in usable:
+                    if tags[base + w] == -1:
+                        victim_way = w
+                        break
         evicted = None
-        if victim_way is None:
+        if victim_way < 0:
             victim_way = self._policy.victim(
-                usable, self._last_touch[s], self._fill_time[s]
+                usable,
+                self._last_touch[base : base + ways],
+                self._fill_time[base : base + ways],
             )
-            evicted = (tags[victim_way] << self._tag_shift) | s
-            if self._dirty[s][victim_way]:
+            index = base + victim_way
+            evicted = (tags[index] << self._tag_shift) | s
+            del self._resident[evicted]
+            if self._dirty[index]:
                 self.stats.writebacks += 1
             self.stats.evictions += 1
-        tags[victim_way] = tag
-        valid[victim_way] = True
-        self._dirty[s][victim_way] = is_write
-        self._last_touch[s][victim_way] = self._clock
-        self._fill_time[s][victim_way] = self._clock
+        index = base + victim_way
+        tags[index] = tag
+        self._resident[block_addr] = index
+        self._dirty[index] = is_write
+        self._last_touch[index] = self._clock
+        self._fill_time[index] = self._clock
         self.stats.fills += 1
         return evicted
 
     def invalidate(self, block_addr: int) -> bool:
         """Drop ``block_addr`` if present.  Returns whether it was resident."""
-        s = block_addr & self._set_mask
-        tag = block_addr >> self._tag_shift
-        for w in self._usable_ways[s]:
-            if self._valid[s][w] and self._tags[s][w] == tag:
-                self._valid[s][w] = False
-                self._dirty[s][w] = False
-                return True
-        return False
+        index = self._resident.pop(block_addr, None)
+        if index is None:
+            return False
+        self._tags[index] = -1
+        self._dirty[index] = False
+        return True
 
     def contains(self, block_addr: int) -> bool:
         """Non-mutating probe (no stats, no recency update)."""
-        s = block_addr & self._set_mask
-        tag = block_addr >> self._tag_shift
-        return any(
-            self._valid[s][w] and self._tags[s][w] == tag
-            for w in self._usable_ways[s]
-        )
+        return block_addr in self._resident
 
     def flush(self) -> None:
-        """Invalidate everything (keeps stats)."""
-        for s in range(self.geometry.num_sets):
-            for w in range(self.geometry.ways):
-                self._valid[s][w] = False
-                self._dirty[s][w] = False
+        """Invalidate everything (keeps stats).  Mutates the state lists and
+        residency dict in place — a compiled engine holding references
+        stays coherent."""
+        n = len(self._tags)
+        self._tags[:] = [-1] * n
+        self._dirty[:] = [False] * n
+        self._resident.clear()

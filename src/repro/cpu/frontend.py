@@ -1,0 +1,296 @@
+"""Precomputed front-end schedule: branch bookkeeping hoisted off the hot loop.
+
+Everything the pipeline front end does — gshare direction prediction, the
+return-address stack, the line predictor, fetch-group breaks at line
+boundaries/taken branches/redirects, and fetch-width overflow stalls — is a
+pure function of the *trace*: predictors train on (pc, taken) streams and
+never observe timing or cache state.  The fused pipeline therefore replays
+the front end **once per trace** and compiles it into flat arrays the hot
+loop consumes with O(1) work per instruction:
+
+* ``static_fetch[i]`` — the cumulative statically-known fetch-cycle bumps
+  (fetch-width overflows + line-predictor bubbles) before instruction
+  *i* dispatches.  At runtime ``fetch_cycle = dynamic_base +
+  static_fetch[i]``, where ``dynamic_base`` absorbs the only two dynamic
+  events: I-cache miss stalls (additive) and misprediction redirects
+  (a max, applied at the recorded redirect points).
+* ``iaccess_index`` / ``iaccess_line`` — the exact I-cache access points
+  (line changes, including the forced re-fetch after a redirect) and the
+  line fetched at each; the hot loop probes the I-cache only there.
+* ``redirect_index`` / ``redirect_static_next`` — instructions whose
+  resolution redirects fetch (gshare mispredicts, RAS mispredicts), with
+  the static offset of the following instruction so the rebase is O(1).
+* measured-region predictor statistics, plus the trained predictor
+  end-state so a pipeline can expose warm predictors after a fast run
+  exactly as the object path would.
+
+Schedules are memoised on the trace object keyed by the front-end
+parameters, so campaign runs (one trace x many fault maps x many
+configurations) replay the front end once, not per simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cpu.branch import GsharePredictor, LinePredictor, ReturnAddressStack
+from repro.cpu.config import PipelineConfig
+from repro.cpu.trace import Trace
+
+#: Attribute used to memoise schedules on the trace object.
+_CACHE_ATTR = "_frontend_schedules"
+
+#: reg_ready sentinel slots used by the remapped operand columns: reads of
+#: "no register" land on a pinned zero, writes of "no destination" land on
+#: a junk sink, so the hot loop needs no >= 0 guards at all.
+READ_SENTINEL = 64
+WRITE_SENTINEL = 65
+REG_FILE_SLOTS = 66
+
+
+def operand_columns(trace: Trace) -> tuple[list[int], list[int], list[int]]:
+    """(src1, src2, dest) with ``NO_REGISTER`` remapped to the sentinels
+    above — memoised on the trace (pure function of it)."""
+    cached = trace.__dict__.get("_operand_columns")
+    if cached is None:
+        src1 = [READ_SENTINEL if r < 0 else r for r in trace.src1]
+        src2 = [READ_SENTINEL if r < 0 else r for r in trace.src2]
+        dest = [WRITE_SENTINEL if r < 0 else r for r in trace.dest]
+        cached = (src1, src2, dest)
+        trace._operand_columns = cached
+    return cached
+
+
+@dataclass
+class FrontEndSchedule:
+    """Compiled front-end behaviour of one (trace, config, measure_from)."""
+
+    # --- per-instruction -----------------------------------------------------
+    static_fetch: list[int]
+    # --- sparse events (index lists end with a sentinel of n) ---------------
+    iaccess_index: list[int]
+    iaccess_line: list[int]
+    redirect_index: list[int]
+    redirect_static_next: list[int]
+    # --- measured-region predictor statistics -------------------------------
+    gshare_predictions: int
+    gshare_mispredictions: int
+    ras_pushes: int
+    ras_pops: int
+    ras_mispredictions: int
+    lp_lookups: int
+    lp_misses: int
+    # --- measured-region access totals (accesses = hits + misses, so the
+    # hot loop counts only misses and reconstructs the rest at run end) ----
+    iaccess_measured: int
+    daccess_measured: int
+    # --- trained end-state, installed on the pipeline after a fast run ------
+    gshare_table: bytes
+    gshare_history: int
+    ras_stack: tuple[int, ...]
+    lp_table: tuple[int, ...]
+
+    def install(
+        self,
+        gshare: GsharePredictor,
+        ras: ReturnAddressStack,
+        line_predictor: LinePredictor,
+    ) -> None:
+        """Leave the pipeline's predictors exactly as the object path
+        would: trained tables and measured-region counters."""
+        gshare._table = bytearray(self.gshare_table)
+        gshare._history = self.gshare_history
+        gshare.predictions = self.gshare_predictions
+        gshare.mispredictions = self.gshare_mispredictions
+        ras._stack = list(self.ras_stack)
+        ras.pushes = self.ras_pushes
+        ras.pops = self.ras_pops
+        ras.mispredictions = self.ras_mispredictions
+        line_predictor._table = list(self.lp_table)
+        line_predictor.lookups = self.lp_lookups
+        line_predictor.misses = self.lp_misses
+
+
+def structural_columns(
+    trace: Trace, rob_entries: int, iq_int_entries: int, iq_fp_entries: int
+) -> tuple[list[int], list[int]]:
+    """(rob_slot, iq_slot) per instruction — ring positions are a pure
+    function of the class sequence, so they vectorise once per trace.
+
+    ``iq_slot[i]`` is instruction *i*'s slot in *its own* queue (FP classes
+    2-3 rotate through the FP queue, everything else through the INT one).
+    Memoised on the trace keyed by the ring sizes.
+    """
+    cache = trace.__dict__.get("_structural_columns")
+    if cache is None:
+        cache = {}
+        trace._structural_columns = cache
+    key = (rob_entries, iq_int_entries, iq_fp_entries)
+    columns = cache.get(key)
+    if columns is None:
+        n = len(trace)
+        rob_col = (np.arange(n, dtype=np.int64) % rob_entries).tolist()
+        classes = np.asarray(trace.iclass, dtype=np.int64)
+        is_fp = (classes == 2) | (classes == 3)
+        fp_rank = np.cumsum(is_fp) - 1
+        int_rank = np.cumsum(~is_fp) - 1
+        iq_col = np.where(
+            is_fp, fp_rank % iq_fp_entries, int_rank % iq_int_entries
+        ).tolist()
+        columns = (rob_col, iq_col)
+        cache[key] = columns
+    return columns
+
+
+def _schedule_key(
+    config: PipelineConfig, offset_bits: int, measure_from: int, n: int
+) -> tuple:
+    return (
+        config.gshare_history_bits,
+        config.ras_entries,
+        config.line_predictor_entries,
+        config.fetch_width,
+        offset_bits,
+        measure_from,
+        n,
+    )
+
+
+def frontend_schedule(
+    trace: Trace,
+    config: PipelineConfig,
+    offset_bits: int,
+    measure_from: int,
+) -> FrontEndSchedule:
+    """The memoised schedule for this trace/front-end combination."""
+    cache = trace.__dict__.get(_CACHE_ATTR)
+    if cache is None:
+        cache = {}
+        setattr(trace, _CACHE_ATTR, cache)
+    key = _schedule_key(config, offset_bits, measure_from, len(trace))
+    schedule = cache.get(key)
+    if schedule is None:
+        schedule = _build_schedule(trace, config, offset_bits, measure_from)
+        cache[key] = schedule
+    return schedule
+
+
+def _build_schedule(
+    trace: Trace,
+    config: PipelineConfig,
+    offset_bits: int,
+    measure_from: int,
+) -> FrontEndSchedule:
+    """Replay the front end over the trace (mirror of the generic loop's
+    fetch and control-flow sections, minus everything timing-dependent)."""
+    gshare = GsharePredictor(config.gshare_history_bits)
+    ras = ReturnAddressStack(config.ras_entries)
+    lp = LinePredictor(config.line_predictor_entries)
+    predict_branch = gshare.predict_and_update
+    lp_check = lp.predict_and_update
+    ras_push = ras.push
+    ras_pop = ras.pop_and_check
+
+    pcs = trace.pc
+    classes = trace.iclass
+    takens = trace.taken
+    n = len(pcs)
+    fetch_width = config.fetch_width
+
+    static_fetch = [0] * n
+    iaccess_index: list[int] = []
+    iaccess_line: list[int] = []
+    redirect_index: list[int] = []
+
+    fetch_static = 0
+    fetch_slot = 0
+    cur_line = -1
+    iaccess_measured = 0
+    daccess_measured = 0
+
+    for i in range(n):
+        if i == measure_from and i > 0:
+            gshare.predictions = 0
+            gshare.mispredictions = 0
+            ras.pops = 0
+            ras.pushes = 0
+            ras.mispredictions = 0
+            lp.lookups = 0
+            lp.misses = 0
+            iaccess_measured = 0
+            daccess_measured = 0
+        pc = pcs[i]
+        cls = classes[i]
+        if cls == 4 or cls == 5:  # LOAD / STORE: one D-cache access each
+            daccess_measured += 1
+
+        line = pc >> offset_bits
+        if line != cur_line:
+            cur_line = line
+            iaccess_index.append(i)
+            iaccess_line.append(line)
+            iaccess_measured += 1
+            fetch_slot = 0
+        if fetch_slot >= fetch_width:
+            fetch_static += 1
+            fetch_slot = 0
+        fetch_slot += 1
+
+        static_fetch[i] = fetch_static
+
+        if cls > 5:
+            if cls == 6:  # BRANCH
+                taken = takens[i]
+                if not predict_branch(pc, taken):
+                    redirect_index.append(i)
+                    fetch_slot = 0
+                    cur_line = -1
+                elif taken:
+                    target_line = (pcs[i + 1] >> offset_bits) if i + 1 < n else line
+                    if not lp_check(pc, target_line):
+                        fetch_static += 1  # taken-branch fetch bubble
+                    fetch_slot = 0
+            elif cls == 7:  # CALL
+                ras_push(pc + 4)
+                fetch_slot = 0
+            else:  # RETURN
+                actual = pcs[i + 1] if i + 1 < n else pc + 4
+                if not ras_pop(actual):
+                    redirect_index.append(i)
+                    fetch_slot = 0
+                    cur_line = -1
+                else:
+                    fetch_slot = 0
+
+    # Static offset right after each redirect (the redirected instruction
+    # stream restarts a fetch group, so no bump lands between).
+    redirect_static_next = [
+        static_fetch[i + 1] if i + 1 < n else static_fetch[i]
+        for i in redirect_index
+    ]
+    # Sentinels let the hot loop compare against a plain int forever.
+    iaccess_index.append(n)
+    redirect_index.append(n)
+
+    return FrontEndSchedule(
+        static_fetch=static_fetch,
+        iaccess_index=iaccess_index,
+        iaccess_line=iaccess_line,
+        redirect_index=redirect_index,
+        redirect_static_next=redirect_static_next,
+        gshare_predictions=gshare.predictions,
+        gshare_mispredictions=gshare.mispredictions,
+        ras_pushes=ras.pushes,
+        ras_pops=ras.pops,
+        ras_mispredictions=ras.mispredictions,
+        lp_lookups=lp.lookups,
+        lp_misses=lp.misses,
+        iaccess_measured=iaccess_measured,
+        daccess_measured=daccess_measured,
+        gshare_table=bytes(gshare._table),
+        gshare_history=gshare._history,
+        ras_stack=tuple(ras._stack),
+        lp_table=tuple(lp._table),
+    )

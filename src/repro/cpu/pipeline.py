@@ -26,17 +26,44 @@ store-to-load forwarding conflicts, and DRAM bank contention.  These
 second-order effects shift absolute IPC but affect every scheme's runs in
 the same direction; the paper's conclusions rest on relative performance
 between schemes sharing a trace, which this model resolves.
+
+Execution engines
+-----------------
+``run`` drives the memory hierarchy through one of two engines:
+
+* ``"fused"`` (default) — the hierarchy is compiled into a
+  :class:`~repro.cache.engine.FusedHierarchy` of flat-array state; L1 hits
+  are probed *inline in the pipeline loop* (a slice membership test, no
+  call frames) and misses take a single closure call.  Statistics and
+  cache contents are synced back to the object hierarchy after the run.
+* ``"object"`` — the original ``MemoryHierarchy.access_*`` call chain;
+  kept as the verification baseline the fused engine is cross-checked
+  against (``tests/integration/test_golden_sim.py`` pins both paths to
+  the same golden cycle counts and statistics).
+
+Both engines are bit-identical in cycles and every reported statistic.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from heapq import heapreplace
 
+from repro.cache.engine import FusedHierarchy
 from repro.cache.hierarchy import MemoryHierarchy
 from repro.cpu.branch import GsharePredictor, LinePredictor, ReturnAddressStack
 from repro.cpu.config import PipelineConfig
+from repro.cpu.frontend import (
+    REG_FILE_SLOTS,
+    frontend_schedule,
+    operand_columns,
+    structural_columns,
+)
 from repro.cpu.isa import EXECUTION_LATENCY, InstrClass
 from repro.cpu.trace import Trace
+
+#: Valid ``engine`` arguments to :class:`OutOfOrderPipeline`.
+ENGINES = ("fused", "object")
 
 
 @dataclass(frozen=True)
@@ -81,20 +108,49 @@ class OutOfOrderPipeline:
     The paper's 100M-instruction regions are measured with warm state; our
     much shorter traces need the explicit prefix or cold two-bit counters
     and compulsory misses dominate.
+
+    ``engine`` selects the memory-hierarchy execution engine (see module
+    docstring); the object hierarchy remains the source of truth between
+    runs either way.
     """
 
     def __init__(
         self,
         config: PipelineConfig,
         hierarchy: MemoryHierarchy,
+        engine: str = "fused",
     ) -> None:
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; choose from {ENGINES}")
         self.config = config
         self.hierarchy = hierarchy
+        self.engine = engine
         self.gshare = GsharePredictor(config.gshare_history_bits)
         self.ras = ReturnAddressStack(config.ras_entries)
         self.line_predictor = LinePredictor(config.line_predictor_entries)
+        self._runs = 0
 
-    def _reset_measurement_state(self) -> None:
+    def _can_run_fast(self, fused: FusedHierarchy) -> bool:
+        """Whether the schedule-driven fast loop applies: first run of this
+        pipeline (the schedule replays predictors from their pristine
+        construction state), Table II scan widths (the loop unrolls them),
+        no prefetchers (they hook demand *hits*, which the fast loop
+        services inline), and a positive front-end depth (the fast loop
+        drops occupancy guards that rely on dispatch cycles being >= 1)."""
+        cfg = self.config
+        return (
+            self._runs == 0
+            and fused.iport.can_inline_hits
+            and fused.dport.can_inline_hits
+            and cfg.issue_width == 6
+            and cfg.int_alu_units == 4
+            and cfg.int_mul_units == 4
+            and cfg.fp_alu_units == 1
+            and cfg.fp_mul_units == 1
+            and cfg.frontend_stages + self.hierarchy.latencies.l1i >= 1
+        )
+
+    def _reset_measurement_state(self, fused: FusedHierarchy | None) -> None:
         """Zero every statistic at the warmup/measured-region boundary
         (microarchitectural state — caches, predictor tables, in-flight
         timing — is deliberately kept warm)."""
@@ -105,6 +161,9 @@ class OutOfOrderPipeline:
         self.ras.mispredictions = 0
         self.line_predictor.lookups = 0
         self.line_predictor.misses = 0
+        if fused is not None:
+            fused.reset_stats()
+            return
         hier = self.hierarchy
         for cache in (hier.l1i, hier.l1d, hier.l2):
             cache.stats.reset()
@@ -129,6 +188,17 @@ class OutOfOrderPipeline:
         if n == 0:
             return SimResult(trace.name, 0, 0, 0, 0, hier.stats().snapshot())
 
+        # Compile the hierarchy fresh each run: the object model is
+        # authoritative between runs (sync() below writes the flat state
+        # back), so external mutation of the caches stays visible.
+        fused: FusedHierarchy | None = None
+        if self.engine == "fused":
+            fused = FusedHierarchy(hier)
+            if self._can_run_fast(fused):
+                self._runs += 1
+                return self._run_fast(trace, measure_from, fused)
+        self._runs += 1
+
         # Local bindings: the loop below runs once per instruction and
         # dominates experiment runtime.
         pcs = trace.pc
@@ -139,8 +209,6 @@ class OutOfOrderPipeline:
         dests = trace.dest
         takens = trace.taken
 
-        access_inst = hier.access_instruction
-        access_data = hier.access_data
         predict_branch = self.gshare.predict_and_update
         lp_check = self.line_predictor.predict_and_update
         ras_push = self.ras.push
@@ -149,7 +217,39 @@ class OutOfOrderPipeline:
         i_shift = hier.l1i.geometry.offset_bits
         d_shift = hier.l1d.geometry.offset_bits
         l1i_lat = hier.latencies.l1i
+        l1d_lat = hier.latencies.l1d
         frontend_delay = cfg.frontend_stages + l1i_lat
+
+        # Engine binding.  With the fused engine and no prefetcher on a
+        # port, the L1 *hit* path is inlined right here in the loop: the
+        # residency dict, recency list, and counters are bound to locals,
+        # and only misses leave the frame (one closure call).  A prefetcher
+        # hooks demand hits, so ports with one fall back to the fused
+        # access closure; the object engine uses the original method chain.
+        i_inline = d_inline = False
+        if fused is not None:
+            access_inst = fused.iport.access
+            access_data = fused.dport.access
+            if fused.iport.can_inline_hits:
+                i_inline = True
+                i_state = fused._l1i
+                i_res = i_state.resident
+                i_last = i_state.last_touch
+                i_clk = i_state.clock
+                i_cnt = i_state.counters
+                i_miss = fused.iport.miss
+            if fused.dport.can_inline_hits:
+                d_inline = True
+                d_state = fused._l1d
+                d_res = d_state.resident
+                d_last = d_state.last_touch
+                d_dirty = d_state.dirty
+                d_clk = d_state.clock
+                d_cnt = d_state.counters
+                d_miss = fused.dport.miss
+        else:
+            access_inst = hier.access_instruction
+            access_data = hier.access_data
 
         exec_lat = [EXECUTION_LATENCY[InstrClass(c)] for c in range(9)]
         # FU pool per class index (see isa.FU_OF_CLASS, flattened for speed):
@@ -162,6 +262,7 @@ class OutOfOrderPipeline:
             [0] * cfg.fp_mul_units,
         ]
         ports = [0] * cfg.issue_width
+        n_ports = cfg.issue_width
 
         reg_ready = [0] * 64
 
@@ -170,6 +271,8 @@ class OutOfOrderPipeline:
 
         int_iq = [0] * cfg.iq_int_entries
         fp_iq = [0] * cfg.iq_fp_entries
+        int_iq_len = cfg.iq_int_entries
+        fp_iq_len = cfg.iq_fp_entries
         int_count = 0
         fp_count = 0
 
@@ -186,7 +289,6 @@ class OutOfOrderPipeline:
         STORE = int(InstrClass.STORE)
         BRANCH = int(InstrClass.BRANCH)
         CALL = int(InstrClass.CALL)
-        RETURN = int(InstrClass.RETURN)
         FP_ALU = int(InstrClass.FP_ALU)
         FP_MUL = int(InstrClass.FP_MUL)
 
@@ -195,7 +297,7 @@ class OutOfOrderPipeline:
         for i in range(n):
             if i == measure_from and i > 0:
                 cycles_base = last_commit
-                self._reset_measurement_state()
+                self._reset_measurement_state(fused)
             pc = pcs[i]
             cls = classes[i]
 
@@ -203,9 +305,22 @@ class OutOfOrderPipeline:
             line = pc >> i_shift
             if line != cur_line:
                 cur_line = line
-                lat = access_inst(line)
-                if lat > l1i_lat:
-                    fetch_cycle += lat - l1i_lat  # miss stall cycles
+                if i_inline:
+                    c = i_clk[0] + 1
+                    i_clk[0] = c
+                    i_cnt[0] += 1  # accesses
+                    index = i_res.get(line)
+                    if index is not None:
+                        i_cnt[1] += 1  # hits: latency == l1i_lat, no stall
+                        i_last[index] = c
+                    else:
+                        i_cnt[2] += 1  # misses
+                        lat = i_miss(line, False)
+                        fetch_cycle += lat - l1i_lat  # miss stall cycles
+                else:
+                    lat = access_inst(line)
+                    if lat > l1i_lat:
+                        fetch_cycle += lat - l1i_lat  # miss stall cycles
                 fetch_slot = 0  # fetch groups break at line boundaries
             if fetch_slot >= fetch_width:
                 fetch_cycle += 1
@@ -215,19 +330,20 @@ class OutOfOrderPipeline:
             disp = fetch_cycle + frontend_delay
 
             # ---- dispatch: ROB and issue-queue occupancy ---------------------
+            rob_slot = i % rob_size
             if i >= rob_size:
-                freed = rob_ring[i % rob_size] + 1
+                freed = rob_ring[rob_slot] + 1
                 if freed > disp:
                     disp = freed
             if cls == FP_ALU or cls == FP_MUL:
-                slot = fp_count % len(fp_iq)
-                if fp_count >= len(fp_iq) and fp_iq[slot] > disp:
+                slot = fp_count % fp_iq_len
+                if fp_count >= fp_iq_len and fp_iq[slot] > disp:
                     disp = fp_iq[slot]
                 fp_count += 1
                 iq_ring, iq_slot = fp_iq, slot
             else:
-                slot = int_count % len(int_iq)
-                if int_count >= len(int_iq) and int_iq[slot] > disp:
+                slot = int_count % int_iq_len
+                if int_count >= int_iq_len and int_iq[slot] > disp:
                     disp = int_iq[slot]
                 int_count += 1
                 iq_ring, iq_slot = int_iq, slot
@@ -242,21 +358,69 @@ class OutOfOrderPipeline:
                 ready = reg_ready[r]
 
             # ---- issue: FU and issue-port structural hazards ------------------
+            # Min-scans unrolled for the fixed Table II pool widths (4 INT
+            # ALUs/multipliers, single FP units, 6 issue ports); other
+            # widths take the generic loop.  Tie-breaking (first minimum)
+            # matches min()/the loop exactly.
             units = fu_free[fu_of[cls]]
-            best_u = 0
-            best_t = units[0]
-            for j in range(1, len(units)):
-                if units[j] < best_t:
-                    best_t = units[j]
-                    best_u = j
+            n_units = len(units)
+            if n_units == 1:
+                best_u = 0
+                best_t = units[0]
+            elif n_units == 4:
+                best_u = 0
+                best_t = units[0]
+                t = units[1]
+                if t < best_t:
+                    best_t = t
+                    best_u = 1
+                t = units[2]
+                if t < best_t:
+                    best_t = t
+                    best_u = 2
+                t = units[3]
+                if t < best_t:
+                    best_t = t
+                    best_u = 3
+            else:
+                best_u = 0
+                best_t = units[0]
+                for j in range(1, n_units):
+                    if units[j] < best_t:
+                        best_t = units[j]
+                        best_u = j
             start = ready if ready > best_t else best_t
 
-            best_p = 0
-            best_t = ports[0]
-            for j in range(1, len(ports)):
-                if ports[j] < best_t:
-                    best_t = ports[j]
-                    best_p = j
+            if n_ports == 6:
+                best_p = 0
+                best_t = ports[0]
+                t = ports[1]
+                if t < best_t:
+                    best_t = t
+                    best_p = 1
+                t = ports[2]
+                if t < best_t:
+                    best_t = t
+                    best_p = 2
+                t = ports[3]
+                if t < best_t:
+                    best_t = t
+                    best_p = 3
+                t = ports[4]
+                if t < best_t:
+                    best_t = t
+                    best_p = 4
+                t = ports[5]
+                if t < best_t:
+                    best_t = t
+                    best_p = 5
+            else:
+                best_p = 0
+                best_t = ports[0]
+                for j in range(1, n_ports):
+                    if ports[j] < best_t:
+                        best_t = ports[j]
+                        best_p = j
             if best_t > start:
                 start = best_t
 
@@ -265,13 +429,43 @@ class OutOfOrderPipeline:
             iq_ring[iq_slot] = start + 1  # IQ entry frees at issue
 
             # ---- execute / complete ------------------------------------------
-            if cls == LOAD:
-                comp = start + access_data(mem_addrs[i] >> d_shift, False)
-            elif cls == STORE:
-                access_data(mem_addrs[i] >> d_shift, True)
-                comp = start + 1  # retires via the store buffer
-            else:
+            if cls < 4:  # ALU/MUL classes 0-3: fixed latencies
                 comp = start + exec_lat[cls]
+            elif cls == LOAD:
+                block = mem_addrs[i] >> d_shift
+                if d_inline:
+                    c = d_clk[0] + 1
+                    d_clk[0] = c
+                    d_cnt[0] += 1
+                    index = d_res.get(block)
+                    if index is not None:
+                        d_cnt[1] += 1
+                        d_last[index] = c
+                        comp = start + l1d_lat
+                    else:
+                        d_cnt[2] += 1
+                        comp = start + d_miss(block, False)
+                else:
+                    comp = start + access_data(block, False)
+            elif cls == STORE:
+                block = mem_addrs[i] >> d_shift
+                if d_inline:
+                    c = d_clk[0] + 1
+                    d_clk[0] = c
+                    d_cnt[0] += 1
+                    index = d_res.get(block)
+                    if index is not None:
+                        d_cnt[1] += 1
+                        d_last[index] = c
+                        d_dirty[index] = True
+                    else:
+                        d_cnt[2] += 1
+                        d_miss(block, True)
+                else:
+                    access_data(block, True)
+                comp = start + 1  # retires via the store buffer
+            else:  # control classes 6-8: single-cycle execute
+                comp = start + 1
 
             r = dests[i]
             if r >= 0:
@@ -286,37 +480,40 @@ class OutOfOrderPipeline:
                 commit_slots = 1
             else:
                 commit_slots += 1
-            rob_ring[i % rob_size] = last_commit
+            rob_ring[rob_slot] = last_commit
 
             # ---- control flow -------------------------------------------------
-            if cls == BRANCH:
-                taken = takens[i]
-                if not predict_branch(pc, taken):
-                    # Redirect: fetch restarts after resolution.
-                    redirect = comp + 1
-                    if redirect > fetch_cycle:
-                        fetch_cycle = redirect
+            if cls > 5:  # one test gates all branch/call/return bookkeeping
+                if cls == BRANCH:
+                    taken = takens[i]
+                    if not predict_branch(pc, taken):
+                        # Redirect: fetch restarts after resolution.
+                        redirect = comp + 1
+                        if redirect > fetch_cycle:
+                            fetch_cycle = redirect
+                        fetch_slot = 0
+                        cur_line = -1
+                    elif taken:
+                        target_line = (pcs[i + 1] >> i_shift) if i + 1 < n else line
+                        if not lp_check(pc, target_line):
+                            fetch_cycle += 1  # taken-branch fetch bubble
+                        fetch_slot = 0
+                elif cls == CALL:
+                    ras_push(pc + 4)
                     fetch_slot = 0
-                    cur_line = -1
-                elif taken:
-                    target_line = (pcs[i + 1] >> i_shift) if i + 1 < n else line
-                    if not lp_check(pc, target_line):
-                        fetch_cycle += 1  # taken-branch fetch bubble
-                    fetch_slot = 0
-            elif cls == CALL:
-                ras_push(pc + 4)
-                fetch_slot = 0
-            elif cls == RETURN:
-                actual = pcs[i + 1] if i + 1 < n else pc + 4
-                if not ras_pop(actual):
-                    redirect = comp + 1
-                    if redirect > fetch_cycle:
-                        fetch_cycle = redirect
-                    fetch_slot = 0
-                    cur_line = -1
-                else:
-                    fetch_slot = 0
+                else:  # RETURN
+                    actual = pcs[i + 1] if i + 1 < n else pc + 4
+                    if not ras_pop(actual):
+                        redirect = comp + 1
+                        if redirect > fetch_cycle:
+                            fetch_cycle = redirect
+                        fetch_slot = 0
+                        cur_line = -1
+                    else:
+                        fetch_slot = 0
 
+        if fused is not None:
+            fused.sync()
         return SimResult(
             benchmark=trace.name,
             instructions=n - measure_from,
@@ -324,5 +521,250 @@ class OutOfOrderPipeline:
             branch_mispredictions=self.gshare.mispredictions
             + self.ras.mispredictions,
             branch_predictions=self.gshare.predictions + self.ras.pops,
+            hierarchy_stats=hier.stats().snapshot(),
+        )
+
+    def _run_fast(
+        self, trace: Trace, measure_from: int, fused: FusedHierarchy
+    ) -> SimResult:
+        """Schedule-driven hot loop (see module docstring).
+
+        The front end (predictors, fetch grouping) is precomputed per
+        trace by :func:`~repro.cpu.frontend.frontend_schedule`; the loop
+        consumes it as one zipped static-fetch column plus two sparse
+        event streams (I-cache access points, misprediction redirects).
+        Combined with the inlined flat-state L1 probes this leaves only
+        the genuinely dynamic work — dependences, structural hazards,
+        cache state, commit — in the per-instruction path.  Results are
+        bit-identical to the generic loop (golden-pinned).
+        """
+        cfg = self.config
+        hier = self.hierarchy
+        n = len(trace)
+
+        classes = trace.iclass
+        mem_addrs = trace.mem_addr
+        src1s, src2s, dests = operand_columns(trace)
+
+        i_shift = hier.l1i.geometry.offset_bits
+        d_shift = hier.l1d.geometry.offset_bits
+        l1i_lat = hier.latencies.l1i
+        l1d_lat = hier.latencies.l1d
+        frontend_delay = cfg.frontend_stages + l1i_lat
+
+        schedule = frontend_schedule(trace, cfg, i_shift, measure_from)
+        sps = schedule.static_fetch
+        ia_indices = schedule.iaccess_index
+        ia_lines = schedule.iaccess_line
+        rd_indices = schedule.redirect_index
+        rd_static_next = schedule.redirect_static_next
+        rob_col, iq_col = structural_columns(
+            trace, cfg.rob_entries, cfg.iq_int_entries, cfg.iq_fp_entries
+        )
+
+        i_state = fused._l1i
+        i_res = i_state.resident
+        i_last = i_state.last_touch
+        i_clk = i_state.clock
+        i_cnt = i_state.counters
+        i_miss = fused.iport.miss
+
+        d_state = fused._l1d
+        d_res = d_state.resident
+        d_last = d_state.last_touch
+        d_dirty = d_state.dirty
+        d_clk = d_state.clock
+        d_cnt = d_state.counters
+        d_miss = fused.dport.miss
+
+        exec_lat = tuple(EXECUTION_LATENCY[InstrClass(c)] for c in range(9))
+        # FU pools and issue ports are earliest-free multisets: each issue
+        # replaces one minimum with start+1, and only the minimum is ever
+        # observed — heapreplace (C) is multiset-equivalent to the generic
+        # loop's argmin scan, so timing stays bit-identical.
+        int_alu = [0] * 4
+        int_mul = [0] * 4
+        fp_alu = [0]
+        fp_mul = [0]
+        ports = [0] * 6
+        heap_replace = heapreplace
+
+        # Slots 64/65 are the read/write sentinels of operand_columns():
+        # 64 stays pinned at zero (a "no register" source is always ready),
+        # 65 swallows the writes of destination-less instructions.
+        reg_ready = [0] * REG_FILE_SLOTS
+
+        rob_size = cfg.rob_entries
+        rob_ring = [0] * rob_size
+
+        int_iq = [0] * cfg.iq_int_entries
+        fp_iq = [0] * cfg.iq_fp_entries
+
+        # fetch_cycle = dyn - frontend_delay + static_fetch[i]; dispatch =
+        # dyn + static_fetch[i].  dyn absorbs I-miss stalls (additive) and
+        # redirect maxes.  The ring-occupancy guards of the generic loop
+        # (i >= rob_size, count >= iq_len) are dropped: rings start at 0
+        # and dispatch is always >= frontend_delay >= 1, so unwritten
+        # entries can never bind.
+        dyn = frontend_delay
+        ia_cursor = 0
+        next_ia = ia_indices[0]
+        rd_cursor = 0
+        next_rd = rd_indices[0]
+
+        last_commit = 0
+        commit_slots = 0
+        commit_width = cfg.commit_width
+        cycles_base = 0
+        boundary = measure_from if measure_from > 0 else -1
+        # One pre-dispatch event check covers both the (rare) measurement
+        # boundary and the precomputed I-cache access points.
+        next_pre = next_ia if boundary < 0 or next_ia < boundary else boundary
+
+        # Local mirrors of the L1 clocks: hits touch only locals; the cells
+        # are synchronised around each miss-closure call (fills bump them).
+        i_clock = i_clk[0]
+        d_clock = d_clk[0]
+
+        for i, (cls, sp, r1, r2, rd, rs, slot) in enumerate(
+            zip(classes, sps, src1s, src2s, dests, rob_col, iq_col)
+        ):
+            if i == next_pre:
+                if i == boundary:
+                    cycles_base = last_commit
+                    self._reset_measurement_state(fused)
+                    boundary = -1
+                if i == next_ia:
+                    # ---- I-cache access point (precomputed line change) ---
+                    line = ia_lines[ia_cursor]
+                    ia_cursor += 1
+                    next_ia = ia_indices[ia_cursor]
+                    i_clock += 1
+                    index = i_res.get(line)
+                    if index is not None:
+                        i_last[index] = i_clock
+                    else:
+                        i_cnt[2] += 1  # hits/accesses reconstructed at end
+                        i_clk[0] = i_clock
+                        dyn += i_miss(line, False) - l1i_lat
+                        i_clock = i_clk[0]
+                next_pre = next_ia if boundary < 0 or next_ia < boundary else boundary
+
+            disp = dyn + sp
+
+            # ---- dispatch: ROB and issue queues ---------------------------
+            freed = rob_ring[rs] + 1
+            if freed > disp:
+                disp = freed
+            if cls == 2 or cls == 3:  # FP_ALU / FP_MUL
+                t = fp_iq[slot]
+                if t > disp:
+                    disp = t
+                ready = disp
+                t = reg_ready[r1]
+                if t > ready:
+                    ready = t
+                t = reg_ready[r2]
+                if t > ready:
+                    ready = t
+                units = fp_alu if cls == 2 else fp_mul
+                t = units[0]
+                start = ready if ready > t else t
+                t = ports[0]
+                if t > start:
+                    start = t
+                issued = start + 1
+                units[0] = issued  # fully pipelined units
+                heap_replace(ports, issued)
+                fp_iq[slot] = issued  # IQ entry frees at issue
+            else:
+                t = int_iq[slot]
+                if t > disp:
+                    disp = t
+                ready = disp
+                t = reg_ready[r1]
+                if t > ready:
+                    ready = t
+                t = reg_ready[r2]
+                if t > ready:
+                    ready = t
+                units = int_mul if cls == 1 else int_alu
+                t = units[0]
+                start = ready if ready > t else t
+                t = ports[0]
+                if t > start:
+                    start = t
+                issued = start + 1
+                heap_replace(units, issued)  # fully pipelined units
+                heap_replace(ports, issued)
+                int_iq[slot] = issued  # IQ entry frees at issue
+
+            # ---- execute / complete (inline residency probes) -------------
+            if cls == 4:  # LOAD
+                block = mem_addrs[i] >> d_shift
+                d_clock += 1
+                index = d_res.get(block)
+                if index is not None:
+                    d_last[index] = d_clock
+                    comp = start + l1d_lat
+                else:
+                    d_cnt[2] += 1  # hits/accesses reconstructed at end
+                    d_clk[0] = d_clock
+                    comp = start + d_miss(block, False)
+                    d_clock = d_clk[0]
+            elif cls == 5:  # STORE
+                block = mem_addrs[i] >> d_shift
+                d_clock += 1
+                index = d_res.get(block)
+                if index is not None:
+                    d_last[index] = d_clock
+                    d_dirty[index] = True
+                else:
+                    d_cnt[2] += 1
+                    d_clk[0] = d_clock
+                    d_miss(block, True)
+                    d_clock = d_clk[0]
+                comp = start + 1  # retires via the store buffer
+            else:
+                comp = start + exec_lat[cls]
+
+            reg_ready[rd] = comp  # destination-less writes hit the sink slot
+
+            # ---- commit: in-order, bounded width --------------------------
+            if comp > last_commit:
+                last_commit = comp
+                commit_slots = 1
+            elif commit_slots >= commit_width:
+                last_commit += 1
+                commit_slots = 1
+            else:
+                commit_slots += 1
+            rob_ring[rs] = last_commit
+
+            # ---- misprediction redirects (precomputed points) -------------
+            if i == next_rd:
+                rd_cursor += 1
+                next_rd = rd_indices[rd_cursor]
+                rebased = comp + 1 + frontend_delay - rd_static_next[rd_cursor - 1]
+                if rebased > dyn:
+                    dyn = rebased
+
+        # Reconstruct the counters the hot paths skipped: accesses are
+        # trace-static (from the schedule) and hits = accesses - misses.
+        i_clk[0] = i_clock
+        d_clk[0] = d_clock
+        i_cnt[0] = schedule.iaccess_measured
+        i_cnt[1] = i_cnt[0] - i_cnt[2]
+        d_cnt[0] = schedule.daccess_measured
+        d_cnt[1] = d_cnt[0] - d_cnt[2]
+        fused.sync()
+        schedule.install(self.gshare, self.ras, self.line_predictor)
+        return SimResult(
+            benchmark=trace.name,
+            instructions=n - measure_from,
+            cycles=last_commit - cycles_base,
+            branch_mispredictions=schedule.gshare_mispredictions
+            + schedule.ras_mispredictions,
+            branch_predictions=schedule.gshare_predictions + schedule.ras_pops,
             hierarchy_stats=hier.stats().snapshot(),
         )

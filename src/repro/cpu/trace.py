@@ -108,22 +108,26 @@ class Trace:
 
     @classmethod
     def from_arrays(cls, arrays: dict[str, np.ndarray], name: str = "trace") -> "Trace":
+        # ndarray.tolist() converts whole columns at C speed (and yields
+        # plain int/bool, exactly like the per-element loops it replaced);
+        # trace-cache loads put this on the campaign hot path.
         return cls(
-            pc=[int(x) for x in arrays["pc"]],
-            iclass=[int(x) for x in arrays["iclass"]],
-            mem_addr=[int(x) for x in arrays["mem_addr"]],
-            src1=[int(x) for x in arrays["src1"]],
-            src2=[int(x) for x in arrays["src2"]],
-            dest=[int(x) for x in arrays["dest"]],
-            taken=[bool(x) for x in arrays["taken"]],
+            pc=np.asarray(arrays["pc"]).tolist(),
+            iclass=np.asarray(arrays["iclass"]).tolist(),
+            mem_addr=np.asarray(arrays["mem_addr"]).tolist(),
+            src1=np.asarray(arrays["src1"]).tolist(),
+            src2=np.asarray(arrays["src2"]).tolist(),
+            dest=np.asarray(arrays["dest"]).tolist(),
+            taken=np.asarray(arrays["taken"]).tolist(),
             name=name,
         )
 
     # ----- persistence ---------------------------------------------------------------
 
-    def save(self, path: str) -> None:
+    def save(self, path) -> None:
         """Persist as compressed ``.npz`` so expensive traces can be reused
-        across experiment campaigns."""
+        across experiment campaigns.  ``path`` may be a filename or an open
+        binary file object (the trace cache writes through a temp file)."""
         np.savez_compressed(path, name=self.name, **self.to_arrays())
 
     @classmethod

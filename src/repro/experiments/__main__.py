@@ -11,7 +11,10 @@ Usage::
 Campaigns: pass ``--store DIR`` (or set ``REPRO_STORE``) to persist every
 simulation result under ``DIR``; reruns — including after a crash —
 execute only what the store is missing, and a summary line on stderr
-reports how many simulations actually ran.
+reports how many simulations actually ran.  Pass ``--trace-cache DIR``
+(or set ``REPRO_TRACE_CACHE``) to persist generated benchmark traces too:
+repeated invocations and parallel workers load them instead of
+regenerating (the summary reports ``traces generated=N loaded=M``).
 """
 
 from __future__ import annotations
@@ -27,6 +30,7 @@ from repro.experiments.figures import (
     PERFORMANCE_FIGURES,
     configs_for_targets,
 )
+from repro.experiments.providers import TRACE_CACHE_ENV
 from repro.experiments.report import REPORT_CONFIGS, reproduction_report
 from repro.experiments.runner import ExperimentRunner, RunnerSettings
 from repro.experiments.store import DiskStore, MemoryStore, ResultStore, open_store
@@ -83,6 +87,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-store",
         action="store_true",
         help="keep results in memory even if REPRO_STORE is set",
+    )
+    parser.add_argument(
+        "--trace-cache",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help="persistent trace cache: store generated benchmark traces as "
+        ".npz under DIR and reuse them across invocations and parallel "
+        "workers (default: $REPRO_TRACE_CACHE if set)",
     )
     parser.add_argument(
         "--csv",
@@ -162,10 +175,18 @@ def main(argv: list[str] | None = None) -> int:
 
         return progress
 
+    trace_cache = args.trace_cache or os.environ.get(TRACE_CACHE_ENV) or None
+    if trace_cache:
+        # Export for child processes (parallel ablation studies build their
+        # own runners from the environment).
+        os.environ[TRACE_CACHE_ENV] = trace_cache
+
     def shared_runner() -> ExperimentRunner:
         nonlocal runner
         if runner is None:
-            runner = ExperimentRunner(_settings_from_args(args), store=store)
+            runner = ExperimentRunner(
+                _settings_from_args(args), store=store, trace_cache=trace_cache
+            )
             if args.workers > 1:
                 from repro.experiments.parallel import prefill_cache
 
@@ -229,6 +250,13 @@ def main(argv: list[str] | None = None) -> int:
             f"[campaign] simulations executed={executed} "
             f"store={store.description} entries={len(store)}"
         )
+        if runner is not None:
+            traces = runner.traces
+            summary += (
+                f" traces generated={traces.generated} loaded={traces.loaded}"
+            )
+            if traces.discarded:
+                summary += f" discarded={traces.discarded}"
         if ablations_rendered:
             # Ablation studies build their own inputs and bypass the
             # store; their simulations are not in the counts above.

@@ -42,16 +42,27 @@ ProgressFn = Callable[[int, int], None]
 _WORKER_RUNNER: ExperimentRunner | None = None
 
 
-def _worker_init(settings: RunnerSettings, pipeline_config) -> None:
+def _worker_init(
+    settings: RunnerSettings, pipeline_config, trace_cache: "str | None" = None
+) -> None:
     global _WORKER_RUNNER
-    _WORKER_RUNNER = ExperimentRunner(settings, pipeline_config=pipeline_config)
+    _WORKER_RUNNER = ExperimentRunner(
+        settings, pipeline_config=pipeline_config, trace_cache=trace_cache
+    )
 
 
-def _worker_run_chunk(chunk: list[Task]) -> list[tuple[Task, SimResult]]:
+def _worker_run_chunk(
+    chunk: list[Task],
+) -> tuple[int, tuple[int, int, int], list[tuple[Task, SimResult]]]:
+    """Run one chunk; also report this worker's cumulative trace-provider
+    counters (pid-keyed so the parent can aggregate across the pool)."""
     assert _WORKER_RUNNER is not None, "worker not initialised"
-    return [
+    results = [
         (task, _WORKER_RUNNER.run(task[0], task[1], task[2])) for task in chunk
     ]
+    traces = _WORKER_RUNNER.traces
+    counters = (traces.generated, traces.loaded, traces.discarded)
+    return os.getpid(), counters, results
 
 
 def plan_tasks(
@@ -137,16 +148,33 @@ def prefill_cache(
     with ProcessPoolExecutor(
         max_workers=workers,
         initializer=_worker_init,
-        initargs=(runner.settings, runner.pipeline_config),
+        # Workers share the persistent trace cache (atomic writes make the
+        # directory safe for concurrent fills): once an entry lands, no
+        # later worker or invocation regenerates it.  (Workers that miss
+        # simultaneously on a cold cache may each generate once — the
+        # aggregated `traces generated=` summary reports it truthfully.)
+        initargs=(runner.settings, runner.pipeline_config, runner.traces.cache_dir),
     ) as pool:
         futures = [pool.submit(_worker_run_chunk, chunk) for chunk in chunks]
+        worker_traces: dict[int, tuple[int, int, int]] = {}
         for future in as_completed(futures):
-            for (benchmark, config, map_index), result in future.result():
+            pid, counters, chunk_results = future.result()
+            # Counters are cumulative per worker; keep the high-water mark
+            # so the parent's summary reflects pool-wide trace activity.
+            previous = worker_traces.get(pid)
+            if previous is None or counters > previous:
+                worker_traces[pid] = counters
+            for (benchmark, config, map_index), result in chunk_results:
                 runner.store_result(benchmark, config, map_index, result)
                 runner.simulations_executed += 1
                 done += 1
             if progress is not None:
                 progress(done, total)
+    traces = runner.traces
+    for generated, loaded, discarded in worker_traces.values():
+        traces.generated += generated
+        traces.loaded += loaded
+        traces.discarded += discarded
     return total
 
 

@@ -7,32 +7,172 @@ alongside results.  These providers own the memoisation that used to live
 inside ``ExperimentRunner``; the runner is now a thin façade over a
 :class:`TraceProvider`, a :class:`FaultMapProvider`, and a
 :class:`~repro.experiments.store.ResultStore`.
+
+Persistent trace cache
+----------------------
+Generating a multi-million-instruction trace costs more than simulating
+it once, and every parallel worker regenerates every benchmark trace in
+its own process.  Point ``REPRO_TRACE_CACHE`` (or ``--trace-cache DIR``)
+at a directory and :class:`TraceProvider` persists each generated trace
+as a compressed ``.npz`` (the existing :meth:`~repro.cpu.trace.Trace.save`
+round-trip), keyed by a content hash of everything that determines the
+trace: generator schema version, profile name, master seed, instruction
+count, and the generator geometry.  Workers and repeated sessions then
+load instead of regenerate.  Entries are written atomically (temp file +
+``os.replace``) so concurrent workers can share a cache directory, and a
+corrupt or truncated entry is discarded and regenerated, mirroring the
+result store's torn-tail tolerance.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
+import os
+import tempfile
+import time
+import zipfile
+
 from repro.cpu.config import L1_GEOMETRY
 from repro.cpu.trace import Trace
 from repro.faults.fault_map import FaultMapPair, sample_fault_map_pairs
+from repro.faults.geometry import CacheGeometry
 from repro.workloads.generator import TraceGenerator
+
+#: Environment variable naming the persistent trace-cache directory.
+TRACE_CACHE_ENV = "REPRO_TRACE_CACHE"
+
+#: Bump when TraceGenerator's output changes incompatibly (invalidates
+#: cached traces without invalidating result stores).
+TRACE_SCHEMA_VERSION = 1
+
+#: In-flight cache writes: ``.trace-XXXX.npz.tmp`` beside the entries.
+_TMP_PREFIX = ".trace-"
+_TMP_SUFFIX = ".npz.tmp"
+
+
+def trace_key(
+    benchmark: str, seed: int, n_instructions: int, geometry: CacheGeometry
+) -> str:
+    """Stable content hash of one generated trace."""
+    payload = {
+        "schema": TRACE_SCHEMA_VERSION,
+        "benchmark": benchmark,
+        "seed": seed,
+        "n_instructions": n_instructions,
+        "geometry": {
+            "num_sets": geometry.num_sets,
+            "ways": geometry.ways,
+            "block_bytes": geometry.block_bytes,
+        },
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 class TraceProvider:
-    """Memoised per-benchmark traces (warmup prefix + measured region)."""
+    """Memoised per-benchmark traces (warmup prefix + measured region),
+    optionally backed by a persistent on-disk cache."""
 
-    def __init__(self, settings) -> None:
+    def __init__(self, settings, cache_dir: str | os.PathLike | None = None) -> None:
         self.settings = settings
+        if cache_dir is None:
+            cache_dir = os.environ.get(TRACE_CACHE_ENV) or None
+        self.cache_dir = os.fspath(cache_dir) if cache_dir else None
+        if self.cache_dir:
+            os.makedirs(self.cache_dir, exist_ok=True)
+            self._sweep_stale_tmp_files()
         self._traces: dict[str, Trace] = {}
+        #: Traces produced by running the generator (cache misses included).
+        self.generated = 0
+        #: Traces served from the persistent cache.
+        self.loaded = 0
+        #: Corrupt cache entries discarded and regenerated.
+        self.discarded = 0
+
+    def _length(self) -> int:
+        return self.settings.n_instructions + self.settings.warmup_instructions
+
+    def _cache_path(self, benchmark: str) -> str:
+        key = trace_key(benchmark, self.settings.seed, self._length(), L1_GEOMETRY)
+        return os.path.join(self.cache_dir, f"{key}.npz")
 
     def get(self, benchmark: str) -> Trace:
-        if benchmark not in self._traces:
-            generator = TraceGenerator(
-                benchmark, seed=self.settings.seed, geometry=L1_GEOMETRY
-            )
-            self._traces[benchmark] = generator.generate(
-                self.settings.n_instructions + self.settings.warmup_instructions
-            )
-        return self._traces[benchmark]
+        trace = self._traces.get(benchmark)
+        if trace is None:
+            trace = self._acquire(benchmark)
+            self._traces[benchmark] = trace
+        return trace
+
+    def _acquire(self, benchmark: str) -> Trace:
+        path = self._cache_path(benchmark) if self.cache_dir else None
+        if path is not None and os.path.exists(path):
+            try:
+                trace = Trace.load(path)
+                if len(trace) != self._length():
+                    raise ValueError("cached trace has the wrong length")
+            except (
+                OSError,
+                ValueError,
+                KeyError,
+                EOFError,
+                zipfile.BadZipFile,
+            ):
+                # Torn/corrupt entry (killed writer, disk trouble): discard
+                # and regenerate — never fatal, mirroring DiskStore.
+                self.discarded += 1
+                try:
+                    os.remove(path)
+                except OSError:
+                    pass
+            else:
+                self.loaded += 1
+                return trace
+        generator = TraceGenerator(
+            benchmark, seed=self.settings.seed, geometry=L1_GEOMETRY
+        )
+        trace = generator.generate(self._length())
+        self.generated += 1
+        if path is not None:
+            self._persist(trace, path)
+        return trace
+
+    def _persist(self, trace: Trace, path: str) -> None:
+        """Atomic write (temp + rename) so concurrent workers sharing the
+        cache directory never observe a half-written entry."""
+        fd, tmp_path = tempfile.mkstemp(
+            dir=self.cache_dir, prefix=_TMP_PREFIX, suffix=_TMP_SUFFIX
+        )
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                trace.save(fh)
+            os.replace(tmp_path, path)
+        except Exception:
+            # Caching is best-effort; the in-memory trace is already
+            # usable, so swallow any write/compress failure.
+            try:
+                os.remove(tmp_path)
+            except OSError:
+                pass
+
+    def _sweep_stale_tmp_files(self) -> None:
+        """Remove temp files orphaned by killed writers.  Only entries
+        older than an hour go — a fresh tmp may belong to a live worker
+        mid-write in a shared cache directory."""
+        cutoff = time.time() - 3600
+        try:
+            entries = list(os.scandir(self.cache_dir))
+        except OSError:
+            return
+        for entry in entries:
+            name = entry.name
+            if not (name.startswith(_TMP_PREFIX) and name.endswith(_TMP_SUFFIX)):
+                continue
+            try:
+                if entry.stat().st_mtime < cutoff:
+                    os.remove(entry.path)
+            except OSError:
+                continue
 
     def __len__(self) -> int:
         return len(self._traces)

@@ -142,10 +142,12 @@ class ExperimentRunner:
         settings: RunnerSettings | None = None,
         pipeline_config: PipelineConfig = PAPER_PIPELINE,
         store: ResultStore | None = None,
+        trace_cache: str | None = None,
     ) -> None:
         self.settings = settings or RunnerSettings.from_env()
         self.pipeline_config = pipeline_config
-        self.traces = TraceProvider(self.settings)
+        # trace_cache=None falls back to $REPRO_TRACE_CACHE (see providers).
+        self.traces = TraceProvider(self.settings, cache_dir=trace_cache)
         self.maps = FaultMapProvider(self.settings)
         self.store = store if store is not None else MemoryStore()
         # Content-hash keys are ~30us to compute (canonical JSON + sha256
@@ -234,6 +236,24 @@ class ExperimentRunner:
     def _simulate(
         self, benchmark: str, config: RunConfig, map_index: int | None
     ) -> SimResult:
+        pipeline = self.build_pipeline(config, map_index)
+        return pipeline.run(
+            self.trace(benchmark), measure_from=self.settings.warmup_instructions
+        )
+
+    def build_pipeline(
+        self,
+        config: RunConfig,
+        map_index: int | None = None,
+        engine: str = "fused",
+    ) -> OutOfOrderPipeline:
+        """Construct the simulator for one configuration point.
+
+        Public so benches and studies can time construction + run (one
+        campaign point) without going through the result store; ``engine``
+        selects the memory-hierarchy execution engine (the KIPS
+        microbenchmark compares them).
+        """
         scheme = SCHEMES.create(config.scheme)
         operating: OperatingPoint = (
             LOW_VOLTAGE if config.voltage is VoltageMode.LOW else HIGH_VOLTAGE
@@ -263,10 +283,7 @@ class ExperimentRunner:
             victim_entries_i=config.victim_entries,
             victim_entries_d=config.victim_entries,
         )
-        pipeline = OutOfOrderPipeline(self.pipeline_config, hierarchy)
-        return pipeline.run(
-            self.trace(benchmark), measure_from=self.settings.warmup_instructions
-        )
+        return OutOfOrderPipeline(self.pipeline_config, hierarchy, engine=engine)
 
     # ----- normalized series (the figure bars) ---------------------------------
 

@@ -1,0 +1,170 @@
+"""Fused engine vs object hierarchy: direct access-stream equivalence.
+
+The pipeline-level golden suite locks end-to-end behaviour; these tests
+drive the two paths directly with synthetic access streams and require
+identical per-access latencies, statistics, and final contents — for every
+replacement policy, with victim caches, prefetchers, disabled ways, and
+across a measurement-boundary stats reset.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.cache.engine import FusedHierarchy
+from repro.cache.hierarchy import LatencyConfig, MemoryHierarchy
+from repro.cache.set_assoc import SetAssociativeCache
+from repro.faults.geometry import CacheGeometry
+
+L1 = CacheGeometry(size_bytes=2 * 1024, ways=4, block_bytes=64)  # 8 sets
+L2 = CacheGeometry(size_bytes=16 * 1024, ways=8, block_bytes=64)  # 32 sets
+LAT = LatencyConfig(l1i=3, l1d=3, victim=1, l2=10, memory=50)
+
+
+def make_hierarchy(
+    policy: str = "lru",
+    victim_entries: int = 0,
+    prefetch_degree: int = 0,
+    enabled: np.ndarray | None = None,
+) -> MemoryHierarchy:
+    return MemoryHierarchy(
+        SetAssociativeCache(L1, enabled_ways=enabled, policy=policy, name="l1i", seed=3),
+        SetAssociativeCache(L1, enabled_ways=enabled, policy=policy, name="l1d", seed=4),
+        SetAssociativeCache(L2, policy=policy, name="l2", seed=5),
+        LAT,
+        victim_entries_i=victim_entries,
+        victim_entries_d=victim_entries,
+        prefetch_degree=prefetch_degree,
+    )
+
+
+def access_stream(seed: int, n: int = 3000) -> list[tuple[int, bool, bool]]:
+    """(block, is_write, is_instruction) tuples with real locality: a hot
+    window plus occasional far jumps, so hits, misses, evictions,
+    writebacks, and victim swaps all occur."""
+    rng = random.Random(seed)
+    stream = []
+    hot = 0
+    for _ in range(n):
+        if rng.random() < 0.1:
+            hot = rng.randrange(1 << 18)
+        if rng.random() < 0.6:
+            block = hot + rng.randrange(16)
+        else:
+            block = rng.randrange(1 << 18)
+        stream.append((block, rng.random() < 0.3, rng.random() < 0.4))
+    return stream
+
+
+def drive_object(hier: MemoryHierarchy, stream) -> list[int]:
+    out = []
+    for block, is_write, is_instruction in stream:
+        if is_instruction:
+            out.append(hier.access_instruction(block))
+        else:
+            out.append(hier.access_data(block, is_write))
+    return out
+
+
+def drive_fused(hier: MemoryHierarchy, stream) -> list[int]:
+    fused = FusedHierarchy(hier)
+    out = []
+    for block, is_write, is_instruction in stream:
+        if is_instruction:
+            out.append(fused.access_instruction(block))
+        else:
+            out.append(fused.access_data(block, is_write))
+    fused.sync()
+    return out
+
+
+def thinned() -> np.ndarray:
+    rng = np.random.default_rng(9)
+    enabled = rng.random((L1.num_sets, L1.ways)) > 0.4
+    enabled[2, :] = False  # fully disabled set
+    enabled[5, :] = False
+    enabled[5, 1] = True  # direct-mapped set
+    return enabled
+
+
+CONFIGS = {
+    "lru": dict(policy="lru"),
+    "fifo": dict(policy="fifo"),
+    "random": dict(policy="random"),
+    "lru-victim": dict(policy="lru", victim_entries=4),
+    "fifo-victim1": dict(policy="fifo", victim_entries=1),
+    "random-victim": dict(policy="random", victim_entries=4),
+    "lru-prefetch": dict(policy="lru", prefetch_degree=1),
+    "lru-prefetch2-victim": dict(policy="lru", prefetch_degree=2, victim_entries=4),
+    "lru-thinned": dict(policy="lru", enabled=thinned()),
+    "fifo-thinned-victim": dict(policy="fifo", enabled=thinned(), victim_entries=4),
+    "random-thinned": dict(policy="random", enabled=thinned()),
+}
+
+
+@pytest.mark.parametrize("name", sorted(CONFIGS))
+def test_access_stream_equivalence(name):
+    kwargs = CONFIGS[name]
+    stream = access_stream(seed=hash(name) & 0xFFFF)
+    obj = make_hierarchy(**kwargs)
+    fus = make_hierarchy(**kwargs)
+    lat_obj = drive_object(obj, stream)
+    lat_fus = drive_fused(fus, stream)
+    assert lat_obj == lat_fus, f"{name}: latency sequences diverged"
+    assert obj.stats().snapshot() == fus.stats().snapshot()
+    assert obj.l1d.resident_blocks() == fus.l1d.resident_blocks()
+    assert obj.l1i.resident_blocks() == fus.l1i.resident_blocks()
+    assert obj.l2.resident_blocks() == fus.l2.resident_blocks()
+
+
+def test_state_is_shared_not_copied():
+    """Compilation is zero-copy: accesses through the engine are visible
+    to the object cache immediately (contents), and stats after sync."""
+    hier = make_hierarchy()
+    fused = FusedHierarchy(hier)
+    fused.access_data(0x123, False)
+    assert hier.l1d.contains(0x123)  # contents shared by reference
+    fused.sync()
+    assert hier.l1d.stats.misses == 1
+    assert hier.dport.memory_accesses == 1
+
+
+def test_reset_stats_matches_object_reset():
+    stream = access_stream(seed=77, n=1500)
+    obj = make_hierarchy(victim_entries=4)
+    fus = make_hierarchy(victim_entries=4)
+
+    fused = FusedHierarchy(fus)
+    for k, (block, is_write, is_instruction) in enumerate(stream):
+        if k == 700:
+            # Mirror the pipeline's measurement-boundary reset on both.
+            for cache in (obj.l1i, obj.l1d, obj.l2):
+                cache.stats.reset()
+            for victim in (obj.victim_i, obj.victim_d):
+                victim.stats.reset()
+            obj.iport.memory_accesses = 0
+            obj.dport.memory_accesses = 0
+            fused.reset_stats()
+        if is_instruction:
+            obj.access_instruction(block)
+            fused.access_instruction(block)
+        else:
+            obj.access_data(block, is_write)
+            fused.access_data(block, is_write)
+    fused.sync()
+    assert obj.stats().snapshot() == fus.stats().snapshot()
+
+
+def test_flush_keeps_engine_coherent():
+    """flush() mutates the shared lists in place, so an engine compiled
+    before the flush sees the invalidation."""
+    hier = make_hierarchy()
+    fused = FusedHierarchy(hier)
+    fused.access_data(0x55, False)
+    assert hier.l1d.contains(0x55)
+    hier.l1d.flush()
+    lat = fused.access_data(0x55, False)
+    assert lat > LAT.l1d  # miss again after the flush

@@ -173,3 +173,32 @@ class TestResidencyInvariants:
     def test_unknown_policy_rejected(self):
         with pytest.raises(ValueError):
             SetAssociativeCache(GEOMETRY, policy="plru")
+
+
+class TestRefillSemantics:
+    """fill() of an already-resident block refreshes in place — the
+    residency index stays single-valued (regression: a duplicate entry
+    used to corrupt it and KeyError on a later eviction)."""
+
+    def test_repeated_fill_then_eviction_chain(self):
+        cache = SetAssociativeCache(GEOMETRY)
+        addr = block_in_set(0, 1)
+        for _ in range(GEOMETRY.ways):
+            cache.fill(addr)
+            assert cache.lookup(addr)
+        # Fill the set past capacity; the refreshed block must survive as
+        # exactly one way and evictions must not touch its index entry.
+        for tag in range(2, GEOMETRY.ways + 4):
+            cache.fill(block_in_set(0, tag))
+        assert len(cache.resident_blocks()) == GEOMETRY.ways
+
+    def test_refill_marks_dirty_and_refreshes_recency(self):
+        cache = SetAssociativeCache(GEOMETRY)
+        victim_candidate = block_in_set(0, 1)
+        cache.fill(victim_candidate)
+        for tag in range(2, GEOMETRY.ways + 1):
+            cache.fill(block_in_set(0, tag))
+        cache.fill(victim_candidate, is_write=True)  # refresh: now MRU+dirty
+        evicted = cache.fill(block_in_set(0, 99))
+        assert evicted != victim_candidate  # LRU refresh took effect
+        assert cache.contains(victim_candidate)

@@ -1,5 +1,7 @@
 """Tests for the streaming parallel simulation driver."""
 
+import os
+
 import pytest
 
 from repro.experiments.configs import LV_BASELINE, LV_BLOCK, LV_WORD
@@ -143,3 +145,25 @@ class TestStudies:
         for name in names:
             assert serial[name].series == parallel[name].series
             assert serial[name].index == parallel[name].index
+
+
+def test_prefill_aggregates_worker_trace_counters(tmp_path):
+    """The parent's trace counters must reflect what the pool's workers
+    generated/loaded from a shared trace cache."""
+    settings = RunnerSettings(
+        n_instructions=1_500,
+        warmup_instructions=300,
+        n_fault_maps=1,
+        benchmarks=("gzip", "crafty"),
+    )
+    cache_dir = os.fspath(tmp_path)
+    first = ExperimentRunner(settings, trace_cache=cache_dir)
+    prefill_cache(first, (LV_BASELINE,), workers=2)
+    assert first.traces.generated + first.traces.loaded >= 2
+
+    second = ExperimentRunner(settings, trace_cache=cache_dir)
+    prefill_cache(second, (LV_BASELINE,), workers=2)
+    # Store is fresh (memory), so simulations rerun — but every trace must
+    # now come from the shared cache.
+    assert second.traces.generated == 0
+    assert second.traces.loaded == 2
