@@ -1,0 +1,195 @@
+"""Lane-batching microbenchmark: KIPS-per-lane at 1 / 8 / 50 lanes.
+
+Measures the lane-batched campaign engine
+(:meth:`OutOfOrderPipeline.run_batch`) against the sequential fused path
+on one fault-dependent campaign point: the same trace simulated over
+``--maps`` fault-map pairs, dispatched in batches of 1 (the legacy
+per-map path), 8, and all-50 lanes.  Reported per lane width:
+
+* ``kips``    — aggregate simulated instructions per second across lanes;
+* ``seconds`` — wall-clock for the whole point;
+* ``speedup`` — vs the sequential (width-1) dispatch.
+
+Every batched result is checked for **bit-identity** against the
+sequential runs; a divergence exits non-zero (that is the CI failure
+condition — timing never is).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_micro_batch.py
+    PYTHONPATH=src python benchmarks/bench_micro_batch.py --smoke --json out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.cpu.pipeline import OutOfOrderPipeline
+from repro.experiments.configs import LV_BLOCK, LV_BLOCK_V6, RunConfig
+from repro.experiments.runner import ExperimentRunner, RunnerSettings
+
+#: Fault-dependent configs benchmarked: the plain block-disabling row and
+#: the 6T victim-cache row (the paper's densest fault-dependent machinery).
+BENCH_CONFIGS: tuple[RunConfig, ...] = (LV_BLOCK, LV_BLOCK_V6)
+
+
+def _parse_args(argv) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--benchmark", default="gzip", help="trace profile")
+    parser.add_argument(
+        "--instructions", type=int, default=40_000, help="measured region length"
+    )
+    parser.add_argument(
+        "--warmup", type=int, default=10_000, help="warmup prefix length"
+    )
+    parser.add_argument(
+        "--maps", type=int, default=50, help="fault-map pairs (paper: 50)"
+    )
+    parser.add_argument(
+        "--lanes",
+        default="1,8,50",
+        help="comma list of lane widths to measure (each capped at --maps)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="timed repetitions (best kept)"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI mode: tiny trace, fewer maps, one repetition (validates "
+        "lane bit-identity; timing numbers are indicative only)",
+    )
+    parser.add_argument("--json", default=None, metavar="PATH", help="write summary")
+    return parser.parse_args(argv)
+
+
+def _run_point(runner, config, trace, warmup, map_count, width):
+    """One campaign point at the given lane width; returns (seconds, results)."""
+    indices = list(range(map_count))
+    results = []
+    start = time.perf_counter()
+    for begin in range(0, map_count, width):
+        chunk = indices[begin : begin + width]
+        pipelines = [runner.build_pipeline(config, m) for m in chunk]
+        if width == 1:
+            results.append(pipelines[0].run(trace, measure_from=warmup))
+        else:
+            results.extend(
+                OutOfOrderPipeline.run_batch(pipelines, trace, measure_from=warmup)
+            )
+    return time.perf_counter() - start, results
+
+
+def run_bench(args) -> dict:
+    if args.smoke:
+        instructions, warmup, maps, repeats = 3_000, 1_000, 8, 1
+        widths = [w for w in (1, 8) if w <= maps]
+    else:
+        instructions, warmup, maps = args.instructions, args.warmup, args.maps
+        repeats = args.repeats
+        widths = sorted(
+            {min(int(w), maps) for w in args.lanes.split(",") if w.strip()}
+        )
+
+    settings = RunnerSettings(
+        n_instructions=instructions,
+        warmup_instructions=warmup,
+        n_fault_maps=maps,
+        benchmarks=(args.benchmark,),
+    )
+    runner = ExperimentRunner(settings)
+    trace = runner.trace(args.benchmark)
+    total = len(trace) * maps
+
+    configs: dict[str, dict] = {}
+    divergences = 0
+    for config in BENCH_CONFIGS:
+        runner.build_pipeline(config, 0).run(trace, measure_from=warmup)  # warm
+        # Repetitions interleave the widths so per-repetition speedup
+        # ratios are robust against machine-load drift; the reported
+        # speedup is the median ratio, the KIPS the best run.
+        times: dict[int, list[float]] = {w: [] for w in widths}
+        outputs: dict[int, list] = {}
+        for _ in range(repeats):
+            for width in widths:
+                elapsed, results = _run_point(
+                    runner, config, trace, warmup, maps, width
+                )
+                times[width].append(elapsed)
+                outputs[width] = results
+        reference = outputs[widths[0]] if widths[0] == 1 else None
+        rows: dict[str, dict] = {}
+        for width in widths:
+            identical = reference is None or outputs[width] == reference
+            if not identical:
+                divergences += 1
+            best = min(times[width])
+            if width == 1 or 1 not in times:
+                speedup = 1.0 if width == 1 else None
+            else:
+                ratios = sorted(
+                    seq / bat for seq, bat in zip(times[1], times[width])
+                )
+                speedup = round(ratios[len(ratios) // 2], 2)
+            rows[str(width)] = {
+                "kips": round(total / best / 1e3, 1),
+                "seconds": round(best, 3),
+                "speedup": speedup,
+                "identical": identical,
+            }
+        configs[config.label] = rows
+    top = str(max(widths))
+    return {
+        "benchmark": args.benchmark,
+        "instructions": len(trace),
+        "warmup": warmup,
+        "maps": maps,
+        "repeats": repeats,
+        "smoke": bool(args.smoke),
+        "lanes": widths,
+        "configs": configs,
+        "speedup_full_batch": configs[BENCH_CONFIGS[0].label][top]["speedup"],
+        "divergences": divergences,
+    }
+
+
+def main(argv=None) -> int:
+    args = _parse_args(argv)
+    summary = run_bench(args)
+
+    print(
+        f"# KIPS per lane width — {summary['benchmark']}, "
+        f"{summary['instructions']} instructions x {summary['maps']} maps"
+    )
+    for label, rows in summary["configs"].items():
+        print(f"{label}:")
+        for width, row in rows.items():
+            ok = "yes" if row["identical"] else "DIVERGED"
+            speed = f"{row['speedup']:.2f}x" if row["speedup"] else "  ref"
+            print(
+                f"  lanes={width:>3}  {row['kips']:>9.1f} KIPS"
+                f"  {row['seconds']:>7.3f}s  {speed:>7}  ok={ok}"
+            )
+    print(f"full-batch speedup: {summary['speedup_full_batch']}x")
+
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(summary, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+
+    if summary["divergences"]:
+        print(
+            f"ERROR: {summary['divergences']} lane width(s) diverged from the "
+            "sequential fused engine",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,6 +36,8 @@ model — call :meth:`sync` first if the flat state has run.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.cache.hierarchy import CachePort, MemoryHierarchy
 from repro.cache.prefetch import NextLinePrefetcher
 from repro.cache.replacement import FIFOPolicy, LRUPolicy
@@ -492,3 +494,730 @@ class FusedHierarchy:
         stats.evictions = counters[_EVICTIONS]
         stats.bypassed_fills = counters[_BYPASSED]
         stats.writebacks = counters[_WRITEBACKS]
+
+
+# --------------------------------------------------------------------------
+# Lane-batched engine: N fault-map lanes driven through one schedule pass
+# --------------------------------------------------------------------------
+#
+# The bulk engine widens the fused engine's flat state by one axis: every
+# per-way quantity becomes a NumPy array with a *lane* dimension, one lane
+# per fault map.  The residency probe, the refill (victim-way choice +
+# fill), and the victim-cache swap become vectorised multi-lane ports: a
+# single `tags[base : base + ways] == tag` comparison probes one set in
+# every lane at once, and the miss *event* (usually shared by many lanes —
+# cold misses hit all of them together) is serviced with lane-masked
+# vector operations rather than a per-lane loop.
+#
+# Recency is tracked with *stamps* instead of per-lane clocks: the stamp
+# of an access is a trace-static, strictly increasing function of the
+# instruction index, identical in every lane.  Within one lane each cache
+# sees at most one stamped event per instruction, so stamp order equals
+# the sequential engine's clock order and every LRU decision — including
+# the invalid-way preference, encoded by initialising invalid usable ways
+# to a stamp below any real one, and disabled ways to one above all
+# (``BIG_STAMP``) — is bit-identical.  Statistics are not accumulated per
+# event; instead the per-event lane masks (hit, victim-hit, L2-hit,
+# eviction, writeback) are recorded as rows of boolean matrices and the
+# counters are reconstructed by column sums at run end.
+
+#: Stamp sentinel ordering: disabled ways stay above every real stamp
+#: (never chosen by the LRU argmin), invalid usable ways below (always
+#: preferred, first index winning ties exactly like the sequential scan).
+BIG_STAMP = 1 << 62
+
+
+class VectorCache:
+    """Multi-lane flat state of one cache level (the probe/refill port).
+
+    Layouts are chosen per operation: ``tags[flat_index, lane]`` makes the
+    set probe one contiguous slice comparison; ``last``/``dirty``/
+    ``fill_time``\\ ``[lane, flat_index]`` make the LRU victim argmin and
+    the masked scatters run along the contiguous axis.  Every array
+    carries one extra dump row/column (index ``n``) that lane-masked
+    scatters divert excluded lanes to.
+    """
+
+    __slots__ = (
+        "caches",
+        "ways",
+        "set_mask",
+        "tag_shift",
+        "n",
+        "tags",
+        "last",
+        "dirty",
+        "fillt",
+        "orig_last",
+        "bypass_sets",
+        "pristine",
+    )
+
+    def __init__(self, caches: list[SetAssociativeCache]) -> None:
+        geometry = caches[0].geometry
+        for cache in caches:
+            if cache.geometry != geometry:
+                raise ValueError("lane caches must share one geometry")
+        self.caches = list(caches)
+        self.ways = geometry.ways
+        self.set_mask = geometry.num_sets - 1
+        self.tag_shift = geometry.index_bits
+        n = geometry.num_sets * geometry.ways
+        self.n = n
+        lanes = len(caches)
+        self.tags = np.full((n + 1, lanes), -1, dtype=np.int64)
+        self.last = np.zeros((lanes, n + 1), dtype=np.int64)
+        self.dirty = np.zeros((lanes, n + 1), dtype=np.bool_)
+        self.fillt = np.zeros((lanes, n + 1), dtype=np.int64)
+        # A pristine cache's flat state is all defaults (-1/0/False/0);
+        # skipping its list -> array conversion makes compiling a fresh
+        # campaign batch O(lanes), which matters for the 2MB L2 — and the
+        # flag lets sync() write back only the touched entries.
+        self.pristine = []
+        for lane, cache in enumerate(caches):
+            if not cache._resident and cache._clock == 0:
+                self.pristine.append(True)
+                continue
+            self.pristine.append(False)
+            self.tags[:n, lane] = cache._tags
+            self.last[lane, :n] = cache._last_touch
+            self.dirty[lane, :n] = cache._dirty
+            self.fillt[lane, :n] = cache._fill_time
+        self.orig_last = self.last[:, :n].copy()
+        # Stamp sentinels (see module comment).  ``bypass_sets`` lists the
+        # set indices where *any* lane has zero usable ways — only those
+        # events need the (rare) fill-bypass check.
+        last_main = self.last[:, :n]
+        last_main[(self.tags[:n] == -1).T] = -1
+        bypass: set[int] = set()
+        for lane, cache in enumerate(caches):
+            if cache._enabled is not None:
+                disabled = ~cache._enabled.reshape(-1)
+                last_main[lane, disabled] = BIG_STAMP
+                for s, usable in enumerate(cache._usable_ways):
+                    if not usable:
+                        bypass.add(s)
+        self.bypass_sets = bypass
+
+    def max_clock(self) -> int:
+        return max(cache._clock for cache in self.caches)
+
+    def sync(self, clock: int) -> None:
+        """Write every lane's contents back to its object cache.  Stamp
+        sentinels at still-invalid/disabled positions are replaced by the
+        original values (those ways were never touched)."""
+        n = self.n
+        ways = self.ways
+        tag_shift = self.tag_shift
+        valid_cols = self.tags[:n] >= 0
+        sparse = n > 4096 and all(self.pristine)
+        if sparse:
+            # Large caches that started pristine (the usual 2MB L2 of a
+            # fresh campaign batch): every list entry outside the filled
+            # positions still holds its default, so write back only the
+            # valid entries instead of converting 32k-entry columns.
+            for lane, cache in enumerate(self.caches):
+                index = np.flatnonzero(valid_cols[:, lane])
+                idx_list = index.tolist()
+                tag_vals = self.tags[index, lane]
+                blocks = (tag_vals << tag_shift) | (index // ways)
+                tags_list = cache._tags
+                last_list = cache._last_touch
+                fillt_list = cache._fill_time
+                dirty_list = cache._dirty
+                for j, tag, last, fillt, dirt in zip(
+                    idx_list,
+                    tag_vals.tolist(),
+                    self.last[lane, index].tolist(),
+                    self.fillt[lane, index].tolist(),
+                    self.dirty[lane, index].tolist(),
+                ):
+                    tags_list[j] = tag
+                    last_list[j] = last
+                    fillt_list[j] = fillt
+                    dirty_list[j] = dirt
+                cache._clock = clock
+                resident = cache._resident
+                resident.clear()
+                resident.update(zip(blocks.tolist(), idx_list))
+            return
+        valid = valid_cols.T
+        merged = np.where(valid, self.last[:, :n], self.orig_last)
+        # Whole-matrix conversions: one C-level tolist per array beats a
+        # per-lane conversion loop by a wide margin.
+        tags_rows = np.ascontiguousarray(self.tags[:n].T)
+        tags_lists = tags_rows.tolist()
+        dirty_lists = self.dirty[:, :n].tolist()
+        merged_lists = merged.tolist()
+        fillt_lists = self.fillt[:, :n].tolist()
+        for lane, cache in enumerate(self.caches):
+            index = np.flatnonzero(valid[lane])
+            blocks = (tags_rows[lane, index] << tag_shift) | (index // ways)
+            cache.adopt_flat_state(
+                tags_lists[lane],
+                dirty_lists[lane],
+                merged_lists[lane],
+                fillt_lists[lane],
+                clock,
+                resident=dict(zip(blocks.tolist(), index.tolist())),
+            )
+
+
+class VectorVictims:
+    """Multi-lane victim-cache state (the vectorised swap port).
+
+    The LRU list becomes ``tags[slot, lane]`` plus an insertion stamp per
+    slot: eviction picks the minimal stamp (the list head), empty slots
+    carry the stamp sentinel ``empty_stamp = -(entries + 1)`` — strictly
+    below every occupied stamp — so they are preferred exactly like an
+    append, and a hit extracts by writing the slot back to empty.
+    Initial contents get stamps ``position - entries`` (above the empty
+    sentinel, below any run stamp), preserving their order.  Slot
+    positions themselves carry no meaning — all operations are
+    content-based — so lanes stay bit-identical to the sequential list
+    implementation, including partially warm victim caches.
+    """
+
+    __slots__ = ("victims", "entries", "tags", "stamp", "empty_stamp")
+
+    def __init__(self, victims: list[VictimCache]) -> None:
+        entries = victims[0].entries
+        for victim in victims:
+            if victim.entries != entries:
+                raise ValueError("lane victim caches must share one size")
+        self.victims = list(victims)
+        self.entries = entries
+        self.empty_stamp = -(entries + 1)
+        lanes = len(victims)
+        self.tags = np.full((entries + 1, lanes), -1, dtype=np.int64)
+        self.stamp = np.full(
+            (lanes, entries + 1), self.empty_stamp, dtype=np.int64
+        )
+        for lane, victim in enumerate(victims):
+            for j, block in enumerate(victim._tags):  # LRU -> MRU order
+                self.tags[j, lane] = block
+                self.stamp[lane, j] = j - entries
+
+    def sync(self) -> None:
+        entries = self.entries
+        for lane, victim in enumerate(self.victims):
+            occupied = [
+                (int(self.stamp[lane, j]), int(self.tags[j, lane]))
+                for j in range(entries)
+                if self.tags[j, lane] >= 0
+            ]
+            occupied.sort()
+            victim._tags[:] = [block for _, block in occupied]
+
+
+def bulk_lanes_eligible(hierarchies: list[MemoryHierarchy]) -> bool:
+    """Whether the bulk-vectorised lane engine covers these hierarchies:
+    LRU replacement everywhere (the stamp encoding is an LRU-order
+    argument), a fully-enabled L2 (the bulk L2 refill has no fill-bypass
+    port; the paper's L2 is always fault-free), and uniform victim sizing
+    per port across lanes (the victim arrays share one slot axis).
+    Anything else falls back to sequential runs."""
+    h0 = hierarchies[0]
+    vi0 = h0.victim_i.entries if h0.victim_i is not None else 0
+    vd0 = h0.victim_d.entries if h0.victim_d is not None else 0
+    for h in hierarchies:
+        for cache in (h.l1i, h.l1d, h.l2):
+            if type(cache._policy) is not LRUPolicy:
+                return False
+        if h.l2._enabled is not None:
+            return False
+        vi = h.victim_i.entries if h.victim_i is not None else 0
+        vd = h.victim_d.entries if h.victim_d is not None else 0
+        if vi != vi0 or vd != vd0:
+            return False
+    return True
+
+
+class _BulkPort:
+    """One compiled multi-lane port: the event-service closure plus the
+    recorded per-event masks its counters are reconstructed from."""
+
+    __slots__ = (
+        "service",
+        "hit_rows",
+        "l2hit_rows",
+        "evict_rows",
+        "wb_rows",
+        "vhit_rows",
+        "vevict_rows",
+        "bypass_events",
+        "event_count",
+        "boundary_event",
+    )
+
+
+def _compile_bulk_port(
+    l1: VectorCache,
+    l2: VectorCache,
+    victims: VectorVictims | None,
+    port0,
+    lanes: int,
+    max_events: int,
+    scratch: dict,
+    lat_scale: int = 1,
+) -> _BulkPort:
+    """Compile one port side's miss-event service closure.
+
+    ``service`` is called once per access where at least one lane missed
+    L1 (``cnt`` = hit-lane count, ``eq`` the probe's comparison matrix).
+    It performs the victim swap, the shared-L2 access, the L1 refill, and
+    the evictee insertion for every missing lane with lane-masked vector
+    operations, records the per-event masks, and returns the per-lane
+    latency *beyond* the L1 latency (zero at hit lanes) when asked —
+    pre-multiplied by ``lat_scale``, the batched pipeline's commit-width
+    timing scale.
+    """
+    bulk = _BulkPort()
+    # Counters are reconstructed from per-event mask rows summed once at
+    # run end — O(accesses x lanes) boolean memory (a few tens of MB at
+    # paper fidelity) traded for zero per-event counter arithmetic.
+    # 10M+-instruction traces would want chunked flushing here.
+    bulk.hit_rows = np.zeros((max_events + 1, lanes), dtype=np.bool_)
+    bulk.l2hit_rows = np.zeros((max_events + 1, lanes), dtype=np.bool_)
+    bulk.evict_rows = np.zeros((max_events + 1, lanes), dtype=np.bool_)
+    bulk.wb_rows = np.zeros((max_events + 1, lanes), dtype=np.bool_)
+    if victims is not None:
+        bulk.vhit_rows = np.zeros((max_events + 1, lanes), dtype=np.bool_)
+        bulk.vevict_rows = np.zeros((max_events + 1, lanes), dtype=np.bool_)
+    else:
+        bulk.vhit_rows = None
+        bulk.vevict_rows = None
+    bulk.bypass_events = []  # rare: (event_index, bypass-mask) pairs
+    bulk.event_count = [0]
+    bulk.boundary_event = [0]
+
+    hit_rows = bulk.hit_rows
+    l2hit_rows = bulk.l2hit_rows
+    evict_rows = bulk.evict_rows
+    wb_rows = bulk.wb_rows
+    vhit_rows = bulk.vhit_rows
+    vevict_rows = bulk.vevict_rows
+    bypass_events = bulk.bypass_events
+    event_cell = bulk.event_count
+
+    l1_lat = port0.l1_latency
+    victim_lat = port0.victim_latency
+    l2_lat = port0.l2_latency
+    memory_lat = port0.memory_latency
+    mem_minus_l2 = memory_lat - l2_lat
+
+    l1_tags, l1_last = l1.tags, l1.last
+    l1_dirty, l1_fillt = l1.dirty, l1.fillt
+    l1_ways, l1_dump = l1.ways, l1.n
+    l1_tag_shift = l1.tag_shift
+    bypass_sets = l1.bypass_sets
+    l2_tags, l2_last, l2_fillt = l2.tags, l2.last, l2.fillt
+    l2_ways, l2_dump = l2.ways, l2.n
+
+    if victims is not None:
+        v_entries = victims.entries
+        v_tags = victims.tags
+        v_tags_main = v_tags[:v_entries]
+        v_stamp = victims.stamp
+        v_stamp_main = v_stamp[:, :v_entries]
+
+    ar = scratch["ar"]
+    hit_buf = scratch["hit"]
+    miss_buf = scratch["miss"]
+    l2need_buf = scratch["l2need"]
+    fill2 = scratch["fill2"]
+    nb = scratch["nb"]
+    nb2 = scratch["nb2"]
+    ev_buf = scratch["ev"]
+    h2_buf = scratch["h2"]
+    vhit_buf = scratch["vhit"]
+    wb_buf = scratch["wb"]
+    icols = scratch["icols"]
+    icols2 = scratch["icols2"]
+    flat_a = scratch["flat_a"]
+    flat_b = scratch["flat_b"]
+    et_buf = scratch["et"]
+    t64 = scratch["t64"]
+    t64b = scratch["t64b"]
+    eq2_buf = np.empty((l2_ways, lanes), dtype=np.bool_)
+    l2ev_rows = scratch["l2ev_rows"]
+
+    # Flat 1-D views + precomputed per-lane offsets: scatter/gather through
+    # them costs one index add + one put/take, several times cheaper than
+    # 2-D advanced indexing on these arrays.
+    l1_tags_flat = l1_tags.reshape(-1)
+    l1_last_flat = l1_last.reshape(-1)
+    l1_dirty_flat = l1_dirty.reshape(-1)
+    l1_fillt_flat = l1_fillt.reshape(-1)
+    ar_l1rows = ar * (l1_dump + 1)  # offsets into the (lanes, n+1) arrays
+    l2_tags_flat = l2_tags.reshape(-1)
+    l2_last_flat = l2_last.reshape(-1)
+    l2_fillt_flat = l2_fillt.reshape(-1)
+    ar_l2rows = ar * (l2_dump + 1)
+    if victims is not None:
+        v_tags_flat = v_tags.reshape(-1)
+        v_stamp_flat = v_stamp.reshape(-1)
+        ar_vrows = ar * (v_entries + 1)
+
+    count_nonzero = np.count_nonzero
+    logical_not = np.logical_not
+    logical_and = np.logical_and
+    add = np.add
+    multiply = np.multiply
+
+    # 0-d operands keep every ufunc call off the slow Python-scalar
+    # conversion path (~3x dispatch cost); sc_* are mutable cells for the
+    # per-event scalars, c_* are constants.
+    sc_a = np.array(0, np.int64)
+    sc_b = np.array(0, np.int64)
+    sc_stamp = np.array(0, np.int64)
+    c_zero = np.array(0, np.int64)
+    c_neg1 = np.array(-1, np.int64)
+    c_true = np.array(True)
+    c_l1dump = np.array(l1_dump, np.int64)
+    c_l2dump = np.array(l2_dump, np.int64)
+    c_ventries = np.array(victims.entries if victims is not None else 0, np.int64)
+    c_vempty = np.array(
+        victims.empty_stamp if victims is not None else 0, np.int64
+    )
+    c_lanes = np.array(lanes, np.int64)
+    c_l2lat = np.array(l2_lat * lat_scale, np.int64)
+    c_memdelta = np.array(mem_minus_l2 * lat_scale, np.int64)
+    c_viclat = np.array(victim_lat * lat_scale, np.int64)
+    c_tagshift = np.array(l1_tag_shift, np.int64)
+
+    def service(stamp, block, base, s, base2, tag2, tag, eq, cnt, is_write, want_lat):
+        ei = event_cell[0]
+        event_cell[0] = ei + 1
+        sc_stamp[()] = stamp
+        # ---- hit-lane updates + miss mask ---------------------------------
+        if cnt:
+            hit = eq.any(0, out=hit_buf)
+            hit_rows[ei] = hit
+            logical_not(hit, out=miss_buf)
+            # Matched positions only — miss lanes have no match, so the
+            # masked copy needs no dump diversion.
+            np.copyto(l1_last[:, base : base + l1_ways], sc_stamp, where=eq.T)
+            if is_write:
+                np.copyto(
+                    l1_dirty[:, base : base + l1_ways], c_true, where=eq.T
+                )
+        else:
+            miss_buf[:] = True
+        # ---- victim-cache swap probe (extract-on-hit) ---------------------
+        vcnt = 0
+        if victims is not None:
+            sc_b[()] = block
+            np.equal(v_tags_main, sc_b, out=scratch["veq"][:v_entries])
+            veq = scratch["veq"][:v_entries]
+            veq.any(0, out=vhit_buf)
+            logical_and(vhit_buf, miss_buf, out=vhit_buf)
+            vhit_rows[ei] = vhit_buf
+            vcnt = count_nonzero(vhit_buf)
+            if vcnt:
+                vslot = veq.argmax(0)
+                logical_not(vhit_buf, out=nb)
+                vslot[nb] = c_ventries  # divert non-hit lanes to the dump slot
+                multiply(vslot, c_lanes, out=flat_a)
+                add(flat_a, ar, out=flat_a)
+                v_tags_flat[flat_a] = c_neg1
+                add(vslot, ar_vrows, out=flat_b)
+                v_stamp_flat[flat_b] = c_vempty
+                l2need = logical_and(miss_buf, nb, out=l2need_buf)
+            else:
+                l2need = miss_buf  # read-only below: alias, no copy
+        else:
+            l2need = miss_buf
+        # ---- shared L2 ----------------------------------------------------
+        sc_b[()] = tag2
+        np.equal(l2_tags[base2 : base2 + l2_ways], sc_b, out=eq2_buf)
+        eq2_buf.any(0, out=h2_buf)
+        logical_and(h2_buf, l2need, out=h2_buf)
+        logical_not(h2_buf, out=nb2)
+        if count_nonzero(h2_buf):
+            l2hit_rows[ei] = h2_buf
+            # Mask out lanes that did not probe the L2 (an L1-hit lane may
+            # still hold the block in its L2; its recency must not move).
+            logical_and(eq2_buf, l2need, out=eq2_buf)
+            np.copyto(
+                l2_last[:, base2 : base2 + l2_ways], sc_stamp, where=eq2_buf.T
+            )
+        logical_and(l2need, nb2, out=fill2)
+        n2m = count_nonzero(fill2)
+        if n2m:
+            vw2 = l2_last[:, base2 : base2 + l2_ways].argmin(1)
+            sc_a[()] = base2
+            add(vw2, sc_a, out=icols2)
+            logical_not(fill2, out=nb2)
+            icols2[nb2] = c_l2dump  # diverted lanes read/write the dump row
+            multiply(icols2, c_lanes, out=flat_a)
+            add(flat_a, ar, out=flat_a)
+            et2 = l2_tags_flat.take(flat_a, out=et_buf)
+            np.greater_equal(et2, c_zero, out=ev_buf)
+            logical_and(ev_buf, fill2, out=ev_buf)
+            # L2 evictions fold into this port's eviction matrix; the L2 is
+            # never dirty (fills are reads), so no writeback rows.
+            l2ev_rows[ei] = ev_buf
+            l2_tags_flat[flat_a] = sc_b  # sc_b still holds tag2
+            add(icols2, ar_l2rows, out=flat_b)
+            l2_last_flat[flat_b] = sc_stamp
+            l2_fillt_flat[flat_b] = sc_stamp
+        # ---- latency beyond L1 (zero at hit lanes) ------------------------
+        if want_lat:
+            multiply(l2need, c_l2lat, out=t64)
+            if n2m:
+                multiply(fill2, c_memdelta, out=t64b)
+                add(t64, t64b, out=t64)
+            if vcnt:
+                multiply(vhit_buf, c_viclat, out=t64b)
+                add(t64, t64b, out=t64)
+        # ---- L1 refill (vectorised victim-way choice) ---------------------
+        vw = l1_last[:, base : base + l1_ways].argmin(1)
+        sc_a[()] = base
+        add(vw, sc_a, out=icols)
+        if s in bypass_sets:
+            add(icols, ar_l1rows, out=flat_b)
+            gathered = l1_last_flat.take(flat_b)
+            byp = (gathered >= BIG_STAMP) & miss_buf
+            bypass_events.append((ei, byp))
+            fill1 = miss_buf & ~byp
+        else:
+            fill1 = miss_buf
+        logical_not(fill1, out=nb)
+        icols[nb] = c_l1dump  # diverted lanes read/write the dump row/column
+        multiply(icols, c_lanes, out=flat_a)
+        add(flat_a, ar, out=flat_a)
+        add(icols, ar_l1rows, out=flat_b)
+        et = l1_tags_flat.take(flat_a, out=et_buf)
+        np.greater_equal(et, c_zero, out=ev_buf)
+        logical_and(ev_buf, fill1, out=ev_buf)
+        n_ev = count_nonzero(ev_buf)
+        if n_ev:
+            evict_rows[ei] = ev_buf
+            wb = l1_dirty_flat.take(flat_b, out=wb_buf)
+            logical_and(wb, ev_buf, out=wb)
+            wb_rows[ei] = wb
+            # ---- evictee -> victim cache (no dedup: L1 residency and the
+            # victim contents are disjoint by construction, exactly as on
+            # the sequential path where the dedup branch is unreachable) --
+            if victims is not None:
+                np.left_shift(et, c_tagshift, out=et)
+                sc_a[()] = s
+                np.bitwise_or(et, sc_a, out=et)
+                vslot2 = v_stamp_main.argmin(1)
+                logical_not(ev_buf, out=nb)
+                vslot2[nb] = c_ventries
+                multiply(vslot2, c_lanes, out=flat_b)
+                add(flat_b, ar, out=flat_b)
+                vev = v_tags_flat.take(flat_b) != -1
+                logical_and(vev, ev_buf, out=vev)
+                vevict_rows[ei] = vev
+                v_tags_flat[flat_b] = et
+                add(vslot2, ar_vrows, out=flat_b)
+                v_stamp_flat[flat_b] = sc_stamp
+                add(icols, ar_l1rows, out=flat_b)  # rebuild the L1 offsets
+        # ---- L1 fill scatter ---------------------------------------------
+        sc_a[()] = tag
+        l1_tags_flat[flat_a] = sc_a
+        l1_last_flat[flat_b] = sc_stamp
+        l1_dirty_flat[flat_b] = is_write
+        l1_fillt_flat[flat_b] = sc_stamp
+        return t64 if want_lat else None
+
+    bulk.service = service
+    return bulk
+
+
+class BulkLanes:
+    """N structurally identical hierarchies compiled for one batched run.
+
+    Lanes may differ in cache *contents* — fault maps, enabled ways,
+    victim/L2 residency — but share geometry, latencies, LRU policies,
+    and victim sizing (checked by :func:`bulk_lanes_eligible` plus the
+    batched pipeline's own config checks).
+    """
+
+    def __init__(
+        self,
+        hierarchies: list[MemoryHierarchy],
+        max_i_events: int,
+        max_d_events: int,
+        lat_scale: int = 1,
+    ) -> None:
+        if not hierarchies:
+            raise ValueError("need at least one lane")
+        self.hierarchies = list(hierarchies)
+        lanes = len(hierarchies)
+        self.lanes = lanes
+        self.l1i = VectorCache([h.l1i for h in hierarchies])
+        self.l1d = VectorCache([h.l1d for h in hierarchies])
+        self.l2 = VectorCache([h.l2 for h in hierarchies])
+        vi = [h.victim_i for h in hierarchies]
+        vd = [h.victim_d for h in hierarchies]
+        self.victims_i = VectorVictims(vi) if vi[0] is not None else None
+        self.victims_d = VectorVictims(vd) if vd[0] is not None else None
+        #: Stamps start above twice every initial clock so they dominate
+        #: every pre-existing recency value in every lane (see module
+        #: comment; instruction i stamps 2i/2i+1 on the I/D side).
+        self.stamp_base = (
+            2 * max(self.l1i.max_clock(), self.l1d.max_clock(), self.l2.max_clock())
+            + 2
+        )
+        max_victim = max(
+            self.victims_i.entries if self.victims_i is not None else 0,
+            self.victims_d.entries if self.victims_d is not None else 0,
+        )
+        scratch = {
+            "ar": np.arange(lanes),
+            "hit": np.empty(lanes, dtype=np.bool_),
+            "miss": np.empty(lanes, dtype=np.bool_),
+            "l2need": np.empty(lanes, dtype=np.bool_),
+            "fill2": np.empty(lanes, dtype=np.bool_),
+            "nb": np.empty(lanes, dtype=np.bool_),
+            "nb2": np.empty(lanes, dtype=np.bool_),
+            "ev": np.empty(lanes, dtype=np.bool_),
+            "h2": np.empty(lanes, dtype=np.bool_),
+            "vhit": np.empty(lanes, dtype=np.bool_),
+            "wb": np.empty(lanes, dtype=np.bool_),
+            "icols": np.empty(lanes, dtype=np.int64),
+            "icols2": np.empty(lanes, dtype=np.int64),
+            "flat_a": np.empty(lanes, dtype=np.int64),
+            "flat_b": np.empty(lanes, dtype=np.int64),
+            "et": np.empty(lanes, dtype=np.int64),
+            "t64": np.empty(lanes, dtype=np.int64),
+            "t64b": np.empty(lanes, dtype=np.int64),
+            "veq": np.empty((max_victim + 1, lanes), dtype=np.bool_),
+        }
+        # L2 evictions recorded per port (the L2 is shared; its counters
+        # sum both ports' rows).
+        scratch_i = dict(scratch)
+        scratch_i["l2ev_rows"] = np.zeros((max_i_events + 1, lanes), dtype=np.bool_)
+        scratch_d = dict(scratch)
+        scratch_d["l2ev_rows"] = np.zeros((max_d_events + 1, lanes), dtype=np.bool_)
+        self._l2ev_i = scratch_i["l2ev_rows"]
+        self._l2ev_d = scratch_d["l2ev_rows"]
+        self.iport = _compile_bulk_port(
+            self.l1i,
+            self.l2,
+            self.victims_i,
+            hierarchies[0].iport,
+            lanes,
+            max_i_events,
+            scratch_i,
+            lat_scale,
+        )
+        self.dport = _compile_bulk_port(
+            self.l1d,
+            self.l2,
+            self.victims_d,
+            hierarchies[0].dport,
+            lanes,
+            max_d_events,
+            scratch_d,
+            lat_scale,
+        )
+
+    def mark_boundary(self) -> None:
+        """Record the warmup/measured boundary: counters reconstruct from
+        events at or after this point only (state effects keep the full
+        history, exactly like the sequential statistics reset)."""
+        self.iport.boundary_event[0] = self.iport.event_count[0]
+        self.dport.boundary_event[0] = self.dport.event_count[0]
+
+    @staticmethod
+    def _port_counters(bulk: _BulkPort, l2ev_rows, measured_accesses: int):
+        """Reconstruct one port's per-lane counters from the event rows."""
+        e0 = bulk.boundary_event[0]
+        e1 = bulk.event_count[0]
+        n_events = e1 - e0
+        hits_at_events = bulk.hit_rows[e0:e1].sum(0)
+        misses = n_events - hits_at_events
+        bypassed = 0
+        for ei, mask in bulk.bypass_events:
+            if ei >= e0:
+                bypassed = bypassed + mask.astype(np.int64)
+        l1 = {
+            "accesses": measured_accesses,
+            "misses": misses,
+            "bypassed": bypassed,
+            "evictions": bulk.evict_rows[e0:e1].sum(0),
+            "writebacks": bulk.wb_rows[e0:e1].sum(0),
+        }
+        if bulk.vhit_rows is not None:
+            vhits = bulk.vhit_rows[e0:e1].sum(0)
+            victim = {
+                "accesses": misses,
+                "hits": vhits,
+                "fills": l1["evictions"],
+                "evictions": bulk.vevict_rows[e0:e1].sum(0),
+            }
+        else:
+            vhits = 0
+            victim = None
+        l2_accesses = misses - vhits
+        l2_hits = bulk.l2hit_rows[e0:e1].sum(0)
+        l2 = {
+            "accesses": l2_accesses,
+            "hits": l2_hits,
+            "misses": l2_accesses - l2_hits,
+            "evictions": l2ev_rows[e0:e1].sum(0),
+        }
+        return l1, victim, l2
+
+    def finalize(self, measured_i_accesses: int, measured_d_accesses: int, clock: int) -> None:
+        """Reconstruct every lane's statistics from the recorded event
+        masks and write statistics *and* cache contents back to the
+        object hierarchies (mirror of :meth:`FusedHierarchy.sync`)."""
+        l1i_c, vic_i_c, l2_i_c = self._port_counters(
+            self.iport, self._l2ev_i, measured_i_accesses
+        )
+        l1d_c, vic_d_c, l2_d_c = self._port_counters(
+            self.dport, self._l2ev_d, measured_d_accesses
+        )
+
+        def at(value, lane):
+            return int(value[lane]) if isinstance(value, np.ndarray) else int(value)
+
+        for lane, hierarchy in enumerate(self.hierarchies):
+            for cache, counters in ((hierarchy.l1i, l1i_c), (hierarchy.l1d, l1d_c)):
+                stats = cache.stats
+                stats.accesses = at(counters["accesses"], lane)
+                stats.misses = at(counters["misses"], lane)
+                stats.hits = stats.accesses - stats.misses
+                stats.bypassed_fills = at(counters["bypassed"], lane)
+                stats.fills = stats.misses - stats.bypassed_fills
+                stats.evictions = at(counters["evictions"], lane)
+                stats.writebacks = at(counters["writebacks"], lane)
+            stats = hierarchy.l2.stats
+            stats.accesses = at(l2_i_c["accesses"], lane) + at(l2_d_c["accesses"], lane)
+            stats.hits = at(l2_i_c["hits"], lane) + at(l2_d_c["hits"], lane)
+            stats.misses = stats.accesses - stats.hits
+            stats.fills = stats.misses
+            stats.evictions = at(l2_i_c["evictions"], lane) + at(
+                l2_d_c["evictions"], lane
+            )
+            stats.bypassed_fills = 0
+            stats.writebacks = 0
+            hierarchy.iport.memory_accesses = at(l2_i_c["misses"], lane)
+            hierarchy.dport.memory_accesses = at(l2_d_c["misses"], lane)
+            for victim, counters in (
+                (hierarchy.victim_i, vic_i_c),
+                (hierarchy.victim_d, vic_d_c),
+            ):
+                if victim is None:
+                    continue
+                stats = victim.stats
+                stats.accesses = at(counters["accesses"], lane)
+                stats.hits = at(counters["hits"], lane)
+                stats.misses = stats.accesses - stats.hits
+                stats.fills = at(counters["fills"], lane)
+                stats.evictions = at(counters["evictions"], lane)
+                stats.bypassed_fills = 0
+                stats.writebacks = 0
+        self.l1i.sync(clock)
+        self.l1d.sync(clock)
+        self.l2.sync(clock)
+        if self.victims_i is not None:
+            self.victims_i.sync()
+        if self.victims_d is not None:
+            self.victims_d.sync()

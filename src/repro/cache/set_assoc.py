@@ -235,3 +235,43 @@ class SetAssociativeCache:
         self._tags[:] = [-1] * n
         self._dirty[:] = [False] * n
         self._resident.clear()
+
+    def adopt_flat_state(
+        self,
+        tags: list[int],
+        dirty: list[bool],
+        last_touch: list[int],
+        fill_time: list[int],
+        clock: int,
+        resident: dict[int, int] | None = None,
+    ) -> None:
+        """Replace this cache's contents with externally-evolved flat state
+        (the lane-batched engine's write-back path).  The lists are copied
+        in place so compiled engines holding references stay coherent, and
+        the residency index is rebuilt from the adopted tags — or adopted
+        from ``resident`` when the caller already derived it (the lane
+        engine computes it vectorised)."""
+        n = len(self._tags)
+        if len(tags) != n:
+            raise ValueError(f"flat state has {len(tags)} ways, expected {n}")
+        self._tags[:] = tags
+        self._dirty[:] = dirty
+        self._last_touch[:] = last_touch
+        self._fill_time[:] = fill_time
+        self._clock = clock
+        if resident is None:
+            self.rebuild_residency()
+        else:
+            self._resident.clear()
+            self._resident.update(resident)
+
+    def rebuild_residency(self) -> None:
+        """Recompute the block -> flat-way index from ``_tags`` (invalid
+        and disabled ways hold -1 and are skipped)."""
+        resident = self._resident
+        resident.clear()
+        tag_shift = self._tag_shift
+        ways = self._ways
+        for index, tag in enumerate(self._tags):
+            if tag >= 0:
+                resident[(tag << tag_shift) | (index // ways)] = index

@@ -27,10 +27,28 @@ loop consumes with O(1) work per instruction:
 Schedules are memoised on the trace object keyed by the front-end
 parameters, so campaign runs (one trace x many fault maps x many
 configurations) replay the front end once, not per simulation.
+
+Persistent schedule cache
+-------------------------
+Parallel campaign workers each replay the front end in their own process
+— per benchmark, per worker, even when every *trace* comes from the
+persistent trace cache.  When ``REPRO_TRACE_CACHE`` names a directory (or
+a provider stamps ``trace._schedule_cache_dir``), built schedules are
+persisted next to the cached traces as ``sched-<key>.npz``, keyed by a
+content hash of the trace columns the front end consumes (pc, class,
+taken) plus the front-end parameters.  Workers and later sessions then
+load the compiled schedule instead of re-replaying; entries are written
+atomically and corrupt ones are discarded and rebuilt, mirroring the
+trace cache.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
+import os
+import tempfile
+import zipfile
 from dataclasses import dataclass
 
 import numpy as np
@@ -41,6 +59,20 @@ from repro.cpu.trace import Trace
 
 #: Attribute used to memoise schedules on the trace object.
 _CACHE_ATTR = "_frontend_schedules"
+
+#: Environment variable naming the persistent schedule-cache directory
+#: (shared with the trace cache; duplicated here because the cpu layer
+#: must not import the experiments layer).
+SCHEDULE_CACHE_ENV = "REPRO_TRACE_CACHE"
+
+#: Bump when FrontEndSchedule's layout or semantics change incompatibly.
+SCHEDULE_SCHEMA_VERSION = 1
+
+#: Persistent entries are ``sched-<key>.npz`` beside the cached traces.
+_SCHED_PREFIX = "sched-"
+
+#: Module-level cache-activity counters (CLI summaries and tests).
+SCHEDULE_CACHE_STATS = {"loaded": 0, "persisted": 0, "discarded": 0}
 
 #: reg_ready sentinel slots used by the remapped operand columns: reads of
 #: "no register" land on a pinned zero, writes of "no destination" land on
@@ -144,6 +176,33 @@ def structural_columns(
     return columns
 
 
+def dcache_columns(
+    trace: Trace, offset_bits: int, index_bits: int, ways: int
+) -> tuple[list[int], list[int], list[int], list[int]]:
+    """(block, set, base, tag) per instruction for one D-cache geometry —
+    pure address arithmetic, vectorised once per trace and memoised (the
+    lane-batched loop shares the columns across every lane).  Non-memory
+    rows carry garbage derived from ``mem_addr == -1`` and are never read.
+    """
+    cache = trace.__dict__.get("_dcache_columns")
+    if cache is None:
+        cache = {}
+        trace._dcache_columns = cache
+    key = (offset_bits, index_bits, ways)
+    columns = cache.get(key)
+    if columns is None:
+        blocks = np.asarray(trace.mem_addr, dtype=np.int64) >> offset_bits
+        sets = blocks & ((1 << index_bits) - 1)
+        columns = (
+            blocks.tolist(),
+            sets.tolist(),
+            (sets * ways).tolist(),
+            (blocks >> index_bits).tolist(),
+        )
+        cache[key] = columns
+    return columns
+
+
 def _schedule_key(
     config: PipelineConfig, offset_bits: int, measure_from: int, n: int
 ) -> tuple:
@@ -158,13 +217,150 @@ def _schedule_key(
     )
 
 
+def _trace_content_digest(trace: Trace) -> str:
+    """Content hash of the trace columns the front end consumes (pc,
+    class, taken) — memoised on the trace object."""
+    digest = trace.__dict__.get("_frontend_digest")
+    if digest is None:
+        hasher = hashlib.sha256()
+        hasher.update(np.asarray(trace.pc, dtype=np.int64).tobytes())
+        hasher.update(np.asarray(trace.iclass, dtype=np.int64).tobytes())
+        hasher.update(np.asarray(trace.taken, dtype=np.bool_).tobytes())
+        digest = hasher.hexdigest()
+        trace._frontend_digest = digest
+    return digest
+
+
+def schedule_cache_dir(trace: Trace) -> str | None:
+    """Where this trace's schedules persist: the provider-stamped
+    directory if any, else ``$REPRO_TRACE_CACHE``, else nowhere."""
+    stamped = trace.__dict__.get("_schedule_cache_dir")
+    if stamped:
+        return os.fspath(stamped)
+    return os.environ.get(SCHEDULE_CACHE_ENV) or None
+
+
+def schedule_disk_key(
+    trace: Trace, config: PipelineConfig, offset_bits: int, measure_from: int
+) -> str:
+    """Stable content hash of one persisted schedule."""
+    payload = {
+        "schema": SCHEDULE_SCHEMA_VERSION,
+        "trace": _trace_content_digest(trace),
+        "n": len(trace),
+        "gshare_history_bits": config.gshare_history_bits,
+        "ras_entries": config.ras_entries,
+        "line_predictor_entries": config.line_predictor_entries,
+        "fetch_width": config.fetch_width,
+        "offset_bits": offset_bits,
+        "measure_from": measure_from,
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+#: FrontEndSchedule fields persisted as integer arrays / scalars; the
+#: remaining three (gshare_table, ras_stack, lp_table) need type fix-ups.
+_ARRAY_FIELDS = (
+    "static_fetch",
+    "iaccess_index",
+    "iaccess_line",
+    "redirect_index",
+    "redirect_static_next",
+)
+_SCALAR_FIELDS = (
+    "gshare_predictions",
+    "gshare_mispredictions",
+    "ras_pushes",
+    "ras_pops",
+    "ras_mispredictions",
+    "lp_lookups",
+    "lp_misses",
+    "iaccess_measured",
+    "daccess_measured",
+    "gshare_history",
+)
+
+
+def save_schedule(schedule: FrontEndSchedule, path_or_file) -> None:
+    """Persist a schedule as ``.npz`` (arrays + scalars + predictor
+    end-state)."""
+    payload: dict[str, np.ndarray] = {
+        "schema": np.int64(SCHEDULE_SCHEMA_VERSION),
+        "gshare_table": np.frombuffer(schedule.gshare_table, dtype=np.uint8),
+        "ras_stack": np.asarray(schedule.ras_stack, dtype=np.int64),
+        "lp_table": np.asarray(schedule.lp_table, dtype=np.int64),
+    }
+    for name in _ARRAY_FIELDS:
+        payload[name] = np.asarray(getattr(schedule, name), dtype=np.int64)
+    for name in _SCALAR_FIELDS:
+        payload[name] = np.int64(getattr(schedule, name))
+    np.savez_compressed(path_or_file, **payload)
+
+
+def load_schedule(path: str) -> FrontEndSchedule:
+    """Inverse of :func:`save_schedule` (raises on malformed input)."""
+    with np.load(path) as data:
+        if int(data["schema"]) != SCHEDULE_SCHEMA_VERSION:
+            raise ValueError("schedule schema mismatch")
+        kwargs: dict = {
+            "gshare_table": data["gshare_table"].tobytes(),
+            "ras_stack": tuple(data["ras_stack"].tolist()),
+            "lp_table": tuple(data["lp_table"].tolist()),
+        }
+        for name in _ARRAY_FIELDS:
+            kwargs[name] = data[name].tolist()
+        for name in _SCALAR_FIELDS:
+            kwargs[name] = int(data[name])
+    return FrontEndSchedule(**kwargs)
+
+
+def _load_schedule_entry(path: str) -> FrontEndSchedule | None:
+    """Load a persisted schedule; discard and remove a corrupt entry."""
+    if not os.path.exists(path):
+        return None
+    try:
+        schedule = load_schedule(path)
+    except (OSError, ValueError, KeyError, EOFError, zipfile.BadZipFile):
+        SCHEDULE_CACHE_STATS["discarded"] += 1
+        try:
+            os.remove(path)
+        except OSError:
+            pass
+        return None
+    SCHEDULE_CACHE_STATS["loaded"] += 1
+    return schedule
+
+
+def _persist_schedule(schedule: FrontEndSchedule, directory: str, path: str) -> None:
+    """Atomic write (temp + rename), best-effort like the trace cache."""
+    try:
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(
+            dir=directory, prefix=".sched-", suffix=".npz.tmp"
+        )
+    except OSError:
+        return
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            save_schedule(schedule, fh)
+        os.replace(tmp_path, path)
+        SCHEDULE_CACHE_STATS["persisted"] += 1
+    except Exception:
+        try:
+            os.remove(tmp_path)
+        except OSError:
+            pass
+
+
 def frontend_schedule(
     trace: Trace,
     config: PipelineConfig,
     offset_bits: int,
     measure_from: int,
 ) -> FrontEndSchedule:
-    """The memoised schedule for this trace/front-end combination."""
+    """The memoised schedule for this trace/front-end combination,
+    backed by the persistent schedule cache when one is configured."""
     cache = trace.__dict__.get(_CACHE_ATTR)
     if cache is None:
         cache = {}
@@ -172,7 +368,16 @@ def frontend_schedule(
     key = _schedule_key(config, offset_bits, measure_from, len(trace))
     schedule = cache.get(key)
     if schedule is None:
-        schedule = _build_schedule(trace, config, offset_bits, measure_from)
+        directory = schedule_cache_dir(trace)
+        path = None
+        if directory:
+            disk_key = schedule_disk_key(trace, config, offset_bits, measure_from)
+            path = os.path.join(directory, f"{_SCHED_PREFIX}{disk_key}.npz")
+            schedule = _load_schedule_entry(path)
+        if schedule is None:
+            schedule = _build_schedule(trace, config, offset_bits, measure_from)
+            if path is not None:
+                _persist_schedule(schedule, directory, path)
         cache[key] = schedule
     return schedule
 

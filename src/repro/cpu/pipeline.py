@@ -48,13 +48,17 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from heapq import heapreplace
+from typing import Sequence
 
-from repro.cache.engine import FusedHierarchy
+import numpy as np
+
+from repro.cache.engine import BulkLanes, FusedHierarchy, bulk_lanes_eligible
 from repro.cache.hierarchy import MemoryHierarchy
 from repro.cpu.branch import GsharePredictor, LinePredictor, ReturnAddressStack
 from repro.cpu.config import PipelineConfig
 from repro.cpu.frontend import (
     REG_FILE_SLOTS,
+    dcache_columns,
     frontend_schedule,
     operand_columns,
     structural_columns,
@@ -768,3 +772,431 @@ class OutOfOrderPipeline:
             branch_predictions=schedule.gshare_predictions + schedule.ras_pops,
             hierarchy_stats=hier.stats().snapshot(),
         )
+
+    # ----- lane-batched execution ------------------------------------------
+
+    @staticmethod
+    def _can_run_batch(pipelines: "Sequence[OutOfOrderPipeline]") -> bool:
+        """Whether the lane-batched loop applies: fresh fused pipelines
+        sharing one config, one latency set, and one geometry per level
+        (contents — fault maps, resident blocks, recency — may differ per
+        lane), no prefetchers (they hook demand hits, which the batched
+        loop services vectorised), a positive front-end depth (occupancy
+        guards are dropped exactly as in the scalar fast loop), and the
+        bulk engine's own coverage (LRU replacement, uniform victim
+        sizing — see :func:`repro.cache.engine.bulk_lanes_eligible`)."""
+        first = pipelines[0]
+        cfg = first.config
+        h0 = first.hierarchy
+        if cfg.frontend_stages + h0.latencies.l1i < 1:
+            return False
+        for p in pipelines:
+            h = p.hierarchy
+            if p.engine != "fused" or p._runs != 0:
+                return False
+            if p.config != cfg:
+                return False
+            if h.latencies != h0.latencies:
+                return False
+            if (
+                h.l1i.geometry != h0.l1i.geometry
+                or h.l1d.geometry != h0.l1d.geometry
+                or h.l2.geometry != h0.l2.geometry
+            ):
+                return False
+            if h.iport.prefetcher is not None or h.dport.prefetcher is not None:
+                return False
+        return bulk_lanes_eligible([p.hierarchy for p in pipelines])
+
+    @staticmethod
+    def run_batch(
+        pipelines: "Sequence[OutOfOrderPipeline]",
+        trace: Trace,
+        measure_from: int = 0,
+        min_lanes: int = 2,
+    ) -> list[SimResult]:
+        """Simulate N lanes — one pipeline per fault map — in a single
+        pass over the shared front-end schedule.
+
+        Per-lane state (flat cache tags/recency, victim entries,
+        ROB/IQ/FU occupancy, statistics) lives in NumPy arrays with a
+        lane axis; the per-instruction timing recurrence is evaluated for
+        every lane at once, L1 probes are one vectorised set comparison,
+        and miss *events* (usually shared by many lanes) are serviced
+        with lane-masked vector operations.  Results are bit-identical to
+        running each pipeline sequentially (golden-pinned).
+
+        Batches the vectorised path cannot take — mixed configs or
+        latencies, prefetchers, non-LRU policies, reused pipelines, fewer
+        than ``min_lanes`` lanes — fall back to sequential runs
+        transparently.
+        """
+        pipelines = list(pipelines)
+        if not pipelines:
+            return []
+        if (
+            len(pipelines) < min_lanes
+            or len(trace) == 0
+            or not OutOfOrderPipeline._can_run_batch(pipelines)
+        ):
+            return [p.run(trace, measure_from) for p in pipelines]
+        return OutOfOrderPipeline._run_lanes(pipelines, trace, measure_from)
+
+    @staticmethod
+    def _run_lanes(
+        pipelines: "Sequence[OutOfOrderPipeline]",
+        trace: Trace,
+        measure_from: int,
+    ) -> list[SimResult]:
+        """Vectorised multi-lane mirror of :meth:`_run_fast`.
+
+        Every timing quantity is tracked *scaled by the commit width W*
+        (dispatch, ready, issue, completion all stay multiples of W), and
+        commit state per lane is ``v = last_commit * W + commit_slots``.
+        The three-way commit branch then collapses to ``v' = max(v,
+        comp_scaled) + 1`` — algebraically identical to the scalar rule
+        for ``slots`` in ``1..W`` — and the ROB ring stores the scaled
+        dispatch bound ``(last_commit + 1) * W`` directly, computed from
+        the pre-increment ``v`` as ``(v | (W-1)) + 1`` when W is a power
+        of two (one OR against the max instead of a divide chain).
+        FU pools and issue ports are earliest-free multisets updated by
+        argmin-replace (multiset-equivalent to the scalar loop's
+        heapreplace).  Cache recency uses the bulk engine's trace-static
+        stamps (see :mod:`repro.cache.engine`), so no per-lane clocks are
+        maintained.  Cycle counts are recovered once at the end as
+        ``(v - 1) // W``.
+        """
+        cfg = pipelines[0].config
+        hier0 = pipelines[0].hierarchy
+        n = len(trace)
+        n_lanes = len(pipelines)
+        if not 0 <= measure_from < n:
+            raise ValueError(
+                f"measure_from must be in [0, {n}), got {measure_from}"
+            )
+
+        i_shift = hier0.l1i.geometry.offset_bits
+        d_shift = hier0.l1d.geometry.offset_bits
+        l1i_lat = hier0.latencies.l1i
+        l1d_lat = hier0.latencies.l1d
+        frontend_delay = cfg.frontend_stages + l1i_lat
+
+        schedule = frontend_schedule(trace, cfg, i_shift, measure_from)
+        sps = schedule.static_fetch
+        ia_indices = schedule.iaccess_index
+        rd_indices = schedule.redirect_index
+        rd_static_next = schedule.redirect_static_next
+        classes = trace.iclass
+        src1s, src2s, dests = operand_columns(trace)
+        rob_col, iq_col = structural_columns(
+            trace, cfg.rob_entries, cfg.iq_int_entries, cfg.iq_fp_entries
+        )
+        d_geom = hier0.l1d.geometry
+        l2_geom = hier0.l2.geometry
+        d_blocks, d_sets, d_bases, d_tagcol = dcache_columns(
+            trace, d_shift, d_geom.index_bits, d_geom.ways
+        )
+        _, _, d2_bases, d2_tagcol = dcache_columns(
+            trace, d_shift, l2_geom.index_bits, l2_geom.ways
+        )
+        # I-cache access points: (set, base, tag) per point, both levels.
+        i_geom = hier0.l1i.geometry
+        ia_lines = schedule.iaccess_line
+        _lines = np.asarray(ia_lines, dtype=np.int64)
+        _sets = _lines & (i_geom.num_sets - 1)
+        ia_sets = _sets.tolist()
+        ia_bases = (_sets * i_geom.ways).tolist()
+        ia_tags = (_lines >> i_geom.index_bits).tolist()
+        ia2_bases = ((_lines & (l2_geom.num_sets - 1)) * l2_geom.ways).tolist()
+        ia2_tags = (_lines >> l2_geom.index_bits).tolist()
+
+        _cls_arr = np.asarray(classes, dtype=np.int64)
+        total_d = int(np.count_nonzero((_cls_arr == 4) | (_cls_arr == 5)))
+        total_i = len(ia_lines)
+
+        commit_width = cfg.commit_width
+        lanes = BulkLanes(
+            [p.hierarchy for p in pipelines],
+            total_i,
+            total_d,
+            lat_scale=commit_width,
+        )
+        i_tags2d = lanes.l1i.tags
+        i_last2d = lanes.l1i.last
+        i_ways = lanes.l1i.ways
+        d_tags2d = lanes.l1d.tags
+        d_last2d = lanes.l1d.last
+        d_dirty2d = lanes.l1d.dirty
+        d_ways = lanes.l1d.ways
+        service_i = lanes.iport.service
+        service_d = lanes.dport.service
+        K = lanes.stamp_base
+
+        exec_lat = tuple(EXECUTION_LATENCY[InstrClass(c)] for c in range(9))
+        fu_of = (0, 1, 2, 3, 0, 0, 0, 0, 0)
+
+        I64 = np.int64
+        reg_ready = np.zeros((REG_FILE_SLOTS, n_lanes), I64)
+        rob_ring = np.zeros((cfg.rob_entries, n_lanes), I64)  # stores v
+        int_iq = np.zeros((cfg.iq_int_entries, n_lanes), I64)
+        fp_iq = np.zeros((cfg.iq_fp_entries, n_lanes), I64)
+        # Row views are reused thousands of times; list indexing beats
+        # re-deriving an ndarray view every instruction.
+        reg_rows = [reg_ready[j] for j in range(REG_FILE_SLOTS)]
+        rob_rows = [rob_ring[j] for j in range(cfg.rob_entries)]
+        int_iq_rows = [int_iq[j] for j in range(cfg.iq_int_entries)]
+        fp_iq_rows = [fp_iq[j] for j in range(cfg.iq_fp_entries)]
+        ar = np.arange(n_lanes)
+        pools = []
+        pool_flat = []
+        pool_aridx = []
+        pool_single = []
+        for width in (
+            cfg.int_alu_units,
+            cfg.int_mul_units,
+            cfg.fp_alu_units,
+            cfg.fp_mul_units,
+        ):
+            arr = np.zeros((n_lanes, width), I64)
+            pools.append(arr)
+            pool_flat.append(arr.reshape(-1))
+            pool_aridx.append(ar * width)
+            pool_single.append(arr[:, 0] if width == 1 else None)
+        n_ports = cfg.issue_width
+        ports = np.zeros((n_lanes, n_ports), I64)
+        ports_flat = ports.reshape(-1)
+        ports_ar = ar * n_ports
+        ports_single = ports[:, 0] if n_ports == 1 else None
+
+        dyn = np.full(n_lanes, frontend_delay * commit_width, I64)
+        fetch_base = np.empty(n_lanes, I64)
+        cur_sp = None
+        v = np.zeros(n_lanes, I64)  # last_commit * W + commit_slots
+        cycles_base = np.zeros(n_lanes, I64)
+        disp = np.empty(n_lanes, I64)
+        issued = np.empty(n_lanes, I64)
+        comp = np.empty(n_lanes, I64)
+        t = np.empty(n_lanes, I64)
+        tb = np.empty(n_lanes, I64)
+        idx64 = np.empty(n_lanes, I64)
+        colbuf = np.empty(n_lanes, I64)
+        w = commit_width  # timing scale factor (see docstring)
+        eqbuf_i = np.empty((i_ways, n_lanes), np.bool_)
+        eqbuf_d = np.empty((d_ways, n_lanes), np.bool_)
+        d_hit_adder = (l1d_lat - 1) * commit_width
+
+        ia_cursor = 0
+        next_ia = ia_indices[0]
+        rd_cursor = 0
+        next_rd = rd_indices[0]
+        boundary = measure_from if measure_from > 0 else -1
+        next_pre = next_ia if boundary < 0 or next_ia < boundary else boundary
+
+        maximum = np.maximum
+        add = np.add
+        equal = np.equal
+        count_nonzero = np.count_nonzero
+
+        # ufuncs pay ~3x dispatch cost for Python-int operands; 0-d array
+        # constants (and one mutable 0-d cell for per-access scalars) keep
+        # every hot call on the fast path.
+        c_one = np.array(1, I64)
+        c_w = np.array(commit_width, I64)
+        c_wm1 = np.array(commit_width - 1, I64)
+        w_pow2 = commit_width & (commit_width - 1) == 0
+        c_dhit = np.array(d_hit_adder, I64)
+        c_lat = tuple(np.array((l - 1) * w, I64) for l in exec_lat)
+        c_true = np.array(True)
+        s_cell = np.array(0, I64)  # per-access scalar operand (base/tag/...)
+        s_stamp = np.array(0, I64)  # current recency stamp (0-d copyto source)
+
+        for i, (cls, sp, r1, r2, rd, rs, slot) in enumerate(
+            zip(classes, sps, src1s, src2s, dests, rob_col, iq_col)
+        ):
+            if i == next_pre:
+                if i == boundary:
+                    np.subtract(v, 1, out=t)
+                    np.floor_divide(t, commit_width, out=t)
+                    cycles_base[:] = t
+                    lanes.mark_boundary()
+                    boundary = -1
+                if i == next_ia:
+                    # ---- I-cache access point (precomputed line change) ---
+                    line = ia_lines[ia_cursor]
+                    s = ia_sets[ia_cursor]
+                    base = ia_bases[ia_cursor]
+                    tag = ia_tags[ia_cursor]
+                    base2 = ia2_bases[ia_cursor]
+                    tag2 = ia2_tags[ia_cursor]
+                    ia_cursor += 1
+                    next_ia = ia_indices[ia_cursor]
+                    stamp = K + 2 * i
+                    s_cell[()] = tag
+                    equal(i_tags2d[base : base + i_ways], s_cell, out=eqbuf_i)
+                    cnt = count_nonzero(eqbuf_i)
+                    if cnt == n_lanes:
+                        s_stamp[()] = stamp
+                        np.copyto(
+                            i_last2d[:, base : base + i_ways],
+                            s_stamp,
+                            where=eqbuf_i.T,
+                        )
+                    else:
+                        dyn += service_i(
+                            stamp, line, base, s, base2, tag2, tag,
+                            eqbuf_i, cnt, False, True,
+                        )
+                        cur_sp = None  # dyn moved: refresh fetch_base
+                next_pre = next_ia if boundary < 0 or next_ia < boundary else boundary
+
+            # ---- dispatch: static fetch offset, ROB, issue queues ---------
+            if sp != cur_sp:
+                s_cell[()] = sp * w
+                add(dyn, s_cell, out=fetch_base)
+                cur_sp = sp
+            # rob_ring holds the scaled (last_commit + 1) * W bound
+            maximum(fetch_base, rob_rows[rs], out=disp)
+            iq_rows = fp_iq_rows if cls == 2 or cls == 3 else int_iq_rows
+            iq_row = iq_rows[slot]
+            maximum(disp, iq_row, out=disp)
+            if r1 != 64:
+                maximum(disp, reg_rows[r1], out=disp)
+            if r2 != 64 and r2 != r1:
+                maximum(disp, reg_rows[r2], out=disp)
+
+            # ---- issue: FU and issue-port structural hazards --------------
+            fu = fu_of[cls]
+            urow = pool_single[fu]
+            if urow is None:
+                uflat = pool_flat[fu]
+                add(pools[fu].argmin(1), pool_aridx[fu], out=idx64)
+                uflat.take(idx64, out=tb)
+                maximum(disp, tb, out=disp)
+            else:
+                maximum(disp, urow, out=disp)
+            if ports_single is None:
+                add(ports.argmin(1), ports_ar, out=colbuf)
+                ports_flat.take(colbuf, out=tb)
+                maximum(disp, tb, out=disp)
+            else:
+                maximum(disp, ports_single, out=disp)
+            add(disp, c_w, out=issued)
+            if urow is None:
+                uflat[idx64] = issued  # fully pipelined units
+            else:
+                urow[:] = issued
+            if ports_single is None:
+                ports_flat[colbuf] = issued
+            else:
+                ports_single[:] = issued
+            iq_row[:] = issued  # IQ entry frees at issue
+
+            # ---- execute / complete (vectorised residency probes) ---------
+            if cls == 4:  # LOAD
+                base = d_bases[i]
+                stamp = K + 2 * i + 1
+                s_cell[()] = d_tagcol[i]
+                equal(d_tags2d[base : base + d_ways], s_cell, out=eqbuf_d)
+                cnt = count_nonzero(eqbuf_d)
+                add(issued, c_dhit, out=comp)
+                if cnt == n_lanes:
+                    s_stamp[()] = stamp
+                    np.copyto(
+                        d_last2d[:, base : base + d_ways],
+                        s_stamp,
+                        where=eqbuf_d.T,
+                    )
+                else:
+                    comp += service_d(
+                        stamp, d_blocks[i], base, d_sets[i],
+                        d2_bases[i], d2_tagcol[i], d_tagcol[i],
+                        eqbuf_d, cnt, False, True,
+                    )
+                cw = comp
+            elif cls == 5:  # STORE
+                base = d_bases[i]
+                stamp = K + 2 * i + 1
+                s_cell[()] = d_tagcol[i]
+                equal(d_tags2d[base : base + d_ways], s_cell, out=eqbuf_d)
+                cnt = count_nonzero(eqbuf_d)
+                if cnt == n_lanes:
+                    s_stamp[()] = stamp
+                    eq_t = eqbuf_d.T
+                    np.copyto(
+                        d_last2d[:, base : base + d_ways], s_stamp, where=eq_t
+                    )
+                    np.copyto(
+                        d_dirty2d[:, base : base + d_ways], c_true, where=eq_t
+                    )
+                else:
+                    service_d(
+                        stamp, d_blocks[i], base, d_sets[i],
+                        d2_bases[i], d2_tagcol[i], d_tagcol[i],
+                        eqbuf_d, cnt, True, False,
+                    )
+                cw = issued  # retires via the store buffer
+            else:
+                lat = exec_lat[cls]
+                if lat == 1:
+                    cw = issued
+                else:
+                    add(issued, c_lat[cls], out=comp)
+                    cw = comp
+
+            if rd != 65:
+                reg_rows[rd][:] = cw  # sentinel 65 writes are dropped
+
+            # ---- commit: v' = max(v, comp_scaled) + 1; the ROB frees this
+            # slot at (last_commit + 1) * W = (v_pre // W + 1) * W --------
+            maximum(v, cw, out=v)
+            if w_pow2:
+                np.bitwise_or(v, c_wm1, out=t)
+                add(t, c_one, out=t)
+            else:
+                np.floor_divide(v, c_w, out=t)
+                add(t, c_one, out=t)
+                np.multiply(t, c_w, out=t)
+            rob_rows[rs][:] = t
+            add(v, c_one, out=v)
+
+            # ---- misprediction redirects (precomputed points) -------------
+            if i == next_rd:
+                rd_cursor += 1
+                next_rd = rd_indices[rd_cursor]
+                s_cell[()] = (
+                    1 + frontend_delay - rd_static_next[rd_cursor - 1]
+                ) * w
+                add(cw, s_cell, out=t)
+                maximum(dyn, t, out=dyn)
+                cur_sp = None  # dyn moved: refresh fetch_base
+
+        # Reconstruct per-lane statistics from the recorded event masks and
+        # write state + stats back to the object hierarchies.
+        lanes.finalize(
+            schedule.iaccess_measured,
+            schedule.daccess_measured,
+            clock=K + 2 * n,
+        )
+
+        np.subtract(v, 1, out=t)
+        np.floor_divide(t, commit_width, out=t)
+        cycles = (t - cycles_base).tolist()
+        mispredictions = (
+            schedule.gshare_mispredictions + schedule.ras_mispredictions
+        )
+        predictions = schedule.gshare_predictions + schedule.ras_pops
+        results = []
+        for lane, p in enumerate(pipelines):
+            p._runs += 1
+            schedule.install(p.gshare, p.ras, p.line_predictor)
+            results.append(
+                SimResult(
+                    benchmark=trace.name,
+                    instructions=n - measure_from,
+                    cycles=cycles[lane],
+                    branch_mispredictions=mispredictions,
+                    branch_predictions=predictions,
+                    hierarchy_stats=p.hierarchy.stats().snapshot(),
+                )
+            )
+        return results

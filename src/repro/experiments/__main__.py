@@ -37,6 +37,13 @@ from repro.experiments.store import DiskStore, MemoryStore, ResultStore, open_st
 from repro.workloads.spec2000 import ALL_BENCHMARKS
 
 
+def _positive_int(value: str) -> int:
+    parsed = int(value)
+    if parsed < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return parsed
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
@@ -73,6 +80,16 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="process count for parallel simulation (paper-scale runs)",
+    )
+    parser.add_argument(
+        "--lanes",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="fault-map lanes per batched simulation pass (default: all "
+        "pending maps of a campaign point, falling back to per-map runs "
+        "below the ~16-lane efficiency crossover; an explicit N >= 2 "
+        "always batches; 1 = legacy per-map path)",
     )
     store_group = parser.add_mutually_exclusive_group()
     store_group.add_argument(
@@ -185,7 +202,10 @@ def main(argv: list[str] | None = None) -> int:
         nonlocal runner
         if runner is None:
             runner = ExperimentRunner(
-                _settings_from_args(args), store=store, trace_cache=trace_cache
+                _settings_from_args(args),
+                store=store,
+                trace_cache=trace_cache,
+                lanes=args.lanes,
             )
             if args.workers > 1:
                 from repro.experiments.parallel import prefill_cache

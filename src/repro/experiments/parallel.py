@@ -20,6 +20,12 @@ deterministic functions of ``RunnerSettings`` (seeded generators), so each
 worker regenerates and memoises its own copies.  Tasks are just
 ``(benchmark, config, map_index)`` triples — tiny, order-independent, and
 bit-identical to the single-process path.
+
+Dispatch is *lane-batched*: pending tasks are grouped by (benchmark,
+physical configuration) after deduplicating against the store, so one
+worker invocation drives all of a campaign point's remaining fault maps
+through a single :meth:`OutOfOrderPipeline.run_batch` schedule pass
+(``ExperimentRunner.run_batch``) instead of one simulation per task.
 """
 
 from __future__ import annotations
@@ -43,23 +49,42 @@ _WORKER_RUNNER: ExperimentRunner | None = None
 
 
 def _worker_init(
-    settings: RunnerSettings, pipeline_config, trace_cache: "str | None" = None
+    settings: RunnerSettings,
+    pipeline_config,
+    trace_cache: "str | None" = None,
+    lanes: "int | None" = None,
 ) -> None:
     global _WORKER_RUNNER
     _WORKER_RUNNER = ExperimentRunner(
-        settings, pipeline_config=pipeline_config, trace_cache=trace_cache
+        settings,
+        pipeline_config=pipeline_config,
+        trace_cache=trace_cache,
+        lanes=lanes,
     )
 
 
-def _worker_run_chunk(
-    chunk: list[Task],
+def _run_batch_locally(
+    runner: ExperimentRunner, batch: list[Task]
+) -> list[tuple[Task, SimResult]]:
+    """Run one same-point lane batch through a runner (worker or parent)."""
+    benchmark, config, first_index = batch[0]
+    if first_index is None:
+        return [(batch[0], runner.run(benchmark, config, None))]
+    indices = [task[2] for task in batch]
+    results = runner.run_batch(benchmark, config, indices)
+    return list(zip(batch, results))
+
+
+def _worker_run_batches(
+    batches: list[list[Task]],
 ) -> tuple[int, tuple[int, int, int], list[tuple[Task, SimResult]]]:
-    """Run one chunk; also report this worker's cumulative trace-provider
-    counters (pid-keyed so the parent can aggregate across the pool)."""
+    """Run a group of lane batches; also report this worker's cumulative
+    trace-provider counters (pid-keyed so the parent can aggregate across
+    the pool)."""
     assert _WORKER_RUNNER is not None, "worker not initialised"
-    results = [
-        (task, _WORKER_RUNNER.run(task[0], task[1], task[2])) for task in chunk
-    ]
+    results: list[tuple[Task, SimResult]] = []
+    for batch in batches:
+        results.extend(_run_batch_locally(_WORKER_RUNNER, batch))
     traces = _WORKER_RUNNER.traces
     counters = (traces.generated, traces.loaded, traces.discarded)
     return os.getpid(), counters, results
@@ -105,6 +130,40 @@ def pending_tasks(
     return tasks
 
 
+def plan_batches(
+    runner: ExperimentRunner, configs: tuple[RunConfig, ...]
+) -> list[list[Task]]:
+    """Pending tasks grouped into lane batches: one group per (benchmark,
+    physical configuration), split into ``runner.lanes``-wide slices.
+
+    Tasks already in the store were removed by :func:`pending_tasks`
+    before grouping, so a resumed campaign batches only the missing
+    lanes.  Fault-independent tasks stay singleton batches.
+    """
+    groups: dict[tuple, list[Task]] = {}
+    order: list[tuple] = []
+    for task in pending_tasks(runner, configs):
+        benchmark, config, map_index = task
+        if map_index is None:
+            key = (benchmark, config.scheme, config.voltage,
+                   config.victim_entries, len(order))  # singleton group
+        else:
+            key = (benchmark, config.scheme, config.voltage,
+                   config.victim_entries)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(task)
+    width = runner.lanes
+    batches: list[list[Task]] = []
+    for key in order:
+        tasks = groups[key]
+        step = width or len(tasks)
+        for start in range(0, len(tasks), step):
+            batches.append(tasks[start : start + step])
+    return batches
+
+
 def adaptive_chunksize(n_tasks: int, workers: int) -> int:
     """Chunk size balancing IPC amortisation against checkpoint
     granularity: small campaigns get chunk 1 (every finished simulation is
@@ -128,23 +187,23 @@ def prefill_cache(
     killed campaign completes only the remainder).  ``workers=None`` uses
     the CPU count; ``workers<=1`` executes in-process (useful under
     debuggers) but still checkpoints result-by-result."""
-    tasks = pending_tasks(runner, configs)
-    total = len(tasks)
+    batches = plan_batches(runner, configs)
+    total = sum(len(batch) for batch in batches)
     if total == 0:
         return 0
     if workers is None:
         workers = os.cpu_count() or 1
-    workers = min(workers, total)
+    workers = min(workers, len(batches))
     done = 0
     if workers <= 1:
-        for benchmark, config, map_index in tasks:
-            runner.run(benchmark, config, map_index)
-            done += 1
+        for batch in batches:
+            _run_batch_locally(runner, batch)
+            done += len(batch)
             if progress is not None:
                 progress(done, total)
         return total
-    size = adaptive_chunksize(total, workers)
-    chunks = [tasks[i : i + size] for i in range(0, total, size)]
+    size = adaptive_chunksize(len(batches), workers)
+    chunks = [batches[i : i + size] for i in range(0, len(batches), size)]
     with ProcessPoolExecutor(
         max_workers=workers,
         initializer=_worker_init,
@@ -153,9 +212,16 @@ def prefill_cache(
         # later worker or invocation regenerates it.  (Workers that miss
         # simultaneously on a cold cache may each generate once — the
         # aggregated `traces generated=` summary reports it truthfully.)
-        initargs=(runner.settings, runner.pipeline_config, runner.traces.cache_dir),
+        initargs=(
+            runner.settings,
+            runner.pipeline_config,
+            runner.traces.cache_dir,
+            # Workers inherit the explicit lane width so a narrow
+            # `--lanes N` request still batches inside the pool.
+            runner.lanes,
+        ),
     ) as pool:
-        futures = [pool.submit(_worker_run_chunk, chunk) for chunk in chunks]
+        futures = [pool.submit(_worker_run_batches, chunk) for chunk in chunks]
         worker_traces: dict[int, tuple[int, int, int]] = {}
         for future in as_completed(futures):
             pid, counters, chunk_results = future.result()

@@ -46,7 +46,11 @@ TRACE_CACHE_ENV = "REPRO_TRACE_CACHE"
 #: cached traces without invalidating result stores).
 TRACE_SCHEMA_VERSION = 1
 
-#: In-flight cache writes: ``.trace-XXXX.npz.tmp`` beside the entries.
+#: In-flight cache writes beside the entries: ``.trace-XXXX.npz.tmp``
+#: (trace entries) and ``.sched-XXXX.npz.tmp`` (persisted front-end
+#: schedules, written by :mod:`repro.cpu.frontend` into the same
+#: directory) — the stale-tmp sweep covers both.
+_TMP_PREFIXES = (".trace-", ".sched-")
 _TMP_PREFIX = ".trace-"
 _TMP_SUFFIX = ".npz.tmp"
 
@@ -101,6 +105,13 @@ class TraceProvider:
         trace = self._traces.get(benchmark)
         if trace is None:
             trace = self._acquire(benchmark)
+            if self.cache_dir:
+                # Compiled front-end schedules persist next to the cached
+                # traces (sched-<key>.npz), so parallel workers load the
+                # replay instead of recomputing it per process — even when
+                # only --trace-cache (not the environment) named the
+                # directory.  See repro.cpu.frontend.
+                trace._schedule_cache_dir = self.cache_dir
             self._traces[benchmark] = trace
         return trace
 
@@ -166,7 +177,9 @@ class TraceProvider:
             return
         for entry in entries:
             name = entry.name
-            if not (name.startswith(_TMP_PREFIX) and name.endswith(_TMP_SUFFIX)):
+            if not (
+                name.startswith(_TMP_PREFIXES) and name.endswith(_TMP_SUFFIX)
+            ):
                 continue
             try:
                 if entry.stat().st_mtime < cutoff:

@@ -44,6 +44,15 @@ from repro.faults.fault_map import FaultMap, FaultMapPair
 from repro.workloads.spec2000 import ALL_BENCHMARKS
 
 
+#: Below this many lanes a batched pass loses to per-map runs (the
+#: vectorised engine's per-operation dispatch amortises over the lane
+#: axis; ``benchmarks/bench_micro_batch.py`` puts the crossover around
+#: 12-20 lanes).  ExperimentRunner.run_batch applies the crossover only
+#: when no explicit lane width was requested — an explicit ``lanes >= 2``
+#: always batches — and results are bit-identical either way.
+MIN_BATCH_LANES = 16
+
+
 @dataclass(frozen=True)
 class RunnerSettings:
     """Fidelity and scope of an experiment campaign."""
@@ -143,6 +152,7 @@ class ExperimentRunner:
         pipeline_config: PipelineConfig = PAPER_PIPELINE,
         store: ResultStore | None = None,
         trace_cache: str | None = None,
+        lanes: int | None = None,
     ) -> None:
         self.settings = settings or RunnerSettings.from_env()
         self.pipeline_config = pipeline_config
@@ -150,6 +160,13 @@ class ExperimentRunner:
         self.traces = TraceProvider(self.settings, cache_dir=trace_cache)
         self.maps = FaultMapProvider(self.settings)
         self.store = store if store is not None else MemoryStore()
+        #: Fault-map lanes simulated per batched pipeline pass: ``None``
+        #: (default) batches every pending map of a campaign point into
+        #: one :meth:`OutOfOrderPipeline.run_batch` call; ``1`` keeps the
+        #: legacy one-map-per-run path.
+        if lanes is not None and lanes < 1:
+            raise ValueError("lanes must be positive")
+        self.lanes = lanes
         # Content-hash keys are ~30us to compute (canonical JSON + sha256
         # over per-runner constants); memoise them so warm-store reads stay
         # dict-lookup cheap.
@@ -241,6 +258,55 @@ class ExperimentRunner:
             self.trace(benchmark), measure_from=self.settings.warmup_instructions
         )
 
+    def run_batch(
+        self,
+        benchmark: str,
+        config: RunConfig,
+        map_indices: "list[int] | range | None" = None,
+    ) -> list[SimResult]:
+        """Simulate many fault-map lanes of one (benchmark, config) point
+        in a single schedule pass (:meth:`OutOfOrderPipeline.run_batch`).
+
+        ``map_indices`` defaults to every map of the campaign
+        (``range(n_fault_maps)``).  Lanes already in the store are never
+        re-simulated; the rest are dispatched in batches of
+        :attr:`lanes` maps (all pending maps by default) and checkpointed
+        batch-by-batch.  Results return in ``map_indices`` order,
+        bit-identical to per-map :meth:`run` calls.  Fault-independent
+        configurations collapse to the single :meth:`run` point.
+        """
+        if not config.needs_fault_map:
+            return [self.run(benchmark, config)]
+        if map_indices is None:
+            map_indices = range(self.settings.n_fault_maps)
+        map_indices = list(map_indices)
+        results: dict[int, SimResult] = {}
+        pending: list[int] = []
+        for m in map_indices:
+            cached = self.store.get(self.task_key(benchmark, config, m))
+            if cached is not None:
+                results[m] = cached
+            elif m not in results and m not in pending:
+                pending.append(m)
+        width = self.lanes or len(pending) or 1
+        warmup = self.settings.warmup_instructions
+        for start in range(0, len(pending), width):
+            chunk = pending[start : start + width]
+            too_narrow = self.lanes is None and len(chunk) < MIN_BATCH_LANES
+            if width == 1 or len(chunk) == 1 or too_narrow:
+                for m in chunk:
+                    results[m] = self.run(benchmark, config, m)
+                continue
+            pipelines = [self.build_pipeline(config, m) for m in chunk]
+            outs = OutOfOrderPipeline.run_batch(
+                pipelines, self.trace(benchmark), measure_from=warmup
+            )
+            for m, result in zip(chunk, outs):
+                self.store.put(self.task_key(benchmark, config, m), result)
+                self.simulations_executed += 1
+                results[m] = result
+        return [results[m] for m in map_indices]
+
     def build_pipeline(
         self,
         config: RunConfig,
@@ -299,9 +365,12 @@ class ExperimentRunner:
         for benchmark in self.settings.benchmarks:
             base_cycles = self.run(benchmark, baseline).cycles
             if config.needs_fault_map:
+                # One lane-batched pass drives every fault map of the
+                # point (store hits excluded), instead of n_fault_maps
+                # separate schedule walks.
                 normalized = [
-                    base_cycles / self.run(benchmark, config, m).cycles
-                    for m in range(self.settings.n_fault_maps)
+                    base_cycles / result.cycles
+                    for result in self.run_batch(benchmark, config)
                 ]
             else:
                 normalized = [base_cycles / self.run(benchmark, config).cycles]

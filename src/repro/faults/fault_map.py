@@ -88,6 +88,36 @@ class FaultMap:
         return cls(geometry=geometry, faults=faults, pfail=pfail)
 
     @classmethod
+    def generate_batch(
+        cls,
+        geometry: CacheGeometry,
+        pfail: float,
+        count: int,
+        seed: int | np.random.Generator | None = None,
+    ) -> list["FaultMap"]:
+        """Draw ``count`` uniform fault maps as **one** ``(count, d, k)``
+        RNG call.
+
+        PCG64 fills a requested shape from the same contiguous stream a
+        sequence of per-map draws would consume, so map *i* here is
+        bit-identical to the *i*-th sequential :meth:`generate` call on
+        the same generator — campaign points amortise the RNG dispatch
+        without perturbing any existing seed stream (locked by
+        ``tests/faults/test_fault_map.py``).
+        """
+        if not 0.0 <= pfail <= 1.0:
+            raise ValueError(f"pfail must be a probability, got {pfail!r}")
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        rng = _as_rng(seed)
+        shape = (count, geometry.num_blocks, geometry.cells_per_block)
+        faults = rng.random(shape) < pfail
+        return [
+            cls(geometry=geometry, faults=faults[i], pfail=pfail)
+            for i in range(count)
+        ]
+
+    @classmethod
     def generate_clustered(
         cls,
         geometry: CacheGeometry,
@@ -150,21 +180,24 @@ class FaultMap:
 
     @classmethod
     def load(cls, path: str) -> "FaultMap":
-        """Inverse of :meth:`save`."""
-        data = np.load(path)
-        tag_bits = int(data["tag_bits"])
-        geometry = CacheGeometry(
-            size_bytes=int(data["size_bytes"]),
-            ways=int(data["ways"]),
-            block_bytes=int(data["block_bytes"]),
-            address_bits=int(data["address_bits"]),
-            tag_bits=None if tag_bits < 0 else tag_bits,
-            valid_bits=int(data["valid_bits"]),
-            word_bits=int(data["word_bits"]),
-        )
-        k = int(data["cells_per_block"])
-        faults = np.unpackbits(data["faults"], axis=1)[:, :k].astype(bool)
-        return cls(geometry=geometry, faults=faults, pfail=float(data["pfail"]))
+        """Inverse of :meth:`save`.  The ``NpzFile`` is closed before
+        returning (``np.load`` keeps the archive open for lazy reads,
+        which leaks the file handle if left to the garbage collector)."""
+        with np.load(path) as data:
+            tag_bits = int(data["tag_bits"])
+            geometry = CacheGeometry(
+                size_bytes=int(data["size_bytes"]),
+                ways=int(data["ways"]),
+                block_bytes=int(data["block_bytes"]),
+                address_bits=int(data["address_bits"]),
+                tag_bits=None if tag_bits < 0 else tag_bits,
+                valid_bits=int(data["valid_bits"]),
+                word_bits=int(data["word_bits"]),
+            )
+            k = int(data["cells_per_block"])
+            faults = np.unpackbits(data["faults"], axis=1)[:, :k].astype(bool)
+            pfail = float(data["pfail"])
+        return cls(geometry=geometry, faults=faults, pfail=pfail)
 
     # ----- cell-region views -----------------------------------------------------
 
@@ -284,6 +317,7 @@ def sample_fault_map_pairs(
         raise ValueError("count must be non-negative")
     for i in range(count):
         rng = np.random.default_rng(np.random.SeedSequence(entropy=seed, spawn_key=(i,)))
-        icache = FaultMap.generate(geometry, pfail, rng)
-        dcache = FaultMap.generate(geometry, pfail, rng)
+        # One (2, d, k) draw per pair — same stream, same bits as two
+        # sequential generate() calls (see FaultMap.generate_batch).
+        icache, dcache = FaultMap.generate_batch(geometry, pfail, 2, rng)
         yield FaultMapPair(icache=icache, dcache=dcache)

@@ -1,0 +1,120 @@
+"""Persistent front-end schedule cache (sched-<key>.npz entries)."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.cpu.config import PAPER_PIPELINE, PipelineConfig
+from repro.cpu.frontend import (
+    SCHEDULE_CACHE_STATS,
+    frontend_schedule,
+    load_schedule,
+    save_schedule,
+    schedule_disk_key,
+)
+from repro.workloads.generator import generate_trace
+
+OFFSET_BITS = 6
+MEASURE_FROM = 500
+
+
+def _trace(seed=9):
+    return generate_trace("gzip", 3_000, seed=seed)
+
+
+@pytest.fixture(autouse=True)
+def _snapshot_stats():
+    before = dict(SCHEDULE_CACHE_STATS)
+    yield
+    for key, value in before.items():
+        SCHEDULE_CACHE_STATS[key] = value
+
+
+def _delta(before, key):
+    return SCHEDULE_CACHE_STATS[key] - before[key]
+
+
+def test_roundtrip_is_bit_identical(tmp_path):
+    trace = _trace()
+    schedule = frontend_schedule(trace, PAPER_PIPELINE, OFFSET_BITS, MEASURE_FROM)
+    path = tmp_path / "sched.npz"
+    save_schedule(schedule, os.fspath(path))
+    assert load_schedule(os.fspath(path)) == schedule
+
+
+def test_second_process_loads_instead_of_rebuilding(tmp_path):
+    before = dict(SCHEDULE_CACHE_STATS)
+    first = _trace()
+    first._schedule_cache_dir = os.fspath(tmp_path)
+    built = frontend_schedule(first, PAPER_PIPELINE, OFFSET_BITS, MEASURE_FROM)
+    assert _delta(before, "persisted") == 1
+    entries = [p for p in os.listdir(tmp_path) if p.startswith("sched-")]
+    assert len(entries) == 1
+
+    # A fresh trace object with identical content models a new worker
+    # process: the schedule must come from disk, bit-identical.
+    second = _trace()
+    second._schedule_cache_dir = os.fspath(tmp_path)
+    loaded = frontend_schedule(second, PAPER_PIPELINE, OFFSET_BITS, MEASURE_FROM)
+    assert _delta(before, "loaded") == 1
+    assert loaded == built
+
+
+def test_memoised_lookup_skips_disk(tmp_path):
+    before = dict(SCHEDULE_CACHE_STATS)
+    trace = _trace()
+    trace._schedule_cache_dir = os.fspath(tmp_path)
+    frontend_schedule(trace, PAPER_PIPELINE, OFFSET_BITS, MEASURE_FROM)
+    frontend_schedule(trace, PAPER_PIPELINE, OFFSET_BITS, MEASURE_FROM)
+    assert _delta(before, "persisted") == 1
+    assert _delta(before, "loaded") == 0
+
+
+def test_corrupt_entry_is_discarded_and_rebuilt(tmp_path):
+    before = dict(SCHEDULE_CACHE_STATS)
+    first = _trace()
+    first._schedule_cache_dir = os.fspath(tmp_path)
+    built = frontend_schedule(first, PAPER_PIPELINE, OFFSET_BITS, MEASURE_FROM)
+    entry = next(p for p in os.listdir(tmp_path) if p.startswith("sched-"))
+    (tmp_path / entry).write_bytes(b"not an npz")
+
+    second = _trace()
+    second._schedule_cache_dir = os.fspath(tmp_path)
+    rebuilt = frontend_schedule(second, PAPER_PIPELINE, OFFSET_BITS, MEASURE_FROM)
+    assert _delta(before, "discarded") == 1
+    assert rebuilt == built
+    # The corrupt entry was replaced by a fresh one.
+    third = _trace()
+    third._schedule_cache_dir = os.fspath(tmp_path)
+    frontend_schedule(third, PAPER_PIPELINE, OFFSET_BITS, MEASURE_FROM)
+    assert _delta(before, "loaded") == 1
+
+
+def test_keys_separate_content_and_frontend_parameters(tmp_path):
+    base = _trace()
+    assert schedule_disk_key(
+        base, PAPER_PIPELINE, OFFSET_BITS, MEASURE_FROM
+    ) == schedule_disk_key(_trace(), PAPER_PIPELINE, OFFSET_BITS, MEASURE_FROM)
+    # Different trace content, measured region, or front-end parameters
+    # must all produce distinct entries.
+    assert schedule_disk_key(
+        _trace(seed=10), PAPER_PIPELINE, OFFSET_BITS, MEASURE_FROM
+    ) != schedule_disk_key(base, PAPER_PIPELINE, OFFSET_BITS, MEASURE_FROM)
+    assert schedule_disk_key(
+        base, PAPER_PIPELINE, OFFSET_BITS, 0
+    ) != schedule_disk_key(base, PAPER_PIPELINE, OFFSET_BITS, MEASURE_FROM)
+    narrow = PipelineConfig(fetch_width=2)
+    assert schedule_disk_key(
+        base, narrow, OFFSET_BITS, MEASURE_FROM
+    ) != schedule_disk_key(base, PAPER_PIPELINE, OFFSET_BITS, MEASURE_FROM)
+
+
+def test_env_variable_names_the_cache(tmp_path, monkeypatch):
+    before = dict(SCHEDULE_CACHE_STATS)
+    monkeypatch.setenv("REPRO_TRACE_CACHE", os.fspath(tmp_path))
+    trace = _trace()
+    frontend_schedule(trace, PAPER_PIPELINE, OFFSET_BITS, MEASURE_FROM)
+    assert _delta(before, "persisted") == 1
+    assert any(p.startswith("sched-") for p in os.listdir(tmp_path))

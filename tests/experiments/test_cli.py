@@ -55,3 +55,22 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "fig11" in out
         assert "swim" in out
+
+    def test_lanes_flag_reproduces_default_output(self, capsys):
+        args = [
+            "fig8",
+            "--instructions",
+            "2500",
+            "--warmup",
+            "500",
+            "--maps",
+            "3",
+            "--benchmarks",
+            "gzip",
+        ]
+        assert main(args) == 0
+        default_out = capsys.readouterr().out
+        assert main(args + ["--lanes", "2"]) == 0
+        assert capsys.readouterr().out == default_out
+        assert main(args + ["--lanes", "1"]) == 0
+        assert capsys.readouterr().out == default_out

@@ -4,10 +4,11 @@ import os
 
 import pytest
 
-from repro.experiments.configs import LV_BASELINE, LV_BLOCK, LV_WORD
+from repro.experiments.configs import LV_BASELINE, LV_BLOCK, LV_BLOCK_V6, LV_WORD
 from repro.experiments.parallel import (
     adaptive_chunksize,
     pending_tasks,
+    plan_batches,
     plan_tasks,
     prefill_cache,
     run_studies,
@@ -121,6 +122,39 @@ class TestPrefill:
         tasks = pending_tasks(runner, (LV_BASELINE, LV_BLOCK))
         assert ("crafty", LV_BASELINE, None) not in tasks
         assert len(tasks) == 5
+
+
+class TestBatchPlanning:
+    def test_groups_by_benchmark_and_physical_config(self):
+        runner = ExperimentRunner(SMALL)
+        batches = plan_batches(runner, (LV_BASELINE, LV_BLOCK, LV_BLOCK_V6))
+        # Per benchmark: one singleton baseline batch plus one batch per
+        # fault-dependent config holding both map lanes.
+        assert len(batches) == 2 * 3
+        map_batches = [b for b in batches if b[0][2] is not None]
+        assert all(len(b) == SMALL.n_fault_maps for b in map_batches)
+        for batch in map_batches:
+            assert len({(t[0], t[1]) for t in batch}) == 1
+
+    def test_stored_lanes_excluded_before_grouping(self):
+        runner = ExperimentRunner(SMALL)
+        runner.run("crafty", LV_BLOCK, 0)
+        batches = plan_batches(runner, (LV_BLOCK,))
+        crafty = [b for b in batches if b[0][0] == "crafty"]
+        assert len(crafty) == 1
+        assert [t[2] for t in crafty[0]] == [1]
+
+    def test_lane_width_splits_groups(self):
+        runner = ExperimentRunner(SMALL, lanes=1)
+        batches = plan_batches(runner, (LV_BLOCK,))
+        assert all(len(b) == 1 for b in batches)
+        assert sum(len(b) for b in batches) == 4  # 2 benchmarks x 2 maps
+
+    def test_fault_independent_tasks_stay_singletons(self):
+        runner = ExperimentRunner(SMALL)
+        batches = plan_batches(runner, (LV_BASELINE, LV_WORD))
+        assert all(len(b) == 1 for b in batches)
+        assert sum(len(b) for b in batches) == 4
 
 
 class TestChunking:

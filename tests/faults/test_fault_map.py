@@ -1,5 +1,8 @@
 """Tests for fault-map generation and queries."""
 
+import gc
+import warnings
+
 import numpy as np
 import pytest
 
@@ -194,3 +197,56 @@ class TestFaultMapPairs:
     def test_negative_count_rejected(self, paper_geometry):
         with pytest.raises(ValueError):
             list(sample_fault_map_pairs(paper_geometry, 0.001, -1))
+
+
+class TestBatchGeneration:
+    def test_batch_matches_sequential_draws(self, paper_geometry):
+        """One (n, d, k) RNG call must consume the same PCG64 stream as n
+        sequential generate() calls — the seed-stream lock the store keys
+        and every historical fault draw rely on."""
+        batched = FaultMap.generate_batch(
+            paper_geometry, 0.001, 4, np.random.default_rng(123)
+        )
+        rng = np.random.default_rng(123)
+        for map_ in batched:
+            expected = FaultMap.generate(paper_geometry, 0.001, rng)
+            assert np.array_equal(map_.faults, expected.faults)
+            assert map_.pfail == 0.001
+
+    def test_pairs_unchanged_by_batched_drawing(self, paper_geometry):
+        """sample_fault_map_pairs now draws each pair as one (2, d, k)
+        call; pair i must stay bit-identical to the original per-map
+        formulation."""
+        pairs = list(sample_fault_map_pairs(paper_geometry, 0.001, 3, seed=2010))
+        for i, pair in enumerate(pairs):
+            rng = np.random.default_rng(
+                np.random.SeedSequence(entropy=2010, spawn_key=(i,))
+            )
+            icache = FaultMap.generate(paper_geometry, 0.001, rng)
+            dcache = FaultMap.generate(paper_geometry, 0.001, rng)
+            assert np.array_equal(pair.icache.faults, icache.faults)
+            assert np.array_equal(pair.dcache.faults, dcache.faults)
+
+    def test_empty_batch(self, paper_geometry):
+        assert FaultMap.generate_batch(paper_geometry, 0.001, 0, seed=1) == []
+
+    def test_invalid_arguments(self, paper_geometry):
+        with pytest.raises(ValueError):
+            FaultMap.generate_batch(paper_geometry, 1.5, 2)
+        with pytest.raises(ValueError):
+            FaultMap.generate_batch(paper_geometry, 0.001, -1)
+
+
+class TestPersistenceHandle:
+    def test_load_closes_the_npz_handle(self, paper_geometry, tmp_path):
+        """FaultMap.load must not leak the NpzFile: loading many maps in a
+        campaign would otherwise exhaust file descriptors."""
+        path = tmp_path / "map.npz"
+        original = FaultMap.generate(paper_geometry, 0.001, seed=7)
+        original.save(str(path))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", ResourceWarning)
+            loaded = FaultMap.load(str(path))
+            gc.collect()
+        assert np.array_equal(loaded.faults, original.faults)
+        assert loaded.geometry == original.geometry
