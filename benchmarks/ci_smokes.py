@@ -1,0 +1,330 @@
+"""One-command CI gate: every smoke the workflow runs, runnable locally.
+
+The GitHub workflow used to inline four shell steps (golden bit-identity,
+KIPS microbench, lane-batch equivalence, campaign store/trace-cache);
+this driver checks them in so ``python benchmarks/ci_smokes.py`` runs the
+identical gate on a laptop, and adds the mega-batch equivalence smoke: a
+multi-point campaign plan must scatter back bit-identical results with
+strictly fewer schedule passes than campaign points, and the CLI's
+figures must be byte-identical with ``--mega-batch`` and
+``--no-mega-batch``.
+
+Each smoke writes ``<name>-smoke.json`` into ``--json-dir`` (default:
+current directory) — the workflow uploads them as per-commit artifacts so
+the performance trajectory stays inspectable.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/ci_smokes.py            # all smokes
+    PYTHONPATH=src python benchmarks/ci_smokes.py goldens mega-batch
+    PYTHONPATH=src python benchmarks/ci_smokes.py --json-dir artifacts
+"""
+
+from __future__ import annotations
+
+import argparse
+import difflib
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(ROOT, "src")
+BENCHES = os.path.join(ROOT, "benchmarks")
+for path in (SRC, BENCHES):  # one-command local use without PYTHONPATH=src
+    if path not in sys.path:
+        sys.path.insert(0, path)
+
+
+def _env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return env
+
+
+def _cli(args: list[str], **kwargs) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-m", "repro.experiments", *args],
+        cwd=ROOT,
+        env=_env(),
+        capture_output=True,
+        text=True,
+        **kwargs,
+    )
+
+
+def _write(json_dir: str, name: str, payload: dict) -> None:
+    path = os.path.join(json_dir, f"{name}-smoke.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+
+
+# --------------------------------------------------------------------------
+# Smokes (each returns a list of failure strings; empty = pass)
+# --------------------------------------------------------------------------
+
+def smoke_goldens(json_dir: str) -> list[str]:
+    """Golden bit-identity suite: both engines must reproduce the locked
+    cycle counts and statistics exactly."""
+    proc = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "pytest",
+            "-q",
+            "tests/integration/test_golden_sim.py",
+            "tests/cache/test_engine.py",
+        ],
+        cwd=ROOT,
+        env=_env(),
+        capture_output=True,
+        text=True,
+    )
+    _write(
+        json_dir,
+        "goldens",
+        {"returncode": proc.returncode, "tail": proc.stdout[-2000:]},
+    )
+    if proc.returncode != 0:
+        return [f"golden suite failed:\n{proc.stdout[-2000:]}{proc.stderr[-2000:]}"]
+    return []
+
+
+def smoke_kips(json_dir: str) -> list[str]:
+    """KIPS microbench: both engines per scheme, zero SimResult
+    divergences (timing numbers are informational)."""
+    import bench_micro_pipeline
+
+    path = os.path.join(json_dir, "kips-smoke.json")
+    code = bench_micro_pipeline.main(["--smoke", "--json", path])
+    with open(path, encoding="utf-8") as fh:
+        summary = json.load(fh)
+    failures = []
+    if code != 0:
+        failures.append(f"bench_micro_pipeline exited {code}")
+    if summary.get("divergences", 1) != 0:
+        failures.append(f"KIPS smoke diverged: {summary}")
+    return failures
+
+
+def smoke_lane_batch(json_dir: str) -> list[str]:
+    """Lane-batch equivalence: one campaign point at several lane widths
+    must match the sequential fused engine lane for lane."""
+    import bench_micro_batch
+
+    path = os.path.join(json_dir, "batch-smoke.json")
+    code = bench_micro_batch.main(["--smoke", "--json", path])
+    with open(path, encoding="utf-8") as fh:
+        summary = json.load(fh)
+    failures = []
+    if code != 0:
+        failures.append(f"bench_micro_batch exited {code}")
+    if summary.get("divergences", 1) != 0:
+        failures.append(f"lane-batch smoke diverged: {summary}")
+    return failures
+
+
+_STORE_ARGS = [
+    "fig3",
+    "fig8",
+    "--instructions",
+    "2000",
+    "--maps",
+    "2",
+    "--benchmarks",
+    "gzip",
+]
+
+
+def smoke_store(json_dir: str) -> list[str]:
+    """Campaign store + trace cache: a second invocation must be pure
+    store/cache hits and regenerate byte-identical figures."""
+    failures: list[str] = []
+    with tempfile.TemporaryDirectory() as store, tempfile.TemporaryDirectory() as traces:
+        persist = ["--store", store, "--trace-cache", traces]
+        first = _cli(_STORE_ARGS + persist)
+        second = _cli(_STORE_ARGS + persist)
+        third = _cli(_STORE_ARGS + ["--no-store", "--trace-cache", traces])
+        for name, proc in (("first", first), ("second", second), ("third", third)):
+            if proc.returncode != 0:
+                failures.append(f"{name} run exited {proc.returncode}: {proc.stderr}")
+        checks = [
+            ("first executes every simulation", "simulations executed=6", first),
+            ("first generates the trace", "traces generated=1 loaded=0", first),
+            ("second is all store hits", "simulations executed=0", second),
+            ("second regenerates no trace", "traces generated=0", second),
+            ("third loads the cached trace", "traces generated=0 loaded=1", third),
+        ]
+        for label, needle, proc in checks:
+            if needle not in proc.stderr:
+                failures.append(f"{label}: {needle!r} not in stderr: {proc.stderr}")
+        for label, proc in (("second", second), ("third", third)):
+            if proc.stdout != first.stdout:
+                diff = "\n".join(
+                    difflib.unified_diff(
+                        first.stdout.splitlines(), proc.stdout.splitlines(), lineterm=""
+                    )
+                )
+                failures.append(f"{label} run figures differ from first:\n{diff}")
+        _write(
+            json_dir,
+            "store",
+            {
+                "ok": not failures,
+                "first_stderr": first.stderr.strip(),
+                "second_stderr": second.stderr.strip(),
+                "third_stderr": third.stderr.strip(),
+            },
+        )
+    return failures
+
+
+def smoke_mega_batch(json_dir: str) -> list[str]:
+    """Mega-batch equivalence across a multi-point plan.
+
+    In-process: every work item of a several-config, two-map campaign —
+    the shape that used to pay one schedule pass per point — must come
+    back bit-identical to the sequential per-point path
+    (``divergences == 0``) while executing strictly fewer schedule
+    passes than campaign points.  CLI: figure output must be
+    byte-identical with and without ``--mega-batch``.
+    """
+    from repro.experiments.configs import (
+        LV_BASELINE,
+        LV_BLOCK,
+        LV_BLOCK_V10,
+        LV_INCREMENTAL,
+        LV_WORD,
+    )
+    from repro.experiments.runner import ExperimentRunner, RunnerSettings
+
+    settings = RunnerSettings(
+        n_instructions=3_000,
+        warmup_instructions=1_000,
+        n_fault_maps=2,
+        benchmarks=("gzip",),
+    )
+    configs = (LV_BASELINE, LV_WORD, LV_BLOCK, LV_BLOCK_V10, LV_INCREMENTAL)
+    points = len(settings.benchmarks) * len(configs)
+
+    mega = ExperimentRunner(settings)
+    executed = mega.run_mega(configs)
+    sequential = ExperimentRunner(settings, lanes=1, mega_batch=False)
+
+    divergences = 0
+    compared = 0
+    for config in configs:
+        indices = (
+            range(settings.n_fault_maps) if config.needs_fault_map else (None,)
+        )
+        for m in indices:
+            compared += 1
+            if mega.run("gzip", config, m) != sequential.run("gzip", config, m):
+                divergences += 1
+
+    failures: list[str] = []
+    if divergences:
+        failures.append(
+            f"{divergences}/{compared} mega-batched results diverged from "
+            "the sequential fused engine"
+        )
+    if mega.simulations_executed != executed or mega.simulations_executed != compared:
+        failures.append(
+            f"mega plan executed {executed} simulations, expected {compared}"
+        )
+    if mega.schedule_passes >= points:
+        failures.append(
+            f"mega campaign took {mega.schedule_passes} schedule passes for "
+            f"{points} points (must be strictly fewer)"
+        )
+
+    cli_identical = True
+    with tempfile.TemporaryDirectory() as traces:
+        shared = _STORE_ARGS + ["--no-store", "--trace-cache", traces]
+        with_mega = _cli(shared + ["--mega-batch"])
+        without = _cli(shared + ["--no-mega-batch"])
+        for name, proc in (("mega", with_mega), ("no-mega", without)):
+            if proc.returncode != 0:
+                failures.append(f"CLI {name} run exited {proc.returncode}: {proc.stderr}")
+        if with_mega.stdout != without.stdout:
+            cli_identical = False
+            diff = "\n".join(
+                difflib.unified_diff(
+                    without.stdout.splitlines(),
+                    with_mega.stdout.splitlines(),
+                    lineterm="",
+                )
+            )
+            failures.append(f"--mega-batch figures differ from --no-mega-batch:\n{diff}")
+
+    _write(
+        json_dir,
+        "mega-batch",
+        {
+            "divergences": divergences,
+            "compared": compared,
+            "points": points,
+            "schedule_passes_mega": mega.schedule_passes,
+            "schedule_passes_sequential": sequential.schedule_passes,
+            "cli_byte_identical": cli_identical,
+            "ok": not failures,
+        },
+    )
+    return failures
+
+
+SMOKES = {
+    "goldens": smoke_goldens,
+    "kips": smoke_kips,
+    "lane-batch": smoke_lane_batch,
+    "store": smoke_store,
+    "mega-batch": smoke_mega_batch,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "smokes",
+        nargs="*",
+        choices=[*SMOKES, "all"],
+        default="all",
+        help="which smokes to run (default: all)",
+    )
+    parser.add_argument(
+        "--json-dir",
+        default=".",
+        metavar="DIR",
+        help="directory for the <name>-smoke.json artifacts (default: .)",
+    )
+    args = parser.parse_args(argv)
+    if args.smokes in ("all", []) or "all" in args.smokes:
+        names = list(SMOKES)
+    else:
+        names = args.smokes
+
+    os.makedirs(args.json_dir, exist_ok=True)
+    failed = 0
+    for name in names:
+        print(f"== {name} ==", flush=True)
+        failures = SMOKES[name](args.json_dir)
+        if failures:
+            failed += 1
+            for failure in failures:
+                print(f"FAIL [{name}] {failure}", file=sys.stderr)
+        else:
+            print(f"ok [{name}]")
+    if failed:
+        print(f"{failed}/{len(names)} smokes failed", file=sys.stderr)
+        return 1
+    print(f"all {len(names)} smokes passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -710,27 +710,38 @@ class VectorVictims:
             victim._tags[:] = [block for _, block in occupied]
 
 
+def bulk_signature(hierarchy: MemoryHierarchy) -> "tuple | None":
+    """The hierarchy's bulk-engine eligibility signature, or ``None``.
+
+    Two hierarchies can share one vectorised lane batch iff both return
+    equal non-``None`` signatures: LRU replacement everywhere (the stamp
+    encoding is an LRU-order argument) and a fully-enabled L2 (the bulk
+    L2 refill has no fill-bypass port; the paper's L2 is always
+    fault-free) are hard requirements, and the victim sizing per port is
+    the signature's value (the victim arrays share one slot axis, so
+    lanes must agree on it — contents may still differ arbitrarily).
+    The mega-batch planner groups campaign work items by this key, so
+    configurations that diverge structurally land in separate batches
+    instead of tripping the sequential fallback.
+    """
+    for cache in (hierarchy.l1i, hierarchy.l1d, hierarchy.l2):
+        if type(cache._policy) is not LRUPolicy:
+            return None
+    if hierarchy.l2._enabled is not None:
+        return None
+    vi = hierarchy.victim_i.entries if hierarchy.victim_i is not None else 0
+    vd = hierarchy.victim_d.entries if hierarchy.victim_d is not None else 0
+    return (vi, vd)
+
+
 def bulk_lanes_eligible(hierarchies: list[MemoryHierarchy]) -> bool:
-    """Whether the bulk-vectorised lane engine covers these hierarchies:
-    LRU replacement everywhere (the stamp encoding is an LRU-order
-    argument), a fully-enabled L2 (the bulk L2 refill has no fill-bypass
-    port; the paper's L2 is always fault-free), and uniform victim sizing
-    per port across lanes (the victim arrays share one slot axis).
-    Anything else falls back to sequential runs."""
-    h0 = hierarchies[0]
-    vi0 = h0.victim_i.entries if h0.victim_i is not None else 0
-    vd0 = h0.victim_d.entries if h0.victim_d is not None else 0
-    for h in hierarchies:
-        for cache in (h.l1i, h.l1d, h.l2):
-            if type(cache._policy) is not LRUPolicy:
-                return False
-        if h.l2._enabled is not None:
-            return False
-        vi = h.victim_i.entries if h.victim_i is not None else 0
-        vd = h.victim_d.entries if h.victim_d is not None else 0
-        if vi != vi0 or vd != vd0:
-            return False
-    return True
+    """Whether the bulk-vectorised lane engine covers these hierarchies
+    as one batch (see :func:`bulk_signature`).  Anything else falls back
+    to sequential runs."""
+    signature = bulk_signature(hierarchies[0])
+    if signature is None:
+        return False
+    return all(bulk_signature(h) == signature for h in hierarchies[1:])
 
 
 class _BulkPort:

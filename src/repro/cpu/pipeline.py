@@ -52,7 +52,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.cache.engine import BulkLanes, FusedHierarchy, bulk_lanes_eligible
+from repro.cache.engine import BulkLanes, FusedHierarchy, bulk_signature
 from repro.cache.hierarchy import MemoryHierarchy
 from repro.cpu.branch import GsharePredictor, LinePredictor, ReturnAddressStack
 from repro.cpu.config import PipelineConfig
@@ -775,38 +775,54 @@ class OutOfOrderPipeline:
 
     # ----- lane-batched execution ------------------------------------------
 
+    def batch_key(self) -> "tuple | None":
+        """Hashable lane-compatibility signature, or ``None`` when this
+        pipeline cannot join any vectorised batch.
+
+        Pipelines with equal non-``None`` keys may be driven over one
+        trace as lanes of a single :meth:`run_batch` pass — even when
+        their *configurations* differ (mixed schemes, mixed fault maps,
+        the fault-free normalisation baseline): lane state is fully
+        per-lane; only the structure the key captures must agree.  The
+        key requires a fresh fused pipeline (the schedule replays
+        predictors from their pristine construction state), a positive
+        front-end depth (occupancy guards are dropped exactly as in the
+        scalar fast loop), no prefetchers (they hook demand hits, which
+        the batched loop services vectorised), and folds in the shared
+        pipeline config, the latency set, the per-level geometries, and
+        the bulk engine's own coverage signature (LRU replacement,
+        fully-enabled L2, victim sizing — see
+        :func:`repro.cache.engine.bulk_signature`).  The mega-batch
+        planner groups campaign work items by this key.
+        """
+        h = self.hierarchy
+        if self.engine != "fused" or self._runs != 0:
+            return None
+        if self.config.frontend_stages + h.latencies.l1i < 1:
+            return None
+        if h.iport.prefetcher is not None or h.dport.prefetcher is not None:
+            return None
+        bulk = bulk_signature(h)
+        if bulk is None:
+            return None
+        return (
+            self.config,
+            h.latencies,
+            h.l1i.geometry,
+            h.l1d.geometry,
+            h.l2.geometry,
+            bulk,
+        )
+
     @staticmethod
     def _can_run_batch(pipelines: "Sequence[OutOfOrderPipeline]") -> bool:
-        """Whether the lane-batched loop applies: fresh fused pipelines
-        sharing one config, one latency set, and one geometry per level
-        (contents — fault maps, resident blocks, recency — may differ per
-        lane), no prefetchers (they hook demand hits, which the batched
-        loop services vectorised), a positive front-end depth (occupancy
-        guards are dropped exactly as in the scalar fast loop), and the
-        bulk engine's own coverage (LRU replacement, uniform victim
-        sizing — see :func:`repro.cache.engine.bulk_lanes_eligible`)."""
-        first = pipelines[0]
-        cfg = first.config
-        h0 = first.hierarchy
-        if cfg.frontend_stages + h0.latencies.l1i < 1:
+        """Whether the lane-batched loop applies: every pipeline carries
+        the same non-``None`` :meth:`batch_key` (contents — fault maps,
+        resident blocks, recency — may still differ per lane)."""
+        key = pipelines[0].batch_key()
+        if key is None:
             return False
-        for p in pipelines:
-            h = p.hierarchy
-            if p.engine != "fused" or p._runs != 0:
-                return False
-            if p.config != cfg:
-                return False
-            if h.latencies != h0.latencies:
-                return False
-            if (
-                h.l1i.geometry != h0.l1i.geometry
-                or h.l1d.geometry != h0.l1d.geometry
-                or h.l2.geometry != h0.l2.geometry
-            ):
-                return False
-            if h.iport.prefetcher is not None or h.dport.prefetcher is not None:
-                return False
-        return bulk_lanes_eligible([p.hierarchy for p in pipelines])
+        return all(p.batch_key() == key for p in pipelines[1:])
 
     @staticmethod
     def run_batch(
@@ -826,9 +842,12 @@ class OutOfOrderPipeline:
         with lane-masked vector operations.  Results are bit-identical to
         running each pipeline sequentially (golden-pinned).
 
-        Batches the vectorised path cannot take — mixed configs or
-        latencies, prefetchers, non-LRU policies, reused pipelines, fewer
-        than ``min_lanes`` lanes — fall back to sequential runs
+        Lanes need not share a *configuration*: any pipelines with equal
+        non-``None`` :meth:`batch_key` signatures batch together (mixed
+        schemes, mixed victim contents, fault-free baselines).  Batches
+        the vectorised path cannot take — mixed latencies/geometries/
+        victim sizing, prefetchers, non-LRU policies, reused pipelines,
+        fewer than ``min_lanes`` lanes — fall back to sequential runs
         transparently.
         """
         pipelines = list(pipelines)

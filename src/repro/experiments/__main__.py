@@ -91,6 +91,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "below the ~16-lane efficiency crossover; an explicit N >= 2 "
         "always batches; 1 = legacy per-map path)",
     )
+    parser.add_argument(
+        "--mega-batch",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="merge every pending lane of a campaign that shares a trace "
+        "and a batch signature — across figures and configurations — "
+        "into one schedule pass (default: on; results are bit-identical "
+        "either way, --no-mega-batch restores one pass per campaign "
+        "point)",
+    )
     store_group = parser.add_mutually_exclusive_group()
     store_group.add_argument(
         "--store",
@@ -206,20 +216,29 @@ def main(argv: list[str] | None = None) -> int:
                 store=store,
                 trace_cache=trace_cache,
                 lanes=args.lanes,
+                mega_batch=args.mega_batch,
             )
-            if args.workers > 1:
+            needed = list(configs_for_targets(targets))
+            if "report" in targets:
+                needed.extend(c for c in REPORT_CONFIGS if c not in needed)
+            if args.workers > 1 and needed:
                 from repro.experiments.parallel import prefill_cache
 
-                needed = list(configs_for_targets(targets))
-                if "report" in targets:
-                    needed.extend(c for c in REPORT_CONFIGS if c not in needed)
-                if needed:
-                    prefill_cache(
-                        runner,
-                        tuple(needed),
-                        workers=args.workers,
-                        progress=make_progress("simulations"),
-                    )
+                prefill_cache(
+                    runner,
+                    tuple(needed),
+                    workers=args.workers,
+                    progress=make_progress("simulations"),
+                )
+            elif args.mega_batch and needed:
+                # One mega-batch pass per (trace, batch signature) group
+                # fills the store before any figure renders, so small-map
+                # multi-figure sweeps stop paying one schedule walk per
+                # campaign point.  Figures then read pure store hits —
+                # byte-identical to the lazy per-point path.
+                runner.run_mega(
+                    tuple(needed), progress=make_progress("simulations")
+                )
         return runner
 
     # Ablation studies build their own inputs (no shared runner), so with
@@ -266,8 +285,10 @@ def main(argv: list[str] | None = None) -> int:
 
     if isinstance(store, DiskStore) or runner is not None:
         executed = runner.simulations_executed if runner is not None else 0
+        passes = runner.schedule_passes if runner is not None else 0
         summary = (
             f"[campaign] simulations executed={executed} "
+            f"schedule passes={passes} "
             f"store={store.description} entries={len(store)}"
         )
         if runner is not None:

@@ -21,11 +21,16 @@ worker regenerates and memoises its own copies.  Tasks are just
 ``(benchmark, config, map_index)`` triples — tiny, order-independent, and
 bit-identical to the single-process path.
 
-Dispatch is *lane-batched*: pending tasks are grouped by (benchmark,
-physical configuration) after deduplicating against the store, so one
-worker invocation drives all of a campaign point's remaining fault maps
-through a single :meth:`OutOfOrderPipeline.run_batch` schedule pass
-(``ExperimentRunner.run_batch``) instead of one simulation per task.
+Dispatch is *lane-batched*: pending tasks are grouped after
+deduplicating against the store, so one worker invocation drives many
+simulations through a single :meth:`OutOfOrderPipeline.run_batch`
+schedule pass instead of one each.  With the runner's default
+cross-point mega-batching, workers receive whole *trace-groups* —
+every pending lane of every campaign point that shares a benchmark
+trace and a batch signature (``ExperimentRunner.plan_mega_batches``) —
+so even small-map campaigns saturate the lane engine; with
+``mega_batch=False`` grouping stays per (benchmark, physical
+configuration) as in :func:`plan_batches`.
 """
 
 from __future__ import annotations
@@ -53,6 +58,7 @@ def _worker_init(
     pipeline_config,
     trace_cache: "str | None" = None,
     lanes: "int | None" = None,
+    mega_batch: bool = True,
 ) -> None:
     global _WORKER_RUNNER
     _WORKER_RUNNER = ExperimentRunner(
@@ -60,14 +66,23 @@ def _worker_init(
         pipeline_config=pipeline_config,
         trace_cache=trace_cache,
         lanes=lanes,
+        mega_batch=mega_batch,
     )
 
 
 def _run_batch_locally(
     runner: ExperimentRunner, batch: list[Task]
 ) -> list[tuple[Task, SimResult]]:
-    """Run one same-point lane batch through a runner (worker or parent)."""
+    """Run one lane batch through a runner (worker or parent).
+
+    Mega-batching runners take the trace-group path — the batch may mix
+    configurations and fault-independent lanes; otherwise the batch is a
+    same-point group dispatched through the per-point ``run_batch``."""
     benchmark, config, first_index = batch[0]
+    if runner.mega_batch:
+        items = [(config, map_index) for (_, config, map_index) in batch]
+        results = runner.run_lane_group(benchmark, items)
+        return list(zip(batch, results))
     if first_index is None:
         return [(batch[0], runner.run(benchmark, config, None))]
     indices = [task[2] for task in batch]
@@ -77,16 +92,21 @@ def _run_batch_locally(
 
 def _worker_run_batches(
     batches: list[list[Task]],
-) -> tuple[int, tuple[int, int, int], list[tuple[Task, SimResult]]]:
+) -> tuple[int, tuple[int, int, int, int], list[tuple[Task, SimResult]]]:
     """Run a group of lane batches; also report this worker's cumulative
-    trace-provider counters (pid-keyed so the parent can aggregate across
-    the pool)."""
+    trace-provider and schedule-pass counters (pid-keyed so the parent
+    can aggregate across the pool)."""
     assert _WORKER_RUNNER is not None, "worker not initialised"
     results: list[tuple[Task, SimResult]] = []
     for batch in batches:
         results.extend(_run_batch_locally(_WORKER_RUNNER, batch))
     traces = _WORKER_RUNNER.traces
-    counters = (traces.generated, traces.loaded, traces.discarded)
+    counters = (
+        traces.generated,
+        traces.loaded,
+        traces.discarded,
+        _WORKER_RUNNER.schedule_passes,
+    )
     return os.getpid(), counters, results
 
 
@@ -164,6 +184,33 @@ def plan_batches(
     return batches
 
 
+def plan_worker_batches(
+    runner: ExperimentRunner, configs: tuple[RunConfig, ...]
+) -> list[list[Task]]:
+    """Pending tasks grouped into dispatch units for the pool.
+
+    A mega-batching runner hands each worker a whole *trace-group*
+    (:meth:`ExperimentRunner.plan_mega_batches`): every pending lane —
+    across campaign points and configurations — that shares one
+    benchmark trace and one batch signature, so a single worker
+    invocation drives the group through one schedule pass.  Groups are
+    still sliced to an explicit ``runner.lanes`` width.  Without
+    mega-batching this is exactly :func:`plan_batches`.
+    """
+    if not runner.mega_batch:
+        return plan_batches(runner, configs)
+    batches = []
+    for group in runner.plan_mega_batches(configs):
+        tasks: list[Task] = [
+            (group.benchmark, config, map_index)
+            for config, map_index in group.items
+        ]
+        step = runner.lanes or len(tasks)
+        for start in range(0, len(tasks), step):
+            batches.append(tasks[start : start + step])
+    return batches
+
+
 def adaptive_chunksize(n_tasks: int, workers: int) -> int:
     """Chunk size balancing IPC amortisation against checkpoint
     granularity: small campaigns get chunk 1 (every finished simulation is
@@ -187,7 +234,7 @@ def prefill_cache(
     killed campaign completes only the remainder).  ``workers=None`` uses
     the CPU count; ``workers<=1`` executes in-process (useful under
     debuggers) but still checkpoints result-by-result."""
-    batches = plan_batches(runner, configs)
+    batches = plan_worker_batches(runner, configs)
     total = sum(len(batch) for batch in batches)
     if total == 0:
         return 0
@@ -217,12 +264,14 @@ def prefill_cache(
             runner.pipeline_config,
             runner.traces.cache_dir,
             # Workers inherit the explicit lane width so a narrow
-            # `--lanes N` request still batches inside the pool.
+            # `--lanes N` request still batches inside the pool, and the
+            # mega flag so trace-group payloads take the group path.
             runner.lanes,
+            runner.mega_batch,
         ),
     ) as pool:
         futures = [pool.submit(_worker_run_batches, chunk) for chunk in chunks]
-        worker_traces: dict[int, tuple[int, int, int]] = {}
+        worker_traces: dict[int, tuple[int, int, int, int]] = {}
         for future in as_completed(futures):
             pid, counters, chunk_results = future.result()
             # Counters are cumulative per worker; keep the high-water mark
@@ -237,10 +286,11 @@ def prefill_cache(
             if progress is not None:
                 progress(done, total)
     traces = runner.traces
-    for generated, loaded, discarded in worker_traces.values():
+    for generated, loaded, discarded, passes in worker_traces.values():
         traces.generated += generated
         traces.loaded += loaded
         traces.discarded += discarded
+        runner.schedule_passes += passes
     return total
 
 

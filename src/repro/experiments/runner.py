@@ -52,6 +52,32 @@ from repro.workloads.spec2000 import ALL_BENCHMARKS
 #: always batches — and results are bit-identical either way.
 MIN_BATCH_LANES = 16
 
+#: Minimum merged width at which a *mega* group takes the vectorised
+#: path.  Deliberately below ``MIN_BATCH_LANES``: a vectorised pass
+#: costs ~8x one scalar schedule walk regardless of width, so merged
+#: groups only beat per-lane sequential runs wall-clock above ~10 lanes
+#: — but mega-batching's contract is the schedule-pass *floor* (one
+#: pass per trace-group, strictly fewer passes than campaign points;
+#: the CI mega smoke pins it), so narrow merged groups batch anyway and
+#: trade seconds of quick-fidelity wall-clock for it.  ``lanes=1`` or
+#: ``--no-mega-batch`` restore the per-point crossover behaviour;
+#: singletons always run sequentially.
+MIN_MEGA_LANES = 2
+
+
+@dataclass(frozen=True)
+class LaneGroup:
+    """One mega-batch: every pending work item of a campaign that shares
+    a trace (``benchmark``) and a pipeline batch signature, across
+    campaign points and figures.  ``items`` are ``(config, map_index)``
+    pairs in plan order; fault-independent configs carry ``None``."""
+
+    benchmark: str
+    items: "tuple[tuple[RunConfig, int | None], ...]"
+
+    def __len__(self) -> int:
+        return len(self.items)
+
 
 @dataclass(frozen=True)
 class RunnerSettings:
@@ -153,6 +179,7 @@ class ExperimentRunner:
         store: ResultStore | None = None,
         trace_cache: str | None = None,
         lanes: int | None = None,
+        mega_batch: bool = True,
     ) -> None:
         self.settings = settings or RunnerSettings.from_env()
         self.pipeline_config = pipeline_config
@@ -167,6 +194,15 @@ class ExperimentRunner:
         if lanes is not None and lanes < 1:
             raise ValueError("lanes must be positive")
         self.lanes = lanes
+        #: Whether campaign planners (:meth:`plan_mega_batches`, the
+        #: parallel executor, the CLI prefill) may merge pending lanes
+        #: *across* campaign points into cross-point mega-batches.  Off,
+        #: every point pays its own schedule pass as in the per-point
+        #: :meth:`run_batch` path; results are bit-identical either way.
+        self.mega_batch = mega_batch
+        #: Batch signature per RunConfig (memoised — building the
+        #: representative pipeline is cheap but not free).
+        self._signature_cache: dict[RunConfig, "tuple | None"] = {}
         # Content-hash keys are ~30us to compute (canonical JSON + sha256
         # over per-runner constants); memoise them so warm-store reads stay
         # dict-lookup cheap.
@@ -176,6 +212,12 @@ class ExperimentRunner:
         #: :func:`~repro.experiments.parallel.prefill_cache` adds those as
         #: it checkpoints them.  Store hits never count.
         self.simulations_executed = 0
+        #: Walks of a compiled front-end schedule this runner paid for:
+        #: +1 per sequential :meth:`OutOfOrderPipeline.run` and +1 per
+        #: *vectorised* :meth:`OutOfOrderPipeline.run_batch` pass however
+        #: many lanes it drives.  The mega-batch smoke asserts a
+        #: multi-point campaign needs strictly fewer passes than points.
+        self.schedule_passes = 0
 
     # ----- inputs -------------------------------------------------------------
 
@@ -254,6 +296,7 @@ class ExperimentRunner:
         self, benchmark: str, config: RunConfig, map_index: int | None
     ) -> SimResult:
         pipeline = self.build_pipeline(config, map_index)
+        self.schedule_passes += 1
         return pipeline.run(
             self.trace(benchmark), measure_from=self.settings.warmup_instructions
         )
@@ -298,6 +341,10 @@ class ExperimentRunner:
                     results[m] = self.run(benchmark, config, m)
                 continue
             pipelines = [self.build_pipeline(config, m) for m in chunk]
+            if OutOfOrderPipeline._can_run_batch(pipelines):
+                self.schedule_passes += 1
+            else:  # run_batch's transparent sequential fallback
+                self.schedule_passes += len(chunk)
             outs = OutOfOrderPipeline.run_batch(
                 pipelines, self.trace(benchmark), measure_from=warmup
             )
@@ -306,6 +353,154 @@ class ExperimentRunner:
                 self.simulations_executed += 1
                 results[m] = result
         return [results[m] for m in map_indices]
+
+    # ----- mega-batching: cross-point lane groups -------------------------------
+
+    def batch_signature(self, config: RunConfig) -> "tuple | None":
+        """The batch-compatibility signature of ``config``'s lanes (see
+        :meth:`OutOfOrderPipeline.batch_key`), or ``None`` when they
+        cannot take the vectorised path.  The signature is a pure
+        function of the configuration's *structure* — latencies,
+        geometries, victim sizing, replacement policies — never of the
+        fault draw, so one representative pipeline decides it for every
+        map index.  Memoised per config."""
+        if config not in self._signature_cache:
+            representative = self.build_pipeline(
+                config, 0 if config.needs_fault_map else None
+            )
+            self._signature_cache[config] = representative.batch_key()
+        return self._signature_cache[config]
+
+    def plan_mega_batches(
+        self,
+        configs: "tuple[RunConfig, ...]",
+        benchmarks: "tuple[str, ...] | None" = None,
+    ) -> list[LaneGroup]:
+        """Cross-point mega-batch plan: every *pending* (config, map)
+        work item the given configurations need, grouped by trace and
+        batch signature across campaign points — so one
+        :meth:`run_lane_group` pass can drive, say, the fault-free
+        baseline plus every block-disabling fault map of a benchmark as
+        lanes of a single schedule walk.
+
+        Work items already in the store, or collapsing to an
+        already-planned content hash, are dropped before grouping — a
+        resumed campaign batches only its missing lanes.  Configurations
+        whose lanes cannot vectorise (signature ``None``), and every
+        configuration when :attr:`mega_batch` is off, keep one group per
+        campaign point (the per-point :meth:`run_batch` shape)."""
+        if benchmarks is None:
+            benchmarks = self.settings.benchmarks
+        groups: dict[tuple, list] = {}
+        order: list[tuple] = []
+        seen_keys: set[str] = set()
+        for benchmark in benchmarks:
+            for config in dict.fromkeys(configs):
+                indices: "tuple[int | None, ...]"
+                if config.needs_fault_map:
+                    indices = tuple(range(self.settings.n_fault_maps))
+                else:
+                    indices = (None,)
+                signature = self.batch_signature(config)
+                if self.mega_batch and signature is not None:
+                    group_key = (benchmark, signature)
+                else:
+                    group_key = (benchmark, None, config)
+                for m in indices:
+                    key = self.task_key(benchmark, config, m)
+                    if key in seen_keys or key in self.store:
+                        continue
+                    seen_keys.add(key)
+                    if group_key not in groups:
+                        groups[group_key] = []
+                        order.append(group_key)
+                    groups[group_key].append((config, m))
+        return [LaneGroup(key[0], tuple(groups[key])) for key in order]
+
+    def run_lane_group(
+        self, benchmark: str, items: "list[tuple[RunConfig, int | None]]"
+    ) -> list[SimResult]:
+        """Execute one mega-batch: all ``(config, map_index)`` lanes of
+        a trace-group in (ideally) a single vectorised schedule pass.
+
+        Lanes already in the store are never re-simulated.  The rest are
+        sub-grouped by :meth:`batch_signature` — a heterogeneous item
+        list (say a word-disabling lane among block-disabling ones)
+        splits into compatible sub-batches instead of tripping the
+        engine's sequential fallback — sliced to :attr:`lanes` width,
+        driven through :meth:`OutOfOrderPipeline.run_batch`, and
+        scattered back to the store under their own per-point keys.
+        Results return in ``items`` order, bit-identical to per-point
+        :meth:`run` calls.
+
+        Unlike the per-point :meth:`run_batch` crossover
+        (``MIN_BATCH_LANES``), merged groups batch from
+        ``MIN_MEGA_LANES`` lanes up — the schedule-pass floor is the
+        contract, wall-clock breaks even near ~10 merged lanes (see the
+        ``MIN_MEGA_LANES`` note).  An explicit ``lanes=1`` still forces
+        the legacy per-map path.
+        """
+        results: dict[str, SimResult | None] = {}
+        subgroups: dict["tuple | None", list] = {}
+        sub_order: list["tuple | None"] = []
+        resolved: list[str] = []
+        for config, m in items:
+            m = self._normalize_map_index(config, m)
+            key = self.task_key(benchmark, config, m)
+            resolved.append(key)
+            if key in results:
+                continue
+            cached = self.store.get(key)
+            if cached is not None:
+                results[key] = cached
+                continue
+            results[key] = None  # claimed; simulated below
+            signature = self.batch_signature(config)
+            if signature not in subgroups:
+                subgroups[signature] = []
+                sub_order.append(signature)
+            subgroups[signature].append((config, m, key))
+        warmup = self.settings.warmup_instructions
+        for signature in sub_order:
+            pending = subgroups[signature]
+            width = self.lanes or len(pending)
+            for start in range(0, len(pending), width):
+                chunk = pending[start : start + width]
+                if signature is None or len(chunk) < MIN_MEGA_LANES:
+                    for config, m, key in chunk:
+                        results[key] = self.run(benchmark, config, m)
+                    continue
+                pipelines = [self.build_pipeline(c, m) for c, m, _ in chunk]
+                self.schedule_passes += 1
+                outs = OutOfOrderPipeline.run_batch(
+                    pipelines, self.trace(benchmark), measure_from=warmup
+                )
+                for (_, _, key), result in zip(chunk, outs):
+                    self.store.put(key, result)
+                    self.simulations_executed += 1
+                    results[key] = result
+        return [results[key] for key in resolved]
+
+    def run_mega(
+        self,
+        configs: "tuple[RunConfig, ...]",
+        benchmarks: "tuple[str, ...] | None" = None,
+        progress=None,
+    ) -> int:
+        """Plan (:meth:`plan_mega_batches`) and execute every pending
+        simulation the configurations need, one trace-group at a time.
+        Returns the number of simulations executed; an optional
+        ``progress(done, total)`` callback reports work-item completion
+        group by group."""
+        groups = self.plan_mega_batches(configs, benchmarks)
+        total = sum(len(group) for group in groups)
+        done = 0
+        for group in groups:
+            self.run_lane_group(group.benchmark, list(group.items))
+            done += len(group)
+            if progress is not None:
+                progress(done, total)
+        return total
 
     def build_pipeline(
         self,

@@ -40,6 +40,8 @@ import dataclasses
 import hashlib
 import json
 import os
+import tempfile
+import warnings
 from typing import TYPE_CHECKING, Iterator
 
 from repro.cpu.config import PAPER_PIPELINE, PipelineConfig
@@ -199,6 +201,13 @@ class DiskStore(MemoryStore):
     appends and flushes one line, so a killed run loses at most the line
     being written.  Unreadable lines — truncated tails from a crash,
     stray corruption — are counted and skipped, never fatal.
+
+    Concurrent writers (parallel campaigns racing on one directory, or a
+    resumed run overlapping a live one) can append the same key more
+    than once.  Loading deduplicates last-write-wins — the later append
+    is the later checkpoint of an identical simulation — counts the
+    shadowed lines in :attr:`duplicate_lines`, and warns so runaway file
+    growth is visible; :meth:`compact` rewrites the log without them.
     """
 
     def __init__(self, directory: str | os.PathLike) -> None:
@@ -208,6 +217,7 @@ class DiskStore(MemoryStore):
         os.makedirs(self.directory, exist_ok=True)
         self.path = os.path.join(self.directory, RESULTS_FILENAME)
         self.skipped_lines = 0
+        self.duplicate_lines = 0
         self._load()
 
     def _load(self) -> None:
@@ -225,7 +235,16 @@ class DiskStore(MemoryStore):
                 except (ValueError, KeyError, TypeError):
                     self.skipped_lines += 1
                     continue
+                if key in self._results:
+                    self.duplicate_lines += 1
                 self._results[key] = result
+        if self.duplicate_lines:
+            warnings.warn(
+                f"{self.path}: {self.duplicate_lines} duplicate result "
+                "line(s) (concurrent writers?); kept the last write per "
+                "key — DiskStore.compact() rewrites the log without them",
+                stacklevel=2,
+            )
         # A crash can leave the file without a trailing newline; repair it
         # so the next append starts a fresh line instead of fusing onto
         # (and losing along with) the truncated tail.
@@ -246,6 +265,36 @@ class DiskStore(MemoryStore):
             fh.write(json.dumps(entry, sort_keys=True) + "\n")
             fh.flush()
         super().put(key, result)
+
+    def compact(self) -> int:
+        """Rewrite ``results.jsonl`` without duplicate/unreadable lines
+        (one line per key, current in-memory value, insertion order) and
+        return the number of lines dropped.  The rewrite is atomic — a
+        temp file in the same directory replaces the log — so a reader
+        or crash mid-compact sees either the old or the new file, never
+        a partial one.  Opt-in: appends from writers racing the rename
+        can be lost, so compact only quiesced campaign directories."""
+        removed = self.duplicate_lines + self.skipped_lines
+        fd, tmp_path = tempfile.mkstemp(
+            dir=self.directory, prefix=".results-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                for key, result in self._results.items():
+                    entry = {"key": key, "result": result_to_dict(result)}
+                    fh.write(json.dumps(entry, sort_keys=True) + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp_path, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+        self.duplicate_lines = 0
+        self.skipped_lines = 0
+        return removed
 
 
 def open_store(directory: str | os.PathLike | None) -> ResultStore:

@@ -157,6 +157,31 @@ def test_measure_from_zero_and_validation(runner):
         )
 
 
+def test_mixed_scheme_lanes_batch_vectorised(runner):
+    """Lanes need not share a configuration: the fault-free baseline and
+    block-disabling fault maps carry equal batch keys (same latencies,
+    geometries, victim sizing), so the mega planner may drive them as
+    one vectorised pass — bit-identical to their sequential runs."""
+    trace = runner.trace("gzip")
+    pipelines = [
+        runner.build_pipeline(LV_BASELINE, None),
+        runner.build_pipeline(LV_BLOCK, 0),
+        runner.build_pipeline(LV_BLOCK, 1),
+    ]
+    assert pipelines[0].batch_key() == pipelines[1].batch_key() is not None
+    assert OutOfOrderPipeline._can_run_batch(pipelines)
+    results = OutOfOrderPipeline.run_batch(pipelines, trace, measure_from=WARMUP)
+    assert results[0] == _sequential(runner, LV_BASELINE, [None])[0]
+    assert results[1:] == _sequential(runner, LV_BLOCK, [0, 1])
+
+
+def test_reused_pipeline_has_no_batch_key(runner):
+    warm = runner.build_pipeline(LV_BLOCK, 0)
+    assert warm.batch_key() is not None
+    warm.run(runner.trace("gzip"), measure_from=WARMUP)
+    assert warm.batch_key() is None
+
+
 def test_high_voltage_lanes(runner):
     """Fault-free lanes (identical contents) batch too — the degenerate
     but common normalisation-baseline case."""

@@ -74,3 +74,24 @@ class TestCLI:
         assert capsys.readouterr().out == default_out
         assert main(args + ["--lanes", "1"]) == 0
         assert capsys.readouterr().out == default_out
+
+    def test_mega_batch_flag_reproduces_default_output(self, capsys):
+        """Cross-point mega-batching (the default) must be byte-identical
+        to the per-point path, at multi-figure scope where campaign
+        points actually merge."""
+        args = [
+            "fig8",
+            "ext-incremental",
+            "--instructions",
+            "2500",
+            "--warmup",
+            "500",
+            "--maps",
+            "2",
+            "--benchmarks",
+            "gzip",
+        ]
+        assert main(args) == 0
+        default_out = capsys.readouterr().out
+        assert main(args + ["--no-mega-batch"]) == 0
+        assert capsys.readouterr().out == default_out

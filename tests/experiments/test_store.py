@@ -4,6 +4,7 @@ import dataclasses
 import json
 import subprocess
 import sys
+import warnings
 
 import pytest
 
@@ -216,12 +217,81 @@ class TestDiskStore:
         store = DiskStore(tmp_path)
         store.put("k", make_result(1))
         store.put("k", make_result(2))
-        assert DiskStore(tmp_path).get("k") == make_result(2)
+        with pytest.warns(UserWarning, match="duplicate"):
+            assert DiskStore(tmp_path).get("k") == make_result(2)
 
     def test_open_store_helper(self, tmp_path):
         assert isinstance(open_store(None), MemoryStore)
         assert isinstance(open_store(""), MemoryStore)
         assert isinstance(open_store(tmp_path), DiskStore)
+
+
+class TestDuplicateKeys:
+    """Concurrent writers append duplicate keys; loading must dedupe
+    (last write wins), warn, and count — and compact() must rewrite the
+    log without them."""
+
+    def _race(self, tmp_path) -> DiskStore:
+        # Two store handles on one directory — the concurrent-writer
+        # shape: each appends, neither sees the other's in-memory index.
+        a = DiskStore(tmp_path)
+        b = DiskStore(tmp_path)
+        a.put("shared", make_result(1))
+        b.put("shared", make_result(2))
+        a.put("only-a", make_result(3))
+        return a
+
+    def test_load_dedupes_and_counts(self, tmp_path):
+        self._race(tmp_path)
+        with pytest.warns(UserWarning, match="duplicate result"):
+            reopened = DiskStore(tmp_path)
+        assert reopened.duplicate_lines == 1
+        assert len(reopened) == 2
+        assert reopened.get("shared") == make_result(2)  # last write wins
+        assert reopened.get("only-a") == make_result(3)
+
+    def test_clean_load_does_not_warn(self, tmp_path):
+        DiskStore(tmp_path).put("k", make_result(5))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            reopened = DiskStore(tmp_path)
+        assert reopened.duplicate_lines == 0
+
+    def test_compact_rewrites_without_duplicates(self, tmp_path):
+        self._race(tmp_path)
+        with pytest.warns(UserWarning):
+            store = DiskStore(tmp_path)
+        before = dict.fromkeys(store.keys())
+        assert store.compact() == 1
+        assert store.duplicate_lines == 0
+        with open(store.path, encoding="utf-8") as fh:
+            lines = [json.loads(line) for line in fh if line.strip()]
+        assert len(lines) == 2
+        assert {entry["key"] for entry in lines} == set(before)
+        # A reopen sees identical contents and no duplicates.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            reopened = DiskStore(tmp_path)
+        assert reopened.get("shared") == make_result(2)
+        assert reopened.get("only-a") == make_result(3)
+
+    def test_compact_drops_corrupt_lines_too(self, tmp_path):
+        store = DiskStore(tmp_path)
+        store.put("good", make_result(7))
+        with open(store.path, "a", encoding="utf-8") as fh:
+            fh.write("not json at all\n")
+        reopened = DiskStore(tmp_path)
+        assert reopened.skipped_lines == 1
+        assert reopened.compact() == 1
+        fresh = DiskStore(tmp_path)
+        assert fresh.skipped_lines == 0
+        assert fresh.get("good") == make_result(7)
+
+    def test_compact_noop_on_clean_store(self, tmp_path):
+        store = DiskStore(tmp_path)
+        store.put("k", make_result(9))
+        assert store.compact() == 0
+        assert DiskStore(tmp_path).get("k") == make_result(9)
 
 
 class TestCampaignResume:
