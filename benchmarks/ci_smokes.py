@@ -3,11 +3,14 @@
 The GitHub workflow used to inline four shell steps (golden bit-identity,
 KIPS microbench, lane-batch equivalence, campaign store/trace-cache);
 this driver checks them in so ``python benchmarks/ci_smokes.py`` runs the
-identical gate on a laptop, and adds the mega-batch equivalence smoke: a
+identical gate on a laptop, and adds the mega-batch equivalence smoke (a
 multi-point campaign plan must scatter back bit-identical results with
 strictly fewer schedule passes than campaign points, and the CLI's
 figures must be byte-identical with ``--mega-batch`` and
-``--no-mega-batch``.
+``--no-mega-batch``) plus the campaign smoke: the declarative
+``Session.run(spec)`` path and the legacy ``ExperimentRunner`` path must
+produce byte-identical figure JSON, and dedup re-runs must execute zero
+schedule passes.
 
 Each smoke writes ``<name>-smoke.json`` into ``--json-dir`` (default:
 current directory) — the workflow uploads them as per-commit artifacts so
@@ -278,12 +281,93 @@ def smoke_mega_batch(json_dir: str) -> list[str]:
     return failures
 
 
+def smoke_campaign(json_dir: str) -> list[str]:
+    """Campaign API v2 equivalence.
+
+    The new ``Session.run(spec)`` streaming path and the legacy
+    ``ExperimentRunner`` path must produce byte-identical figure JSON
+    for every performance figure they share, and a dedup re-run of an
+    already-stored campaign must resolve to an empty plan and execute
+    zero schedule passes.  The CLI's ``--dry-run`` must simulate
+    nothing.
+    """
+    import dataclasses
+
+    from repro.campaign.session import Session
+    from repro.campaign.spec import RunnerSettings
+    from repro.experiments.figures import fig8_data, figure_spec
+    from repro.experiments.runner import ExperimentRunner
+
+    settings = RunnerSettings(
+        n_instructions=3_000,
+        warmup_instructions=1_000,
+        n_fault_maps=2,
+        benchmarks=("gzip",),
+    )
+
+    def figure_json(result) -> str:
+        return json.dumps(dataclasses.asdict(result), sort_keys=True)
+
+    failures: list[str] = []
+
+    legacy = ExperimentRunner(settings)
+    legacy_json = figure_json(fig8_data(legacy))
+
+    session = Session(settings)
+    session_json = figure_json(fig8_data(session))
+    if session_json != legacy_json:
+        failures.append(
+            "Session and legacy ExperimentRunner figure JSON differ:\n"
+            + "\n".join(
+                difflib.unified_diff([legacy_json], [session_json], lineterm="")
+            )
+        )
+
+    # Dedup re-run: pure store hits, empty plan, zero new schedule passes.
+    passes_before = session.schedule_passes
+    rerun_plan = session.run_all(figure_spec("fig8", settings))
+    rerun_passes = session.schedule_passes - passes_before
+    if rerun_plan.pending != 0:
+        failures.append(
+            f"dedup re-run still plans {rerun_plan.pending} simulations"
+        )
+    if rerun_passes != 0:
+        failures.append(f"dedup re-run executed {rerun_passes} schedule passes")
+    if rerun_plan.dedup_hits != rerun_plan.total_points:
+        failures.append(
+            f"dedup re-run saw {rerun_plan.dedup_hits} store hits for "
+            f"{rerun_plan.total_points} points"
+        )
+
+    # CLI dry-run: prints the plan, simulates nothing.
+    dry = _cli(_STORE_ARGS + ["--no-store", "--dry-run"])
+    if dry.returncode != 0:
+        failures.append(f"--dry-run exited {dry.returncode}: {dry.stderr}")
+    elif "to simulate" not in dry.stdout:
+        failures.append(f"--dry-run printed no plan:\n{dry.stdout}")
+
+    _write(
+        json_dir,
+        "campaign",
+        {
+            "figure_json_identical": session_json == legacy_json,
+            "legacy_schedule_passes": legacy.schedule_passes,
+            "session_schedule_passes": passes_before,
+            "rerun_pending": rerun_plan.pending,
+            "rerun_schedule_passes": rerun_passes,
+            "ok": not failures,
+        },
+    )
+    return failures
+
+
 SMOKES = {
     "goldens": smoke_goldens,
     "kips": smoke_kips,
     "lane-batch": smoke_lane_batch,
     "store": smoke_store,
     "mega-batch": smoke_mega_batch,
+    "campaign": smoke_campaign,
 }
 
 

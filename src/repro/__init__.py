@@ -60,6 +60,7 @@ from repro.cpu import (
     SimResult,
     Trace,
 )
+from repro.campaign import CampaignSpec, Session
 from repro.experiments import ExperimentRunner, FigureResult, RunnerSettings
 from repro.experiments.figures import (
     fig1_data,
@@ -140,6 +141,8 @@ __all__ = [
     "VccMinModel",
     "scaling_curves",
     "OverheadModel",
+    "CampaignSpec",
+    "Session",
     "ExperimentRunner",
     "RunnerSettings",
     "FigureResult",

@@ -1,0 +1,51 @@
+"""Typed events streamed by ``Session.run``.
+
+``Session.run(spec)`` is an iterator, not a blocking call: consumers see
+the resolved plan first, then one :class:`PointResult` per completed
+simulation as executor batches land, with :class:`Progress` checkpoints
+carrying the session's schedule-pass and simulation counters.  The CLI
+renders Progress lines; tests assert on PointResults; callers that only
+want the side effect (a filled store) drain the iterator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpu.pipeline import SimResult
+from repro.experiments.configs import RunConfig
+
+from repro.campaign.plan import Plan
+
+
+@dataclass(frozen=True)
+class PlanReady:
+    """First event of every run: the resolved plan (work items, dedup
+    holes, groups) before any simulation starts."""
+
+    plan: Plan
+
+
+@dataclass(frozen=True)
+class PointResult:
+    """One simulated campaign point, checkpointed to the store."""
+
+    benchmark: str
+    config: RunConfig
+    map_index: int | None
+    key: str
+    result: SimResult
+
+
+@dataclass(frozen=True)
+class Progress:
+    """Completion checkpoint after each executed group/chunk."""
+
+    done: int
+    total: int
+    simulations_executed: int
+    schedule_passes: int
+
+
+#: Everything ``Session.run`` can yield.
+Event = PlanReady | PointResult | Progress

@@ -1,0 +1,228 @@
+"""Pluggable campaign executors: serial in-process and process-pool.
+
+An executor turns a resolved :class:`~repro.campaign.plan.Plan` into
+events: it drives every plan group, checkpoints results into the
+session's store, keeps the session's simulation/schedule-pass counters
+truthful, and yields :class:`~repro.campaign.events.PointResult` /
+:class:`~repro.campaign.events.Progress` as work lands.  Both built-in
+executors consume the *same* plan objects from the unified planner —
+the pool merely ships ``Plan.worker_batches`` slices to workers — so
+serial and parallel campaigns are bit-identical by construction.  A
+distributed executor (sharded stores, multi-machine fan-out) plugs in
+at the same seam later.
+
+Workers never receive traces or fault maps over the wire: both are
+deterministic functions of ``RunnerSettings`` (seeded generators), so
+each worker regenerates and memoises its own copies.  Dispatch payloads
+are ``(benchmark, config, map_index)`` triples — tiny, order-independent,
+and bit-identical to the single-process path.
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import TYPE_CHECKING, Iterator
+
+from repro.cpu.pipeline import SimResult
+
+from repro.campaign.events import Event, PointResult, Progress
+from repro.campaign.plan import Plan, Task
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.campaign.session import Session
+
+
+class Executor(abc.ABC):
+    """Drives a plan's groups against a session, streaming events."""
+
+    @abc.abstractmethod
+    def run(self, session: "Session", plan: Plan) -> Iterator[Event]:
+        """Execute every pending group of ``plan``, yielding a
+        :class:`PointResult` per completed simulation and a
+        :class:`Progress` checkpoint per executed group/chunk."""
+
+
+class SerialExecutor(Executor):
+    """In-process execution, one plan group at a time (the default)."""
+
+    def run(self, session: "Session", plan: Plan) -> Iterator[Event]:
+        done = 0
+        total = plan.pending
+        for group in plan.groups:
+            for item, result in session.execute_group(group):
+                done += 1
+                yield PointResult(
+                    item.benchmark, item.config, item.map_index, item.key, result
+                )
+            yield Progress(
+                done, total, session.simulations_executed, session.schedule_passes
+            )
+
+
+# --------------------------------------------------------------------------
+# Process pool
+# --------------------------------------------------------------------------
+
+# Per-worker memoised state (initialised lazily in each process).
+_WORKER_SESSION: "Session | None" = None
+
+
+def _worker_init(
+    settings,
+    pipeline_config,
+    trace_cache: "str | None" = None,
+    lanes: "int | None" = None,
+    mega_batch: bool = True,
+) -> None:
+    global _WORKER_SESSION
+    from repro.campaign.session import Session
+
+    _WORKER_SESSION = Session(
+        settings,
+        pipeline_config=pipeline_config,
+        trace_cache=trace_cache,
+        lanes=lanes,
+        mega_batch=mega_batch,
+    )
+
+
+def run_batch_locally(
+    session: "Session", batch: list[Task]
+) -> list[tuple[Task, SimResult]]:
+    """Run one dispatch batch through a session (worker or parent).
+
+    Mega-batching sessions take the trace-group path — the batch may mix
+    configurations and fault-independent lanes; otherwise the batch is a
+    same-point group dispatched through the per-point lane batch."""
+    benchmark, config, first_index = batch[0]
+    if session.mega_batch:
+        items = [(config, map_index) for (_, config, map_index) in batch]
+        results = session.run_group(benchmark, items)
+        return list(zip(batch, results))
+    if first_index is None:
+        return [(batch[0], session.simulate(benchmark, config, None))]
+    indices = [task[2] for task in batch]
+    results = session.simulate_maps(benchmark, config, indices)
+    return list(zip(batch, results))
+
+
+def _worker_run_batches(
+    batches: list[list[Task]],
+) -> tuple[int, tuple[int, int, int, int], list[tuple[Task, SimResult]]]:
+    """Run a group of dispatch batches; also report this worker's
+    cumulative trace-provider and schedule-pass counters (pid-keyed so
+    the parent can aggregate across the pool)."""
+    assert _WORKER_SESSION is not None, "worker not initialised"
+    results: list[tuple[Task, SimResult]] = []
+    for batch in batches:
+        results.extend(run_batch_locally(_WORKER_SESSION, batch))
+    traces = _WORKER_SESSION.traces
+    counters = (
+        traces.generated,
+        traces.loaded,
+        traces.discarded,
+        _WORKER_SESSION.schedule_passes,
+    )
+    return os.getpid(), counters, results
+
+
+def adaptive_chunksize(n_tasks: int, workers: int) -> int:
+    """Chunk size balancing IPC amortisation against checkpoint
+    granularity: small campaigns get chunk 1 (every finished simulation is
+    durable immediately and the pool stays busy); large ones amortise
+    dispatch over up to 8 tasks while still checkpointing ~4 times per
+    worker."""
+    if n_tasks <= workers:
+        return 1
+    return max(1, min(8, n_tasks // (workers * 4)))
+
+
+class PoolExecutor(Executor):
+    """Streaming process-pool execution for paper-scale campaigns.
+
+    The plan's groups are sliced into worker dispatch units
+    (:meth:`Plan.worker_batches`) and fanned across a
+    :class:`ProcessPoolExecutor`; results are checkpointed to the
+    parent's store as each chunk completes — not after the pool drains —
+    so a killed paper-scale run against a ``DiskStore`` resumes from its
+    last completed chunk.  Worker trace/schedule counters aggregate into
+    the parent session when the pool drains.
+    """
+
+    def __init__(self, workers: int | None = None) -> None:
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be positive")
+        self.workers = workers
+
+    def run(self, session: "Session", plan: Plan) -> Iterator[Event]:
+        batches = plan.worker_batches(session.lanes)
+        total = plan.pending
+        if total == 0:
+            return
+        workers = self.workers if self.workers is not None else os.cpu_count() or 1
+        workers = min(workers, len(batches))
+        if workers <= 1:
+            yield from SerialExecutor().run(session, plan)
+            return
+        done = 0
+        size = adaptive_chunksize(len(batches), workers)
+        chunks = [batches[i : i + size] for i in range(0, len(batches), size)]
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_worker_init,
+            # Workers share the persistent trace cache (atomic writes make
+            # the directory safe for concurrent fills): once an entry
+            # lands, no later worker or invocation regenerates it.
+            # (Workers that miss simultaneously on a cold cache may each
+            # generate once — the aggregated `traces generated=` summary
+            # reports it truthfully.)
+            initargs=(
+                session.settings,
+                session.pipeline_config,
+                session.traces.cache_dir,
+                # Workers inherit the explicit lane width so a narrow
+                # lanes=N request still batches inside the pool, and the
+                # mega flag so trace-group payloads take the group path.
+                session.lanes,
+                session.mega_batch,
+            ),
+        ) as pool:
+            futures = [pool.submit(_worker_run_batches, chunk) for chunk in chunks]
+            worker_counters: dict[int, tuple[int, int, int, int]] = {}
+            for future in as_completed(futures):
+                pid, counters, chunk_results = future.result()
+                # Counters are cumulative per worker; keep the high-water
+                # mark so the parent's summary reflects pool-wide activity.
+                previous = worker_counters.get(pid)
+                if previous is None or counters > previous:
+                    worker_counters[pid] = counters
+                for (benchmark, config, map_index), result in chunk_results:
+                    session.store_result(benchmark, config, map_index, result)
+                    session.simulations_executed += 1
+                    done += 1
+                    yield PointResult(
+                        benchmark,
+                        config,
+                        map_index,
+                        session.task_key(benchmark, config, map_index),
+                        result,
+                    )
+                yield Progress(
+                    done,
+                    total,
+                    session.simulations_executed,
+                    session.schedule_passes,
+                )
+        traces = session.traces
+        for generated, loaded, discarded, passes in worker_counters.values():
+            traces.generated += generated
+            traces.loaded += loaded
+            traces.discarded += discarded
+            session.schedule_passes += passes
+        # Final checkpoint with the aggregated pool-wide counters (the
+        # per-chunk Progress events above only see the parent's own).
+        yield Progress(
+            done, total, session.simulations_executed, session.schedule_passes
+        )

@@ -1,4 +1,20 @@
-"""Experiment harness: regenerates every table and figure of the paper."""
+"""Experiment harness: regenerates every table and figure of the paper.
+
+The declarative campaign layer lives in :mod:`repro.campaign`
+(``CampaignSpec`` / ``Planner`` / ``Session``); this package keeps the
+figure registries, the Table III configurations, the result store, and
+the legacy :class:`ExperimentRunner` facade over it.
+
+Import layering: the campaign layer depends on this package's *leaf*
+modules (``configs``, ``store``, ``providers``), while ``figures``,
+``runner``, and ``parallel`` depend on the campaign layer.  Only the
+leaves are imported eagerly here; the campaign-backed names resolve
+lazily on first attribute access (PEP 562), so ``import
+repro.experiments.configs`` from inside :mod:`repro.campaign` never
+re-enters a half-initialised module.
+"""
+
+import importlib
 
 from repro.experiments.configs import (
     ALL_CONFIGS,
@@ -18,36 +34,8 @@ from repro.experiments.configs import (
     LV_WORD_V,
     RunConfig,
 )
-from repro.experiments.figures import (
-    ANALYTICAL_FIGURES,
-    PERFORMANCE_FIGURES,
-    extension_incremental_performance,
-    fig1_data,
-    fig3_data,
-    fig4_data,
-    fig5_data,
-    fig6_data,
-    fig7_data,
-    fig8_data,
-    fig9_data,
-    fig10_data,
-    fig11_data,
-    fig12_data,
-    table1_data,
-)
-from repro.experiments.parallel import (
-    pending_tasks,
-    plan_tasks,
-    prefill_cache,
-    run_studies,
-)
 from repro.experiments.providers import FaultMapProvider, TraceProvider
 from repro.experiments.results import FigureResult
-from repro.experiments.runner import (
-    ExperimentRunner,
-    NormalizedSeries,
-    RunnerSettings,
-)
 from repro.experiments.store import (
     DiskStore,
     MemoryStore,
@@ -55,6 +43,36 @@ from repro.experiments.store import (
     open_store,
     task_key,
 )
+
+#: Lazily-resolved exports: name -> providing module (everything here
+#: transitively imports repro.campaign, which imports our leaf modules).
+_LAZY = {
+    "CampaignSpec": "repro.campaign.spec",
+    "Session": "repro.campaign.session",
+    "ExperimentRunner": "repro.experiments.runner",
+    "RunnerSettings": "repro.experiments.runner",
+    "NormalizedSeries": "repro.experiments.runner",
+    "plan_tasks": "repro.experiments.parallel",
+    "pending_tasks": "repro.experiments.parallel",
+    "prefill_cache": "repro.experiments.parallel",
+    "run_studies": "repro.experiments.parallel",
+    "ANALYTICAL_FIGURES": "repro.experiments.figures",
+    "PERFORMANCE_FIGURES": "repro.experiments.figures",
+    "figure_spec": "repro.experiments.figures",
+    "fig1_data": "repro.experiments.figures",
+    "table1_data": "repro.experiments.figures",
+    "fig3_data": "repro.experiments.figures",
+    "fig4_data": "repro.experiments.figures",
+    "fig5_data": "repro.experiments.figures",
+    "fig6_data": "repro.experiments.figures",
+    "fig7_data": "repro.experiments.figures",
+    "fig8_data": "repro.experiments.figures",
+    "fig9_data": "repro.experiments.figures",
+    "fig10_data": "repro.experiments.figures",
+    "fig11_data": "repro.experiments.figures",
+    "fig12_data": "repro.experiments.figures",
+    "extension_incremental_performance": "repro.experiments.figures",
+}
 
 __all__ = [
     "RunConfig",
@@ -73,14 +91,7 @@ __all__ = [
     "HV_WORD_V",
     "HV_BLOCK",
     "HV_BLOCK_V",
-    "ExperimentRunner",
-    "RunnerSettings",
-    "NormalizedSeries",
     "FigureResult",
-    "plan_tasks",
-    "pending_tasks",
-    "prefill_cache",
-    "run_studies",
     "ResultStore",
     "MemoryStore",
     "DiskStore",
@@ -88,19 +99,18 @@ __all__ = [
     "task_key",
     "TraceProvider",
     "FaultMapProvider",
-    "ANALYTICAL_FIGURES",
-    "PERFORMANCE_FIGURES",
-    "fig1_data",
-    "table1_data",
-    "fig3_data",
-    "fig4_data",
-    "fig5_data",
-    "fig6_data",
-    "fig7_data",
-    "fig8_data",
-    "fig9_data",
-    "fig10_data",
-    "fig11_data",
-    "fig12_data",
-    "extension_incremental_performance",
+    *_LAZY,
 ]
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value  # cache: __getattr__ runs once per name
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(__all__)

@@ -5,8 +5,17 @@ Usage::
     python -m repro.experiments list
     python -m repro.experiments fig3 fig4 fig5
     python -m repro.experiments fig8 --instructions 100000 --maps 20
+    python -m repro.experiments fig8 fig9 --dry-run
     python -m repro.experiments all-analytical
     python -m repro.experiments all-performance --benchmarks crafty,gzip
+
+The CLI is a thin shell over the campaign layer: flags build a
+:class:`~repro.campaign.session.Session` and one union
+:class:`~repro.campaign.spec.CampaignSpec` covering every requested
+performance target, the session streams the campaign (serial or through
+a ``--workers N`` process pool), and figures render from pure store
+hits.  ``--dry-run`` prints the resolved plan — work items, store-dedup
+hits, mega-batch groups, predicted schedule passes — without simulating.
 
 Campaigns: pass ``--store DIR`` (or set ``REPRO_STORE``) to persist every
 simulation result under ``DIR``; reruns — including after a crash —
@@ -23,6 +32,10 @@ import argparse
 import os
 import sys
 
+from repro.campaign.events import PlanReady, Progress
+from repro.campaign.executors import PoolExecutor
+from repro.campaign.session import Session
+from repro.campaign.spec import CampaignSpec, RunnerSettings
 from repro.experiments.ablation import ABLATION_STUDIES
 from repro.experiments.characterize import characterization_table
 from repro.experiments.figures import (
@@ -32,7 +45,7 @@ from repro.experiments.figures import (
 )
 from repro.experiments.providers import TRACE_CACHE_ENV
 from repro.experiments.report import REPORT_CONFIGS, reproduction_report
-from repro.experiments.runner import ExperimentRunner, RunnerSettings
+from repro.experiments.runner import ExperimentRunner
 from repro.experiments.store import DiskStore, MemoryStore, ResultStore, open_store
 from repro.workloads.spec2000 import ALL_BENCHMARKS
 
@@ -100,6 +113,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "into one schedule pass (default: on; results are bit-identical "
         "either way, --no-mega-batch restores one pass per campaign "
         "point)",
+    )
+    parser.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="resolve the campaign plan and print it — work items, "
+        "store-dedup hits, mega-batch groups, predicted schedule passes "
+        "— without simulating anything",
     )
     store_group = parser.add_mutually_exclusive_group()
     store_group.add_argument(
@@ -194,7 +214,6 @@ def main(argv: list[str] | None = None) -> int:
     except OSError as exc:
         print(f"cannot open result store: {exc}", file=sys.stderr)
         return 2
-    runner: ExperimentRunner | None = None
 
     def make_progress(unit: str):
         def progress(done: int, total: int) -> None:
@@ -208,40 +227,77 @@ def main(argv: list[str] | None = None) -> int:
         # own runners from the environment).
         os.environ[TRACE_CACHE_ENV] = trace_cache
 
-    def shared_runner() -> ExperimentRunner:
-        nonlocal runner
-        if runner is None:
-            runner = ExperimentRunner(
+    # The union campaign every requested performance target needs — one
+    # spec, one plan, one streaming run; figures then read store hits.
+    needed = list(configs_for_targets(targets))
+    if "report" in targets:
+        needed.extend(c for c in REPORT_CONFIGS if c not in needed)
+
+    session: Session | None = None
+    session_used = False
+
+    def shared_session() -> Session:
+        nonlocal session, session_used
+        if session is None:
+            session = Session(
                 _settings_from_args(args),
                 store=store,
                 trace_cache=trace_cache,
                 lanes=args.lanes,
                 mega_batch=args.mega_batch,
             )
-            needed = list(configs_for_targets(targets))
-            if "report" in targets:
-                needed.extend(c for c in REPORT_CONFIGS if c not in needed)
-            if args.workers > 1 and needed:
-                from repro.experiments.parallel import prefill_cache
+        session_used = True
+        return session
 
-                prefill_cache(
-                    runner,
-                    tuple(needed),
-                    workers=args.workers,
-                    progress=make_progress("simulations"),
-                )
-            elif args.mega_batch and needed:
-                # One mega-batch pass per (trace, batch signature) group
-                # fills the store before any figure renders, so small-map
-                # multi-figure sweeps stop paying one schedule walk per
-                # campaign point.  Figures then read pure store hits —
-                # byte-identical to the lazy per-point path.
-                runner.run_mega(
-                    tuple(needed), progress=make_progress("simulations")
-                )
-        return runner
+    if args.dry_run:
+        # Targets that simulate outside the campaign store (own inputs,
+        # no store keys) — the plan below cannot cost them.
+        non_store = [
+            t for t in targets if t in ABLATION_STUDIES or t == "characterize"
+        ]
+        if needed:
+            spec = CampaignSpec.from_settings(
+                _settings_from_args(args), tuple(needed)
+            )
+            print(shared_session().plan(spec).describe())
+            shared_session().close()
+        else:
+            print("dry run: requested targets need no store-backed simulations")
+        if non_store:
+            print(
+                f"note: {len(non_store)} target(s) "
+                f"({', '.join(non_store)}) simulate outside the "
+                "campaign store and are not included in this plan"
+            )
+        store.close()
+        return 0
 
-    # Ablation studies build their own inputs (no shared runner), so with
+    def prefill(active: Session) -> None:
+        """Stream the union campaign through the session so every figure
+        renders from pure store hits (byte-identical to the lazy path)."""
+        if not needed:
+            return
+        spec = CampaignSpec.from_settings(active.settings, tuple(needed))
+        executor = PoolExecutor(args.workers) if args.workers > 1 else None
+        progress = make_progress("simulations")
+        for event in active.run(spec, executor=executor):
+            if isinstance(event, PlanReady) and not event.plan.pending:
+                break
+            if isinstance(event, Progress):
+                progress(event.done, event.total)
+
+    prefilled = False
+
+    def ready_session() -> Session:
+        nonlocal prefilled
+        active = shared_session()
+        if not prefilled:
+            prefilled = True
+            if args.workers > 1 or args.mega_batch:
+                prefill(active)
+        return active
+
+    # Ablation studies build their own inputs (no shared session), so with
     # --workers they run one-study-per-process up front.
     ablation_targets = [t for t in targets if t in ABLATION_STUDIES]
     ablation_results: dict[str, object] = {}
@@ -257,7 +313,7 @@ def main(argv: list[str] | None = None) -> int:
     ablations_rendered: set[str] = set()
     for target in targets:
         if target == "report":
-            print(reproduction_report(shared_runner()))
+            print(reproduction_report(ExperimentRunner.from_session(ready_session())))
             print()
             continue
         if target == "characterize":
@@ -273,7 +329,7 @@ def main(argv: list[str] | None = None) -> int:
             else:
                 result = ABLATION_STUDIES[target]()
         else:
-            result = PERFORMANCE_FIGURES[target](shared_runner())
+            result = PERFORMANCE_FIGURES[target](ready_session())
         print(result.to_text())
         print()
         if args.csv:
@@ -283,16 +339,16 @@ def main(argv: list[str] | None = None) -> int:
             directory.mkdir(parents=True, exist_ok=True)
             (directory / f"{result.figure_id}.csv").write_text(result.to_csv())
 
-    if isinstance(store, DiskStore) or runner is not None:
-        executed = runner.simulations_executed if runner is not None else 0
-        passes = runner.schedule_passes if runner is not None else 0
+    if isinstance(store, DiskStore) or session_used:
+        executed = session.simulations_executed if session is not None else 0
+        passes = session.schedule_passes if session is not None else 0
         summary = (
             f"[campaign] simulations executed={executed} "
             f"schedule passes={passes} "
             f"store={store.description} entries={len(store)}"
         )
-        if runner is not None:
-            traces = runner.traces
+        if session is not None:
+            traces = session.traces
             summary += (
                 f" traces generated={traces.generated} loaded={traces.loaded}"
             )
@@ -303,6 +359,9 @@ def main(argv: list[str] | None = None) -> int:
             # store; their simulations are not in the counts above.
             summary += f" (+{len(ablations_rendered)} ablation studies, not store-backed)"
         print(summary, file=sys.stderr)
+    if session is not None:
+        session.close()
+    store.close()  # the CLI opened the store, so the CLI closes it
     return 0
 
 

@@ -1,13 +1,27 @@
 """Per-figure data generation: one function per paper figure/table.
 
-Analytical figures (1, 3-7) evaluate the Section IV closed forms directly;
-performance figures (8-12) drive an :class:`ExperimentRunner` through the
-Table III configurations.  Every function returns a
-:class:`~repro.experiments.results.FigureResult` whose text rendering is
-what the bench harness prints.
+Every figure entry point — analytical (1, 3-7) or simulation-backed
+(8-12) — now has one signature::
+
+    figN_data(session=None, *, spec=None) -> FigureResult
+
+Analytical figures evaluate the Section IV closed forms directly and
+ignore both arguments (accepted for registry uniformity).  Performance
+figures are a declarative :class:`~repro.campaign.spec.CampaignSpec`
+(:func:`figure_spec`) plus a *pure post-processing function*: the spec
+is streamed through the campaign :class:`~repro.campaign.session.Session`
+(filling the result store, mega-batched), after which the series are
+computed from pure store hits.  ``session`` accepts a
+:class:`~repro.campaign.session.Session`, a legacy
+:class:`~repro.experiments.runner.ExperimentRunner` (its session is
+used), or ``None`` (a fresh environment-configured session); ``spec``
+overrides the campaign — a spec at a different fidelity runs in a
+derived session over the same store.
 """
 
 from __future__ import annotations
+
+import dataclasses
 
 import numpy as np
 
@@ -16,6 +30,8 @@ from repro.analysis.capacity_dist import capacity_distribution_for_geometry
 from repro.analysis.incremental import incremental_capacity_curve
 from repro.analysis.urn import expected_capacity_fraction, faulty_block_fraction_curve
 from repro.analysis.word_disable import whole_cache_failure_curve
+from repro.campaign.session import NormalizedSeries, Session
+from repro.campaign.spec import CampaignSpec, RunnerSettings
 from repro.experiments.configs import (
     HV_BASELINE,
     HV_BASELINE_V,
@@ -33,18 +49,105 @@ from repro.experiments.configs import (
     LV_WORD_V,
 )
 from repro.experiments.results import FigureResult
-from repro.experiments.runner import ExperimentRunner
 from repro.faults.geometry import PAPER_L1_GEOMETRY
 from repro.overhead.transistors import OverheadModel
 from repro.power.dvs import DVSModel, scaling_curves
 from repro.power.vccmin import DEFAULT_VCCMIN_MODEL
 
 
+#: Configurations each performance figure simulates — the data each
+#: figure's CampaignSpec sweeps; also what the CLI's prefill unions.
+FIGURE_CONFIGS = {
+    "fig8": (LV_BASELINE, LV_WORD, LV_BLOCK, LV_BLOCK_V10),
+    "fig9": (LV_BASELINE_V, LV_WORD_V, LV_BLOCK_V10),
+    "fig10": (LV_BASELINE, LV_WORD, LV_BLOCK_V10, LV_BLOCK_V6),
+    "fig11": (HV_BASELINE, HV_WORD, HV_BLOCK, HV_BLOCK_V),
+    "fig12": (HV_BASELINE_V, HV_WORD_V, HV_BLOCK_V),
+    "ext-incremental": (LV_BASELINE, LV_WORD, LV_INCREMENTAL),
+}
+
+
+def figure_spec(
+    target: str, settings: RunnerSettings | None = None
+) -> CampaignSpec:
+    """The declarative campaign one performance figure needs: its Table
+    III configurations at the given (default: environment) fidelity,
+    tagged with the figure id."""
+    if target not in FIGURE_CONFIGS:
+        raise KeyError(
+            f"unknown performance figure {target!r} "
+            f"(have: {', '.join(FIGURE_CONFIGS)})"
+        )
+    settings = settings or RunnerSettings.from_env()
+    return CampaignSpec.from_settings(
+        settings, FIGURE_CONFIGS[target], figure=target
+    )
+
+
+def configs_for_targets(targets) -> tuple:
+    """Union of the run configurations the given figure targets need, in
+    first-seen order — what the CLI prefills in one campaign (store-level
+    dedup collapses the heavy overlap between figures)."""
+    needed = []
+    seen = set()
+    for target in targets:
+        for config in FIGURE_CONFIGS.get(target, ()):
+            if config not in seen:
+                seen.add(config)
+                needed.append(config)
+    return tuple(needed)
+
+
+def _coerce_session(session) -> Session:
+    """Accept a Session, a legacy ExperimentRunner facade, or None."""
+    if session is None:
+        return Session()
+    inner = getattr(session, "session", None)  # ExperimentRunner shim
+    if isinstance(inner, Session):
+        return inner
+    return session
+
+
+def _prepare(session, target: str, spec: CampaignSpec | None):
+    """Resolve the figure's campaign and fill the store: stream the spec
+    through the session (mega-batched, store-deduped; a re-render is
+    pure store hits and zero schedule passes), then hand back the
+    session and benchmark scope the post-processing reads from."""
+    session = _coerce_session(session)
+    if spec is None:
+        spec = figure_spec(target, session.settings)
+    elif dataclasses.replace(
+        spec.settings(), benchmarks=session.settings.benchmarks
+    ) != session.settings:
+        # Benchmarks only scope the campaign (Session.run normalises them
+        # the same way); a *fidelity* override runs in a derived session
+        # over the same store/trace cache — content-hash keys keep
+        # fidelities disjoint.
+        session = session.derived(spec)
+    for _event in session.run(spec):
+        pass
+    return session, spec.benchmarks
+
+
+def _series(
+    session: Session,
+    benchmarks: tuple[str, ...],
+    configs: "tuple",
+    baseline,
+) -> "list[NormalizedSeries]":
+    """Pure post-processing: normalized series per config, reading the
+    results :func:`_prepare` just made durable."""
+    return [
+        session.normalized_series(config, baseline, benchmarks=benchmarks)
+        for config in configs
+    ]
+
+
 # --------------------------------------------------------------------------
 # Fig. 1 — voltage scaling motivation
 # --------------------------------------------------------------------------
 
-def fig1_data(points: int = 23) -> FigureResult:
+def fig1_data(session=None, *, spec=None) -> FigureResult:
     """Fig. 1a/1b: normalized voltage vs frequency, power, and performance,
     with and without sub-Vcc-min operation.
 
@@ -52,6 +155,7 @@ def fig1_data(points: int = 23) -> FigureResult:
     degradation by scaling frequency with the block-disabling IPC ratio at
     the pfail the voltage implies (IPC penalty ≈ 0.2 x capacity loss,
     calibrated against the Fig. 8 average)."""
+    points = 23  # curve resolution
     model = DVSModel()
     vccmin = DEFAULT_VCCMIN_MODEL
     k = PAPER_L1_GEOMETRY.cells_per_block
@@ -84,7 +188,7 @@ def fig1_data(points: int = 23) -> FigureResult:
 # Table I — transistor overhead
 # --------------------------------------------------------------------------
 
-def table1_data() -> FigureResult:
+def table1_data(session=None, *, spec=None) -> FigureResult:
     """Table I: storage-cell transistor cost of each scheme."""
     model = OverheadModel(PAPER_L1_GEOMETRY)
     rows = model.all_rows()
@@ -117,9 +221,9 @@ def table1_data() -> FigureResult:
 # Figs. 3-7 — Section IV analysis
 # --------------------------------------------------------------------------
 
-def fig3_data(points: int = 21, max_pfail: float = 0.010) -> FigureResult:
+def fig3_data(session=None, *, spec=None) -> FigureResult:
     """Fig. 3: mean fraction of faulty blocks vs pfail (Eq. 2, k = 537)."""
-    pfails = np.linspace(0.0, max_pfail, points)
+    pfails = np.linspace(0.0, 0.010, 21)
     k = PAPER_L1_GEOMETRY.cells_per_block
     fractions = faulty_block_fraction_curve(k, pfails)
     result = FigureResult(
@@ -135,9 +239,10 @@ def fig3_data(points: int = 21, max_pfail: float = 0.010) -> FigureResult:
     return result
 
 
-def fig4_data(pfail: float = 0.001) -> FigureResult:
+def fig4_data(session=None, *, spec=None) -> FigureResult:
     """Fig. 4: probability distribution of cache capacity at pfail = 0.001
     (Eq. 3) for the 32KB/64B running example."""
+    pfail = 0.001
     dist = capacity_distribution_for_geometry(PAPER_L1_GEOMETRY, pfail)
     pmf = dist.pmf()
     fractions = dist.capacity_fractions()
@@ -162,10 +267,10 @@ def fig4_data(pfail: float = 0.001) -> FigureResult:
     return result
 
 
-def fig5_data(points: int = 21, max_pfail: float = 0.002) -> FigureResult:
+def fig5_data(session=None, *, spec=None) -> FigureResult:
     """Fig. 5: probability of whole-cache failure for word-disabling
     (Eqs. 4-5; 32KB cache, 64B blocks, 8-word subblocks)."""
-    pfails = np.linspace(0.0, max_pfail, points)
+    pfails = np.linspace(0.0, 0.002, 21)
     curve = whole_cache_failure_curve(pfails, num_blocks=PAPER_L1_GEOMETRY.num_blocks)
     result = FigureResult(
         figure_id="fig5",
@@ -179,10 +284,10 @@ def fig5_data(points: int = 21, max_pfail: float = 0.002) -> FigureResult:
     return result
 
 
-def fig6_data(points: int = 25, max_pfail: float = 0.0048) -> FigureResult:
+def fig6_data(session=None, *, spec=None) -> FigureResult:
     """Fig. 6: block-disabling capacity vs pfail for 32/64/128B blocks at
     constant cache size and associativity."""
-    pfails = np.linspace(0.0, max_pfail, points)
+    pfails = np.linspace(0.0, 0.0048, 25)
     series = capacity_vs_blocksize(
         PAPER_L1_GEOMETRY, block_sizes=(32, 64, 128), pfails=pfails
     )
@@ -198,9 +303,9 @@ def fig6_data(points: int = 25, max_pfail: float = 0.0048) -> FigureResult:
     return result
 
 
-def fig7_data(points: int = 21, max_pfail: float = 0.010) -> FigureResult:
+def fig7_data(session=None, *, spec=None) -> FigureResult:
     """Fig. 7: capacity of the incremental word-disabling scheme (Eq. 6)."""
-    pfails = np.linspace(0.0, max_pfail, points)
+    pfails = np.linspace(0.0, 0.010, 21)
     capacity = incremental_capacity_curve(
         pfails, data_bits=PAPER_L1_GEOMETRY.data_bits_per_block
     )
@@ -219,12 +324,13 @@ def fig7_data(points: int = 21, max_pfail: float = 0.010) -> FigureResult:
 # Figs. 8-12 — performance evaluation
 # --------------------------------------------------------------------------
 
-def fig8_data(runner: ExperimentRunner) -> FigureResult:
+def fig8_data(session=None, *, spec=None) -> FigureResult:
     """Fig. 8: below-Vcc-min performance normalized to the baseline
     *without* victim cache."""
-    word = runner.normalized_series(LV_WORD, LV_BASELINE)
-    block = runner.normalized_series(LV_BLOCK, LV_BASELINE)
-    block_v = runner.normalized_series(LV_BLOCK_V10, LV_BASELINE)
+    session, benchmarks = _prepare(session, "fig8", spec)
+    word, block, block_v = _series(
+        session, benchmarks, (LV_WORD, LV_BLOCK, LV_BLOCK_V10), LV_BASELINE
+    )
     result = FigureResult(
         figure_id="fig8",
         title="Below Vcc-min results normalized to baseline without victim cache",
@@ -249,11 +355,13 @@ def fig8_data(runner: ExperimentRunner) -> FigureResult:
     return result
 
 
-def fig9_data(runner: ExperimentRunner) -> FigureResult:
+def fig9_data(session=None, *, spec=None) -> FigureResult:
     """Fig. 9: below-Vcc-min performance when *every* configuration,
     including the baseline, has a 10T victim cache."""
-    word = runner.normalized_series(LV_WORD_V, LV_BASELINE_V)
-    block = runner.normalized_series(LV_BLOCK_V10, LV_BASELINE_V)
+    session, benchmarks = _prepare(session, "fig9", spec)
+    word, block = _series(
+        session, benchmarks, (LV_WORD_V, LV_BLOCK_V10), LV_BASELINE_V
+    )
     result = FigureResult(
         figure_id="fig9",
         title="Below Vcc-min results normalized to baseline with victim cache (10T)",
@@ -271,12 +379,13 @@ def fig9_data(runner: ExperimentRunner) -> FigureResult:
     return result
 
 
-def fig10_data(runner: ExperimentRunner) -> FigureResult:
+def fig10_data(session=None, *, spec=None) -> FigureResult:
     """Fig. 10: 10T vs 6T victim-cache cells for block-disabling at low
     voltage (the 6T victim keeps only 8 usable entries)."""
-    word = runner.normalized_series(LV_WORD, LV_BASELINE)
-    block_v10 = runner.normalized_series(LV_BLOCK_V10, LV_BASELINE)
-    block_v6 = runner.normalized_series(LV_BLOCK_V6, LV_BASELINE)
+    session, benchmarks = _prepare(session, "fig10", spec)
+    word, block_v10, block_v6 = _series(
+        session, benchmarks, (LV_WORD, LV_BLOCK_V10, LV_BLOCK_V6), LV_BASELINE
+    )
     result = FigureResult(
         figure_id="fig10",
         title="16-entry victim cache: 10T vs 6T cells (below Vcc-min)",
@@ -297,13 +406,14 @@ def fig10_data(runner: ExperimentRunner) -> FigureResult:
     return result
 
 
-def fig11_data(runner: ExperimentRunner) -> FigureResult:
+def fig11_data(session=None, *, spec=None) -> FigureResult:
     """Fig. 11: high-voltage performance normalized to baseline without a
     victim cache — word-disabling pays its alignment cycle; block-disabling
     matches the baseline exactly."""
-    word = runner.normalized_series(HV_WORD, HV_BASELINE)
-    block = runner.normalized_series(HV_BLOCK, HV_BASELINE)
-    block_v = runner.normalized_series(HV_BLOCK_V, HV_BASELINE)
+    session, benchmarks = _prepare(session, "fig11", spec)
+    word, block, block_v = _series(
+        session, benchmarks, (HV_WORD, HV_BLOCK, HV_BLOCK_V), HV_BASELINE
+    )
     result = FigureResult(
         figure_id="fig11",
         title="High-voltage results normalized to baseline without victim cache",
@@ -320,11 +430,13 @@ def fig11_data(runner: ExperimentRunner) -> FigureResult:
     return result
 
 
-def fig12_data(runner: ExperimentRunner) -> FigureResult:
+def fig12_data(session=None, *, spec=None) -> FigureResult:
     """Fig. 12: high-voltage performance with victim caches everywhere,
     normalized to the baseline with victim cache."""
-    word = runner.normalized_series(HV_WORD_V, HV_BASELINE_V)
-    block = runner.normalized_series(HV_BLOCK_V, HV_BASELINE_V)
+    session, benchmarks = _prepare(session, "fig12", spec)
+    word, block = _series(
+        session, benchmarks, (HV_WORD_V, HV_BLOCK_V), HV_BASELINE_V
+    )
     result = FigureResult(
         figure_id="fig12",
         title="High-voltage results normalized to baseline with victim cache",
@@ -339,11 +451,13 @@ def fig12_data(runner: ExperimentRunner) -> FigureResult:
     return result
 
 
-def extension_incremental_performance(runner: ExperimentRunner) -> FigureResult:
+def extension_incremental_performance(session=None, *, spec=None) -> FigureResult:
     """Beyond the paper: incremental word-disabling evaluated in the
     performance simulator (the paper stops at the Fig. 7 capacity analysis)."""
-    word = runner.normalized_series(LV_WORD, LV_BASELINE)
-    incremental = runner.normalized_series(LV_INCREMENTAL, LV_BASELINE)
+    session, benchmarks = _prepare(session, "ext-incremental", spec)
+    word, incremental = _series(
+        session, benchmarks, (LV_WORD, LV_INCREMENTAL), LV_BASELINE
+    )
     result = FigureResult(
         figure_id="ext-incremental",
         title="Extension: incremental word-disabling performance below Vcc-min",
@@ -360,32 +474,8 @@ def extension_incremental_performance(runner: ExperimentRunner) -> FigureResult:
     return result
 
 
-#: Configurations each performance figure simulates — used by the parallel
-#: driver to prefill exactly the needed runs.
-FIGURE_CONFIGS = {
-    "fig8": (LV_BASELINE, LV_WORD, LV_BLOCK, LV_BLOCK_V10),
-    "fig9": (LV_BASELINE_V, LV_WORD_V, LV_BLOCK_V10),
-    "fig10": (LV_BASELINE, LV_WORD, LV_BLOCK_V10, LV_BLOCK_V6),
-    "fig11": (HV_BASELINE, HV_WORD, HV_BLOCK, HV_BLOCK_V),
-    "fig12": (HV_BASELINE_V, HV_WORD_V, HV_BLOCK_V),
-    "ext-incremental": (LV_BASELINE, LV_WORD, LV_INCREMENTAL),
-}
-
-def configs_for_targets(targets) -> tuple:
-    """Union of the run configurations the given figure targets need, in
-    first-seen order — what the parallel executor prefills (store-level
-    dedup collapses the heavy overlap between figures)."""
-    needed = []
-    seen = set()
-    for target in targets:
-        for config in FIGURE_CONFIGS.get(target, ()):
-            if config not in seen:
-                seen.add(config)
-                needed.append(config)
-    return tuple(needed)
-
-
-#: Figure registry for the CLI and the bench harness.
+#: Figure registry for the CLI and the bench harness.  Every entry has
+#: the same shape: ``fn(session=None, *, spec=None) -> FigureResult``.
 ANALYTICAL_FIGURES = {
     "fig1": fig1_data,
     "table1": table1_data,

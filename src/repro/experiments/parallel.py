@@ -1,36 +1,26 @@
-"""Streaming parallel executor for paper-scale experiment campaigns.
+"""Legacy parallel-executor entry points over the campaign layer.
 
-The quick-fidelity defaults run in minutes single-threaded, but the paper's
-statistical setup (50 fault-map pairs x 26 benchmarks x several
-configurations) is hours of pure-Python simulation.  This module fans the
-independent (benchmark, configuration, fault-map) simulations across a
-process pool and fills an :class:`ExperimentRunner`'s result store, after
-which every figure function reads from the store instantly.
+The streaming process-pool machinery now lives in
+:mod:`repro.campaign.executors` (``PoolExecutor``), and campaign
+planning in the unified :class:`~repro.campaign.plan.Planner` — the
+serial and pool paths consume the *same* :class:`~repro.campaign.plan.Plan`
+objects, so this module no longer re-implements its own batch planning.
+What remains here is the legacy surface benches and older callers use:
 
-The executor *streams*: results are checkpointed to the runner's store as
-each worker chunk completes, not after the whole pool drains — so a killed
-paper-scale run against a ``DiskStore`` resumes from its last completed
-chunk, and tasks already in the store (from this run, a previous crash, or
-another process) are never dispatched at all.  Chunking adapts to the task
-count, and an optional ``progress(done, total)`` callback reports
-completion as it happens.
+* :func:`prefill_cache` — fill a runner/session store with every
+  simulation a configuration set still needs, streaming checkpoints and
+  progress exactly as before (``workers<=1`` executes in-process).
+* :func:`plan_tasks` / :func:`pending_tasks` / :func:`plan_batches` /
+  :func:`plan_worker_batches` — the planning views, now derived from the
+  unified planner where grouping is involved.
+* :func:`run_studies` — study-level parallelism for the ablations,
+  which build their own inputs and bypass the result store.
 
 Workers never receive traces or fault maps over the wire: both are
-deterministic functions of ``RunnerSettings`` (seeded generators), so each
-worker regenerates and memoises its own copies.  Tasks are just
-``(benchmark, config, map_index)`` triples — tiny, order-independent, and
-bit-identical to the single-process path.
-
-Dispatch is *lane-batched*: pending tasks are grouped after
-deduplicating against the store, so one worker invocation drives many
-simulations through a single :meth:`OutOfOrderPipeline.run_batch`
-schedule pass instead of one each.  With the runner's default
-cross-point mega-batching, workers receive whole *trace-groups* —
-every pending lane of every campaign point that shares a benchmark
-trace and a batch signature (``ExperimentRunner.plan_mega_batches``) —
-so even small-map campaigns saturate the lane engine; with
-``mega_batch=False`` grouping stays per (benchmark, physical
-configuration) as in :func:`plan_batches`.
+deterministic functions of ``RunnerSettings`` (seeded generators), so
+each worker regenerates and memoises its own copies.  Tasks are just
+``(benchmark, config, map_index)`` triples — tiny, order-independent,
+and bit-identical to the single-process path.
 """
 
 from __future__ import annotations
@@ -39,75 +29,37 @@ import os
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from typing import Callable
 
-from repro.cpu.pipeline import SimResult
 from repro.experiments.configs import RunConfig
-from repro.experiments.runner import ExperimentRunner, RunnerSettings
 
-#: One simulation point: (benchmark, config, map_index-or-None).
-Task = tuple[str, RunConfig, "int | None"]
+from repro.campaign.events import PlanReady, Progress
+from repro.campaign.executors import (
+    PoolExecutor,
+    SerialExecutor,
+    adaptive_chunksize,
+)
+from repro.campaign.plan import Planner, Task
+from repro.campaign.session import Session
+from repro.campaign.spec import CampaignSpec, RunnerSettings
+
+__all__ = [
+    "Task",
+    "ProgressFn",
+    "adaptive_chunksize",
+    "plan_tasks",
+    "pending_tasks",
+    "plan_batches",
+    "plan_worker_batches",
+    "prefill_cache",
+    "run_studies",
+]
 
 #: Completion callback: ``progress(done, total)``.
 ProgressFn = Callable[[int, int], None]
 
-# Per-worker memoised state (initialised lazily in each process).
-_WORKER_RUNNER: ExperimentRunner | None = None
 
-
-def _worker_init(
-    settings: RunnerSettings,
-    pipeline_config,
-    trace_cache: "str | None" = None,
-    lanes: "int | None" = None,
-    mega_batch: bool = True,
-) -> None:
-    global _WORKER_RUNNER
-    _WORKER_RUNNER = ExperimentRunner(
-        settings,
-        pipeline_config=pipeline_config,
-        trace_cache=trace_cache,
-        lanes=lanes,
-        mega_batch=mega_batch,
-    )
-
-
-def _run_batch_locally(
-    runner: ExperimentRunner, batch: list[Task]
-) -> list[tuple[Task, SimResult]]:
-    """Run one lane batch through a runner (worker or parent).
-
-    Mega-batching runners take the trace-group path — the batch may mix
-    configurations and fault-independent lanes; otherwise the batch is a
-    same-point group dispatched through the per-point ``run_batch``."""
-    benchmark, config, first_index = batch[0]
-    if runner.mega_batch:
-        items = [(config, map_index) for (_, config, map_index) in batch]
-        results = runner.run_lane_group(benchmark, items)
-        return list(zip(batch, results))
-    if first_index is None:
-        return [(batch[0], runner.run(benchmark, config, None))]
-    indices = [task[2] for task in batch]
-    results = runner.run_batch(benchmark, config, indices)
-    return list(zip(batch, results))
-
-
-def _worker_run_batches(
-    batches: list[list[Task]],
-) -> tuple[int, tuple[int, int, int, int], list[tuple[Task, SimResult]]]:
-    """Run a group of lane batches; also report this worker's cumulative
-    trace-provider and schedule-pass counters (pid-keyed so the parent
-    can aggregate across the pool)."""
-    assert _WORKER_RUNNER is not None, "worker not initialised"
-    results: list[tuple[Task, SimResult]] = []
-    for batch in batches:
-        results.extend(_run_batch_locally(_WORKER_RUNNER, batch))
-    traces = _WORKER_RUNNER.traces
-    counters = (
-        traces.generated,
-        traces.loaded,
-        traces.discarded,
-        _WORKER_RUNNER.schedule_passes,
-    )
-    return os.getpid(), counters, results
+def _session_of(runner) -> Session:
+    """The campaign session behind a runner-or-session argument."""
+    return runner if isinstance(runner, Session) else runner.session
 
 
 def plan_tasks(
@@ -115,25 +67,12 @@ def plan_tasks(
 ) -> list[Task]:
     """Every (benchmark, config, map) simulation the given configurations
     need, deduplicated."""
-    tasks: list[Task] = []
-    seen: set[tuple] = set()
-    for benchmark in settings.benchmarks:
-        for config in configs:
-            indices: tuple[int | None, ...]
-            if config.needs_fault_map:
-                indices = tuple(range(settings.n_fault_maps))
-            else:
-                indices = (None,)
-            for map_index in indices:
-                key = (benchmark, config, map_index)
-                if key not in seen:
-                    seen.add(key)
-                    tasks.append(key)
-    return tasks
+    spec = CampaignSpec.from_settings(settings, configs)
+    return list(spec.work_items())
 
 
 def pending_tasks(
-    runner: ExperimentRunner, configs: tuple[RunConfig, ...]
+    runner, configs: tuple[RunConfig, ...]
 ) -> list[Task]:
     """The planned tasks whose results are not yet in the runner's store.
 
@@ -151,79 +90,43 @@ def pending_tasks(
 
 
 def plan_batches(
-    runner: ExperimentRunner, configs: tuple[RunConfig, ...]
+    runner, configs: tuple[RunConfig, ...]
 ) -> list[list[Task]]:
-    """Pending tasks grouped into lane batches: one group per (benchmark,
-    physical configuration), split into ``runner.lanes``-wide slices.
+    """Pending tasks grouped into per-point lane batches: one group per
+    (benchmark, configuration), split into ``runner.lanes``-wide slices —
+    the unified :class:`~repro.campaign.plan.Planner` with cross-point
+    merging off.
 
-    Tasks already in the store were removed by :func:`pending_tasks`
-    before grouping, so a resumed campaign batches only the missing
-    lanes.  Fault-independent tasks stay singleton batches.
+    Tasks already in the store are dropped before grouping, so a resumed
+    campaign batches only the missing lanes.  Fault-independent tasks
+    stay singleton batches.
     """
-    groups: dict[tuple, list[Task]] = {}
-    order: list[tuple] = []
-    for task in pending_tasks(runner, configs):
-        benchmark, config, map_index = task
-        if map_index is None:
-            key = (benchmark, config.scheme, config.voltage,
-                   config.victim_entries, len(order))  # singleton group
-        else:
-            key = (benchmark, config.scheme, config.voltage,
-                   config.victim_entries)
-        if key not in groups:
-            groups[key] = []
-            order.append(key)
-        groups[key].append(task)
-    width = runner.lanes
-    batches: list[list[Task]] = []
-    for key in order:
-        tasks = groups[key]
-        step = width or len(tasks)
-        for start in range(0, len(tasks), step):
-            batches.append(tasks[start : start + step])
-    return batches
+    session = _session_of(runner)
+    plan = Planner(session).resolve(session.spec(configs), mega_batch=False)
+    return plan.worker_batches(session.lanes)
 
 
 def plan_worker_batches(
-    runner: ExperimentRunner, configs: tuple[RunConfig, ...]
+    runner, configs: tuple[RunConfig, ...]
 ) -> list[list[Task]]:
     """Pending tasks grouped into dispatch units for the pool.
 
-    A mega-batching runner hands each worker a whole *trace-group*
-    (:meth:`ExperimentRunner.plan_mega_batches`): every pending lane —
-    across campaign points and configurations — that shares one
-    benchmark trace and one batch signature, so a single worker
-    invocation drives the group through one schedule pass.  Groups are
-    still sliced to an explicit ``runner.lanes`` width.  Without
+    A mega-batching runner resolves the equivalent
+    :class:`~repro.campaign.spec.CampaignSpec` through the unified
+    :class:`~repro.campaign.plan.Planner` and slices the plan's
+    trace-groups (:meth:`~repro.campaign.plan.Plan.worker_batches`) —
+    the same plan objects the serial executor consumes.  Without
     mega-batching this is exactly :func:`plan_batches`.
     """
     if not runner.mega_batch:
         return plan_batches(runner, configs)
-    batches = []
-    for group in runner.plan_mega_batches(configs):
-        tasks: list[Task] = [
-            (group.benchmark, config, map_index)
-            for config, map_index in group.items
-        ]
-        step = runner.lanes or len(tasks)
-        for start in range(0, len(tasks), step):
-            batches.append(tasks[start : start + step])
-    return batches
-
-
-def adaptive_chunksize(n_tasks: int, workers: int) -> int:
-    """Chunk size balancing IPC amortisation against checkpoint
-    granularity: small campaigns get chunk 1 (every finished simulation is
-    durable immediately and the pool stays busy); large ones amortise
-    dispatch over up to 8 tasks while still checkpointing ~4 times per
-    worker."""
-    if n_tasks <= workers:
-        return 1
-    return max(1, min(8, n_tasks // (workers * 4)))
+    session = _session_of(runner)
+    plan = session.plan(session.spec(configs))
+    return plan.worker_batches(session.lanes)
 
 
 def prefill_cache(
-    runner: ExperimentRunner,
+    runner,
     configs: tuple[RunConfig, ...],
     workers: int | None = None,
     progress: ProgressFn | None = None,
@@ -234,63 +137,17 @@ def prefill_cache(
     killed campaign completes only the remainder).  ``workers=None`` uses
     the CPU count; ``workers<=1`` executes in-process (useful under
     debuggers) but still checkpoints result-by-result."""
-    batches = plan_worker_batches(runner, configs)
-    total = sum(len(batch) for batch in batches)
-    if total == 0:
-        return 0
+    session = _session_of(runner)
+    spec = session.spec(configs)
     if workers is None:
         workers = os.cpu_count() or 1
-    workers = min(workers, len(batches))
-    done = 0
-    if workers <= 1:
-        for batch in batches:
-            _run_batch_locally(runner, batch)
-            done += len(batch)
-            if progress is not None:
-                progress(done, total)
-        return total
-    size = adaptive_chunksize(len(batches), workers)
-    chunks = [batches[i : i + size] for i in range(0, len(batches), size)]
-    with ProcessPoolExecutor(
-        max_workers=workers,
-        initializer=_worker_init,
-        # Workers share the persistent trace cache (atomic writes make the
-        # directory safe for concurrent fills): once an entry lands, no
-        # later worker or invocation regenerates it.  (Workers that miss
-        # simultaneously on a cold cache may each generate once — the
-        # aggregated `traces generated=` summary reports it truthfully.)
-        initargs=(
-            runner.settings,
-            runner.pipeline_config,
-            runner.traces.cache_dir,
-            # Workers inherit the explicit lane width so a narrow
-            # `--lanes N` request still batches inside the pool, and the
-            # mega flag so trace-group payloads take the group path.
-            runner.lanes,
-            runner.mega_batch,
-        ),
-    ) as pool:
-        futures = [pool.submit(_worker_run_batches, chunk) for chunk in chunks]
-        worker_traces: dict[int, tuple[int, int, int, int]] = {}
-        for future in as_completed(futures):
-            pid, counters, chunk_results = future.result()
-            # Counters are cumulative per worker; keep the high-water mark
-            # so the parent's summary reflects pool-wide trace activity.
-            previous = worker_traces.get(pid)
-            if previous is None or counters > previous:
-                worker_traces[pid] = counters
-            for (benchmark, config, map_index), result in chunk_results:
-                runner.store_result(benchmark, config, map_index, result)
-                runner.simulations_executed += 1
-                done += 1
-            if progress is not None:
-                progress(done, total)
-    traces = runner.traces
-    for generated, loaded, discarded, passes in worker_traces.values():
-        traces.generated += generated
-        traces.loaded += loaded
-        traces.discarded += discarded
-        runner.schedule_passes += passes
+    executor = SerialExecutor() if workers <= 1 else PoolExecutor(workers)
+    total = 0
+    for event in session.run(spec, executor=executor):
+        if isinstance(event, PlanReady):
+            total = event.plan.pending
+        elif isinstance(event, Progress) and progress is not None:
+            progress(event.done, event.total)
     return total
 
 

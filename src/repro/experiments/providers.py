@@ -1,12 +1,14 @@
 """Deterministic input providers: traces and fault maps from settings.
 
 Both inputs to a simulation are pure functions of
-:class:`~repro.experiments.runner.RunnerSettings` (seeded generators), so
+:class:`~repro.campaign.spec.RunnerSettings` (seeded generators), so
 they are *regenerated*, never shipped between processes or persisted
 alongside results.  These providers own the memoisation that used to live
-inside ``ExperimentRunner``; the runner is now a thin façade over a
-:class:`TraceProvider`, a :class:`FaultMapProvider`, and a
-:class:`~repro.experiments.store.ResultStore`.
+inside ``ExperimentRunner``; a campaign
+:class:`~repro.campaign.session.Session` (and the legacy runner facade
+over it) is a thin façade over a :class:`TraceProvider`, a
+:class:`FaultMapProvider`, and a
+:class:`~repro.experiments.store.ResultStore`, opened once per session.
 
 Persistent trace cache
 ----------------------

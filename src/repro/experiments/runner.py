@@ -1,68 +1,56 @@
-"""Experiment runner: fault maps x benchmarks x configurations -> results.
+"""Legacy experiment-runner facade over the campaign layer.
 
-Reproduces the Section V methodology: every low-voltage, fault-dependent
-configuration is evaluated over ``n_fault_maps`` random fault-map pairs
-(the paper uses 50) at pfail = 0.001, and figures report the average and
-minimum normalized performance per benchmark.  Traces and simulation
-results are memoised so the five performance figures (8-12), which share
-most of their runs, cost one simulation each.
+:class:`ExperimentRunner` predates the declarative campaign API
+(:mod:`repro.campaign`) and survives as a thin compatibility shim: every
+method delegates to a :class:`~repro.campaign.session.Session`, so the
+legacy surface (``run``, ``run_batch``, ``run_lane_group``,
+``plan_mega_batches``, ``normalized_series``, the cache API) and the new
+``session.run(spec)`` streaming path read and write the same store keys
+and produce bit-identical results — the ``campaign`` CI smoke pins the
+equivalence byte-for-byte.
 
-Fidelity is controlled by :class:`RunnerSettings`; environment variables
-let the bench harness scale from CI-quick to paper-scale without code
-changes:
+New code should use :class:`~repro.campaign.session.Session` and
+:class:`~repro.campaign.spec.CampaignSpec` directly::
 
-* ``REPRO_INSTR`` — instructions per trace (quick default: 40,000)
-* ``REPRO_MAPS`` — fault-map pairs (quick default: 6; paper: 50)
-* ``REPRO_BENCHMARKS`` — comma list to restrict the suite
-* ``REPRO_SEED`` — master seed
-* ``REPRO_WARMUP`` — warmup instructions before the measured region
+    from repro.campaign import CampaignSpec, Session
+
+    with Session(settings) as session:
+        for event in session.run(session.spec(configs)):
+            ...
+
+``RunnerSettings``, ``NormalizedSeries``, and the lane-crossover
+constants are re-exported from their new homes unchanged.
 """
 
 from __future__ import annotations
 
-import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-from repro.cache.hierarchy import MemoryHierarchy
-from repro.core import SCHEMES
-from repro.core.schemes import VoltageMode
-from repro.cpu.config import (
-    HIGH_VOLTAGE,
-    L1_GEOMETRY,
-    L2_GEOMETRY,
-    LOW_VOLTAGE,
-    PAPER_PIPELINE,
-    OperatingPoint,
-    PipelineConfig,
-)
+from repro.cpu.config import PAPER_PIPELINE, PipelineConfig
 from repro.cpu.pipeline import OutOfOrderPipeline, SimResult
 from repro.cpu.trace import Trace
 from repro.experiments.configs import RunConfig
-from repro.experiments.providers import FaultMapProvider, TraceProvider
-from repro.experiments.store import MemoryStore, ResultStore, task_key
-from repro.faults.fault_map import FaultMap, FaultMapPair
-from repro.workloads.spec2000 import ALL_BENCHMARKS
+from repro.experiments.store import ResultStore
+from repro.faults.fault_map import FaultMapPair
 
+from repro.campaign.events import PlanReady, Progress
+from repro.campaign.plan import Plan
+from repro.campaign.session import (
+    MIN_BATCH_LANES,
+    MIN_MEGA_LANES,
+    NormalizedSeries,
+    Session,
+)
+from repro.campaign.spec import RunnerSettings
 
-#: Below this many lanes a batched pass loses to per-map runs (the
-#: vectorised engine's per-operation dispatch amortises over the lane
-#: axis; ``benchmarks/bench_micro_batch.py`` puts the crossover around
-#: 12-20 lanes).  ExperimentRunner.run_batch applies the crossover only
-#: when no explicit lane width was requested — an explicit ``lanes >= 2``
-#: always batches — and results are bit-identical either way.
-MIN_BATCH_LANES = 16
-
-#: Minimum merged width at which a *mega* group takes the vectorised
-#: path.  Deliberately below ``MIN_BATCH_LANES``: a vectorised pass
-#: costs ~8x one scalar schedule walk regardless of width, so merged
-#: groups only beat per-lane sequential runs wall-clock above ~10 lanes
-#: — but mega-batching's contract is the schedule-pass *floor* (one
-#: pass per trace-group, strictly fewer passes than campaign points;
-#: the CI mega smoke pins it), so narrow merged groups batch anyway and
-#: trade seconds of quick-fidelity wall-clock for it.  ``lanes=1`` or
-#: ``--no-mega-batch`` restore the per-point crossover behaviour;
-#: singletons always run sequentially.
-MIN_MEGA_LANES = 2
+__all__ = [
+    "ExperimentRunner",
+    "RunnerSettings",
+    "NormalizedSeries",
+    "LaneGroup",
+    "MIN_BATCH_LANES",
+    "MIN_MEGA_LANES",
+]
 
 
 @dataclass(frozen=True)
@@ -70,7 +58,12 @@ class LaneGroup:
     """One mega-batch: every pending work item of a campaign that shares
     a trace (``benchmark``) and a pipeline batch signature, across
     campaign points and figures.  ``items`` are ``(config, map_index)``
-    pairs in plan order; fault-independent configs carry ``None``."""
+    pairs in plan order; fault-independent configs carry ``None``.
+
+    Legacy shape — the campaign layer's
+    :class:`~repro.campaign.plan.PlanGroup` carries the same grouping
+    with resolved store keys; :meth:`ExperimentRunner.plan_mega_batches`
+    converts between the two."""
 
     benchmark: str
     items: "tuple[tuple[RunConfig, int | None], ...]"
@@ -79,97 +72,16 @@ class LaneGroup:
         return len(self.items)
 
 
-@dataclass(frozen=True)
-class RunnerSettings:
-    """Fidelity and scope of an experiment campaign."""
-
-    n_instructions: int = 40_000
-    n_fault_maps: int = 6
-    benchmarks: tuple[str, ...] = ALL_BENCHMARKS
-    pfail: float = 0.001
-    seed: int = 2010  # ISPASS 2010
-    #: SimPoint-style warmup prefix: these instructions execute (warming
-    #: predictors and caches) before the measured region begins.
-    warmup_instructions: int = 10_000
-
-    def __post_init__(self) -> None:
-        if self.n_instructions <= 0:
-            raise ValueError("n_instructions must be positive")
-        if self.n_fault_maps <= 0:
-            raise ValueError("n_fault_maps must be positive")
-        if self.warmup_instructions < 0:
-            raise ValueError("warmup_instructions must be non-negative")
-        unknown = set(self.benchmarks) - set(ALL_BENCHMARKS)
-        if unknown:
-            raise ValueError(f"unknown benchmarks: {sorted(unknown)}")
-
-    @classmethod
-    def quick(cls) -> "RunnerSettings":
-        """CI-scale defaults (minutes for the whole figure set)."""
-        return cls()
-
-    @classmethod
-    def paper(cls) -> "RunnerSettings":
-        """The paper's statistical setup: 50 fault-map pairs.  Trace length
-        stays simulator-scale (the paper's 100M-instruction SimPoints are
-        out of reach for a pure-Python model, and the comparisons converge
-        long before that)."""
-        return cls(n_instructions=200_000, n_fault_maps=50, warmup_instructions=40_000)
-
-    @classmethod
-    def from_env(cls) -> "RunnerSettings":
-        """Quick defaults overridden by ``REPRO_*`` environment variables."""
-        base = cls.quick()
-        n_instr = int(os.environ.get("REPRO_INSTR", base.n_instructions))
-        n_maps = int(os.environ.get("REPRO_MAPS", base.n_fault_maps))
-        seed = int(os.environ.get("REPRO_SEED", base.seed))
-        warmup = int(os.environ.get("REPRO_WARMUP", base.warmup_instructions))
-        benchmarks = base.benchmarks
-        env_benchmarks = os.environ.get("REPRO_BENCHMARKS")
-        if env_benchmarks:
-            benchmarks = tuple(
-                name.strip() for name in env_benchmarks.split(",") if name.strip()
-            )
-        return cls(
-            n_instructions=n_instr,
-            n_fault_maps=n_maps,
-            benchmarks=benchmarks,
-            seed=seed,
-            warmup_instructions=warmup,
-        )
-
-
-@dataclass(frozen=True)
-class NormalizedSeries:
-    """Per-benchmark normalized performance of one configuration."""
-
-    config_label: str
-    benchmarks: tuple[str, ...]
-    average: tuple[float, ...]
-    minimum: tuple[float, ...]
-
-    @property
-    def mean_average(self) -> float:
-        return sum(self.average) / len(self.average)
-
-    @property
-    def mean_penalty(self) -> float:
-        """Average performance *loss* vs the normalisation baseline (the
-        paper's headline metric, e.g. 11.2% for word-disabling)."""
-        return 1.0 - self.mean_average
-
-
 class ExperimentRunner:
-    """Thin façade binding the campaign's inputs to its result store.
+    """Thin compatibility facade delegating to a campaign
+    :class:`~repro.campaign.session.Session`.
 
-    Traces come from a :class:`~repro.experiments.providers.TraceProvider`,
-    fault maps from a
-    :class:`~repro.experiments.providers.FaultMapProvider`, and results
-    live in a :class:`~repro.experiments.store.ResultStore` — by default a
-    process-private :class:`~repro.experiments.store.MemoryStore`, or any
-    shared/persistent backend (``DiskStore``) the caller hands in.  The
-    cache API (:meth:`task_key`, :meth:`cached`, :meth:`store_result`) is
-    public: the parallel executor, benches, and CLI all speak it.
+    Constructing a runner opens a session (or wraps one via
+    :meth:`from_session`); the runner's cache API (:meth:`task_key`,
+    :meth:`cached`, :meth:`store_result`), simulation entry points, and
+    counters are direct views of the session's, so legacy callers and
+    ``session.run(spec)`` consumers share one store, one trace cache,
+    and one set of schedule-pass counters.
     """
 
     def __init__(
@@ -180,87 +92,95 @@ class ExperimentRunner:
         trace_cache: str | None = None,
         lanes: int | None = None,
         mega_batch: bool = True,
+        session: Session | None = None,
     ) -> None:
-        self.settings = settings or RunnerSettings.from_env()
-        self.pipeline_config = pipeline_config
-        # trace_cache=None falls back to $REPRO_TRACE_CACHE (see providers).
-        self.traces = TraceProvider(self.settings, cache_dir=trace_cache)
-        self.maps = FaultMapProvider(self.settings)
-        self.store = store if store is not None else MemoryStore()
-        #: Fault-map lanes simulated per batched pipeline pass: ``None``
-        #: (default) batches every pending map of a campaign point into
-        #: one :meth:`OutOfOrderPipeline.run_batch` call; ``1`` keeps the
-        #: legacy one-map-per-run path.
-        if lanes is not None and lanes < 1:
-            raise ValueError("lanes must be positive")
-        self.lanes = lanes
-        #: Whether campaign planners (:meth:`plan_mega_batches`, the
-        #: parallel executor, the CLI prefill) may merge pending lanes
-        #: *across* campaign points into cross-point mega-batches.  Off,
-        #: every point pays its own schedule pass as in the per-point
-        #: :meth:`run_batch` path; results are bit-identical either way.
-        self.mega_batch = mega_batch
-        #: Batch signature per RunConfig (memoised — building the
-        #: representative pipeline is cheap but not free).
-        self._signature_cache: dict[RunConfig, "tuple | None"] = {}
-        # Content-hash keys are ~30us to compute (canonical JSON + sha256
-        # over per-runner constants); memoise them so warm-store reads stay
-        # dict-lookup cheap.
-        self._key_cache: dict[tuple, str] = {}
-        #: Simulations actually executed (not read from the store): lazy
-        #: :meth:`run` misses, plus what parallel workers ran —
-        #: :func:`~repro.experiments.parallel.prefill_cache` adds those as
-        #: it checkpoints them.  Store hits never count.
-        self.simulations_executed = 0
-        #: Walks of a compiled front-end schedule this runner paid for:
-        #: +1 per sequential :meth:`OutOfOrderPipeline.run` and +1 per
-        #: *vectorised* :meth:`OutOfOrderPipeline.run_batch` pass however
-        #: many lanes it drives.  The mega-batch smoke asserts a
-        #: multi-point campaign needs strictly fewer passes than points.
-        self.schedule_passes = 0
+        if session is None:
+            session = Session(
+                settings,
+                pipeline_config=pipeline_config,
+                store=store,
+                trace_cache=trace_cache,
+                lanes=lanes,
+                mega_batch=mega_batch,
+            )
+        #: The campaign session this facade delegates to (public: new
+        #: code can mix legacy and spec-driven calls over one context).
+        self.session = session
+
+    @classmethod
+    def from_session(cls, session: Session) -> "ExperimentRunner":
+        """Wrap an existing session without opening anything new."""
+        return cls(session=session)
+
+    # ----- session views --------------------------------------------------------
+
+    @property
+    def settings(self) -> RunnerSettings:
+        return self.session.settings
+
+    @property
+    def pipeline_config(self) -> PipelineConfig:
+        return self.session.pipeline_config
+
+    @property
+    def traces(self):
+        return self.session.traces
+
+    @property
+    def maps(self):
+        return self.session.maps
+
+    @property
+    def store(self) -> ResultStore:
+        return self.session.store
+
+    @property
+    def lanes(self) -> int | None:
+        return self.session.lanes
+
+    @property
+    def mega_batch(self) -> bool:
+        return self.session.mega_batch
+
+    @property
+    def simulations_executed(self) -> int:
+        return self.session.simulations_executed
+
+    @simulations_executed.setter
+    def simulations_executed(self, value: int) -> None:
+        self.session.simulations_executed = value
+
+    @property
+    def schedule_passes(self) -> int:
+        return self.session.schedule_passes
+
+    @schedule_passes.setter
+    def schedule_passes(self, value: int) -> None:
+        self.session.schedule_passes = value
 
     # ----- inputs -------------------------------------------------------------
 
     def trace(self, benchmark: str) -> Trace:
         """Warmup prefix + measured region, generated once per benchmark."""
-        return self.traces.get(benchmark)
+        return self.session.trace(benchmark)
 
     def fault_maps(self) -> list[FaultMapPair]:
-        return self.maps.pairs()
+        return self.session.fault_maps()
 
     # ----- cache API ------------------------------------------------------------
-
-    @staticmethod
-    def _normalize_map_index(config: RunConfig, map_index: int | None) -> int | None:
-        """``map_index`` is required iff performance depends on the fault
-        draw; fault-independent configs canonicalise to ``None`` so every
-        caller agrees on one key per physical simulation."""
-        if config.needs_fault_map:
-            if map_index is None:
-                raise ValueError(f"{config.label} requires a fault-map index")
-            return map_index
-        return None
 
     def task_key(
         self, benchmark: str, config: RunConfig, map_index: int | None = None
     ) -> str:
         """Stable store key of one simulation point (see
         :func:`repro.experiments.store.task_key`)."""
-        map_index = self._normalize_map_index(config, map_index)
-        cache_key = (benchmark, config, map_index)
-        key = self._key_cache.get(cache_key)
-        if key is None:
-            key = task_key(
-                self.settings, benchmark, config, map_index, self.pipeline_config
-            )
-            self._key_cache[cache_key] = key
-        return key
+        return self.session.task_key(benchmark, config, map_index)
 
     def cached(
         self, benchmark: str, config: RunConfig, map_index: int | None = None
     ) -> SimResult | None:
         """The stored result for this point, or ``None`` if unsimulated."""
-        return self.store.get(self.task_key(benchmark, config, map_index))
+        return self.session.cached(benchmark, config, map_index)
 
     def store_result(
         self,
@@ -270,7 +190,7 @@ class ExperimentRunner:
         result: SimResult,
     ) -> None:
         """Checkpoint an externally-computed result (parallel workers)."""
-        self.store.put(self.task_key(benchmark, config, map_index), result)
+        self.session.store_result(benchmark, config, map_index, result)
 
     # ----- simulation ----------------------------------------------------------
 
@@ -278,28 +198,8 @@ class ExperimentRunner:
         self, benchmark: str, config: RunConfig, map_index: int | None = None
     ) -> SimResult:
         """Simulate one (benchmark, configuration, fault map) point,
-        reading/writing through the result store.
-
-        ``map_index`` is required iff the configuration's performance
-        depends on the fault draw (see :meth:`RunConfig.needs_fault_map`).
-        """
-        map_index = self._normalize_map_index(config, map_index)
-        key = self.task_key(benchmark, config, map_index)
-        result = self.store.get(key)
-        if result is None:
-            result = self._simulate(benchmark, config, map_index)
-            self.store.put(key, result)
-            self.simulations_executed += 1
-        return result
-
-    def _simulate(
-        self, benchmark: str, config: RunConfig, map_index: int | None
-    ) -> SimResult:
-        pipeline = self.build_pipeline(config, map_index)
-        self.schedule_passes += 1
-        return pipeline.run(
-            self.trace(benchmark), measure_from=self.settings.warmup_instructions
-        )
+        reading/writing through the result store."""
+        return self.session.simulate(benchmark, config, map_index)
 
     def run_batch(
         self,
@@ -308,178 +208,46 @@ class ExperimentRunner:
         map_indices: "list[int] | range | None" = None,
     ) -> list[SimResult]:
         """Simulate many fault-map lanes of one (benchmark, config) point
-        in a single schedule pass (:meth:`OutOfOrderPipeline.run_batch`).
-
-        ``map_indices`` defaults to every map of the campaign
-        (``range(n_fault_maps)``).  Lanes already in the store are never
-        re-simulated; the rest are dispatched in batches of
-        :attr:`lanes` maps (all pending maps by default) and checkpointed
-        batch-by-batch.  Results return in ``map_indices`` order,
-        bit-identical to per-map :meth:`run` calls.  Fault-independent
-        configurations collapse to the single :meth:`run` point.
-        """
-        if not config.needs_fault_map:
-            return [self.run(benchmark, config)]
-        if map_indices is None:
-            map_indices = range(self.settings.n_fault_maps)
-        map_indices = list(map_indices)
-        results: dict[int, SimResult] = {}
-        pending: list[int] = []
-        for m in map_indices:
-            cached = self.store.get(self.task_key(benchmark, config, m))
-            if cached is not None:
-                results[m] = cached
-            elif m not in results and m not in pending:
-                pending.append(m)
-        width = self.lanes or len(pending) or 1
-        warmup = self.settings.warmup_instructions
-        for start in range(0, len(pending), width):
-            chunk = pending[start : start + width]
-            too_narrow = self.lanes is None and len(chunk) < MIN_BATCH_LANES
-            if width == 1 or len(chunk) == 1 or too_narrow:
-                for m in chunk:
-                    results[m] = self.run(benchmark, config, m)
-                continue
-            pipelines = [self.build_pipeline(config, m) for m in chunk]
-            if OutOfOrderPipeline._can_run_batch(pipelines):
-                self.schedule_passes += 1
-            else:  # run_batch's transparent sequential fallback
-                self.schedule_passes += len(chunk)
-            outs = OutOfOrderPipeline.run_batch(
-                pipelines, self.trace(benchmark), measure_from=warmup
-            )
-            for m, result in zip(chunk, outs):
-                self.store.put(self.task_key(benchmark, config, m), result)
-                self.simulations_executed += 1
-                results[m] = result
-        return [results[m] for m in map_indices]
+        in a single schedule pass (see :meth:`Session.simulate_maps`)."""
+        return self.session.simulate_maps(benchmark, config, map_indices)
 
     # ----- mega-batching: cross-point lane groups -------------------------------
 
     def batch_signature(self, config: RunConfig) -> "tuple | None":
         """The batch-compatibility signature of ``config``'s lanes (see
-        :meth:`OutOfOrderPipeline.batch_key`), or ``None`` when they
-        cannot take the vectorised path.  The signature is a pure
-        function of the configuration's *structure* — latencies,
-        geometries, victim sizing, replacement policies — never of the
-        fault draw, so one representative pipeline decides it for every
-        map index.  Memoised per config."""
-        if config not in self._signature_cache:
-            representative = self.build_pipeline(
-                config, 0 if config.needs_fault_map else None
-            )
-            self._signature_cache[config] = representative.batch_key()
-        return self._signature_cache[config]
+        :meth:`Session.batch_signature`)."""
+        return self.session.batch_signature(config)
 
     def plan_mega_batches(
         self,
         configs: "tuple[RunConfig, ...]",
         benchmarks: "tuple[str, ...] | None" = None,
     ) -> list[LaneGroup]:
-        """Cross-point mega-batch plan: every *pending* (config, map)
-        work item the given configurations need, grouped by trace and
-        batch signature across campaign points — so one
-        :meth:`run_lane_group` pass can drive, say, the fault-free
-        baseline plus every block-disabling fault map of a benchmark as
-        lanes of a single schedule walk.
+        """Cross-point mega-batch plan in the legacy shape: the unified
+        :class:`~repro.campaign.plan.Planner` resolves the equivalent
+        :class:`CampaignSpec` and the plan's groups are converted to
+        ``(config, map_index)`` :class:`LaneGroup` tuples."""
+        plan = self._plan(configs, benchmarks)
+        return [
+            LaneGroup(
+                group.benchmark,
+                tuple((item.config, item.map_index) for item in group.items),
+            )
+            for group in plan.groups
+        ]
 
-        Work items already in the store, or collapsing to an
-        already-planned content hash, are dropped before grouping — a
-        resumed campaign batches only its missing lanes.  Configurations
-        whose lanes cannot vectorise (signature ``None``), and every
-        configuration when :attr:`mega_batch` is off, keep one group per
-        campaign point (the per-point :meth:`run_batch` shape)."""
-        if benchmarks is None:
-            benchmarks = self.settings.benchmarks
-        groups: dict[tuple, list] = {}
-        order: list[tuple] = []
-        seen_keys: set[str] = set()
-        for benchmark in benchmarks:
-            for config in dict.fromkeys(configs):
-                indices: "tuple[int | None, ...]"
-                if config.needs_fault_map:
-                    indices = tuple(range(self.settings.n_fault_maps))
-                else:
-                    indices = (None,)
-                signature = self.batch_signature(config)
-                if self.mega_batch and signature is not None:
-                    group_key = (benchmark, signature)
-                else:
-                    group_key = (benchmark, None, config)
-                for m in indices:
-                    key = self.task_key(benchmark, config, m)
-                    if key in seen_keys or key in self.store:
-                        continue
-                    seen_keys.add(key)
-                    if group_key not in groups:
-                        groups[group_key] = []
-                        order.append(group_key)
-                    groups[group_key].append((config, m))
-        return [LaneGroup(key[0], tuple(groups[key])) for key in order]
+    def _plan(
+        self,
+        configs: "tuple[RunConfig, ...]",
+        benchmarks: "tuple[str, ...] | None" = None,
+    ) -> Plan:
+        return self.session.plan(self.session.spec(configs, benchmarks=benchmarks))
 
     def run_lane_group(
         self, benchmark: str, items: "list[tuple[RunConfig, int | None]]"
     ) -> list[SimResult]:
-        """Execute one mega-batch: all ``(config, map_index)`` lanes of
-        a trace-group in (ideally) a single vectorised schedule pass.
-
-        Lanes already in the store are never re-simulated.  The rest are
-        sub-grouped by :meth:`batch_signature` — a heterogeneous item
-        list (say a word-disabling lane among block-disabling ones)
-        splits into compatible sub-batches instead of tripping the
-        engine's sequential fallback — sliced to :attr:`lanes` width,
-        driven through :meth:`OutOfOrderPipeline.run_batch`, and
-        scattered back to the store under their own per-point keys.
-        Results return in ``items`` order, bit-identical to per-point
-        :meth:`run` calls.
-
-        Unlike the per-point :meth:`run_batch` crossover
-        (``MIN_BATCH_LANES``), merged groups batch from
-        ``MIN_MEGA_LANES`` lanes up — the schedule-pass floor is the
-        contract, wall-clock breaks even near ~10 merged lanes (see the
-        ``MIN_MEGA_LANES`` note).  An explicit ``lanes=1`` still forces
-        the legacy per-map path.
-        """
-        results: dict[str, SimResult | None] = {}
-        subgroups: dict["tuple | None", list] = {}
-        sub_order: list["tuple | None"] = []
-        resolved: list[str] = []
-        for config, m in items:
-            m = self._normalize_map_index(config, m)
-            key = self.task_key(benchmark, config, m)
-            resolved.append(key)
-            if key in results:
-                continue
-            cached = self.store.get(key)
-            if cached is not None:
-                results[key] = cached
-                continue
-            results[key] = None  # claimed; simulated below
-            signature = self.batch_signature(config)
-            if signature not in subgroups:
-                subgroups[signature] = []
-                sub_order.append(signature)
-            subgroups[signature].append((config, m, key))
-        warmup = self.settings.warmup_instructions
-        for signature in sub_order:
-            pending = subgroups[signature]
-            width = self.lanes or len(pending)
-            for start in range(0, len(pending), width):
-                chunk = pending[start : start + width]
-                if signature is None or len(chunk) < MIN_MEGA_LANES:
-                    for config, m, key in chunk:
-                        results[key] = self.run(benchmark, config, m)
-                    continue
-                pipelines = [self.build_pipeline(c, m) for c, m, _ in chunk]
-                self.schedule_passes += 1
-                outs = OutOfOrderPipeline.run_batch(
-                    pipelines, self.trace(benchmark), measure_from=warmup
-                )
-                for (_, _, key), result in zip(chunk, outs):
-                    self.store.put(key, result)
-                    self.simulations_executed += 1
-                    results[key] = result
-        return [results[key] for key in resolved]
+        """Execute one mega-batch (see :meth:`Session.run_group`)."""
+        return self.session.run_group(benchmark, items)
 
     def run_mega(
         self,
@@ -487,19 +255,18 @@ class ExperimentRunner:
         benchmarks: "tuple[str, ...] | None" = None,
         progress=None,
     ) -> int:
-        """Plan (:meth:`plan_mega_batches`) and execute every pending
-        simulation the configurations need, one trace-group at a time.
-        Returns the number of simulations executed; an optional
-        ``progress(done, total)`` callback reports work-item completion
-        group by group."""
-        groups = self.plan_mega_batches(configs, benchmarks)
-        total = sum(len(group) for group in groups)
-        done = 0
-        for group in groups:
-            self.run_lane_group(group.benchmark, list(group.items))
-            done += len(group)
-            if progress is not None:
-                progress(done, total)
+        """Plan and execute every pending simulation the configurations
+        need by streaming the equivalent :class:`CampaignSpec` through
+        the session.  Returns the number of simulations executed; an
+        optional ``progress(done, total)`` callback reports work-item
+        completion group by group."""
+        spec = self.session.spec(configs, benchmarks=benchmarks)
+        total = 0
+        for event in self.session.run(spec):
+            if isinstance(event, PlanReady):
+                total = event.plan.pending
+            elif isinstance(event, Progress) and progress is not None:
+                progress(event.done, event.total)
         return total
 
     def build_pipeline(
@@ -508,43 +275,9 @@ class ExperimentRunner:
         map_index: int | None = None,
         engine: str = "fused",
     ) -> OutOfOrderPipeline:
-        """Construct the simulator for one configuration point.
-
-        Public so benches and studies can time construction + run (one
-        campaign point) without going through the result store; ``engine``
-        selects the memory-hierarchy execution engine (the KIPS
-        microbenchmark compares them).
-        """
-        scheme = SCHEMES.create(config.scheme)
-        operating: OperatingPoint = (
-            LOW_VOLTAGE if config.voltage is VoltageMode.LOW else HIGH_VOLTAGE
-        )
-        if map_index is not None:
-            pair = self.fault_maps()[map_index]
-            imap, dmap = pair.icache, pair.dcache
-        elif config.voltage is VoltageMode.LOW:
-            # Fault-independent low-voltage schemes (word-disabling's halved
-            # cache, the baseline reference) still need a map object for
-            # their usability checks; the empty map is the canonical one.
-            imap = dmap = FaultMap.empty(L1_GEOMETRY)
-        else:
-            imap = dmap = None
-
-        cfg_i = scheme.configure(L1_GEOMETRY, imap, config.voltage)
-        cfg_d = scheme.configure(L1_GEOMETRY, dmap, config.voltage)
-        latencies = operating.latencies(
-            operating.l1_base_latency + cfg_i.latency_adder,
-            operating.l1_base_latency + cfg_d.latency_adder,
-        )
-        hierarchy = MemoryHierarchy(
-            cfg_i.build_cache("l1i", seed=self.settings.seed),
-            cfg_d.build_cache("l1d", seed=self.settings.seed),
-            L2_GEOMETRY,
-            latencies,
-            victim_entries_i=config.victim_entries,
-            victim_entries_d=config.victim_entries,
-        )
-        return OutOfOrderPipeline(self.pipeline_config, hierarchy, engine=engine)
+        """Construct the simulator for one configuration point (see
+        :meth:`Session.build_pipeline`)."""
+        return self.session.build_pipeline(config, map_index, engine=engine)
 
     # ----- normalized series (the figure bars) ---------------------------------
 
@@ -553,27 +286,4 @@ class ExperimentRunner:
     ) -> NormalizedSeries:
         """Per-benchmark average and minimum performance of ``config``
         normalized to ``baseline`` (which must be fault-independent)."""
-        if baseline.needs_fault_map:
-            raise ValueError("normalisation baseline must be fault-independent")
-        averages = []
-        minimums = []
-        for benchmark in self.settings.benchmarks:
-            base_cycles = self.run(benchmark, baseline).cycles
-            if config.needs_fault_map:
-                # One lane-batched pass drives every fault map of the
-                # point (store hits excluded), instead of n_fault_maps
-                # separate schedule walks.
-                normalized = [
-                    base_cycles / result.cycles
-                    for result in self.run_batch(benchmark, config)
-                ]
-            else:
-                normalized = [base_cycles / self.run(benchmark, config).cycles]
-            averages.append(sum(normalized) / len(normalized))
-            minimums.append(min(normalized))
-        return NormalizedSeries(
-            config_label=config.label,
-            benchmarks=tuple(self.settings.benchmarks),
-            average=tuple(averages),
-            minimum=tuple(minimums),
-        )
+        return self.session.normalized_series(config, baseline)

@@ -163,6 +163,28 @@ class ResultStore(abc.ABC):
     def __len__(self) -> int:
         return sum(1 for _ in self.keys())
 
+    # ----- lifecycle ------------------------------------------------------------
+    #
+    # Stores are context managers: ``with open_store(dir) as store:``
+    # guarantees buffered state reaches disk even on error paths.  The
+    # default flush/close are no-ops (MemoryStore has nothing durable);
+    # DiskStore keeps a persistent append handle and releases it here.
+    # A closed store stays *readable* — and re-opens lazily on the next
+    # put — so long-lived callers sharing one store cannot be broken by
+    # a sibling's teardown.
+
+    def flush(self) -> None:
+        """Push buffered writes to durable storage (no-op by default)."""
+
+    def close(self) -> None:
+        """Flush and release any held resources (no-op by default)."""
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
     #: Human-readable location for campaign summaries.
     description: str = "memory"
 
@@ -218,6 +240,9 @@ class DiskStore(MemoryStore):
         self.path = os.path.join(self.directory, RESULTS_FILENAME)
         self.skipped_lines = 0
         self.duplicate_lines = 0
+        #: Persistent O_APPEND handle, opened lazily on the first put and
+        #: released by :meth:`close` (re-puts after close reopen it).
+        self._fh = None
         self._load()
 
     def _load(self) -> None:
@@ -259,12 +284,45 @@ class DiskStore(MemoryStore):
             with open(self.path, "a", encoding="utf-8") as fh:
                 fh.write("\n")
 
+    def _append_handle(self):
+        if self._fh is None or self._fh.closed:
+            self._fh = open(self.path, "a", encoding="utf-8")
+        else:
+            # A sibling store (another process, or compact() here) may have
+            # replaced the log via rename; appending to the old inode would
+            # silently write into an unlinked file.  Reopen when the path
+            # no longer names the inode this handle holds — same semantics
+            # as the historical open-per-put, at one stat per put.
+            try:
+                stale = os.fstat(self._fh.fileno()).st_ino != os.stat(
+                    self.path
+                ).st_ino
+            except OSError:
+                stale = True
+            if stale:
+                self._fh.close()
+                self._fh = open(self.path, "a", encoding="utf-8")
+        return self._fh
+
     def put(self, key: str, result: SimResult) -> None:
         entry = {"key": key, "result": result_to_dict(result)}
-        with open(self.path, "a", encoding="utf-8") as fh:
-            fh.write(json.dumps(entry, sort_keys=True) + "\n")
-            fh.flush()
+        fh = self._append_handle()
+        fh.write(json.dumps(entry, sort_keys=True) + "\n")
+        # Line-buffered durability: a killed campaign loses at most the
+        # line being written, exactly as the old open-per-put behaviour.
+        fh.flush()
         super().put(key, result)
+
+    def flush(self) -> None:
+        if self._fh is not None and not self._fh.closed:
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        if self._fh is not None and not self._fh.closed:
+            self._fh.flush()
+            self._fh.close()
+        self._fh = None
 
     def compact(self) -> int:
         """Rewrite ``results.jsonl`` without duplicate/unreadable lines
@@ -274,6 +332,9 @@ class DiskStore(MemoryStore):
         or crash mid-compact sees either the old or the new file, never
         a partial one.  Opt-in: appends from writers racing the rename
         can be lost, so compact only quiesced campaign directories."""
+        # Release the append handle first: the rename replaces the inode
+        # it points at, and the next put reopens the compacted log.
+        self.close()
         removed = self.duplicate_lines + self.skipped_lines
         fd, tmp_path = tempfile.mkstemp(
             dir=self.directory, prefix=".results-", suffix=".tmp"
@@ -299,7 +360,13 @@ class DiskStore(MemoryStore):
 
 def open_store(directory: str | os.PathLike | None) -> ResultStore:
     """A :class:`DiskStore` at ``directory``, or a fresh
-    :class:`MemoryStore` when ``directory`` is ``None``/empty."""
+    :class:`MemoryStore` when ``directory`` is ``None``/empty.
+
+    Stores are context managers::
+
+        with open_store(campaign_dir) as store:
+            ...  # flushed and closed on exit, even on error paths
+    """
     if directory:
         return DiskStore(directory)
     return MemoryStore()

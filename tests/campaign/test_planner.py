@@ -1,0 +1,154 @@
+"""The unified Planner: grouping, dedup holes, predicted passes, and the
+serial/parallel plan-object equivalence the redesign pins."""
+
+import pytest
+
+from repro.campaign.plan import Planner
+from repro.campaign.session import Session
+from repro.campaign.spec import CampaignSpec, RunnerSettings
+from repro.experiments.configs import (
+    LV_BASELINE,
+    LV_BLOCK,
+    LV_BLOCK_V10,
+    LV_INCREMENTAL,
+    LV_WORD,
+)
+from repro.experiments.parallel import plan_worker_batches
+from repro.experiments.runner import ExperimentRunner
+
+SETTINGS = RunnerSettings(
+    n_instructions=3_000,
+    warmup_instructions=1_000,
+    n_fault_maps=2,
+    benchmarks=("gzip",),
+)
+
+CONFIGS = (LV_BASELINE, LV_WORD, LV_BLOCK, LV_BLOCK_V10, LV_INCREMENTAL)
+
+
+@pytest.fixture()
+def session() -> Session:
+    return Session(SETTINGS)
+
+
+def resolve(session, configs=CONFIGS):
+    return Planner(session).resolve(session.spec(configs))
+
+
+class TestResolution:
+    def test_covers_every_work_item_once(self, session):
+        plan = resolve(session)
+        keys = [item.key for group in plan.groups for item in group.items]
+        assert len(keys) == len(set(keys)) == 8  # 1+1+2+2+2
+        assert plan.total_points == 8
+        assert plan.dedup_hits == 0
+        assert plan.pending == 8
+
+    def test_structural_twins_merge_across_points(self, session):
+        plan = resolve(session)
+        merged = {
+            tuple((item.config.label, item.map_index) for item in group.items)
+            for group in plan.groups
+        }
+        assert (
+            ("baseline", None),
+            ("block disabling", 0),
+            ("block disabling", 1),
+        ) in merged
+
+    def test_store_holes_counted_and_dropped(self, session):
+        session.simulate("gzip", LV_BLOCK, 0)
+        plan = resolve(session, (LV_BASELINE, LV_BLOCK))
+        items = [
+            (item.config, item.map_index)
+            for group in plan.groups
+            for item in group.items
+        ]
+        assert (LV_BLOCK, 0) not in items
+        assert (LV_BLOCK, 1) in items
+        assert plan.total_points == 3
+        assert plan.dedup_hits == 1
+        assert plan.pending == 2
+
+    def test_mega_off_plans_per_point(self):
+        session = Session(SETTINGS, mega_batch=False)
+        plan = resolve(session)
+        assert all(not group.merged for group in plan.groups)
+        for group in plan.groups:
+            labels = {item.config.label for item in group.items}
+            assert len(labels) == 1
+
+    def test_plan_matches_legacy_lane_groups(self, session):
+        """The ExperimentRunner shim's plan_mega_batches is a pure view
+        of the unified planner's groups."""
+        runner = ExperimentRunner(session=session)
+        legacy = runner.plan_mega_batches(CONFIGS)
+        plan = resolve(session)
+        assert [
+            (g.benchmark, tuple((i.config, i.map_index) for i in g.items))
+            for g in plan.groups
+        ] == [(g.benchmark, g.items) for g in legacy]
+
+
+class TestPredictedPasses:
+    def test_prediction_matches_execution(self, session):
+        plan = resolve(session)
+        for group in plan.groups:
+            session.execute_group(group)
+        assert session.schedule_passes == plan.predicted_passes
+        points = len(CONFIGS) * len(SETTINGS.benchmarks)
+        assert plan.predicted_passes < points
+
+    def test_prediction_matches_execution_per_point(self):
+        session = Session(SETTINGS, mega_batch=False)
+        plan = resolve(session)
+        for group in plan.groups:
+            session.execute_group(group)
+        assert session.schedule_passes == plan.predicted_passes
+
+    def test_prediction_with_explicit_single_lane(self):
+        session = Session(SETTINGS, lanes=1)
+        plan = resolve(session)
+        assert plan.predicted_passes == plan.pending  # all sequential
+        for group in plan.groups:
+            session.execute_group(group)
+        assert session.schedule_passes == plan.predicted_passes
+
+    def test_empty_plan_predicts_zero(self, session):
+        session.run_all(session.spec(CONFIGS))
+        plan = resolve(session)
+        assert plan.pending == 0
+        assert plan.predicted_passes == 0
+
+
+class TestWorkerBatches:
+    def test_pool_consumes_the_same_plan_objects(self, session):
+        """plan_worker_batches (the pool's dispatch view) is exactly the
+        unified plan's groups sliced to the session's lane width."""
+        plan = resolve(session)
+        runner = ExperimentRunner(session=session)
+        assert plan.worker_batches(session.lanes) == plan_worker_batches(
+            runner, CONFIGS
+        )
+
+    def test_lane_width_slices_groups(self, session):
+        plan = resolve(session)
+        batches = plan.worker_batches(lanes=1)
+        assert all(len(batch) == 1 for batch in batches)
+        assert sum(len(batch) for batch in batches) == plan.pending
+
+
+class TestDescribe:
+    def test_dry_run_rendering(self, session):
+        session.simulate("gzip", LV_BLOCK, 0)
+        plan = resolve(session)
+        text = plan.describe()
+        assert "work items : 8 (1 already in store, 7 to simulate)" in text
+        assert "predicted schedule passes" in text
+        assert "gzip" in text
+        assert "baseline" in text
+
+    def test_empty_plan_rendering(self, session):
+        session.run_all(session.spec((LV_BASELINE,)))
+        plan = resolve(session, (LV_BASELINE,))
+        assert "nothing to simulate" in plan.describe()

@@ -75,6 +75,58 @@ class TestCLI:
         assert main(args + ["--lanes", "1"]) == 0
         assert capsys.readouterr().out == default_out
 
+    def test_dry_run_prints_plan_without_simulating(self, capsys, tmp_path):
+        args = [
+            "fig8",
+            "--instructions",
+            "2000",
+            "--maps",
+            "2",
+            "--benchmarks",
+            "gzip",
+            "--store",
+            str(tmp_path),
+            "--dry-run",
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "work items : 6 (0 already in store, 6 to simulate)" in out
+        assert "predicted schedule passes" in out
+        # Nothing simulated: the store stayed empty.
+        assert not (tmp_path / "results.jsonl").exists()
+
+    def test_dry_run_reports_store_dedup_hits(self, capsys, tmp_path):
+        args = [
+            "fig8",
+            "--instructions",
+            "2000",
+            "--maps",
+            "2",
+            "--benchmarks",
+            "gzip",
+            "--store",
+            str(tmp_path),
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args + ["--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "work items : 6 (6 already in store, 0 to simulate)" in out
+        assert "nothing to simulate (pure store hits)" in out
+
+    def test_dry_run_analytical_only(self, capsys):
+        assert main(["fig3", "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "no store-backed simulations" in out
+
+    def test_dry_run_flags_ablation_targets(self, capsys):
+        """Ablation studies bypass the campaign store; the dry-run plan
+        must say so instead of claiming there is nothing to simulate."""
+        assert main(["abl-l2", "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "abl-l2" in out
+        assert "outside the campaign store" in out
+
     def test_mega_batch_flag_reproduces_default_output(self, capsys):
         """Cross-point mega-batching (the default) must be byte-identical
         to the per-point path, at multi-figure scope where campaign

@@ -294,6 +294,69 @@ class TestDuplicateKeys:
         assert DiskStore(tmp_path).get("k") == make_result(9)
 
 
+class TestStoreLifecycle:
+    """The ResultStore context-manager satellite: flush/close semantics."""
+
+    def test_open_store_context_manager(self, tmp_path):
+        with open_store(tmp_path) as store:
+            store.put("k", make_result())
+            assert store._fh is not None  # persistent append handle
+        assert store._fh is None  # released on exit
+        assert DiskStore(tmp_path).get("k") == make_result()
+
+    def test_put_after_close_reopens(self, tmp_path):
+        store = DiskStore(tmp_path)
+        store.put("k1", make_result(1))
+        store.close()
+        store.put("k2", make_result(2))  # lazily reopens the handle
+        store.close()
+        reopened = DiskStore(tmp_path)
+        assert reopened.get("k1") == make_result(1)
+        assert reopened.get("k2") == make_result(2)
+
+    def test_flush_and_close_idempotent(self, tmp_path):
+        store = DiskStore(tmp_path)
+        store.flush()  # nothing buffered yet: no-op, no handle
+        store.put("k", make_result())
+        store.flush()
+        store.close()
+        store.close()
+
+    def test_memory_store_lifecycle_noops(self):
+        with MemoryStore() as store:
+            store.put("k", make_result())
+            store.flush()
+        assert store.get("k") == make_result()  # still readable after close
+
+    def test_sibling_compact_does_not_lose_appends(self, tmp_path):
+        """A rename by another store instance (compact) must not leave
+        this store appending to the unlinked old inode."""
+        first = DiskStore(tmp_path)
+        first.put("k1", make_result(1))
+        sibling = DiskStore(tmp_path)
+        sibling.compact()  # replaces results.jsonl via rename
+        first.put("k2", make_result(2))  # must land in the live file
+        final = DiskStore(tmp_path)
+        assert final.get("k1") == make_result(1)
+        assert final.get("k2") == make_result(2)
+
+    def test_compact_releases_and_reopens_handle(self, tmp_path):
+        store = DiskStore(tmp_path)
+        store.put("k", make_result(1))
+        store.put("k", make_result(2))  # duplicate key in the log
+        with open(store.path, "a", encoding="utf-8") as fh:
+            fh.write('{"key": "k", "result": {}}\n')  # unreadable line
+        with pytest.warns(UserWarning, match="duplicate"):
+            reread = DiskStore(tmp_path)
+        assert reread.compact() == 2
+        assert reread._fh is None
+        reread.put("k2", make_result(3))  # append handle reopens
+        final = DiskStore(tmp_path)
+        assert final.get("k") == make_result(2)
+        assert final.get("k2") == make_result(3)
+        assert final.duplicate_lines == final.skipped_lines == 0
+
+
 class TestCampaignResume:
     def test_runner_reads_through_disk_store(self, tmp_path):
         first = ExperimentRunner(SMALL, store=DiskStore(tmp_path))

@@ -1,0 +1,57 @@
+"""Property: CampaignSpec -> JSON -> CampaignSpec is the identity, and
+equal specs resolve to equal store task keys.
+
+The campaign layer treats specs as *values* that can travel — between
+processes (pool workers), files (saved campaigns), and sessions — while
+still naming exactly one set of simulations.  Hypothesis drives the
+whole spec surface: arbitrary config subsets (including label-only
+duplicates), benchmark subsets, and fidelity fields.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.campaign.spec import CampaignSpec
+from repro.experiments.configs import ALL_CONFIGS
+from repro.workloads.spec2000 import ALL_BENCHMARKS
+
+configs_strategy = st.lists(
+    st.sampled_from(ALL_CONFIGS), min_size=1, max_size=4
+).map(tuple)
+
+benchmarks_strategy = st.lists(
+    st.sampled_from(ALL_BENCHMARKS), min_size=1, max_size=3, unique=True
+).map(tuple)
+
+specs = st.builds(
+    CampaignSpec,
+    configs=configs_strategy,
+    benchmarks=benchmarks_strategy,
+    n_instructions=st.integers(min_value=1, max_value=10**7),
+    n_fault_maps=st.integers(min_value=1, max_value=64),
+    pfail=st.floats(
+        min_value=0.0, max_value=0.01, allow_nan=False, allow_infinity=False
+    ),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    warmup_instructions=st.integers(min_value=0, max_value=10**6),
+    figure=st.one_of(st.none(), st.sampled_from(["fig8", "fig9", "custom"])),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(spec=specs)
+def test_json_round_trip_is_identity(spec):
+    restored = CampaignSpec.from_json(spec.to_json())
+    assert restored == spec
+    assert hash(restored) == hash(spec)
+    # dict round-trip too (what a saved campaign file stores)
+    assert CampaignSpec.from_dict(spec.to_dict()) == spec
+
+
+@settings(max_examples=30, deadline=None)
+@given(spec=specs)
+def test_equal_specs_produce_equal_task_keys(spec):
+    twin = CampaignSpec.from_json(spec.to_json())
+    assert twin.task_keys() == spec.task_keys()
+    # and the settings bridge preserves the fidelity the keys hash
+    assert twin.settings() == spec.settings()
