@@ -9,6 +9,13 @@ thousands of times — on both execution engines:
 * ``object`` — the ``MemoryHierarchy.access_*`` method chain, kept in-tree
   as the verification baseline (the pre-PR execution model).
 
+A ``schedule_compile`` section additionally times pass-1
+``FrontEndSchedule`` compilation both ways — the vectorised
+array-at-a-time builder against the per-instruction reference replay —
+and verifies the outputs are field-identical *and* serialise to
+bit-identical ``.npz`` cache payloads.  Compile KIPS scale with trace
+length; drive ``--instructions 1000000`` for campaign-scale numbers.
+
 Every measured pair is also checked for **bit-identical** ``SimResult``s;
 a divergence exits non-zero (that is the CI failure condition — timing
 never is).
@@ -72,6 +79,56 @@ def _parse_args(argv) -> argparse.Namespace:
     return parser.parse_args(argv)
 
 
+def _bench_schedule_compile(runner, trace, warmup, repeats) -> dict:
+    """Pass-1 schedule compilation: vectorised builder vs the
+    per-instruction reference replay, plus ``.npz`` payload identity."""
+    from io import BytesIO
+
+    import numpy as np
+
+    from repro.cpu import frontend
+
+    config = runner.pipeline_config
+    offset_bits = runner.build_pipeline(
+        BENCH_CONFIGS[0], 0 if BENCH_CONFIGS[0].needs_fault_map else None
+    ).hierarchy.l1i.geometry.offset_bits
+
+    timings = {"reference": float("inf"), "vectorised": float("inf")}
+    outputs = {}
+    builders = {
+        "reference": frontend._build_schedule_reference,
+        "vectorised": frontend._build_schedule,
+    }
+    for name, build in builders.items():
+        for rep in range(repeats + 1):  # +1 untimed warm-up rep
+            t0 = time.perf_counter()
+            schedule = build(trace, config, offset_bits, warmup)
+            elapsed = time.perf_counter() - t0
+            if rep > 0 or repeats == 1:
+                timings[name] = min(timings[name], elapsed)
+        outputs[name] = schedule
+    identical = outputs["vectorised"] == outputs["reference"]
+
+    def npz_members(schedule):
+        buffer = BytesIO()
+        frontend.save_schedule(schedule, buffer)
+        buffer.seek(0)
+        with np.load(buffer) as data:
+            return {k: data[k].tobytes() for k in data.files}
+
+    npz_identical = npz_members(outputs["vectorised"]) == npz_members(
+        outputs["reference"]
+    )
+    total = len(trace)
+    return {
+        "kips_reference": round(total / timings["reference"] / 1e3, 1),
+        "kips_vectorised": round(total / timings["vectorised"] / 1e3, 1),
+        "speedup": round(timings["reference"] / timings["vectorised"], 2),
+        "identical": identical,
+        "npz_identical": npz_identical,
+    }
+
+
 def run_bench(args) -> dict:
     if args.smoke:
         instructions, warmup, repeats = 4_000, 1_000, 1
@@ -118,6 +175,10 @@ def run_bench(args) -> dict:
             "identical": identical,
         }
 
+    compile_row = _bench_schedule_compile(runner, trace, warmup, repeats)
+    if not (compile_row["identical"] and compile_row["npz_identical"]):
+        divergences += 1
+
     baseline_key = f"{LV_BASELINE.voltage.value}/{LV_BASELINE.label}"
     return {
         "benchmark": args.benchmark,
@@ -128,6 +189,7 @@ def run_bench(args) -> dict:
         "traces_generated": runner.traces.generated,
         "traces_loaded": runner.traces.loaded,
         "schemes": schemes,
+        "schedule_compile": compile_row,
         "baseline_speedup": schemes[baseline_key]["speedup"],
         "divergences": divergences,
     }
@@ -147,6 +209,13 @@ def main(argv=None) -> int:
             f"  {row['speedup']:>6.2f}x  {'yes' if row['identical'] else 'DIVERGED'}"
         )
     print(f"baseline speedup: {summary['baseline_speedup']:.2f}x")
+    comp = summary["schedule_compile"]
+    ok = "yes" if comp["identical"] and comp["npz_identical"] else "DIVERGED"
+    print(
+        f"schedule compile: ref {comp['kips_reference']:.1f} KIPS -> "
+        f"vec {comp['kips_vectorised']:.1f} KIPS "
+        f"({comp['speedup']:.2f}x, npz-identical={ok})"
+    )
 
     if args.json:
         with open(args.json, "w", encoding="utf-8") as fh:

@@ -10,7 +10,10 @@ figures must be byte-identical with ``--mega-batch`` and
 ``--no-mega-batch``) plus the campaign smoke: the declarative
 ``Session.run(spec)`` path and the legacy ``ExperimentRunner`` path must
 produce byte-identical figure JSON, and dedup re-runs must execute zero
-schedule passes.
+schedule passes.  The ``kernel`` smoke gates the compiled lane kernel:
+a heterogeneous-victim campaign must merge into one vectorised pass and
+stay bit-identical both with the C kernel and on the NumPy fallback,
+and the vectorised schedule compiler must match the reference replay.
 
 Each smoke writes ``<name>-smoke.json`` into ``--json-dir`` (default:
 current directory) — the workflow uploads them as per-commit artifacts so
@@ -361,10 +364,127 @@ def smoke_campaign(json_dir: str) -> list[str]:
     return failures
 
 
+def smoke_kernel(json_dir: str) -> list[str]:
+    """Compiled lane-kernel gate.
+
+    A heterogeneous-victim campaign (block disabling plus the 6T and
+    10T victim-cache rows over two fault maps — six lanes) must merge
+    into ONE vectorised pass group and scatter back bit-identical to
+    the sequential fused runs, twice: once with the compiled C lane
+    kernel active (when buildable) and once forced onto the NumPy
+    fallback (``REPRO_NO_CKERNEL=1``).  The vectorised pass-1 schedule
+    compiler must also match the reference replay, ``.npz`` payload
+    included.
+    """
+    import io
+
+    import numpy as np
+
+    from repro.campaign.session import Session
+    from repro.campaign.spec import CampaignSpec
+    from repro.cpu import frontend, lane_kernel
+    from repro.experiments.configs import LV_BLOCK, LV_BLOCK_V6, LV_BLOCK_V10
+    from repro.experiments.runner import ExperimentRunner, RunnerSettings
+
+    settings = RunnerSettings(
+        n_instructions=3_000,
+        warmup_instructions=1_000,
+        n_fault_maps=2,
+        benchmarks=("gzip",),
+    )
+    configs = (LV_BLOCK, LV_BLOCK_V6, LV_BLOCK_V10)
+    items = [(config, m) for config in configs for m in range(2)]
+
+    sequential = ExperimentRunner(settings, lanes=1, mega_batch=False)
+    reference = {
+        (config.label, m): sequential.run("gzip", config, m) for config, m in items
+    }
+
+    def hetero_pass() -> dict:
+        with Session(settings) as session:
+            plan = session.plan(CampaignSpec.from_settings(settings, configs))
+            for group in plan.groups:
+                session.execute_group(group)
+            divergences = sum(
+                session.store.get(session.task_key("gzip", config, m))
+                != reference[(config.label, m)]
+                for config, m in items
+            )
+            return {
+                "groups": len(plan.groups),
+                "merged": all(g.merged for g in plan.groups),
+                "passes": session.schedule_passes,
+                "divergences": divergences,
+            }
+
+    failures: list[str] = []
+    kernel_active = lane_kernel.load() is not None
+    runs = {"kernel": hetero_pass()}
+    saved = os.environ.get("REPRO_NO_CKERNEL")
+    os.environ["REPRO_NO_CKERNEL"] = "1"
+    try:
+        runs["fallback"] = hetero_pass()
+    finally:
+        if saved is None:
+            del os.environ["REPRO_NO_CKERNEL"]
+        else:
+            os.environ["REPRO_NO_CKERNEL"] = saved
+    for engine, run in runs.items():
+        if run["divergences"]:
+            failures.append(
+                f"{engine} engine: {run['divergences']}/{len(items)} lanes "
+                "diverged from the sequential fused runs"
+            )
+        if run["groups"] != 1 or not run["merged"] or run["passes"] != 1:
+            failures.append(
+                f"{engine} engine: hetero campaign took {run['passes']} passes "
+                f"in {run['groups']} group(s) (merged={run['merged']}), "
+                "expected one merged pass"
+            )
+
+    trace = sequential.trace("gzip")
+    offset_bits = sequential.build_pipeline(
+        LV_BLOCK, 0
+    ).hierarchy.l1i.geometry.offset_bits
+    config = sequential.pipeline_config
+    vec = frontend._build_schedule(trace, config, offset_bits, 1_000)
+    ref = frontend._build_schedule_reference(trace, config, offset_bits, 1_000)
+    compile_identical = vec == ref
+
+    def npz_members(schedule) -> dict:
+        buffer = io.BytesIO()
+        frontend.save_schedule(schedule, buffer)
+        buffer.seek(0)
+        with np.load(buffer) as data:
+            return {k: data[k].tobytes() for k in data.files}
+
+    npz_identical = npz_members(vec) == npz_members(ref)
+    if not (compile_identical and npz_identical):
+        failures.append(
+            "vectorised schedule compile diverged from the reference replay "
+            f"(schedule={compile_identical}, npz={npz_identical})"
+        )
+
+    _write(
+        json_dir,
+        "kernel",
+        {
+            "kernel_active": kernel_active,
+            "lanes": len(items),
+            "runs": runs,
+            "schedule_compile_identical": compile_identical,
+            "npz_identical": npz_identical,
+            "ok": not failures,
+        },
+    )
+    return failures
+
+
 SMOKES = {
     "goldens": smoke_goldens,
     "kips": smoke_kips,
     "lane-batch": smoke_lane_batch,
+    "kernel": smoke_kernel,
     "store": smoke_store,
     "mega-batch": smoke_mega_batch,
     "campaign": smoke_campaign,

@@ -530,12 +530,15 @@ BIG_STAMP = 1 << 62
 class VectorCache:
     """Multi-lane flat state of one cache level (the probe/refill port).
 
-    Layouts are chosen per operation: ``tags[flat_index, lane]`` makes the
-    set probe one contiguous slice comparison; ``last``/``dirty``/
-    ``fill_time``\\ ``[lane, flat_index]`` make the LRU victim argmin and
-    the masked scatters run along the contiguous axis.  Every array
-    carries one extra dump row/column (index ``n``) that lane-masked
-    scatters divert excluded lanes to.
+    Every array is lane-major — ``tags``/``last``/``dirty``/``fill_time``
+    all ``[lane, flat_index]`` — so one flat index vector (``lane_offset +
+    set_base + way``) addresses a set across all four arrays: the event
+    service computes it once per refill and reuses it for the tag check,
+    the fill scatter, the recency stamp, and the dirty bit.  The set
+    probe compares a strided ``[:, base : base + ways]`` slab (eight
+    contiguous elements per lane); the LRU victim argmin runs along the
+    same contiguous axis.  Every array carries one extra dump column
+    (index ``n``) that lane-masked scatters divert excluded lanes to.
     """
 
     __slots__ = (
@@ -565,7 +568,7 @@ class VectorCache:
         n = geometry.num_sets * geometry.ways
         self.n = n
         lanes = len(caches)
-        self.tags = np.full((n + 1, lanes), -1, dtype=np.int64)
+        self.tags = np.full((lanes, n + 1), -1, dtype=np.int64)
         self.last = np.zeros((lanes, n + 1), dtype=np.int64)
         self.dirty = np.zeros((lanes, n + 1), dtype=np.bool_)
         self.fillt = np.zeros((lanes, n + 1), dtype=np.int64)
@@ -579,7 +582,7 @@ class VectorCache:
                 self.pristine.append(True)
                 continue
             self.pristine.append(False)
-            self.tags[:n, lane] = cache._tags
+            self.tags[lane, :n] = cache._tags
             self.last[lane, :n] = cache._last_touch
             self.dirty[lane, :n] = cache._dirty
             self.fillt[lane, :n] = cache._fill_time
@@ -588,7 +591,7 @@ class VectorCache:
         # set indices where *any* lane has zero usable ways — only those
         # events need the (rare) fill-bypass check.
         last_main = self.last[:, :n]
-        last_main[(self.tags[:n] == -1).T] = -1
+        last_main[self.tags[:, :n] == -1] = -1
         bypass: set[int] = set()
         for lane, cache in enumerate(caches):
             if cache._enabled is not None:
@@ -609,7 +612,7 @@ class VectorCache:
         n = self.n
         ways = self.ways
         tag_shift = self.tag_shift
-        valid_cols = self.tags[:n] >= 0
+        valid = self.tags[:, :n] >= 0
         sparse = n > 4096 and all(self.pristine)
         if sparse:
             # Large caches that started pristine (the usual 2MB L2 of a
@@ -617,9 +620,9 @@ class VectorCache:
             # positions still holds its default, so write back only the
             # valid entries instead of converting 32k-entry columns.
             for lane, cache in enumerate(self.caches):
-                index = np.flatnonzero(valid_cols[:, lane])
+                index = np.flatnonzero(valid[lane])
                 idx_list = index.tolist()
-                tag_vals = self.tags[index, lane]
+                tag_vals = self.tags[lane, index]
                 blocks = (tag_vals << tag_shift) | (index // ways)
                 tags_list = cache._tags
                 last_list = cache._last_touch
@@ -641,11 +644,10 @@ class VectorCache:
                 resident.clear()
                 resident.update(zip(blocks.tolist(), idx_list))
             return
-        valid = valid_cols.T
         merged = np.where(valid, self.last[:, :n], self.orig_last)
         # Whole-matrix conversions: one C-level tolist per array beats a
         # per-lane conversion loop by a wide margin.
-        tags_rows = np.ascontiguousarray(self.tags[:n].T)
+        tags_rows = self.tags[:, :n]
         tags_lists = tags_rows.tolist()
         dirty_lists = self.dirty[:, :n].tolist()
         merged_lists = merged.tolist()
@@ -666,7 +668,7 @@ class VectorCache:
 class VectorVictims:
     """Multi-lane victim-cache state (the vectorised swap port).
 
-    The LRU list becomes ``tags[slot, lane]`` plus an insertion stamp per
+    The LRU list becomes ``tags[lane, slot]`` plus an insertion stamp per
     slot: eviction picks the minimal stamp (the list head), empty slots
     carry the stamp sentinel ``empty_stamp = -(entries + 1)`` — strictly
     below every occupied stamp — so they are preferred exactly like an
@@ -676,35 +678,66 @@ class VectorVictims:
     positions themselves carry no meaning — all operations are
     content-based — so lanes stay bit-identical to the sequential list
     implementation, including partially warm victim caches.
+
+    Lanes need not share one sizing: the slot axis is padded to the
+    largest lane's entry count, and a lane's slots beyond its own
+    capacity carry tag ``-1`` (probes never match) with stamp
+    ``BIG_STAMP`` (strictly above every run stamp, so the insert-path
+    ``argmin`` never evicts into them).  Lanes with *no* victim cache
+    (``None``, the 0-entry configuration) additionally divert their
+    inserts to the dump slot via :attr:`insertable`, so 0/8/16-entry
+    configurations — e.g. the paper's three disabling schemes — batch
+    as one lane group.
     """
 
-    __slots__ = ("victims", "entries", "tags", "stamp", "empty_stamp")
+    __slots__ = (
+        "victims",
+        "entries",
+        "tags",
+        "stamp",
+        "empty_stamp",
+        "insertable",
+    )
 
-    def __init__(self, victims: list[VictimCache]) -> None:
-        entries = victims[0].entries
-        for victim in victims:
-            if victim.entries != entries:
-                raise ValueError("lane victim caches must share one size")
+    def __init__(self, victims: "list[VictimCache | None]") -> None:
+        lane_entries = [v.entries if v is not None else 0 for v in victims]
+        entries = max(lane_entries)
+        if entries == 0:
+            raise ValueError("need at least one lane with victim entries")
         self.victims = list(victims)
         self.entries = entries
         self.empty_stamp = -(entries + 1)
         lanes = len(victims)
-        self.tags = np.full((entries + 1, lanes), -1, dtype=np.int64)
+        self.tags = np.full((lanes, entries + 1), -1, dtype=np.int64)
         self.stamp = np.full(
             (lanes, entries + 1), self.empty_stamp, dtype=np.int64
         )
         for lane, victim in enumerate(victims):
+            if victim is None:
+                continue
+            cap = victim.entries
+            self.stamp[lane, cap:entries] = BIG_STAMP  # padded slots
             for j, block in enumerate(victim._tags):  # LRU -> MRU order
-                self.tags[j, lane] = block
+                self.tags[lane, j] = block
                 self.stamp[lane, j] = j - entries
+        #: Per-lane insert eligibility mask, or ``None`` when every lane
+        #: can insert (``argmin`` slot choice is then already exact and
+        #: the service closure skips the extra mask op per event).
+        if all(lane_entries):
+            self.insertable = None
+        else:
+            self.insertable = np.array(
+                [e > 0 for e in lane_entries], dtype=np.bool_
+            )
 
     def sync(self) -> None:
-        entries = self.entries
         for lane, victim in enumerate(self.victims):
+            if victim is None:
+                continue
             occupied = [
-                (int(self.stamp[lane, j]), int(self.tags[j, lane]))
-                for j in range(entries)
-                if self.tags[j, lane] >= 0
+                (int(self.stamp[lane, j]), int(self.tags[lane, j]))
+                for j in range(victim.entries)
+                if self.tags[lane, j] >= 0
             ]
             occupied.sort()
             victim._tags[:] = [block for _, block in occupied]
@@ -717,21 +750,20 @@ def bulk_signature(hierarchy: MemoryHierarchy) -> "tuple | None":
     equal non-``None`` signatures: LRU replacement everywhere (the stamp
     encoding is an LRU-order argument) and a fully-enabled L2 (the bulk
     L2 refill has no fill-bypass port; the paper's L2 is always
-    fault-free) are hard requirements, and the victim sizing per port is
-    the signature's value (the victim arrays share one slot axis, so
-    lanes must agree on it — contents may still differ arbitrarily).
-    The mega-batch planner groups campaign work items by this key, so
-    configurations that diverge structurally land in separate batches
-    instead of tripping the sequential fallback.
+    fault-free) are hard requirements.  Victim sizing is *not* part of
+    the signature: :class:`VectorVictims` pads heterogeneous sizings to
+    the largest lane's entry count (masked invalid slots), so 0/8/16-
+    entry configurations — contents may differ arbitrarily too — merge
+    into one lane group.  The mega-batch planner groups campaign work
+    items by this key, so configurations that diverge structurally land
+    in separate batches instead of tripping the sequential fallback.
     """
     for cache in (hierarchy.l1i, hierarchy.l1d, hierarchy.l2):
         if type(cache._policy) is not LRUPolicy:
             return None
     if hierarchy.l2._enabled is not None:
         return None
-    vi = hierarchy.victim_i.entries if hierarchy.victim_i is not None else 0
-    vd = hierarchy.victim_d.entries if hierarchy.victim_d is not None else 0
-    return (vi, vd)
+    return ()
 
 
 def bulk_lanes_eligible(hierarchies: list[MemoryHierarchy]) -> bool:
@@ -828,53 +860,66 @@ def _compile_bulk_port(
     if victims is not None:
         v_entries = victims.entries
         v_tags = victims.tags
-        v_tags_main = v_tags[:v_entries]
+        v_tags_main = v_tags[:, :v_entries]
         v_stamp = victims.stamp
         v_stamp_main = v_stamp[:, :v_entries]
+        v_insertable = victims.insertable  # None when every lane inserts
+        vins_buf = scratch["vins"]
 
     ar = scratch["ar"]
-    hit_buf = scratch["hit"]
     miss_buf = scratch["miss"]
     l2need_buf = scratch["l2need"]
     fill2 = scratch["fill2"]
     nb = scratch["nb"]
     nb2 = scratch["nb2"]
     ev_buf = scratch["ev"]
-    h2_buf = scratch["h2"]
-    vhit_buf = scratch["vhit"]
     wb_buf = scratch["wb"]
-    icols = scratch["icols"]
-    icols2 = scratch["icols2"]
-    flat_a = scratch["flat_a"]
-    flat_b = scratch["flat_b"]
+    amin1 = scratch["amin1"]
+    amin2 = scratch["amin2"]
+    fa = scratch["flat_a"]
+    fb = scratch["flat_b"]
+    vfa = scratch["flat_va"]
+    vfb = scratch["flat_vb"]
     et_buf = scratch["et"]
+    et2_buf = scratch["et2"]
     t64 = scratch["t64"]
     t64b = scratch["t64b"]
-    eq2_buf = np.empty((l2_ways, lanes), dtype=np.bool_)
+    #: All lanes missed — 75%+ of events at narrow widths (cold/capacity
+    #: misses land in every lane together); the all-miss mask is a shared
+    #: read-only constant and every ``logical_and`` against it is skipped.
+    all_true = scratch["all_true"]
+    eq2_buf = np.empty((lanes, l2_ways), dtype=np.bool_)
     l2ev_rows = scratch["l2ev_rows"]
 
-    # Flat 1-D views + precomputed per-lane offsets: scatter/gather through
-    # them costs one index add + one put/take, several times cheaper than
-    # 2-D advanced indexing on these arrays.
+    # Flat 1-D views + one precomputed per-lane offset vector per level:
+    # the lane-major layout means a single flat index (``lane_offset +
+    # set_base + way``) addresses tags, recency, dirty bits and fill
+    # times alike — computed once per refill, reused by every gather and
+    # scatter.  ``*_dump_vec`` is the same vector pointing at the dump
+    # column, copied over excluded lanes' entries instead of a separate
+    # index fix-up pass.
     l1_tags_flat = l1_tags.reshape(-1)
     l1_last_flat = l1_last.reshape(-1)
     l1_dirty_flat = l1_dirty.reshape(-1)
     l1_fillt_flat = l1_fillt.reshape(-1)
-    ar_l1rows = ar * (l1_dump + 1)  # offsets into the (lanes, n+1) arrays
+    ar_l1rows = ar * (l1_dump + 1)
+    l1_dump_vec = ar_l1rows + l1_dump
     l2_tags_flat = l2_tags.reshape(-1)
     l2_last_flat = l2_last.reshape(-1)
     l2_fillt_flat = l2_fillt.reshape(-1)
     ar_l2rows = ar * (l2_dump + 1)
+    l2_dump_vec = ar_l2rows + l2_dump
     if victims is not None:
         v_tags_flat = v_tags.reshape(-1)
         v_stamp_flat = v_stamp.reshape(-1)
         ar_vrows = ar * (v_entries + 1)
+        v_dump_vec = ar_vrows + v_entries
 
     count_nonzero = np.count_nonzero
     logical_not = np.logical_not
     logical_and = np.logical_and
     add = np.add
-    multiply = np.multiply
+    copyto = np.copyto
 
     # 0-d operands keep every ufunc call off the slow Python-scalar
     # conversion path (~3x dispatch cost); sc_* are mutable cells for the
@@ -885,13 +930,9 @@ def _compile_bulk_port(
     c_zero = np.array(0, np.int64)
     c_neg1 = np.array(-1, np.int64)
     c_true = np.array(True)
-    c_l1dump = np.array(l1_dump, np.int64)
-    c_l2dump = np.array(l2_dump, np.int64)
-    c_ventries = np.array(victims.entries if victims is not None else 0, np.int64)
     c_vempty = np.array(
         victims.empty_stamp if victims is not None else 0, np.int64
     )
-    c_lanes = np.array(lanes, np.int64)
     c_l2lat = np.array(l2_lat * lat_scale, np.int64)
     c_memdelta = np.array(mem_minus_l2 * lat_scale, np.int64)
     c_viclat = np.array(victim_lat * lat_scale, np.int64)
@@ -901,113 +942,124 @@ def _compile_bulk_port(
         ei = event_cell[0]
         event_cell[0] = ei + 1
         sc_stamp[()] = stamp
+        all_miss = cnt == 0
         # ---- hit-lane updates + miss mask ---------------------------------
-        if cnt:
-            hit = eq.any(0, out=hit_buf)
-            hit_rows[ei] = hit
-            logical_not(hit, out=miss_buf)
+        if all_miss:
+            miss = all_true  # shared constant, never written
+        else:
+            hit = eq.any(1, out=hit_rows[ei])
+            miss = logical_not(hit, out=miss_buf)
             # Matched positions only — miss lanes have no match, so the
             # masked copy needs no dump diversion.
-            np.copyto(l1_last[:, base : base + l1_ways], sc_stamp, where=eq.T)
+            copyto(l1_last[:, base : base + l1_ways], sc_stamp, where=eq)
             if is_write:
-                np.copyto(
-                    l1_dirty[:, base : base + l1_ways], c_true, where=eq.T
-                )
-        else:
-            miss_buf[:] = True
+                copyto(l1_dirty[:, base : base + l1_ways], c_true, where=eq)
         # ---- victim-cache swap probe (extract-on-hit) ---------------------
         vcnt = 0
         if victims is not None:
             sc_b[()] = block
-            np.equal(v_tags_main, sc_b, out=scratch["veq"][:v_entries])
-            veq = scratch["veq"][:v_entries]
-            veq.any(0, out=vhit_buf)
-            logical_and(vhit_buf, miss_buf, out=vhit_buf)
-            vhit_rows[ei] = vhit_buf
-            vcnt = count_nonzero(vhit_buf)
+            veq = scratch["veq"][:, :v_entries]
+            np.equal(v_tags_main, sc_b, out=veq)
+            vhit = veq.any(1, out=vhit_rows[ei])
+            if not all_miss:
+                logical_and(vhit, miss, out=vhit)
+            vcnt = count_nonzero(vhit)
             if vcnt:
-                vslot = veq.argmax(0)
-                logical_not(vhit_buf, out=nb)
-                vslot[nb] = c_ventries  # divert non-hit lanes to the dump slot
-                multiply(vslot, c_lanes, out=flat_a)
-                add(flat_a, ar, out=flat_a)
-                v_tags_flat[flat_a] = c_neg1
-                add(vslot, ar_vrows, out=flat_b)
-                v_stamp_flat[flat_b] = c_vempty
-                l2need = logical_and(miss_buf, nb, out=l2need_buf)
+                vslot = np.argmax(veq, axis=1, out=amin1)
+                add(vslot, ar_vrows, out=vfa)
+                logical_not(vhit, out=nb)
+                copyto(vfa, v_dump_vec, where=nb)  # divert non-hit lanes
+                v_tags_flat[vfa] = c_neg1
+                v_stamp_flat[vfa] = c_vempty
+                l2need = logical_and(miss, nb, out=l2need_buf)
+                need_all = False
             else:
-                l2need = miss_buf  # read-only below: alias, no copy
+                l2need = miss  # read-only below: alias, no copy
+                need_all = all_miss
         else:
-            l2need = miss_buf
+            l2need = miss
+            need_all = all_miss
         # ---- shared L2 ----------------------------------------------------
         sc_b[()] = tag2
-        np.equal(l2_tags[base2 : base2 + l2_ways], sc_b, out=eq2_buf)
-        eq2_buf.any(0, out=h2_buf)
-        logical_and(h2_buf, l2need, out=h2_buf)
-        logical_not(h2_buf, out=nb2)
-        if count_nonzero(h2_buf):
-            l2hit_rows[ei] = h2_buf
-            # Mask out lanes that did not probe the L2 (an L1-hit lane may
-            # still hold the block in its L2; its recency must not move).
-            logical_and(eq2_buf, l2need, out=eq2_buf)
-            np.copyto(
-                l2_last[:, base2 : base2 + l2_ways], sc_stamp, where=eq2_buf.T
-            )
-        logical_and(l2need, nb2, out=fill2)
-        n2m = count_nonzero(fill2)
+        np.equal(l2_tags[:, base2 : base2 + l2_ways], sc_b, out=eq2_buf)
+        h2 = eq2_buf.any(1, out=l2hit_rows[ei])
+        if need_all:
+            # Every lane probed the L2: matched positions need no mask.
+            copyto(l2_last[:, base2 : base2 + l2_ways], sc_stamp, where=eq2_buf)
+            fill2_m = logical_not(h2, out=fill2)
+        else:
+            logical_and(h2, l2need, out=h2)
+            if count_nonzero(h2):
+                # Mask out lanes that did not probe the L2 (an L1-hit lane
+                # may still hold the block; its recency must not move).
+                logical_and(eq2_buf, l2need[:, None], out=eq2_buf)
+                copyto(
+                    l2_last[:, base2 : base2 + l2_ways], sc_stamp, where=eq2_buf
+                )
+            logical_not(h2, out=fill2)
+            fill2_m = logical_and(fill2, l2need, out=fill2)
+        n2m = count_nonzero(fill2_m)
         if n2m:
-            vw2 = l2_last[:, base2 : base2 + l2_ways].argmin(1)
+            vw2 = np.argmin(
+                l2_last[:, base2 : base2 + l2_ways], axis=1, out=amin2
+            )
             sc_a[()] = base2
-            add(vw2, sc_a, out=icols2)
-            logical_not(fill2, out=nb2)
-            icols2[nb2] = c_l2dump  # diverted lanes read/write the dump row
-            multiply(icols2, c_lanes, out=flat_a)
-            add(flat_a, ar, out=flat_a)
-            et2 = l2_tags_flat.take(flat_a, out=et_buf)
-            np.greater_equal(et2, c_zero, out=ev_buf)
-            logical_and(ev_buf, fill2, out=ev_buf)
-            # L2 evictions fold into this port's eviction matrix; the L2 is
-            # never dirty (fills are reads), so no writeback rows.
-            l2ev_rows[ei] = ev_buf
-            l2_tags_flat[flat_a] = sc_b  # sc_b still holds tag2
-            add(icols2, ar_l2rows, out=flat_b)
-            l2_last_flat[flat_b] = sc_stamp
-            l2_fillt_flat[flat_b] = sc_stamp
+            add(vw2, sc_a, out=vw2)
+            add(vw2, ar_l2rows, out=fa)
+            if n2m != lanes:
+                logical_not(fill2_m, out=nb2)
+                copyto(fa, l2_dump_vec, where=nb2)  # divert to the dump slot
+                et2 = l2_tags_flat.take(fa, out=et2_buf)
+                np.greater_equal(et2, c_zero, out=ev_buf)
+                # L2 evictions fold into this port's eviction matrix; the
+                # L2 is never dirty (fills are reads), so no writebacks.
+                logical_and(ev_buf, fill2_m, out=l2ev_rows[ei])
+            else:
+                et2 = l2_tags_flat.take(fa, out=et2_buf)
+                np.greater_equal(et2, c_zero, out=l2ev_rows[ei])
+            l2_tags_flat[fa] = sc_b  # sc_b still holds tag2
+            l2_last_flat[fa] = sc_stamp
+            l2_fillt_flat[fa] = sc_stamp
         # ---- latency beyond L1 (zero at hit lanes) ------------------------
         if want_lat:
-            multiply(l2need, c_l2lat, out=t64)
-            if n2m:
-                multiply(fill2, c_memdelta, out=t64b)
-                add(t64, t64b, out=t64)
+            if need_all:
+                np.multiply(fill2_m, c_memdelta, out=t64)
+                add(t64, c_l2lat, out=t64)
+            else:
+                np.multiply(l2need, c_l2lat, out=t64)
+                if n2m:
+                    np.multiply(fill2_m, c_memdelta, out=t64b)
+                    add(t64, t64b, out=t64)
             if vcnt:
-                multiply(vhit_buf, c_viclat, out=t64b)
+                np.multiply(vhit, c_viclat, out=t64b)
                 add(t64, t64b, out=t64)
         # ---- L1 refill (vectorised victim-way choice) ---------------------
-        vw = l1_last[:, base : base + l1_ways].argmin(1)
+        vw = np.argmin(l1_last[:, base : base + l1_ways], axis=1, out=amin1)
         sc_a[()] = base
-        add(vw, sc_a, out=icols)
+        add(vw, sc_a, out=vw)
+        add(vw, ar_l1rows, out=fb)
+        fill1_all = all_miss
         if s in bypass_sets:
-            add(icols, ar_l1rows, out=flat_b)
-            gathered = l1_last_flat.take(flat_b)
-            byp = (gathered >= BIG_STAMP) & miss_buf
+            gathered = l1_last_flat.take(fb)
+            byp = (gathered >= BIG_STAMP) & miss
             bypass_events.append((ei, byp))
-            fill1 = miss_buf & ~byp
+            fill1 = miss & ~byp
+            fill1_all = False
         else:
-            fill1 = miss_buf
-        logical_not(fill1, out=nb)
-        icols[nb] = c_l1dump  # diverted lanes read/write the dump row/column
-        multiply(icols, c_lanes, out=flat_a)
-        add(flat_a, ar, out=flat_a)
-        add(icols, ar_l1rows, out=flat_b)
-        et = l1_tags_flat.take(flat_a, out=et_buf)
-        np.greater_equal(et, c_zero, out=ev_buf)
-        logical_and(ev_buf, fill1, out=ev_buf)
-        n_ev = count_nonzero(ev_buf)
+            fill1 = miss
+        if fill1_all:
+            et = l1_tags_flat.take(fb, out=et_buf)
+            ev = np.greater_equal(et, c_zero, out=evict_rows[ei])
+        else:
+            logical_not(fill1, out=nb)
+            copyto(fb, l1_dump_vec, where=nb)  # divert hit lanes to the dump
+            et = l1_tags_flat.take(fb, out=et_buf)
+            np.greater_equal(et, c_zero, out=ev_buf)
+            ev = logical_and(ev_buf, fill1, out=evict_rows[ei])
+        n_ev = count_nonzero(ev)
         if n_ev:
-            evict_rows[ei] = ev_buf
-            wb = l1_dirty_flat.take(flat_b, out=wb_buf)
-            logical_and(wb, ev_buf, out=wb)
-            wb_rows[ei] = wb
+            wb = l1_dirty_flat.take(fb, out=wb_buf)
+            logical_and(wb, ev, out=wb_rows[ei])
             # ---- evictee -> victim cache (no dedup: L1 residency and the
             # victim contents are disjoint by construction, exactly as on
             # the sequential path where the dedup branch is unreachable) --
@@ -1015,24 +1067,27 @@ def _compile_bulk_port(
                 np.left_shift(et, c_tagshift, out=et)
                 sc_a[()] = s
                 np.bitwise_or(et, sc_a, out=et)
-                vslot2 = v_stamp_main.argmin(1)
-                logical_not(ev_buf, out=nb)
-                vslot2[nb] = c_ventries
-                multiply(vslot2, c_lanes, out=flat_b)
-                add(flat_b, ar, out=flat_b)
-                vev = v_tags_flat.take(flat_b) != -1
-                logical_and(vev, ev_buf, out=vev)
-                vevict_rows[ei] = vev
-                v_tags_flat[flat_b] = et
-                add(vslot2, ar_vrows, out=flat_b)
-                v_stamp_flat[flat_b] = sc_stamp
-                add(icols, ar_l1rows, out=flat_b)  # rebuild the L1 offsets
-        # ---- L1 fill scatter ---------------------------------------------
+                vslot2 = np.argmin(v_stamp_main, axis=1, out=amin2)
+                if v_insertable is None:
+                    ins = ev
+                else:
+                    # Heterogeneous group: lanes with no victim cache
+                    # divert their evictee to the dump slot.
+                    ins = logical_and(ev, v_insertable, out=vins_buf)
+                add(vslot2, ar_vrows, out=vfb)
+                logical_not(ins, out=nb)
+                copyto(vfb, v_dump_vec, where=nb)
+                vt = v_tags_flat.take(vfb, out=et2_buf)
+                np.greater_equal(vt, c_zero, out=ev_buf)
+                logical_and(ev_buf, ins, out=vevict_rows[ei])
+                v_tags_flat[vfb] = et
+                v_stamp_flat[vfb] = sc_stamp
+        # ---- L1 fill scatter (same flat index as the gathers) -------------
         sc_a[()] = tag
-        l1_tags_flat[flat_a] = sc_a
-        l1_last_flat[flat_b] = sc_stamp
-        l1_dirty_flat[flat_b] = is_write
-        l1_fillt_flat[flat_b] = sc_stamp
+        l1_tags_flat[fb] = sc_a
+        l1_last_flat[fb] = sc_stamp
+        l1_dirty_flat[fb] = is_write
+        l1_fillt_flat[fb] = sc_stamp
         return t64 if want_lat else None
 
     bulk.service = service
@@ -1043,8 +1098,9 @@ class BulkLanes:
     """N structurally identical hierarchies compiled for one batched run.
 
     Lanes may differ in cache *contents* — fault maps, enabled ways,
-    victim/L2 residency — but share geometry, latencies, LRU policies,
-    and victim sizing (checked by :func:`bulk_lanes_eligible` plus the
+    victim/L2 residency — and in victim *sizing* (padded to the largest
+    lane, see :class:`VectorVictims`), but share geometry, latencies,
+    and LRU policies (checked by :func:`bulk_lanes_eligible` plus the
     batched pipeline's own config checks).
     """
 
@@ -1065,8 +1121,12 @@ class BulkLanes:
         self.l2 = VectorCache([h.l2 for h in hierarchies])
         vi = [h.victim_i for h in hierarchies]
         vd = [h.victim_d for h in hierarchies]
-        self.victims_i = VectorVictims(vi) if vi[0] is not None else None
-        self.victims_d = VectorVictims(vd) if vd[0] is not None else None
+        self.victims_i = (
+            VectorVictims(vi) if any(v is not None for v in vi) else None
+        )
+        self.victims_d = (
+            VectorVictims(vd) if any(v is not None for v in vd) else None
+        )
         #: Stamps start above twice every initial clock so they dominate
         #: every pre-existing recency value in every lane (see module
         #: comment; instruction i stamps 2i/2i+1 on the I/D side).
@@ -1080,24 +1140,26 @@ class BulkLanes:
         )
         scratch = {
             "ar": np.arange(lanes),
-            "hit": np.empty(lanes, dtype=np.bool_),
             "miss": np.empty(lanes, dtype=np.bool_),
             "l2need": np.empty(lanes, dtype=np.bool_),
             "fill2": np.empty(lanes, dtype=np.bool_),
             "nb": np.empty(lanes, dtype=np.bool_),
             "nb2": np.empty(lanes, dtype=np.bool_),
             "ev": np.empty(lanes, dtype=np.bool_),
-            "h2": np.empty(lanes, dtype=np.bool_),
-            "vhit": np.empty(lanes, dtype=np.bool_),
             "wb": np.empty(lanes, dtype=np.bool_),
-            "icols": np.empty(lanes, dtype=np.int64),
-            "icols2": np.empty(lanes, dtype=np.int64),
+            "amin1": np.empty(lanes, dtype=np.intp),
+            "amin2": np.empty(lanes, dtype=np.intp),
             "flat_a": np.empty(lanes, dtype=np.int64),
             "flat_b": np.empty(lanes, dtype=np.int64),
+            "flat_va": np.empty(lanes, dtype=np.int64),
+            "flat_vb": np.empty(lanes, dtype=np.int64),
             "et": np.empty(lanes, dtype=np.int64),
+            "et2": np.empty(lanes, dtype=np.int64),
             "t64": np.empty(lanes, dtype=np.int64),
             "t64b": np.empty(lanes, dtype=np.int64),
-            "veq": np.empty((max_victim + 1, lanes), dtype=np.bool_),
+            "veq": np.empty((lanes, max_victim + 1), dtype=np.bool_),
+            "vins": np.empty(lanes, dtype=np.bool_),
+            "all_true": np.ones(lanes, dtype=np.bool_),
         }
         # L2 evictions recorded per port (the L2 is shared; its counters
         # sum both ports' rows).

@@ -219,16 +219,16 @@ class Planner:
     def _group_passes(self, group: PlanGroup) -> int:
         """Schedule passes executing ``group`` will cost, mirroring the
         executors' accounting (``Session.execute_group``)."""
-        from repro.campaign.session import MIN_BATCH_LANES, MIN_MEGA_LANES
-
         lanes = self.session.lanes
+        min_mega = self.session.min_mega_lanes
+        min_batch = self.session.min_batch_lanes
         n = len(group)
         if group.merged:
             width = lanes or n
             passes = 0
             for start in range(0, n, width):
                 chunk = min(width, n - start)
-                passes += chunk if chunk < MIN_MEGA_LANES else 1
+                passes += chunk if chunk < min_mega else 1
             return passes
         if group.items[0].map_index is None:
             return 1  # fault-independent singleton
@@ -238,7 +238,7 @@ class Planner:
         passes = 0
         for start in range(0, n, width):
             chunk = min(width, n - start)
-            if width == 1 or chunk == 1 or (lanes is None and chunk < MIN_BATCH_LANES):
+            if width == 1 or chunk == 1 or (lanes is None and chunk < min_batch):
                 passes += chunk
             else:
                 passes += 1

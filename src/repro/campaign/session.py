@@ -48,30 +48,36 @@ from repro.faults.fault_map import FaultMap, FaultMapPair
 
 from repro.campaign.events import Event, PlanReady, PointResult, Progress
 from repro.campaign.plan import Plan, PlanGroup, Planner, WorkItem
-from repro.campaign.spec import CampaignSpec, RunnerSettings
+from repro.campaign.spec import CampaignSpec, RunnerSettings, adopt_execution
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.campaign.executors import Executor
 
 
-#: Below this many lanes a batched pass loses to per-map runs (the
-#: vectorised engine's per-operation dispatch amortises over the lane
-#: axis; ``benchmarks/bench_micro_batch.py`` puts the crossover around
-#: 12-20 lanes).  Session.simulate_maps applies the crossover only when
-#: no explicit lane width was requested — an explicit ``lanes >= 2``
-#: always batches — and results are bit-identical either way.
-MIN_BATCH_LANES = 16
+#: Below this many lanes a batched pass loses to per-map runs.  With the
+#: compiled lane kernel (``repro.cpu.lane_kernel``) fusing the per-op
+#: dispatch, a vectorised pass costs ~2.5-3x one scalar schedule walk
+#: regardless of width, so the crossover sits near 3 lanes
+#: (``benchmarks/bench_micro_batch.py`` reports ``break_even_lanes``;
+#: the ``kernel`` CI smoke re-measures it into ``kernel-smoke.json``).
+#: 4 keeps a
+#: small margin for kernel-less hosts' NumPy fallback.  Applied only
+#: when no explicit lane width was requested — an explicit ``lanes >=
+#: 2`` always batches — and results are bit-identical either way.
+#: Override per campaign with ``RunnerSettings(min_batch_lanes=...)``,
+#: ``--min-batch-lanes``, or ``REPRO_MIN_BATCH_LANES``.
+MIN_BATCH_LANES = 4
 
 #: Minimum merged width at which a *mega* group takes the vectorised
-#: path.  Deliberately below ``MIN_BATCH_LANES``: a vectorised pass
-#: costs ~8x one scalar schedule walk regardless of width, so merged
-#: groups only beat per-lane sequential runs wall-clock above ~10 lanes
-#: — but mega-batching's contract is the schedule-pass *floor* (one
-#: pass per trace-group, strictly fewer passes than campaign points;
-#: the CI mega smoke pins it), so narrow merged groups batch anyway and
-#: trade seconds of quick-fidelity wall-clock for it.  ``lanes=1`` or
-#: ``mega_batch=False`` restore the per-point crossover behaviour;
-#: singletons always run sequentially.
+#: path.  Deliberately below ``MIN_BATCH_LANES``: mega-batching's
+#: contract is the schedule-pass *floor* (one pass per trace-group,
+#: strictly fewer passes than campaign points; the CI mega smoke pins
+#: it), so two-lane merged groups batch even on kernel-less hosts where
+#: that trades a little quick-fidelity wall-clock for the floor.
+#: ``lanes=1`` or ``mega_batch=False`` restore the per-point crossover
+#: behaviour; singletons always run sequentially.  Override with
+#: ``RunnerSettings(min_mega_lanes=...)``, ``--min-mega-lanes``, or
+#: ``REPRO_MIN_MEGA_LANES``.
 MIN_MEGA_LANES = 2
 
 
@@ -153,6 +159,24 @@ class Session:
         #: multi-point campaign needs strictly fewer passes than points.
         self.schedule_passes = 0
         self._closed = False
+
+    # ----- batching crossovers --------------------------------------------------
+
+    @property
+    def min_batch_lanes(self) -> int:
+        """Effective per-point batching crossover: the settings override
+        when given, else the measured module default (resolved at use so
+        tests may patch :data:`MIN_BATCH_LANES`)."""
+        if self.settings.min_batch_lanes is not None:
+            return self.settings.min_batch_lanes
+        return MIN_BATCH_LANES
+
+    @property
+    def min_mega_lanes(self) -> int:
+        """Effective merged-group crossover (see :attr:`min_batch_lanes`)."""
+        if self.settings.min_mega_lanes is not None:
+            return self.settings.min_mega_lanes
+        return MIN_MEGA_LANES
 
     # ----- lifecycle ------------------------------------------------------------
 
@@ -293,7 +317,7 @@ class Session:
         warmup = self.settings.warmup_instructions
         for start in range(0, len(pending), width):
             chunk = pending[start : start + width]
-            too_narrow = self.lanes is None and len(chunk) < MIN_BATCH_LANES
+            too_narrow = self.lanes is None and len(chunk) < self.min_batch_lanes
             if width == 1 or len(chunk) == 1 or too_narrow:
                 for m in chunk:
                     results[m] = self.simulate(benchmark, config, m)
@@ -378,7 +402,7 @@ class Session:
             width = self.lanes or len(pending)
             for start in range(0, len(pending), width):
                 chunk = pending[start : start + width]
-                if signature is None or len(chunk) < MIN_MEGA_LANES:
+                if signature is None or len(chunk) < self.min_mega_lanes:
                     for config, m, key in chunk:
                         results[key] = self.simulate(benchmark, config, m)
                     continue
@@ -452,10 +476,12 @@ class Session:
         first iteration.
         """
         # Benchmarks only scope the campaign (a spec may sweep a subset of
-        # the session's suite); the fidelity fields must agree or the
-        # spec's task keys would not be this session's keys.
+        # the session's suite) and execution knobs never ride specs; the
+        # fidelity fields must agree or the spec's task keys would not be
+        # this session's keys.
         theirs = dataclasses.replace(
-            spec.settings(), benchmarks=self.settings.benchmarks
+            adopt_execution(spec.settings(), self.settings),
+            benchmarks=self.settings.benchmarks,
         )
         if theirs != self.settings:
             raise ValueError(
@@ -490,9 +516,10 @@ class Session:
         """A session at ``spec``'s fidelity sharing this session's store
         and trace cache (content-hash keys keep mixed-fidelity campaigns
         from colliding).  The derived session never closes the shared
-        store."""
+        store.  Execution knobs (batching crossovers) carry over from
+        this session — they are not part of a spec's fidelity."""
         return Session(
-            spec.settings(),
+            adopt_execution(spec.settings(), self.settings),
             pipeline_config=self.pipeline_config,
             store=self.store,
             trace_cache=self.traces.cache_dir,

@@ -95,12 +95,13 @@ def operand_columns(trace: Trace) -> tuple[list[int], list[int], list[int]]:
     return cached
 
 
-@dataclass
+@dataclass(eq=False)
 class FrontEndSchedule:
     """Compiled front-end behaviour of one (trace, config, measure_from)."""
 
-    # --- per-instruction -----------------------------------------------------
-    static_fetch: list[int]
+    # --- per-instruction (int64 array; the scalar hot loop reads the
+    # memoised list view below, the lane-batched loop the array) ------------
+    static_fetch: "np.ndarray | list[int]"
     # --- sparse events (index lists end with a sentinel of n) ---------------
     iaccess_index: list[int]
     iaccess_line: list[int]
@@ -123,6 +124,32 @@ class FrontEndSchedule:
     gshare_history: int
     ras_stack: tuple[int, ...]
     lp_table: tuple[int, ...]
+
+    @property
+    def static_fetch_list(self) -> list[int]:
+        """``static_fetch`` as a plain list of Python ints — what the
+        scalar per-instruction loops index (list access beats ndarray
+        scalar access in CPython).  Memoised per schedule."""
+        cached = self.__dict__.get("_static_fetch_list")
+        if cached is None:
+            raw = self.static_fetch
+            cached = raw if type(raw) is list else np.asarray(raw).tolist()
+            self.__dict__["_static_fetch_list"] = cached
+        return cached
+
+    def __eq__(self, other: object):  # static_fetch may be list or ndarray
+        if not isinstance(other, FrontEndSchedule):
+            return NotImplemented
+        from dataclasses import fields as _fields
+
+        for f in _fields(self):
+            a, b = getattr(self, f.name), getattr(other, f.name)
+            if f.name == "static_fetch":
+                if not np.array_equal(np.asarray(a), np.asarray(b)):
+                    return False
+            elif a != b:
+                return False
+        return True
 
     def install(
         self,
@@ -217,15 +244,67 @@ def _schedule_key(
     )
 
 
+def _frontend_arrays(trace: Trace) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+    """(pc, iclass, taken) as arrays — the columns the front end consumes,
+    converted once and memoised on the trace (shared by the content digest
+    and the vectorised schedule builder)."""
+    cached = trace.__dict__.get("_frontend_arrays")
+    if cached is None:
+        cached = (
+            np.asarray(trace.pc, dtype=np.int64),
+            np.asarray(trace.iclass, dtype=np.int64),
+            np.asarray(trace.taken, dtype=np.bool_),
+        )
+        trace._frontend_arrays = cached
+    return cached
+
+
+def _frontend_masks(trace: Trace) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+    """(branch_pos, callret_pos, is_mem) — class-derived index/mask arrays
+    the schedule builder consumes, memoised on the trace."""
+    cached = trace.__dict__.get("_frontend_masks")
+    if cached is None:
+        classes = _frontend_arrays(trace)[1]
+        cached = (
+            np.flatnonzero(classes == 6),
+            np.flatnonzero(classes > 6),
+            (classes == 4) | (classes == 5),
+        )
+        trace._frontend_masks = cached
+    return cached
+
+
+def _frontend_lines(trace: Trace, offset_bits: int) -> "tuple[np.ndarray, np.ndarray]":
+    """(lines, raw_change) for one I-line geometry: the fetch line of each
+    instruction and where it differs from its predecessor (the
+    predictor-independent part of the I-access points).  Memoised on the
+    trace per ``offset_bits``."""
+    cache = trace.__dict__.get("_frontend_lines")
+    if cache is None:
+        cache = {}
+        trace._frontend_lines = cache
+    entry = cache.get(offset_bits)
+    if entry is None:
+        lines = _frontend_arrays(trace)[0] >> offset_bits
+        raw_change = np.empty(len(lines), dtype=np.bool_)
+        if len(lines):
+            raw_change[0] = True
+            np.not_equal(lines[1:], lines[:-1], out=raw_change[1:])
+        entry = (lines, raw_change)
+        cache[offset_bits] = entry
+    return entry
+
+
 def _trace_content_digest(trace: Trace) -> str:
     """Content hash of the trace columns the front end consumes (pc,
     class, taken) — memoised on the trace object."""
     digest = trace.__dict__.get("_frontend_digest")
     if digest is None:
+        pcs, classes, takens = _frontend_arrays(trace)
         hasher = hashlib.sha256()
-        hasher.update(np.asarray(trace.pc, dtype=np.int64).tobytes())
-        hasher.update(np.asarray(trace.iclass, dtype=np.int64).tobytes())
-        hasher.update(np.asarray(trace.taken, dtype=np.bool_).tobytes())
+        hasher.update(pcs.tobytes())
+        hasher.update(classes.tobytes())
+        hasher.update(takens.tobytes())
         digest = hasher.hexdigest()
         trace._frontend_digest = digest
     return digest
@@ -309,7 +388,10 @@ def load_schedule(path: str) -> FrontEndSchedule:
             "lp_table": tuple(data["lp_table"].tolist()),
         }
         for name in _ARRAY_FIELDS:
-            kwargs[name] = data[name].tolist()
+            if name == "static_fetch":  # consumed as an array (or lazily
+                kwargs[name] = data[name]  # as a list) — skip the convert
+            else:
+                kwargs[name] = data[name].tolist()
         for name in _SCALAR_FIELDS:
             kwargs[name] = int(data[name])
     return FrontEndSchedule(**kwargs)
@@ -388,8 +470,253 @@ def _build_schedule(
     offset_bits: int,
     measure_from: int,
 ) -> FrontEndSchedule:
+    """Compile the schedule array-at-a-time.
+
+    The per-instruction replay (kept as :func:`_build_schedule_reference`,
+    the bit-identity twin) walks every instruction in Python.  This builder
+    observes that almost everything is data-parallel:
+
+    * gshare's *history* register never sees predictions — it is a pure
+      function of the taken-bit stream — so every table index vectorises;
+      only the saturating-counter updates stay sequential, and only over
+      control-flow instructions (a small fraction of the trace);
+    * fetch-slot bookkeeping is a segmented counter: slots reset at line
+      changes and after taken/redirecting control flow, so fetch-width
+      overflow bumps fall out of a ``maximum.accumulate`` over segment
+      starts plus a modulo;
+    * ``static_fetch`` is then two cumulative sums (overflow bumps plus
+      line-predictor bubbles shifted by one instruction).
+
+    Output is field-for-field identical to the reference loop, so the
+    persisted ``.npz`` cache entries stay byte-identical.
+    """
+    n = len(trace)
+    if n == 0:
+        empty = _build_schedule_reference(trace, config, offset_bits, measure_from)
+        empty.static_fetch = np.asarray(empty.static_fetch, dtype=np.int64)
+        return empty
+
+    pcs, classes, takens = _frontend_arrays(trace)
+    lines, raw_change = _frontend_lines(trace, offset_bits)
+    branch_pos, cr_pos, is_mem = _frontend_masks(trace)
+    fetch_width = config.fetch_width
+    # The reference resets measured-region stats at ``i == measure_from``
+    # only when ``0 < measure_from < n``; at or past the end it never fires.
+    reset_from = measure_from if 0 < measure_from < n else 0
+
+    # ---- gshare: indices vectorise, counter chains scan in parallel -----
+    n_branches = len(branch_pos)
+    hist_bits = config.gshare_history_bits
+    hist_mask = (1 << hist_bits) - 1
+    b_taken = takens[branch_pos]
+    t_bits = b_taken.astype(np.int32)
+    # history before branch k: bit b is the outcome of branch k-1-b
+    # (gshare's history register never observes predictions).
+    hist = np.zeros(n_branches, dtype=np.int32)
+    for b in range(min(hist_bits, n_branches)):
+        hist[b + 1 :] |= t_bits[: n_branches - b - 1] << b
+    g_idx = ((pcs[branch_pos] >> 2) & hist_mask).astype(np.int32) ^ hist
+    # A saturating counter step is a clamp-add map s -> min(max(s+a,lo),hi)
+    # (taken: a=+1, hi=3; not-taken: a=-1, lo=0), and clamp-add maps are
+    # closed under composition — so each table entry's update chain is an
+    # associative scan.  Stable-sort branches by table index, then run a
+    # segmented Hillis-Steele doubling scan over (a, lo, hi) prefixes:
+    # O(log max-chain) vector passes replace the per-branch Python walk.
+    order = np.argsort(g_idx, kind="stable")
+    gi = g_idx[order]
+    gt = b_taken[order]
+    chain_start = np.empty(n_branches, dtype=np.bool_)
+    mis = np.zeros(n_branches, dtype=np.bool_)
+    if n_branches:
+        chain_start[0] = True
+        np.not_equal(gi[1:], gi[:-1], out=chain_start[1:])
+        ordinals = np.arange(n_branches, dtype=np.int32)
+        gstart = np.maximum.accumulate(np.where(chain_start, ordinals, -1))
+        BIG = 1 << 20  # beyond any reachable |prefix sum|, so "no bound"
+        acc_a = np.where(gt, 1, -1).astype(np.int32)
+        acc_lo = np.where(gt, -BIG, 0).astype(np.int32)
+        acc_hi = np.where(gt, 3, BIG).astype(np.int32)
+        chain_len = np.diff(np.append(np.flatnonzero(chain_start), n_branches))
+        max_chain = int(chain_len.max())
+        span = 1
+        while span < max_chain:
+            # element k combines with k-span iff both lie in one chain;
+            # ordinals[span:] - span is just ordinals[:-span] by value.
+            ok = gstart[span:] <= ordinals[:-span]
+            a1, lo1, hi1 = acc_a[:-span], acc_lo[:-span], acc_hi[:-span]
+            a2, lo2, hi2 = acc_a[span:], acc_lo[span:], acc_hi[span:]
+            # (later ∘ earlier): a=a1+a2, lo=max(lo1+a2, lo2),
+            # hi=min(max(hi1+a2, lo2), hi2); evaluate maps max-then-min.
+            new_a = np.where(ok, a1 + a2, a2)
+            new_lo = np.where(ok, np.maximum(lo1 + a2, lo2), lo2)
+            new_hi = np.where(
+                ok, np.minimum(np.maximum(hi1 + a2, lo2), hi2), hi2
+            )
+            acc_a = np.concatenate([acc_a[:span], new_a])
+            acc_lo = np.concatenate([acc_lo[:span], new_lo])
+            acc_hi = np.concatenate([acc_hi[:span], new_hi])
+            span *= 2
+        # counter AFTER branch k = its inclusive chain prefix applied to
+        # the weakly-taken initial state 2; the predicting state is the
+        # previous chain element's (2 at each chain head).
+        s_after = np.minimum(np.maximum(acc_a + 2, acc_lo), acc_hi)
+        s_before = np.empty(n_branches, dtype=np.int32)
+        s_before[0] = 2
+        s_before[1:] = s_after[:-1]
+        s_before[chain_start] = 2
+        mis[order] = (s_before >= 2) != gt
+    mis_ord = np.flatnonzero(mis)
+    gshare_table_arr = np.full(1 << hist_bits, 2, dtype=np.uint8)
+    if n_branches:
+        chain_last = np.empty(n_branches, dtype=np.bool_)
+        chain_last[-1] = True
+        chain_last[:-1] = chain_start[1:]
+        gshare_table_arr[gi[chain_last]] = s_after[chain_last]
+    # Final history: the last ``hist_bits`` outcomes, oldest first.
+    gshare_history = 0
+    for taken in b_taken[-hist_bits:].tolist():
+        gshare_history = ((gshare_history << 1) | taken) & hist_mask
+    # Measured-region stats by ordinal: counters only move at branches, so
+    # the reference's reset at ``i == reset_from`` is an ordinal split.
+    b_split = int(np.searchsorted(branch_pos, reset_from))
+    g_pred = n_branches - b_split
+    g_mis = len(mis_ord) - int(np.searchsorted(mis_ord, b_split))
+
+    # ---- line predictor: fully vectorised -------------------------------
+    # The LP table entry for an index is simply the *last target line* a
+    # correctly-predicted taken branch wrote there (a hit rewrites the
+    # same value), so misses reduce to neighbour compares after a stable
+    # sort by table index, and the trained table is each group's last row.
+    correct = np.ones(n_branches, dtype=np.bool_)
+    correct[mis_ord] = False
+    ct_mask = correct & b_taken
+    ct_ord = np.flatnonzero(ct_mask)
+    ct_pos = branch_pos[ct_ord]
+    lp_mask = config.line_predictor_entries - 1
+    ct_li = ((pcs[ct_pos] >> 2) & lp_mask).astype(np.int32)
+    # target line of branch i: the line of instruction i+1 (own at end).
+    ct_next = np.minimum(ct_pos + 1, n - 1)
+    ct_tgt = lines[ct_next]
+    order = np.argsort(ct_li, kind="stable")
+    sli = ct_li[order]
+    stgt = ct_tgt[order]
+    miss_sorted = np.empty(len(order), dtype=np.bool_)
+    if len(order):
+        miss_sorted[0] = True
+        np.not_equal(sli[1:], sli[:-1], out=miss_sorted[1:])
+        miss_sorted[1:] |= stgt[1:] != stgt[:-1]
+    lp_miss = np.empty_like(miss_sorted)
+    lp_miss[order] = miss_sorted
+    lp_table_arr = np.full(config.line_predictor_entries, -1, dtype=np.int64)
+    if len(order):
+        group_last = np.empty(len(order), dtype=np.bool_)
+        group_last[-1] = True
+        np.not_equal(sli[1:], sli[:-1], out=group_last[:-1])
+        lp_table_arr[sli[group_last]] = stgt[group_last]
+    ct_split = int(np.searchsorted(ct_pos, reset_from))
+    lp_lookups = len(ct_pos) - ct_split
+    lp_misses = int(np.count_nonzero(lp_miss[ct_split:]))
+
+    # ---- return-address stack: sequential, but calls/returns are rare ---
+    cr_call = classes[cr_pos] == 7
+    # call pushes pc+4; a return checks against the next pc (pc+4 at end).
+    cr_val = np.where(
+        cr_call, pcs[cr_pos] + 4, pcs[np.minimum(cr_pos + 1, n - 1)]
+    )
+    if len(cr_pos) and cr_pos[-1] == n - 1 and not cr_call[-1]:
+        cr_val[-1] = pcs[-1] + 4
+    ras_entries = config.ras_entries
+    ras_stack: list[int] = []
+    ras_mis_pos: list[int] = []
+    for i, call, val in zip(cr_pos.tolist(), cr_call.tolist(), cr_val.tolist()):
+        if call:
+            if len(ras_stack) == ras_entries:
+                ras_stack.pop(0)
+            ras_stack.append(val)
+        elif not (ras_stack and ras_stack.pop() == val):
+            ras_mis_pos.append(i)
+    # Measured-region counts by position (counters only move here).
+    cr_split = int(np.searchsorted(cr_pos, reset_from))
+    ras_pushes = int(np.count_nonzero(cr_call[cr_split:]))
+    ras_pops = len(cr_pos) - cr_split - ras_pushes
+    ras_mis_arr = np.asarray(ras_mis_pos, dtype=np.int64)
+    ras_mis = len(ras_mis_pos) - int(np.searchsorted(ras_mis_arr, reset_from))
+
+    # ---- redirect / bubble flags over the whole trace -------------------
+    redirect = np.zeros(n, dtype=np.bool_)
+    redirect[branch_pos[mis_ord]] = True
+    redirect[ras_mis_arr] = True
+    lp_bubble = np.zeros(n, dtype=np.bool_)
+    lp_bubble[ct_pos[lp_miss]] = True  # taken-branch fetch bubble
+
+    # ---- vectorised fetch-group / static-offset assembly ----------------
+    # cur_line resets to -1 after a redirect, forcing a line change there.
+    change = raw_change.copy()
+    change[1:] |= redirect[:-1]
+    # fetch_slot resets after calls, returns, and taken or redirecting
+    # branches (a correctly-predicted not-taken branch keeps the slot).
+    # Scatter over the (sparse) control-flow points instead of composing
+    # dense class masks.
+    start = change.copy()
+    start_tail = start[1:]
+    cr_head = cr_pos[cr_pos < n - 1]
+    start_tail[cr_head] = True
+    b_reset = branch_pos[b_taken | mis]
+    start_tail[b_reset[b_reset < n - 1]] = True
+    idx = np.arange(n, dtype=np.int32)
+    seg_start = np.maximum.accumulate(np.where(start, idx, -1))
+    slot = idx - seg_start
+    if fetch_width & (fetch_width - 1) == 0:
+        bump = (slot > 0) & (slot & (fetch_width - 1) == 0)
+    else:
+        bump = (slot > 0) & (slot % fetch_width == 0)
+    contrib = bump.astype(np.int8)
+    contrib[1:] += lp_bubble[:-1]  # a bubble lands after its own slot
+    static = np.cumsum(contrib, dtype=np.int32)
+
+    iaccess_idx = np.flatnonzero(change)
+    redirect_idx = np.flatnonzero(redirect)
+    iaccess_index = iaccess_idx.tolist()
+    redirect_index = redirect_idx.tolist()
+    next_static = static[np.minimum(redirect_idx + 1, n - 1)]
+    iaccess_measured = int(np.count_nonzero(change[reset_from:]))
+    daccess_measured = int(np.count_nonzero(is_mem[reset_from:]))
+    iaccess_index.append(n)
+    redirect_index.append(n)
+
+    return FrontEndSchedule(
+        static_fetch=static,
+        iaccess_index=iaccess_index,
+        iaccess_line=lines[iaccess_idx].tolist(),
+        redirect_index=redirect_index,
+        redirect_static_next=next_static.tolist(),
+        gshare_predictions=g_pred,
+        gshare_mispredictions=g_mis,
+        ras_pushes=ras_pushes,
+        ras_pops=ras_pops,
+        ras_mispredictions=ras_mis,
+        lp_lookups=lp_lookups,
+        lp_misses=lp_misses,
+        iaccess_measured=iaccess_measured,
+        daccess_measured=daccess_measured,
+        gshare_table=gshare_table_arr.tobytes(),
+        gshare_history=gshare_history,
+        ras_stack=tuple(ras_stack),
+        lp_table=tuple(lp_table_arr.tolist()),
+    )
+
+
+def _build_schedule_reference(
+    trace: Trace,
+    config: PipelineConfig,
+    offset_bits: int,
+    measure_from: int,
+) -> FrontEndSchedule:
     """Replay the front end over the trace (mirror of the generic loop's
-    fetch and control-flow sections, minus everything timing-dependent)."""
+    fetch and control-flow sections, minus everything timing-dependent).
+
+    Per-instruction twin of the vectorised :func:`_build_schedule` — kept
+    as the bit-identity oracle the equivalence tests compare against."""
     gshare = GsharePredictor(config.gshare_history_bits)
     ras = ReturnAddressStack(config.ras_entries)
     lp = LinePredictor(config.line_predictor_entries)

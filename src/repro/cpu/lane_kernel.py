@@ -1,0 +1,391 @@
+"""Compiled C core for the lane-batched pipeline loop.
+
+The pure-NumPy lane loop pays ~0.3µs of ufunc dispatch per call and an
+irreducible ~15 serial calls per instruction, which floors its mega-batch
+break-even around 6-7 lanes.  This module compiles (at first use, with
+the system ``gcc``) a small C kernel that advances *all* lanes through
+the per-instruction timing recurrence — dispatch maxima, FU-pool and
+issue-port argmin-replace, commit, redirects, and the all-hit L1 probe
+fast path — and returns to Python only at the rare points that need the
+vectorised event machinery:
+
+* the warmup/measured boundary (cycle-base snapshot + counter reset),
+* an I-cache access where at least one lane misses,
+* a D-cache access where at least one lane misses (the kernel *peeks*
+  the probe before dispatching; Python runs only the vectorised cache
+  service, stores the per-lane latency vector in the ``P_DLAT`` buffer,
+  sets ``DLAT_READY``, and re-enters — the kernel then finishes the
+  instruction itself, so a miss costs one service call, not a full
+  NumPy instruction replay).
+
+State is shared, not marshalled: the kernel receives one ``int64`` "ctx"
+array holding scalars, cursors, and the raw addresses of the NumPy lane
+arrays (``ndarray.ctypes.data``), so a call costs one ctypes dispatch
+(~1µs) regardless of lane count.  All arithmetic is 64-bit integer and
+every tie-break (first-minimum argmin, first-match argmax) matches the
+NumPy loop exactly, keeping results bit-identical — golden-pinned by the
+same tests that pin the NumPy path, and re-checked kernel-vs-fallback in
+``tests/cpu/test_lane_kernel.py``.
+
+The kernel is optional: no compiler, a failed build, or the environment
+override ``REPRO_NO_CKERNEL=1`` all fall back to the NumPy loop
+transparently.  Compiled objects are cached under the system temp
+directory keyed by a source hash, so rebuilds only happen when the
+kernel source changes.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import subprocess
+import tempfile
+
+__all__ = ["load", "CTX", "CTX_SLOTS", "RET_DONE", "RET_BOUNDARY",
+           "RET_IACCESS", "RET_DMISS"]
+
+#: Return codes (ctx[RET] after a kernel call).
+RET_DONE = 0
+RET_BOUNDARY = 1
+RET_IACCESS = 2
+RET_DMISS = 3
+
+#: ``cur_sp`` sentinel forcing a fetch-base refresh (below any real
+#: static fetch offset).
+CUR_SP_INVALID = -(1 << 62)
+
+_SCALARS = (
+    # constants
+    "N", "NLANES", "WSCALE", "WM1", "WPOW2", "FDELAY", "KSTAMP", "DHIT",
+    "IWAYS", "DWAYS", "ISTRIDE", "DSTRIDE", "NPORTS",
+    # cursors / results (mutable across calls)
+    "I_CUR", "IA_CUR", "RD_CUR", "CUR_SP", "BOUNDARY", "RET", "CNT_OUT",
+    "DLAT_READY",
+)
+_TABLES = (
+    ("EXECLAT", 9),  # (latency - 1) * W per instruction class
+    ("FUOF", 9),     # class -> FU pool index
+    ("POOLW", 4),    # FU pool widths
+)
+_POINTERS = (
+    "P_CLS", "P_SPS", "P_SRC1", "P_SRC2", "P_DEST", "P_ROBCOL", "P_IQCOL",
+    "P_DBASES", "P_DTAGS", "P_IAIDX", "P_IABASES", "P_IATAGS",
+    "P_RDIDX", "P_RDSNEXT",
+    "P_REG", "P_ROB", "P_IQINT", "P_IQFP",
+    "P_POOL0", "P_POOL1", "P_POOL2", "P_POOL3", "P_PORTS",
+    "P_DYN", "P_FETCHBASE", "P_V",
+    "P_ITAGS", "P_ILAST", "P_DTAGS2D", "P_DLAST", "P_DDIRTY",
+    "P_EQI", "P_EQD", "P_DLAT",
+)
+
+#: Name -> ctx slot index; the C ``#define`` block is generated from this
+#: same table, so Python and C can never disagree on the layout.
+CTX: dict[str, int] = {}
+_slot = 0
+for _name in _SCALARS:
+    CTX[_name] = _slot
+    _slot += 1
+for _name, _width in _TABLES:
+    CTX[_name] = _slot
+    _slot += _width
+for _name in _POINTERS:
+    CTX[_name] = _slot
+    _slot += 1
+CTX_SLOTS = _slot
+
+
+_C_BODY = r"""
+#include <stdint.h>
+
+#define I64P(k) ((int64_t *)(intptr_t)ctx[k])
+#define U8P(k) ((uint8_t *)(intptr_t)ctx[k])
+
+void repro_run_lanes(int64_t *ctx) {
+    const int64_t n = ctx[N];
+    const int64_t L = ctx[NLANES];
+    const int64_t W = ctx[WSCALE];
+    const int64_t wm1 = ctx[WM1];
+    const int64_t w_pow2 = ctx[WPOW2];
+    const int64_t fdelay = ctx[FDELAY];
+    const int64_t K = ctx[KSTAMP];
+    const int64_t dhit = ctx[DHIT];
+    const int64_t iways = ctx[IWAYS];
+    const int64_t dways = ctx[DWAYS];
+    const int64_t istride = ctx[ISTRIDE];
+    const int64_t dstride = ctx[DSTRIDE];
+    const int64_t nports = ctx[NPORTS];
+    const int64_t *execlat = ctx + EXECLAT;
+    const int64_t *fuof = ctx + FUOF;
+    const int64_t *poolw = ctx + POOLW;
+
+    const int64_t *cls_c = I64P(P_CLS);
+    const int64_t *sps_c = I64P(P_SPS);
+    const int64_t *src1 = I64P(P_SRC1);
+    const int64_t *src2 = I64P(P_SRC2);
+    const int64_t *dest = I64P(P_DEST);
+    const int64_t *robcol = I64P(P_ROBCOL);
+    const int64_t *iqcol = I64P(P_IQCOL);
+    const int64_t *dbases = I64P(P_DBASES);
+    const int64_t *dtagc = I64P(P_DTAGS);
+    const int64_t *ia_idx = I64P(P_IAIDX);
+    const int64_t *ia_bases = I64P(P_IABASES);
+    const int64_t *ia_tags = I64P(P_IATAGS);
+    const int64_t *rd_idx = I64P(P_RDIDX);
+    const int64_t *rd_snext = I64P(P_RDSNEXT);
+    int64_t *reg = I64P(P_REG);
+    int64_t *rob = I64P(P_ROB);
+    int64_t *iqint = I64P(P_IQINT);
+    int64_t *iqfp = I64P(P_IQFP);
+    int64_t *pools[4] = {I64P(P_POOL0), I64P(P_POOL1), I64P(P_POOL2),
+                         I64P(P_POOL3)};
+    int64_t *ports = I64P(P_PORTS);
+    int64_t *dyn = I64P(P_DYN);
+    int64_t *fetch_base = I64P(P_FETCHBASE);
+    int64_t *v = I64P(P_V);
+    const int64_t *itags = I64P(P_ITAGS);
+    int64_t *ilast = I64P(P_ILAST);
+    const int64_t *dtags = I64P(P_DTAGS2D);
+    int64_t *dlast = I64P(P_DLAST);
+    uint8_t *ddirty = U8P(P_DDIRTY);
+    uint8_t *eqi = U8P(P_EQI);
+    uint8_t *eqd = U8P(P_EQD);
+    const int64_t *dlat = I64P(P_DLAT);
+
+    int64_t i = ctx[I_CUR];
+    int64_t ia_cur = ctx[IA_CUR];
+    int64_t rd_cur = ctx[RD_CUR];
+    int64_t cur_sp = ctx[CUR_SP];
+    const int64_t boundary = ctx[BOUNDARY];
+    int64_t next_ia = ia_idx[ia_cur];
+    int64_t next_rd = rd_idx[rd_cur];
+    int64_t ret = RET_DONE_C;
+    int64_t cnt = 0;
+    int64_t pending_dlat = ctx[DLAT_READY];
+
+    for (; i < n; i++) {
+        if (i == boundary) { ret = RET_BOUNDARY_C; goto save; }
+        if (i == next_ia) {
+            /* ---- I-cache access point: probe every lane's set ------ */
+            const int64_t base = ia_bases[ia_cur];
+            const int64_t tag = ia_tags[ia_cur];
+            cnt = 0;
+            for (int64_t l = 0; l < L; l++) {
+                const int64_t *trow = itags + l * istride + base;
+                uint8_t *erow = eqi + l * iways;
+                for (int64_t k = 0; k < iways; k++) {
+                    uint8_t e = trow[k] == tag;
+                    erow[k] = e;
+                    cnt += e;
+                }
+            }
+            if (cnt != L) { ret = RET_IACCESS_C; goto save; }
+            const int64_t stamp = K + 2 * i;
+            for (int64_t l = 0; l < L; l++) {
+                const uint8_t *erow = eqi + l * iways;
+                int64_t *lrow = ilast + l * istride + base;
+                for (int64_t k = 0; k < iways; k++)
+                    if (erow[k]) lrow[k] = stamp;
+            }
+            ia_cur++;
+            next_ia = ia_idx[ia_cur];
+        }
+        const int64_t cls = cls_c[i];
+        int64_t dbase = 0;
+        int dres = 0;
+        if (cls == 4 || cls == 5) {
+            if (pending_dlat) {
+                /* re-entry after a D-miss: the vectorised service has
+                   already refilled, stamped, and (for loads) left the
+                   per-lane latency vector in `dlat` — finish the
+                   instruction here instead of a NumPy replay. */
+                dres = 1;
+                pending_dlat = 0;
+            } else {
+                /* ---- D-probe peek *before* dispatch: on any-lane miss
+                   Python runs the service, then re-enters with
+                   DLAT_READY set ------------------------------------ */
+                dbase = dbases[i];
+                const int64_t tag = dtagc[i];
+                cnt = 0;
+                for (int64_t l = 0; l < L; l++) {
+                    const int64_t *trow = dtags + l * dstride + dbase;
+                    uint8_t *erow = eqd + l * dways;
+                    for (int64_t k = 0; k < dways; k++) {
+                        uint8_t e = trow[k] == tag;
+                        erow[k] = e;
+                        cnt += e;
+                    }
+                }
+                if (cnt != L) { ret = RET_DMISS_C; goto save; }
+            }
+        }
+        const int64_t sp = sps_c[i];
+        if (sp != cur_sp) {
+            const int64_t off = sp * W;
+            for (int64_t l = 0; l < L; l++) fetch_base[l] = dyn[l] + off;
+            cur_sp = sp;
+        }
+        const int64_t r1 = src1[i];
+        const int64_t r2 = src2[i];
+        const int64_t rdst = dest[i];
+        int64_t *robrow = rob + robcol[i] * L;
+        int64_t *iqrow =
+            ((cls == 2 || cls == 3) ? iqfp : iqint) + iqcol[i] * L;
+        const int64_t fu = fuof[cls];
+        const int64_t pw = poolw[fu];
+        int64_t *pool = pools[fu];
+        const int64_t elat = execlat[cls];
+        const int redirect = i == next_rd;
+        const int64_t rd_add =
+            redirect ? (1 + fdelay - rd_snext[rd_cur]) * W : 0;
+        const int64_t stamp_d = K + 2 * i + 1;
+        for (int64_t l = 0; l < L; l++) {
+            /* dispatch: fetch/ROB/IQ/operand readiness maxima -------- */
+            int64_t disp = fetch_base[l];
+            int64_t x = robrow[l];
+            if (x > disp) disp = x;
+            x = iqrow[l];
+            if (x > disp) disp = x;
+            if (r1 != 64) {
+                x = reg[r1 * L + l];
+                if (x > disp) disp = x;
+            }
+            if (r2 != 64 && r2 != r1) {
+                x = reg[r2 * L + l];
+                if (x > disp) disp = x;
+            }
+            /* issue: earliest-free FU and port, first-minimum tie-break
+               (argmin-replace, multiset-equivalent to heapreplace) --- */
+            int64_t *pl = pool + l * pw;
+            int64_t bi = 0, bv = pl[0];
+            for (int64_t k = 1; k < pw; k++)
+                if (pl[k] < bv) { bv = pl[k]; bi = k; }
+            if (bv > disp) disp = bv;
+            int64_t *pt = ports + l * nports;
+            int64_t qi = 0, qv = pt[0];
+            for (int64_t k = 1; k < nports; k++)
+                if (pt[k] < qv) { qv = pt[k]; qi = k; }
+            if (qv > disp) disp = qv;
+            const int64_t issued = disp + W;
+            pl[bi] = issued;
+            pt[qi] = issued;
+            iqrow[l] = issued;
+            /* execute / complete (probe all-hit, or serviced miss) --- */
+            int64_t cw;
+            if (cls == 4) {
+                cw = issued + dhit;
+                if (dres) {
+                    cw += dlat[l];
+                } else {
+                    const uint8_t *erow = eqd + l * dways;
+                    int64_t *lrow = dlast + l * dstride + dbase;
+                    for (int64_t k = 0; k < dways; k++)
+                        if (erow[k]) lrow[k] = stamp_d;
+                }
+            } else if (cls == 5) {
+                cw = issued; /* retires via the store buffer */
+                if (!dres) {
+                    const uint8_t *erow = eqd + l * dways;
+                    const int64_t off = l * dstride + dbase;
+                    for (int64_t k = 0; k < dways; k++)
+                        if (erow[k]) {
+                            dlast[off + k] = stamp_d;
+                            ddirty[off + k] = 1;
+                        }
+                }
+            } else {
+                cw = issued + elat;
+            }
+            if (rdst != 65) reg[rdst * L + l] = cw;
+            /* commit: v' = max(v, cw) + 1, ROB frees at the scaled
+               (last_commit + 1) * W bound ---------------------------- */
+            int64_t vv = v[l];
+            if (cw > vv) vv = cw;
+            robrow[l] = w_pow2 ? (vv | wm1) + 1 : (vv / W + 1) * W;
+            v[l] = vv + 1;
+            if (redirect) {
+                const int64_t dd = cw + rd_add;
+                if (dd > dyn[l]) dyn[l] = dd;
+            }
+        }
+        if (redirect) {
+            rd_cur++;
+            next_rd = rd_idx[rd_cur];
+            cur_sp = CUR_SP_INVALID_C; /* dyn moved: refresh fetch base */
+        }
+    }
+save:
+    ctx[I_CUR] = i;
+    ctx[IA_CUR] = ia_cur;
+    ctx[RD_CUR] = rd_cur;
+    ctx[CUR_SP] = cur_sp;
+    ctx[CNT_OUT] = cnt; /* hit-lane count of the event being returned */
+    ctx[DLAT_READY] = 0;
+    ctx[RET] = ret;
+}
+"""
+
+
+def _source() -> str:
+    defines = [f"#define {name} {slot}" for name, slot in CTX.items()]
+    defines.append(f"#define RET_DONE_C {RET_DONE}")
+    defines.append(f"#define RET_BOUNDARY_C {RET_BOUNDARY}")
+    defines.append(f"#define RET_IACCESS_C {RET_IACCESS}")
+    defines.append(f"#define RET_DMISS_C {RET_DMISS}")
+    defines.append(f"#define CUR_SP_INVALID_C (-(INT64_C(1) << 62))")
+    return "\n".join(defines) + "\n" + _C_BODY
+
+
+_cached_fn = None
+_build_failed = False
+
+
+def _build() -> "ctypes.CDLL | None":
+    source = _source()
+    digest = hashlib.sha256(source.encode()).hexdigest()[:16]
+    cache_dir = os.environ.get("REPRO_KERNEL_CACHE") or os.path.join(
+        tempfile.gettempdir(), f"repro-lane-kernel-{os.getuid()}"
+    )
+    lib_path = os.path.join(cache_dir, f"lane_kernel_{digest}.so")
+    if not os.path.exists(lib_path):
+        try:
+            os.makedirs(cache_dir, exist_ok=True)
+            src_path = os.path.join(cache_dir, f"lane_kernel_{digest}.c")
+            with open(src_path, "w") as fh:
+                fh.write(source)
+            # Build to a unique temp name, then rename: atomic under
+            # POSIX, so concurrent worker processes never load a
+            # half-written object.
+            tmp_path = f"{lib_path}.{os.getpid()}.tmp"
+            subprocess.run(
+                ["gcc", "-O2", "-shared", "-fPIC", "-o", tmp_path, src_path],
+                check=True,
+                capture_output=True,
+                timeout=120,
+            )
+            os.replace(tmp_path, lib_path)
+        except (OSError, subprocess.SubprocessError):
+            return None
+    try:
+        lib = ctypes.CDLL(lib_path)
+    except OSError:
+        return None
+    fn = lib.repro_run_lanes
+    fn.argtypes = [ctypes.c_void_p]
+    fn.restype = None
+    return fn
+
+
+def load():
+    """The compiled kernel entry point, or ``None`` when unavailable
+    (``REPRO_NO_CKERNEL=1``, no working ``gcc``, load failure).  Build
+    results — success or failure — are cached for the process."""
+    if os.environ.get("REPRO_NO_CKERNEL"):
+        return None
+    global _cached_fn, _build_failed
+    if _cached_fn is None and not _build_failed:
+        _cached_fn = _build()
+        if _cached_fn is None:
+            _build_failed = True
+    return _cached_fn

@@ -54,6 +54,7 @@ import numpy as np
 
 from repro.cache.engine import BulkLanes, FusedHierarchy, bulk_signature
 from repro.cache.hierarchy import MemoryHierarchy
+from repro.cpu import lane_kernel
 from repro.cpu.branch import GsharePredictor, LinePredictor, ReturnAddressStack
 from repro.cpu.config import PipelineConfig
 from repro.cpu.frontend import (
@@ -557,7 +558,7 @@ class OutOfOrderPipeline:
         frontend_delay = cfg.frontend_stages + l1i_lat
 
         schedule = frontend_schedule(trace, cfg, i_shift, measure_from)
-        sps = schedule.static_fetch
+        sps = schedule.static_fetch_list
         ia_indices = schedule.iaccess_index
         ia_lines = schedule.iaccess_line
         rd_indices = schedule.redirect_index
@@ -791,8 +792,9 @@ class OutOfOrderPipeline:
         the batched loop services vectorised), and folds in the shared
         pipeline config, the latency set, the per-level geometries, and
         the bulk engine's own coverage signature (LRU replacement,
-        fully-enabled L2, victim sizing — see
-        :func:`repro.cache.engine.bulk_signature`).  The mega-batch
+        fully-enabled L2 — see
+        :func:`repro.cache.engine.bulk_signature`; victim *sizings* may
+        differ per lane, padded by the vector engine).  The mega-batch
         planner groups campaign work items by this key.
         """
         h = self.hierarchy
@@ -844,10 +846,11 @@ class OutOfOrderPipeline:
 
         Lanes need not share a *configuration*: any pipelines with equal
         non-``None`` :meth:`batch_key` signatures batch together (mixed
-        schemes, mixed victim contents, fault-free baselines).  Batches
-        the vectorised path cannot take — mixed latencies/geometries/
-        victim sizing, prefetchers, non-LRU policies, reused pipelines,
-        fewer than ``min_lanes`` lanes — fall back to sequential runs
+        schemes, mixed victim contents *and sizings* — 0/8/16-entry
+        lanes pad to one slot axis — fault-free baselines).  Batches
+        the vectorised path cannot take — mixed latencies/geometries,
+        prefetchers, non-LRU policies, reused pipelines, fewer than
+        ``min_lanes`` lanes — fall back to sequential runs
         transparently.
         """
         pipelines = list(pipelines)
@@ -860,6 +863,97 @@ class OutOfOrderPipeline:
         ):
             return [p.run(trace, measure_from) for p in pipelines]
         return OutOfOrderPipeline._run_lanes(pipelines, trace, measure_from)
+
+    @staticmethod
+    def _kernel_context(trace, cfg, lanes, env):
+        """Pack the lane-batched loop's state for the compiled C kernel.
+
+        Returns ``(ctx, keepalive)``: the ``int64`` context array holding
+        every scalar, cursor, and raw array address the kernel reads (see
+        :mod:`repro.cpu.lane_kernel` for the layout), plus the list of
+        freshly-created arrays whose addresses it contains — the caller
+        must keep that list alive for the duration of the run.  ``env``
+        is :meth:`_run_lanes`'s local namespace (the arrays are shared,
+        not copied: Python event tails and the kernel mutate the same
+        state).  Per-trace columns are converted to int64 arrays once and
+        memoised on the trace/schedule objects.
+        """
+        C = lane_kernel.CTX
+
+        def i64(x):
+            return np.ascontiguousarray(np.asarray(x, dtype=np.int64))
+
+        src1s, src2s, dests = env["src1s"], env["src2s"], env["dests"]
+        key = (
+            cfg.rob_entries, cfg.iq_int_entries, cfg.iq_fp_entries,
+            env["d_shift"], env["d_geom"].index_bits, env["d_geom"].ways,
+        )
+        cache = trace.__dict__.setdefault("_kernel_columns_i64", {})
+        cols = cache.get(key)
+        if cols is None:
+            cols = tuple(
+                i64(c)
+                for c in (
+                    trace.iclass, src1s, src2s, dests,
+                    env["rob_col"], env["iq_col"],
+                    env["d_bases"], env["d_tagcol"],
+                )
+            )
+            cache[key] = cols
+        cls_a, src1_a, src2_a, dest_a, robcol_a, iqcol_a, dbase_a, dtag_a = cols
+
+        # Sparse per-schedule columns are small (one entry per I-access /
+        # redirect); converting per call keeps the cache simple.
+        keepalive = [
+            i64(env["sps"]), i64(env["ia_indices"]), i64(env["ia_bases"]),
+            i64(env["ia_tags"]), i64(env["rd_indices"]),
+            i64(env["rd_static_next"]),
+        ]
+        sps_a, iaidx_a, iabase_a, iatag_a, rdidx_a, rdnext_a = keepalive
+
+        ctx = np.zeros(lane_kernel.CTX_SLOTS, dtype=np.int64)
+        commit_width = cfg.commit_width
+        ctx[C["N"]] = len(trace)
+        ctx[C["NLANES"]] = env["n_lanes"]
+        ctx[C["WSCALE"]] = commit_width
+        ctx[C["WM1"]] = commit_width - 1
+        ctx[C["WPOW2"]] = int(env["w_pow2"])
+        ctx[C["FDELAY"]] = env["frontend_delay"]
+        ctx[C["KSTAMP"]] = env["K"]
+        ctx[C["DHIT"]] = env["d_hit_adder"]
+        ctx[C["IWAYS"]] = env["i_ways"]
+        ctx[C["DWAYS"]] = env["d_ways"]
+        ctx[C["ISTRIDE"]] = lanes.l1i.n + 1
+        ctx[C["DSTRIDE"]] = lanes.l1d.n + 1
+        ctx[C["NPORTS"]] = cfg.issue_width
+        ctx[C["CUR_SP"]] = lane_kernel.CUR_SP_INVALID
+        ctx[C["BOUNDARY"]] = env["boundary"]
+        for j, lat in enumerate(env["exec_lat"]):
+            ctx[C["EXECLAT"] + j] = (lat - 1) * commit_width
+        for j, fu in enumerate(env["fu_of"]):
+            ctx[C["FUOF"] + j] = fu
+        for j, pool in enumerate(env["pools"]):
+            ctx[C["POOLW"] + j] = pool.shape[1]
+            ctx[C[f"P_POOL{j}"]] = pool.ctypes.data
+        for name, arr in (
+            ("P_CLS", cls_a), ("P_SPS", sps_a), ("P_SRC1", src1_a),
+            ("P_SRC2", src2_a), ("P_DEST", dest_a), ("P_ROBCOL", robcol_a),
+            ("P_IQCOL", iqcol_a), ("P_DBASES", dbase_a), ("P_DTAGS", dtag_a),
+            ("P_IAIDX", iaidx_a), ("P_IABASES", iabase_a),
+            ("P_IATAGS", iatag_a), ("P_RDIDX", rdidx_a),
+            ("P_RDSNEXT", rdnext_a),
+            ("P_REG", env["reg_ready"]), ("P_ROB", env["rob_ring"]),
+            ("P_IQINT", env["int_iq"]), ("P_IQFP", env["fp_iq"]),
+            ("P_PORTS", env["ports"]), ("P_DYN", env["dyn"]),
+            ("P_FETCHBASE", env["fetch_base"]), ("P_V", env["v"]),
+            ("P_ITAGS", env["i_tags2d"]), ("P_ILAST", env["i_last2d"]),
+            ("P_DTAGS2D", env["d_tags2d"]), ("P_DLAST", env["d_last2d"]),
+            ("P_DDIRTY", env["d_dirty2d"]),
+            ("P_EQI", env["eqbuf_i"]), ("P_EQD", env["eqbuf_d"]),
+            ("P_DLAT", env["dlat_buf"]),
+        ):
+            ctx[C[name]] = arr.ctypes.data
+        return ctx, keepalive
 
     @staticmethod
     def _run_lanes(
@@ -901,7 +995,7 @@ class OutOfOrderPipeline:
         frontend_delay = cfg.frontend_stages + l1i_lat
 
         schedule = frontend_schedule(trace, cfg, i_shift, measure_from)
-        sps = schedule.static_fetch
+        sps = schedule.static_fetch_list
         ia_indices = schedule.iaccess_index
         rd_indices = schedule.redirect_index
         rd_static_next = schedule.redirect_static_next
@@ -1000,8 +1094,8 @@ class OutOfOrderPipeline:
         idx64 = np.empty(n_lanes, I64)
         colbuf = np.empty(n_lanes, I64)
         w = commit_width  # timing scale factor (see docstring)
-        eqbuf_i = np.empty((i_ways, n_lanes), np.bool_)
-        eqbuf_d = np.empty((d_ways, n_lanes), np.bool_)
+        eqbuf_i = np.empty((n_lanes, i_ways), np.bool_)
+        eqbuf_d = np.empty((n_lanes, d_ways), np.bool_)
         d_hit_adder = (l1d_lat - 1) * commit_width
 
         ia_cursor = 0
@@ -1029,9 +1123,73 @@ class OutOfOrderPipeline:
         s_cell = np.array(0, I64)  # per-access scalar operand (base/tag/...)
         s_stamp = np.array(0, I64)  # current recency stamp (0-d copyto source)
 
-        for i, (cls, sp, r1, r2, rd, rs, slot) in enumerate(
+        kernel = lane_kernel.load()
+        if kernel is not None:
+            # ---- compiled driver: the C kernel advances all lanes and
+            # returns only at the boundary and at any-lane-miss events.
+            # A D-miss costs exactly one vectorised service call: the
+            # per-lane latency vector goes back through `dlat_buf` and
+            # the kernel finishes the instruction itself (DLAT_READY).
+            dlat_buf = np.zeros(n_lanes, I64)
+            ctx, _keepalive = OutOfOrderPipeline._kernel_context(
+                trace, cfg, lanes, locals()
+            )
+            C = lane_kernel.CTX
+            c_icur = C["I_CUR"]
+            c_iacur = C["IA_CUR"]
+            c_cursp = C["CUR_SP"]
+            c_ret = C["RET"]
+            c_cnt = C["CNT_OUT"]
+            c_dlat_ready = C["DLAT_READY"]
+            ctx_ptr = ctx.ctypes.data
+            while True:
+                kernel(ctx_ptr)
+                ret = int(ctx[c_ret])
+                if ret == lane_kernel.RET_DONE:
+                    break
+                i = int(ctx[c_icur])
+                if ret == lane_kernel.RET_BOUNDARY:
+                    np.subtract(v, 1, out=t)
+                    np.floor_divide(t, commit_width, out=t)
+                    cycles_base[:] = t
+                    lanes.mark_boundary()
+                    ctx[C["BOUNDARY"]] = -1
+                    continue
+                if ret == lane_kernel.RET_IACCESS:
+                    ia_cursor = int(ctx[c_iacur])
+                    dyn += service_i(
+                        K + 2 * i, ia_lines[ia_cursor], ia_bases[ia_cursor],
+                        ia_sets[ia_cursor], ia2_bases[ia_cursor],
+                        ia2_tags[ia_cursor], ia_tags[ia_cursor],
+                        eqbuf_i, int(ctx[c_cnt]), False, True,
+                    )
+                    ctx[c_iacur] = ia_cursor + 1
+                    ctx[c_cursp] = lane_kernel.CUR_SP_INVALID
+                    continue
+                # ---- RET_DMISS: one vectorised service call; the kernel
+                # finishes the instruction with the latency vector ------
+                stamp = K + 2 * i + 1
+                cnt = int(ctx[c_cnt])
+                if classes[i] == 4:  # LOAD
+                    np.copyto(
+                        dlat_buf,
+                        service_d(
+                            stamp, d_blocks[i], d_bases[i], d_sets[i],
+                            d2_bases[i], d2_tagcol[i], d_tagcol[i],
+                            eqbuf_d, cnt, False, True,
+                        ),
+                    )
+                else:  # STORE (the kernel only defers on cls 4/5)
+                    service_d(
+                        stamp, d_blocks[i], d_bases[i], d_sets[i],
+                        d2_bases[i], d2_tagcol[i], d_tagcol[i],
+                        eqbuf_d, cnt, True, False,
+                    )
+                ctx[c_dlat_ready] = 1
+        else:
+          for i, (cls, sp, r1, r2, rd, rs, slot) in enumerate(
             zip(classes, sps, src1s, src2s, dests, rob_col, iq_col)
-        ):
+          ):
             if i == next_pre:
                 if i == boundary:
                     np.subtract(v, 1, out=t)
@@ -1051,14 +1209,14 @@ class OutOfOrderPipeline:
                     next_ia = ia_indices[ia_cursor]
                     stamp = K + 2 * i
                     s_cell[()] = tag
-                    equal(i_tags2d[base : base + i_ways], s_cell, out=eqbuf_i)
+                    equal(i_tags2d[:, base : base + i_ways], s_cell, out=eqbuf_i)
                     cnt = count_nonzero(eqbuf_i)
                     if cnt == n_lanes:
                         s_stamp[()] = stamp
                         np.copyto(
                             i_last2d[:, base : base + i_ways],
                             s_stamp,
-                            where=eqbuf_i.T,
+                            where=eqbuf_i,
                         )
                     else:
                         dyn += service_i(
@@ -1115,7 +1273,7 @@ class OutOfOrderPipeline:
                 base = d_bases[i]
                 stamp = K + 2 * i + 1
                 s_cell[()] = d_tagcol[i]
-                equal(d_tags2d[base : base + d_ways], s_cell, out=eqbuf_d)
+                equal(d_tags2d[:, base : base + d_ways], s_cell, out=eqbuf_d)
                 cnt = count_nonzero(eqbuf_d)
                 add(issued, c_dhit, out=comp)
                 if cnt == n_lanes:
@@ -1123,7 +1281,7 @@ class OutOfOrderPipeline:
                     np.copyto(
                         d_last2d[:, base : base + d_ways],
                         s_stamp,
-                        where=eqbuf_d.T,
+                        where=eqbuf_d,
                     )
                 else:
                     comp += service_d(
@@ -1136,11 +1294,11 @@ class OutOfOrderPipeline:
                 base = d_bases[i]
                 stamp = K + 2 * i + 1
                 s_cell[()] = d_tagcol[i]
-                equal(d_tags2d[base : base + d_ways], s_cell, out=eqbuf_d)
+                equal(d_tags2d[:, base : base + d_ways], s_cell, out=eqbuf_d)
                 cnt = count_nonzero(eqbuf_d)
                 if cnt == n_lanes:
                     s_stamp[()] = stamp
-                    eq_t = eqbuf_d.T
+                    eq_t = eqbuf_d
                     np.copyto(
                         d_last2d[:, base : base + d_ways], s_stamp, where=eq_t
                     )

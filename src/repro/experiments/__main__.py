@@ -101,8 +101,28 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="fault-map lanes per batched simulation pass (default: all "
         "pending maps of a campaign point, falling back to per-map runs "
-        "below the ~16-lane efficiency crossover; an explicit N >= 2 "
-        "always batches; 1 = legacy per-map path)",
+        "below the efficiency crossover — ~4 lanes with the compiled "
+        "lane kernel; an explicit N >= 2 always batches; 1 = legacy "
+        "per-map path)",
+    )
+    parser.add_argument(
+        "--min-batch-lanes",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="override the per-point batching crossover: pending chunks "
+        "narrower than N run per-map instead of vectorised (default: "
+        "the measured MIN_BATCH_LANES, currently 4; results are "
+        "bit-identical at any value)",
+    )
+    parser.add_argument(
+        "--min-mega-lanes",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="override the merged-group crossover: mega-batch groups "
+        "narrower than N run per-lane (default: MIN_MEGA_LANES, "
+        "currently 2)",
     )
     parser.add_argument(
         "--mega-batch",
@@ -166,6 +186,16 @@ def _settings_from_args(args: argparse.Namespace) -> RunnerSettings:
         seed=args.seed if args.seed is not None else base.seed,
         warmup_instructions=(
             args.warmup if args.warmup is not None else base.warmup_instructions
+        ),
+        min_batch_lanes=(
+            args.min_batch_lanes
+            if args.min_batch_lanes is not None
+            else base.min_batch_lanes
+        ),
+        min_mega_lanes=(
+            args.min_mega_lanes
+            if args.min_mega_lanes is not None
+            else base.min_mega_lanes
         ),
     )
 

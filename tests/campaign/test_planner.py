@@ -9,6 +9,7 @@ from repro.campaign.spec import CampaignSpec, RunnerSettings
 from repro.experiments.configs import (
     LV_BASELINE,
     LV_BLOCK,
+    LV_BLOCK_V6,
     LV_BLOCK_V10,
     LV_INCREMENTAL,
     LV_WORD,
@@ -45,6 +46,8 @@ class TestResolution:
         assert plan.pending == 8
 
     def test_structural_twins_merge_across_points(self, session):
+        # Victim sizings pad to one slot axis, so the V$ variants ride
+        # in the same mega-group as the baseline and plain block lanes.
         plan = resolve(session)
         merged = {
             tuple((item.config.label, item.map_index) for item in group.items)
@@ -54,6 +57,8 @@ class TestResolution:
             ("baseline", None),
             ("block disabling", 0),
             ("block disabling", 1),
+            ("block disabling+V$ 10T", 0),
+            ("block disabling+V$ 10T", 1),
         ) in merged
 
     def test_store_holes_counted_and_dropped(self, session):
@@ -110,6 +115,19 @@ class TestPredictedPasses:
         session = Session(SETTINGS, lanes=1)
         plan = resolve(session)
         assert plan.predicted_passes == plan.pending  # all sequential
+        for group in plan.groups:
+            session.execute_group(group)
+        assert session.schedule_passes == plan.predicted_passes
+
+    def test_padded_victim_merge_prediction_matches_execution(self, session):
+        """Regression: a mixed 0/8/16-entry victim campaign merges into
+        one padded mega-group, and the planner's pass accounting agrees
+        with what the executor then actually spends (one pass)."""
+        configs = (LV_BLOCK, LV_BLOCK_V6, LV_BLOCK_V10)
+        plan = resolve(session, configs)
+        assert len(plan.groups) == 1 and plan.groups[0].merged
+        assert len(plan.groups[0]) == len(configs) * SETTINGS.n_fault_maps
+        assert plan.predicted_passes == 1
         for group in plan.groups:
             session.execute_group(group)
         assert session.schedule_passes == plan.predicted_passes

@@ -70,18 +70,23 @@ def test_single_lane_forced_through_vector_path(runner):
     assert _batched(runner, LV_BLOCK, [2], min_lanes=1) == expected
 
 
-def test_mixed_victim_sizes_fall_back(runner):
-    """Lanes with different victim sizings are ineligible for the
-    vectorised path but must still return sequential-identical results."""
+def test_mixed_victim_sizes_batch_vectorised(runner):
+    """Lanes with different victim sizings (0/8/16 entries) pad to one
+    slot axis and batch as a single vectorised group — bit-identical to
+    their sequential runs."""
     trace = runner.trace("gzip")
     pipelines = [
         runner.build_pipeline(LV_BLOCK, 0),
+        runner.build_pipeline(LV_BLOCK_V6, 0),
+        runner.build_pipeline(LV_BLOCK_V6, 1),
+        runner.build_pipeline(LV_BLOCK_V10, 0),
         runner.build_pipeline(LV_BLOCK_V10, 1),
     ]
-    assert not OutOfOrderPipeline._can_run_batch(pipelines)
+    assert OutOfOrderPipeline._can_run_batch(pipelines)
     results = OutOfOrderPipeline.run_batch(pipelines, trace, measure_from=WARMUP)
     assert results[0] == _sequential(runner, LV_BLOCK, [0])[0]
-    assert results[1] == _sequential(runner, LV_BLOCK_V10, [1])[0]
+    assert results[1:3] == _sequential(runner, LV_BLOCK_V6, [0, 1])
+    assert results[3:] == _sequential(runner, LV_BLOCK_V10, [0, 1])
 
 
 def test_mixed_latencies_fall_back(runner):

@@ -71,9 +71,15 @@ class TestSignatures:
             runner.batch_signature(c)
             for c in (LV_BLOCK, LV_WORD, LV_BLOCK_V10, LV_BLOCK_V6)
         }
-        # word-disabling: +1-cycle L1 (and halved cache); V$ rows: victim
-        # sizing 16 vs 8 vs none — four distinct batches.
-        assert len(signatures) == 4
+        # word-disabling still splits off (+1-cycle L1 and halved cache);
+        # the V$ rows (16/8/no entries) now pad to one slot axis and
+        # share the block-disabling signature — two distinct batches.
+        assert len(signatures) == 2
+        assert (
+            runner.batch_signature(LV_BLOCK)
+            == runner.batch_signature(LV_BLOCK_V6)
+            == runner.batch_signature(LV_BLOCK_V10)
+        )
 
     def test_signature_is_map_independent(self, runner):
         key0 = runner.build_pipeline(LV_BLOCK, 0).batch_key()
@@ -91,6 +97,8 @@ class TestPlanning:
             ("baseline", None),
             ("block disabling", 0),
             ("block disabling", 1),
+            ("block disabling+V$ 10T", 0),
+            ("block disabling+V$ 10T", 1),
         ) in merged
         # Plans cover exactly the campaign's work items, once each.
         items = [item for group in plan for item in group.items]
