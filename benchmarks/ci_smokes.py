@@ -480,6 +480,105 @@ def smoke_kernel(json_dir: str) -> list[str]:
     return failures
 
 
+def smoke_chaos(json_dir: str) -> list[str]:
+    """Resilience gate: a pool campaign under chaos fault injection must
+    drain bit-identical to a clean serial run.
+
+    ``REPRO_CHAOS=crash:0.4,seed:3`` deterministically kills real pool
+    workers mid-campaign (the seed is chosen so crashes actually fire
+    for this campaign's task keys); the resilient ``PoolExecutor`` must
+    rebuild the pool, re-roll the injected fate via the pool-generation
+    epoch, retry the lost chunks, and land every result byte-identical
+    to the serial reference — zero divergences, zero quarantined tasks.
+    """
+    from repro.campaign.events import TaskRetried, WorkerCrashed
+    from repro.campaign.executors import PoolExecutor
+    from repro.campaign.resilience import RetryPolicy
+    from repro.campaign.session import Session
+    from repro.campaign.spec import RunnerSettings
+    from repro.experiments.configs import (
+        LV_BASELINE,
+        LV_BLOCK,
+        LV_BLOCK_V10,
+        LV_WORD,
+    )
+    from repro.experiments.store import result_to_dict
+    from repro.testing.chaos import CHAOS_ENV
+
+    settings = RunnerSettings(
+        n_instructions=3_000,
+        warmup_instructions=1_000,
+        n_fault_maps=2,
+        benchmarks=("gzip",),
+    )
+    configs = (LV_BASELINE, LV_WORD, LV_BLOCK, LV_BLOCK_V10)
+
+    def snapshot(session: Session) -> dict:
+        return {
+            key: result_to_dict(session.store.get(key))
+            for key in session.store.keys()
+        }
+
+    serial = Session(settings)
+    serial.run_all(serial.spec(configs))
+    reference = snapshot(serial)
+
+    crashes = retries = 0
+    saved = os.environ.get(CHAOS_ENV)
+    os.environ[CHAOS_ENV] = "crash:0.4,seed:3"
+    try:
+        chaotic = Session(settings)
+        executor = PoolExecutor(
+            2, retry=RetryPolicy(max_attempts=5, backoff_base=0.0)
+        )
+        for event in chaotic.run(chaotic.spec(configs), executor=executor):
+            if isinstance(event, WorkerCrashed):
+                crashes += 1
+            elif isinstance(event, TaskRetried):
+                retries += 1
+    finally:
+        if saved is None:
+            del os.environ[CHAOS_ENV]
+        else:
+            os.environ[CHAOS_ENV] = saved
+
+    chaos_snapshot = snapshot(chaotic)
+    divergences = sum(
+        chaos_snapshot.get(key) != value for key, value in reference.items()
+    ) + sum(1 for key in chaos_snapshot if key not in reference)
+
+    failures: list[str] = []
+    if crashes < 1:
+        failures.append(
+            "chaos injection fired no worker crash — the smoke proved nothing "
+            "(did the injection seam or the seeded schedule change?)"
+        )
+    if divergences:
+        failures.append(
+            f"{divergences}/{len(reference)} chaos-run results diverge from "
+            "the clean serial store"
+        )
+    if chaotic.failures:
+        failures.append(
+            f"{len(chaotic.failures)} task(s) quarantined under crash-only "
+            "chaos (crashes must be retried to completion, not quarantined)"
+        )
+
+    _write(
+        json_dir,
+        "chaos",
+        {
+            "crashes": crashes,
+            "retries": retries,
+            "points": len(reference),
+            "divergences": divergences,
+            "quarantined": len(chaotic.failures),
+            "ok": not failures,
+        },
+    )
+    return failures
+
+
 SMOKES = {
     "goldens": smoke_goldens,
     "kips": smoke_kips,
@@ -488,6 +587,7 @@ SMOKES = {
     "store": smoke_store,
     "mega-batch": smoke_mega_batch,
     "campaign": smoke_campaign,
+    "chaos": smoke_chaos,
 }
 
 

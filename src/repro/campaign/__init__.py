@@ -22,7 +22,15 @@ as a thin compatibility shim over a Session; both paths are golden-pinned
 bit-identical (``benchmarks/ci_smokes.py campaign``).
 """
 
-from repro.campaign.events import Event, PlanReady, PointResult, Progress
+from repro.campaign.events import (
+    Event,
+    PlanReady,
+    PointResult,
+    Progress,
+    TaskFailed,
+    TaskRetried,
+    WorkerCrashed,
+)
 from repro.campaign.executors import (
     Executor,
     PoolExecutor,
@@ -30,6 +38,7 @@ from repro.campaign.executors import (
     adaptive_chunksize,
 )
 from repro.campaign.plan import Plan, PlanGroup, Planner, Task, WorkItem
+from repro.campaign.resilience import CampaignError, Quarantined, RetryPolicy
 from repro.campaign.session import (
     MIN_BATCH_LANES,
     MIN_MEGA_LANES,
@@ -61,6 +70,12 @@ __all__ = [
     "PlanReady",
     "PointResult",
     "Progress",
+    "TaskRetried",
+    "TaskFailed",
+    "WorkerCrashed",
+    "RetryPolicy",
+    "Quarantined",
+    "CampaignError",
     "Executor",
     "SerialExecutor",
     "PoolExecutor",

@@ -6,6 +6,14 @@ simulation as executor batches land, with :class:`Progress` checkpoints
 carrying the session's schedule-pass and simulation counters.  The CLI
 renders Progress lines; tests assert on PointResults; callers that only
 want the side effect (a filled store) drain the iterator.
+
+Resilient execution streams its failure handling through the same
+channel: :class:`TaskRetried` when a failed/hung chunk is resubmitted,
+:class:`WorkerCrashed` when a dead worker forces a pool rebuild, and
+:class:`TaskFailed` when a task exhausts its retry budget and is
+quarantined (terminal — ``Session.run`` collects these and raises
+:class:`~repro.campaign.resilience.CampaignError` after the plan
+drains).  Consumers that only care about results may ignore all three.
 """
 
 from __future__ import annotations
@@ -15,7 +23,8 @@ from dataclasses import dataclass
 from repro.cpu.pipeline import SimResult
 from repro.experiments.configs import RunConfig
 
-from repro.campaign.plan import Plan
+from repro.campaign.plan import Plan, Task
+from repro.campaign.resilience import Quarantined
 
 
 @dataclass(frozen=True)
@@ -47,5 +56,41 @@ class Progress:
     schedule_passes: int
 
 
+@dataclass(frozen=True)
+class TaskRetried:
+    """A failed or timed-out chunk was returned to the queue: the tasks
+    it carries, how many attempts it has consumed, the deterministic
+    backoff delay before resubmission, and the error that triggered it
+    (bisections report here too, with a ``bisecting`` error prefix)."""
+
+    tasks: tuple[Task, ...]
+    attempt: int
+    delay: float
+    error: str
+
+
+@dataclass(frozen=True)
+class WorkerCrashed:
+    """A pool worker died (``BrokenProcessPool``): the pool is rebuilt
+    and ``resubmitted`` in-flight chunks return to the queue."""
+
+    error: str
+    resubmitted: int
+
+
+@dataclass(frozen=True)
+class TaskFailed:
+    """Terminal: one task exhausted its retry budget (and, when replay
+    is enabled, failed in-process too) and entered the quarantine
+    ledger.  Healthy siblings from its chunks are unaffected — their
+    results landed via bisection."""
+
+    quarantined: Quarantined
+
+    @property
+    def key(self) -> str:
+        return self.quarantined.key
+
+
 #: Everything ``Session.run`` can yield.
-Event = PlanReady | PointResult | Progress
+Event = PlanReady | PointResult | Progress | TaskRetried | WorkerCrashed | TaskFailed

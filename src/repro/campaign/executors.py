@@ -11,6 +11,19 @@ serial and parallel campaigns are bit-identical by construction.  A
 distributed executor (sharded stores, multi-machine fan-out) plugs in
 at the same seam later.
 
+The pool executor is *resilient*: failures are handled per
+:class:`~repro.campaign.resilience.RetryPolicy` — failed chunks retry
+with deterministic backoff, a dead worker (``BrokenProcessPool``)
+rebuilds the pool and resubmits in-flight chunks, a hung worker trips
+the per-chunk watchdog instead of stalling ``Session.run`` forever,
+and a chunk that drains its retry budget is bisected until the poison
+task is isolated and quarantined while every healthy sibling lands in
+the store.  Quarantined tasks optionally replay in-process to separate
+worker-environment failures from deterministic simulation bugs.  The
+:mod:`repro.testing.chaos` harness injects faults on the worker
+dispatch path to prove all of this stays bit-identical to a clean
+serial run.
+
 Workers never receive traces or fault maps over the wire: both are
 deterministic functions of ``RunnerSettings`` (seeded generators), so
 each worker regenerates and memoises its own copies.  Dispatch payloads
@@ -22,13 +35,26 @@ from __future__ import annotations
 
 import abc
 import os
-from concurrent.futures import ProcessPoolExecutor, as_completed
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterator
 
 from repro.cpu.pipeline import SimResult
 
-from repro.campaign.events import Event, PointResult, Progress
+from repro.campaign.events import (
+    Event,
+    PointResult,
+    Progress,
+    TaskFailed,
+    TaskRetried,
+    WorkerCrashed,
+)
 from repro.campaign.plan import Plan, Task
+from repro.campaign.resilience import Quarantined, RetryPolicy
+from repro.testing import chaos
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.campaign.session import Session
@@ -75,10 +101,14 @@ def _worker_init(
     trace_cache: "str | None" = None,
     lanes: "int | None" = None,
     mega_batch: bool = True,
+    chaos_epoch: int = 0,
 ) -> None:
     global _WORKER_SESSION
     from repro.campaign.session import Session
 
+    # Arm worker-only chaos injection with the pool generation: a task
+    # retried after a crash/hang rebuild re-rolls its injected fate.
+    chaos.enter_worker(chaos_epoch)
     _WORKER_SESSION = Session(
         settings,
         pipeline_config=pipeline_config,
@@ -95,7 +125,15 @@ def run_batch_locally(
 
     Mega-batching sessions take the trace-group path — the batch may mix
     configurations and fault-independent lanes; otherwise the batch is a
-    same-point group dispatched through the per-point lane batch."""
+    same-point group dispatched through the per-point lane batch.
+
+    This is the fault-injection seam: when ``REPRO_CHAOS`` is armed,
+    every task consults the deterministic chaos schedule before the
+    batch simulates (worker-only kinds stay disarmed in the parent, so
+    in-process replays are clean)."""
+    if chaos.config_from_env() is not None:
+        for task in batch:
+            chaos.maybe_inject(session.task_key(*task))
     benchmark, config, first_index = batch[0]
     if session.mega_batch:
         items = [(config, map_index) for (_, config, map_index) in batch]
@@ -108,9 +146,24 @@ def run_batch_locally(
     return list(zip(batch, results))
 
 
+#: Cumulative per-worker counters: (traces generated, loaded, discarded,
+#: schedule passes).
+Counters = tuple[int, int, int, int]
+
+
+def merge_counters(previous: "Counters | None", counters: Counters) -> Counters:
+    """Pool-wide high-water merge of one worker's cumulative counters:
+    per-field ``max``, so reordered chunk completions can never regress
+    a field (the old lexicographic tuple compare could keep a stale
+    ``loaded`` count behind a newer ``generated`` one)."""
+    if previous is None:
+        return counters
+    return tuple(max(a, b) for a, b in zip(previous, counters))
+
+
 def _worker_run_batches(
     batches: list[list[Task]],
-) -> tuple[int, tuple[int, int, int, int], list[tuple[Task, SimResult]]]:
+) -> tuple[int, Counters, list[tuple[Task, SimResult]]]:
     """Run a group of dispatch batches; also report this worker's
     cumulative trace-provider and schedule-pass counters (pid-keyed so
     the parent can aggregate across the pool)."""
@@ -139,8 +192,44 @@ def adaptive_chunksize(n_tasks: int, workers: int) -> int:
     return max(1, min(8, n_tasks // (workers * 4)))
 
 
+@dataclass
+class _Chunk:
+    """One resubmittable dispatch unit: a slice of worker batches plus
+    its retry state.  ``ready_at`` is a monotonic not-before time
+    (backoff without blocking the drain loop)."""
+
+    batches: list[list[Task]]
+    attempts: int = 0
+    ready_at: float = 0.0
+
+    @property
+    def tasks(self) -> list[Task]:
+        return [task for batch in self.batches for task in batch]
+
+    def bisect(self, attempts: int) -> "list[_Chunk]":
+        """Split this chunk in half *along batch boundaries* (each batch
+        is one benchmark/group slice — mixing them would dispatch tasks
+        under the wrong benchmark), falling back to splitting the single
+        batch's task list.  Halves inherit ``attempts`` so each level of
+        the bisection pays one failure before splitting again."""
+        if len(self.batches) > 1:
+            mid = (len(self.batches) + 1) // 2
+            halves = [self.batches[:mid], self.batches[mid:]]
+        else:
+            batch = self.batches[0]
+            mid = (len(batch) + 1) // 2
+            halves = [[batch[:mid]], [batch[mid:]]]
+        return [_Chunk(half, attempts=attempts) for half in halves]
+
+
+#: Idle poll period of the drain loop when no deadline bounds the wait
+#: (keeps KeyboardInterrupt responsive on Pythons where ``wait`` blocks).
+_POLL_SECONDS = 5.0
+
+
 class PoolExecutor(Executor):
-    """Streaming process-pool execution for paper-scale campaigns.
+    """Streaming, fault-tolerant process-pool execution for paper-scale
+    campaigns.
 
     The plan's groups are sliced into worker dispatch units
     (:meth:`Plan.worker_batches`) and fanned across a
@@ -148,28 +237,31 @@ class PoolExecutor(Executor):
     parent's store as each chunk completes — not after the pool drains —
     so a killed paper-scale run against a ``DiskStore`` resumes from its
     last completed chunk.  Worker trace/schedule counters aggregate into
-    the parent session when the pool drains.
+    the parent session when the pool drains (even on exception paths).
+
+    Failure handling follows ``retry``
+    (:class:`~repro.campaign.resilience.RetryPolicy`): worker exceptions
+    and ``BrokenProcessPool`` retry the chunk (rebuilding the pool when
+    it broke), a per-chunk watchdog abandons hung workers, and repeated
+    failures bisect the chunk until the poison task is isolated,
+    quarantined, and — optionally — replayed in-process.  The campaign
+    always drains: healthy results land regardless of how many siblings
+    misbehave, and ``Session.run`` raises
+    :class:`~repro.campaign.resilience.CampaignError` only afterwards.
     """
 
-    def __init__(self, workers: int | None = None) -> None:
+    def __init__(
+        self, workers: int | None = None, retry: RetryPolicy | None = None
+    ) -> None:
         if workers is not None and workers < 1:
             raise ValueError("workers must be positive")
         self.workers = workers
+        self.retry = retry if retry is not None else RetryPolicy()
 
-    def run(self, session: "Session", plan: Plan) -> Iterator[Event]:
-        batches = plan.worker_batches(session.lanes)
-        total = plan.pending
-        if total == 0:
-            return
-        workers = self.workers if self.workers is not None else os.cpu_count() or 1
-        workers = min(workers, len(batches))
-        if workers <= 1:
-            yield from SerialExecutor().run(session, plan)
-            return
-        done = 0
-        size = adaptive_chunksize(len(batches), workers)
-        chunks = [batches[i : i + size] for i in range(0, len(batches), size)]
-        with ProcessPoolExecutor(
+    # ----- pool lifecycle seams (overridden by fault-simulation tests) --------
+
+    def _make_pool(self, session: "Session", workers: int, epoch: int):
+        return ProcessPoolExecutor(
             max_workers=workers,
             initializer=_worker_init,
             # Workers share the persistent trace cache (atomic writes make
@@ -187,40 +279,237 @@ class PoolExecutor(Executor):
                 # mega flag so trace-group payloads take the group path.
                 session.lanes,
                 session.mega_batch,
+                epoch,
             ),
-        ) as pool:
-            futures = [pool.submit(_worker_run_batches, chunk) for chunk in chunks]
-            worker_counters: dict[int, tuple[int, int, int, int]] = {}
-            for future in as_completed(futures):
-                pid, counters, chunk_results = future.result()
-                # Counters are cumulative per worker; keep the high-water
-                # mark so the parent's summary reflects pool-wide activity.
-                previous = worker_counters.get(pid)
-                if previous is None or counters > previous:
-                    worker_counters[pid] = counters
-                for (benchmark, config, map_index), result in chunk_results:
-                    session.store_result(benchmark, config, map_index, result)
-                    session.simulations_executed += 1
-                    done += 1
-                    yield PointResult(
-                        benchmark,
-                        config,
-                        map_index,
-                        session.task_key(benchmark, config, map_index),
-                        result,
-                    )
-                yield Progress(
-                    done,
-                    total,
-                    session.simulations_executed,
-                    session.schedule_passes,
+        )
+
+    def _submit(self, pool, session: "Session", chunk: _Chunk) -> Future:
+        return pool.submit(_worker_run_batches, chunk.batches)
+
+    def _shutdown(self, pool) -> None:
+        pool.shutdown(wait=True, cancel_futures=True)
+
+    def _abandon(self, pool) -> None:
+        """Walk away from a pool with hung workers: cancel what can be
+        cancelled, then terminate the worker processes so an injected or
+        real hang cannot outlive the campaign."""
+        processes = getattr(pool, "_processes", None) or {}
+        pool.shutdown(wait=False, cancel_futures=True)
+        for process in list(processes.values()):
+            try:
+                process.terminate()
+            except Exception:  # already dead / mid-teardown
+                pass
+
+    # ----- the drain loop -------------------------------------------------------
+
+    def run(self, session: "Session", plan: Plan) -> Iterator[Event]:
+        batches = plan.worker_batches(session.lanes)
+        total = plan.pending
+        if total == 0:
+            return
+        workers = self.workers if self.workers is not None else os.cpu_count() or 1
+        workers = min(workers, len(batches))
+        if workers <= 1:
+            yield from SerialExecutor().run(session, plan)
+            return
+        policy = self.retry
+        size = adaptive_chunksize(len(batches), workers)
+        queue: deque[_Chunk] = deque(
+            _Chunk(batches[i : i + size]) for i in range(0, len(batches), size)
+        )
+        quarantine: list[Quarantined] = []
+        worker_counters: dict[tuple[int, int], Counters] = {}
+        epoch = 0
+        pool = self._make_pool(session, workers, epoch)
+        in_flight: dict[Future, _Chunk] = {}
+        deadlines: dict[Future, float] = {}
+        done = 0
+        aggregated = False
+
+        def aggregate_counters() -> None:
+            # Fold pool-wide worker counters into the parent exactly once
+            # — called from the normal drain *and* the finally below, so a
+            # crash or an abandoned iterator can no longer silently drop
+            # every worker's trace/pass counts.
+            nonlocal aggregated
+            if aggregated:
+                return
+            aggregated = True
+            traces = session.traces
+            for generated, loaded, discarded, passes in worker_counters.values():
+                traces.generated += generated
+                traces.loaded += loaded
+                traces.discarded += discarded
+                session.schedule_passes += passes
+
+        def rebuild(old_pool) -> None:
+            nonlocal pool, epoch
+            epoch += 1
+            for future in in_flight:
+                future.cancel()
+            queue.extend(in_flight.values())
+            in_flight.clear()
+            deadlines.clear()
+            self._abandon(old_pool)
+            pool = self._make_pool(session, workers, epoch)
+
+        def fail_chunk(chunk: _Chunk, error: str) -> Iterator[Event]:
+            # One failed attempt for this chunk: retry with deterministic
+            # backoff while the budget lasts, then bisect toward the
+            # poison task; an exhausted singleton is quarantined.
+            chunk.attempts += 1
+            tasks = chunk.tasks
+            if chunk.attempts < policy.max_attempts:
+                delay = policy.backoff(chunk.attempts, session.task_key(*tasks[0]))
+                chunk.ready_at = time.monotonic() + delay
+                queue.append(chunk)
+                yield TaskRetried(tuple(tasks), chunk.attempts, delay, error)
+            elif len(tasks) > 1:
+                queue.extend(chunk.bisect(attempts=policy.max_attempts - 1))
+                yield TaskRetried(
+                    tuple(tasks), chunk.attempts, 0.0, f"bisecting after: {error}"
                 )
-        traces = session.traces
-        for generated, loaded, discarded, passes in worker_counters.values():
-            traces.generated += generated
-            traces.loaded += loaded
-            traces.discarded += discarded
-            session.schedule_passes += passes
+            else:
+                task = tasks[0]
+                quarantine.append(
+                    Quarantined(
+                        task, session.task_key(*task), chunk.attempts, error
+                    )
+                )
+
+        try:
+            while queue or in_flight:
+                now = time.monotonic()
+                # Submit every ready chunk up to a 2x-workers window.
+                while queue and len(in_flight) < 2 * workers:
+                    if queue[0].ready_at > now:
+                        # Rotate backoff waiters behind ready chunks.
+                        if all(c.ready_at > now for c in queue):
+                            break
+                        queue.rotate(-1)
+                        continue
+                    chunk = queue.popleft()
+                    try:
+                        future = self._submit(pool, session, chunk)
+                    except BrokenProcessPool as exc:
+                        queue.appendleft(chunk)
+                        yield WorkerCrashed(repr(exc), len(in_flight) + len(queue))
+                        rebuild(pool)
+                        continue
+                    in_flight[future] = chunk
+                    if policy.chunk_timeout is not None:
+                        deadlines[future] = now + policy.chunk_timeout
+                if not in_flight:
+                    # Everything is backing off; sleep until the earliest
+                    # chunk is ready again.
+                    time.sleep(
+                        max(0.0, min(c.ready_at for c in queue) - time.monotonic())
+                    )
+                    continue
+                # Wake for whichever comes first: a watchdog deadline, a
+                # backoff waiter becoming ready, or the idle poll tick.
+                wake_at = [time.monotonic() + _POLL_SECONDS]
+                wake_at.extend(deadlines.values())
+                wake_at.extend(c.ready_at for c in queue if c.ready_at)
+                timeout = max(0.0, min(wake_at) - time.monotonic())
+                finished, _ = wait(
+                    set(in_flight), timeout=timeout, return_when=FIRST_COMPLETED
+                )
+                crashed: str | None = None
+                for future in finished:
+                    chunk = in_flight.pop(future)
+                    deadlines.pop(future, None)
+                    try:
+                        pid, counters, chunk_results = future.result()
+                    except BrokenProcessPool as exc:
+                        # Worker death fails every in-flight future; only
+                        # this chunk (potentially the culprit's) pays an
+                        # attempt — the rest resubmit for free below.
+                        crashed = repr(exc)
+                        yield from fail_chunk(chunk, crashed)
+                    except Exception as exc:
+                        yield from fail_chunk(chunk, repr(exc))
+                    else:
+                        key = (epoch, pid)
+                        worker_counters[key] = merge_counters(
+                            worker_counters.get(key), counters
+                        )
+                        for task, result in chunk_results:
+                            benchmark, config, map_index = task
+                            session.store_result(benchmark, config, map_index, result)
+                            session.simulations_executed += 1
+                            done += 1
+                            yield PointResult(
+                                benchmark,
+                                config,
+                                map_index,
+                                session.task_key(benchmark, config, map_index),
+                                result,
+                            )
+                        yield Progress(
+                            done,
+                            total,
+                            session.simulations_executed,
+                            session.schedule_passes,
+                        )
+                if crashed is not None:
+                    yield WorkerCrashed(crashed, len(in_flight))
+                    rebuild(pool)
+                    continue
+                # Watchdog: chunks past their deadline mean a hung worker
+                # — ProcessPoolExecutor cannot cancel a running call, so
+                # abandon the whole pool and resubmit (the expired chunk
+                # pays an attempt, innocents in flight do not).
+                if deadlines:
+                    now = time.monotonic()
+                    expired = [f for f, d in deadlines.items() if d <= now]
+                    if expired:
+                        for future in expired:
+                            chunk = in_flight.pop(future)
+                            deadlines.pop(future, None)
+                            yield from fail_chunk(
+                                chunk,
+                                f"chunk timed out after {policy.chunk_timeout}s "
+                                "(hung worker)",
+                            )
+                        rebuild(pool)
+        finally:
+            aggregate_counters()
+            self._shutdown(pool)
+
+        # In-process replay of the quarantine ledger: worker-environment
+        # failures (chaos injection, broken toolchains) recover here and
+        # land normally; deterministic bugs fail again and stay
+        # quarantined with both errors on record.
+        for entry in quarantine:
+            replay_error: str | None = None
+            if policy.replay_quarantined:
+                try:
+                    pairs = run_batch_locally(session, [entry.task])
+                except Exception as exc:
+                    replay_error = repr(exc)
+                else:
+                    for task, result in pairs:
+                        benchmark, config, map_index = task
+                        done += 1
+                        yield PointResult(
+                            benchmark,
+                            config,
+                            map_index,
+                            session.task_key(benchmark, config, map_index),
+                            result,
+                        )
+                    continue
+            yield TaskFailed(
+                Quarantined(
+                    entry.task,
+                    entry.key,
+                    entry.attempts,
+                    entry.error,
+                    replay_error=replay_error,
+                )
+            )
         # Final checkpoint with the aggregated pool-wide counters (the
         # per-chunk Progress events above only see the parent's own).
         yield Progress(

@@ -24,6 +24,7 @@ satellite), so campaign scripts never leak half-flushed JSONL handles.
 from __future__ import annotations
 
 import dataclasses
+import sys
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterator
 
@@ -46,8 +47,9 @@ from repro.experiments.providers import FaultMapProvider, TraceProvider
 from repro.experiments.store import MemoryStore, ResultStore, task_key
 from repro.faults.fault_map import FaultMap, FaultMapPair
 
-from repro.campaign.events import Event, PlanReady, PointResult, Progress
+from repro.campaign.events import Event, PlanReady, PointResult, Progress, TaskFailed
 from repro.campaign.plan import Plan, PlanGroup, Planner, WorkItem
+from repro.campaign.resilience import CampaignError, Quarantined
 from repro.campaign.spec import CampaignSpec, RunnerSettings, adopt_execution
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -158,6 +160,11 @@ class Session:
         #: many lanes it drives.  The mega-batch smoke asserts a
         #: multi-point campaign needs strictly fewer passes than points.
         self.schedule_passes = 0
+        #: Quarantine ledger: every task a resilient executor gave up on
+        #: across this session's runs (see
+        #: :class:`~repro.campaign.resilience.Quarantined`).  Healthy
+        #: results around a failure are always durable in the store.
+        self.failures: list[Quarantined] = []
         self._closed = False
 
     # ----- batching crossovers --------------------------------------------------
@@ -498,7 +505,29 @@ class Session:
 
     def _stream(self, plan: Plan, executor: "Executor") -> Iterator[Event]:
         yield PlanReady(plan)
-        yield from executor.run(self, plan)
+        failed: list[Quarantined] = []
+        try:
+            for event in executor.run(self, plan):
+                if isinstance(event, TaskFailed):
+                    failed.append(event.quarantined)
+                    self.failures.append(event.quarantined)
+                yield event
+        except KeyboardInterrupt:
+            # Interrupted campaigns stay resumable: flush whatever the
+            # executor already checkpointed and say so before unwinding.
+            self.flush()
+            print(
+                f"[campaign] interrupted — {len(self.store)} result(s) "
+                "durable in the store; re-run the same campaign to resume "
+                "from the last checkpoint",
+                file=sys.stderr,
+            )
+            raise
+        if failed:
+            # Raised only after the plan drained: every healthy sibling's
+            # result is already durable, so handling this error and
+            # re-running retries exactly the quarantined tasks.
+            raise CampaignError(failed)
 
     def run_all(
         self, spec: CampaignSpec, executor: "Executor | None" = None

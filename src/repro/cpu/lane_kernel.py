@@ -41,6 +41,7 @@ import hashlib
 import os
 import subprocess
 import tempfile
+import warnings
 
 __all__ = ["load", "CTX", "CTX_SLOTS", "RET_DONE", "RET_BOUNDARY",
            "RET_IACCESS", "RET_DMISS"]
@@ -339,6 +340,24 @@ def _source() -> str:
 
 _cached_fn = None
 _build_failed = False
+_warned = False
+
+
+def _warn_fallback(message: str) -> None:
+    """One warning per process when the kernel is unavailable: a broken
+    toolchain in one pool worker used to mean a *silent* NumPy fallback
+    (and a mysteriously slow campaign) — now the gcc stderr tail names
+    the cause the first time it happens."""
+    global _warned
+    if _warned:
+        return
+    _warned = True
+    warnings.warn(
+        f"{message}; falling back to the bit-identical NumPy lane loop "
+        "(slower). Set REPRO_NO_CKERNEL=1 to silence this warning.",
+        RuntimeWarning,
+        stacklevel=4,
+    )
 
 
 def _build() -> "ctypes.CDLL | None":
@@ -365,11 +384,21 @@ def _build() -> "ctypes.CDLL | None":
                 timeout=120,
             )
             os.replace(tmp_path, lib_path)
-        except (OSError, subprocess.SubprocessError):
+        except subprocess.CalledProcessError as exc:
+            stderr = exc.stderr or b""
+            tail = stderr.decode("utf-8", errors="replace").strip()[-800:]
+            _warn_fallback(
+                f"lane-kernel build failed (gcc exited {exc.returncode}); "
+                f"gcc stderr tail:\n{tail}"
+            )
+            return None
+        except (OSError, subprocess.SubprocessError) as exc:
+            _warn_fallback(f"lane-kernel build unavailable ({exc!r})")
             return None
     try:
         lib = ctypes.CDLL(lib_path)
-    except OSError:
+    except OSError as exc:
+        _warn_fallback(f"lane-kernel load failed ({exc!r})")
         return None
     fn = lib.repro_run_lanes
     fn.argtypes = [ctypes.c_void_p]

@@ -34,6 +34,7 @@ import sys
 
 from repro.campaign.events import PlanReady, Progress
 from repro.campaign.executors import PoolExecutor
+from repro.campaign.resilience import CampaignError, RetryPolicy
 from repro.campaign.session import Session
 from repro.campaign.spec import CampaignSpec, RunnerSettings
 from repro.experiments.ablation import ABLATION_STUDIES
@@ -93,6 +94,25 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="process count for parallel simulation (paper-scale runs)",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="resilience budget for --workers pools: a failed, crashed, or "
+        "timed-out chunk is retried up to N times (deterministic backoff), "
+        "then bisected to isolate and quarantine the poison task while "
+        "healthy siblings still land (default: 2; 0 disables retries)",
+    )
+    parser.add_argument(
+        "--chunk-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-chunk watchdog for --workers pools: a chunk still running "
+        "after SECONDS is abandoned and resubmitted instead of hanging the "
+        "campaign (default: no timeout)",
     )
     parser.add_argument(
         "--lanes",
@@ -302,13 +322,22 @@ def main(argv: list[str] | None = None) -> int:
         store.close()
         return 0
 
+    retry_policy = RetryPolicy(
+        max_attempts=max(1, args.max_retries + 1),
+        chunk_timeout=args.chunk_timeout,
+    )
+
     def prefill(active: Session) -> None:
         """Stream the union campaign through the session so every figure
         renders from pure store hits (byte-identical to the lazy path)."""
         if not needed:
             return
         spec = CampaignSpec.from_settings(active.settings, tuple(needed))
-        executor = PoolExecutor(args.workers) if args.workers > 1 else None
+        executor = (
+            PoolExecutor(args.workers, retry=retry_policy)
+            if args.workers > 1
+            else None
+        )
         progress = make_progress("simulations")
         for event in active.run(spec, executor=executor):
             if isinstance(event, PlanReady) and not event.plan.pending:
@@ -341,6 +370,57 @@ def main(argv: list[str] | None = None) -> int:
         )
 
     ablations_rendered: set[str] = set()
+    try:
+        code = _render_targets(
+            args, targets, ablation_results, ablations_rendered, ready_session
+        )
+    except CampaignError as exc:
+        # A campaign finished with quarantined tasks: every healthy
+        # result is durable, so report one line per poison task and exit
+        # non-zero instead of dumping a traceback.
+        for line in exc.summary_lines():
+            print(f"[campaign] quarantined {line}", file=sys.stderr)
+        print(
+            f"[campaign] {len(exc.failures)} task(s) quarantined after "
+            "retries; completed results are durable — re-run the same "
+            "command to retry the quarantined points "
+            "(--max-retries raises the budget)",
+            file=sys.stderr,
+        )
+        code = 3
+    except KeyboardInterrupt:
+        # Session.run already flushed the store and printed the resume
+        # hint; exit with the conventional interrupt status.
+        code = 130
+    if code == 0 and (isinstance(store, DiskStore) or session_used):
+        executed = session.simulations_executed if session is not None else 0
+        passes = session.schedule_passes if session is not None else 0
+        summary = (
+            f"[campaign] simulations executed={executed} "
+            f"schedule passes={passes} "
+            f"store={store.description} entries={len(store)}"
+        )
+        if session is not None:
+            traces = session.traces
+            summary += (
+                f" traces generated={traces.generated} loaded={traces.loaded}"
+            )
+            if traces.discarded:
+                summary += f" discarded={traces.discarded}"
+        if ablations_rendered:
+            # Ablation studies build their own inputs and bypass the
+            # store; their simulations are not in the counts above.
+            summary += f" (+{len(ablations_rendered)} ablation studies, not store-backed)"
+        print(summary, file=sys.stderr)
+    if session is not None:
+        session.close()
+    store.close()  # the CLI opened the store, so the CLI closes it
+    return code
+
+
+def _render_targets(
+    args, targets, ablation_results, ablations_rendered, ready_session
+) -> int:
     for target in targets:
         if target == "report":
             print(reproduction_report(ExperimentRunner.from_session(ready_session())))
@@ -368,30 +448,6 @@ def main(argv: list[str] | None = None) -> int:
             directory = pathlib.Path(args.csv)
             directory.mkdir(parents=True, exist_ok=True)
             (directory / f"{result.figure_id}.csv").write_text(result.to_csv())
-
-    if isinstance(store, DiskStore) or session_used:
-        executed = session.simulations_executed if session is not None else 0
-        passes = session.schedule_passes if session is not None else 0
-        summary = (
-            f"[campaign] simulations executed={executed} "
-            f"schedule passes={passes} "
-            f"store={store.description} entries={len(store)}"
-        )
-        if session is not None:
-            traces = session.traces
-            summary += (
-                f" traces generated={traces.generated} loaded={traces.loaded}"
-            )
-            if traces.discarded:
-                summary += f" discarded={traces.discarded}"
-        if ablations_rendered:
-            # Ablation studies build their own inputs and bypass the
-            # store; their simulations are not in the counts above.
-            summary += f" (+{len(ablations_rendered)} ablation studies, not store-backed)"
-        print(summary, file=sys.stderr)
-    if session is not None:
-        session.close()
-    store.close()  # the CLI opened the store, so the CLI closes it
     return 0
 
 

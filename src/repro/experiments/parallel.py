@@ -38,6 +38,7 @@ from repro.campaign.executors import (
     adaptive_chunksize,
 )
 from repro.campaign.plan import Planner, Task
+from repro.campaign.resilience import RetryPolicy
 from repro.campaign.session import Session
 from repro.campaign.spec import CampaignSpec, RunnerSettings
 
@@ -130,18 +131,26 @@ def prefill_cache(
     configs: tuple[RunConfig, ...],
     workers: int | None = None,
     progress: ProgressFn | None = None,
+    retry: "RetryPolicy | None" = None,
 ) -> int:
     """Run every simulation the configurations still need and checkpoint
     each to ``runner``'s store as it completes.  Returns the number of
     simulations executed (tasks already stored are skipped, so rerunning a
     killed campaign completes only the remainder).  ``workers=None`` uses
     the CPU count; ``workers<=1`` executes in-process (useful under
-    debuggers) but still checkpoints result-by-result."""
+    debuggers) but still checkpoints result-by-result.  ``retry``
+    customises the pool's failure handling
+    (:class:`~repro.campaign.resilience.RetryPolicy`: retries, per-chunk
+    watchdog, quarantine replay); pools raise
+    :class:`~repro.campaign.resilience.CampaignError` after the plan
+    drains if tasks stayed quarantined."""
     session = _session_of(runner)
     spec = session.spec(configs)
     if workers is None:
         workers = os.cpu_count() or 1
-    executor = SerialExecutor() if workers <= 1 else PoolExecutor(workers)
+    executor = (
+        SerialExecutor() if workers <= 1 else PoolExecutor(workers, retry=retry)
+    )
     total = 0
     for event in session.run(spec, executor=executor):
         if isinstance(event, PlanReady):

@@ -1,0 +1,11 @@
+"""Test-support facilities shipped with the package.
+
+Only deterministic, env-gated instrumentation lives here — nothing in
+this package runs unless explicitly armed (``REPRO_CHAOS`` for the
+fault-injection harness in :mod:`repro.testing.chaos`), so importing it
+from production paths is free.
+"""
+
+from repro.testing.chaos import ChaosConfig, ChaosError, CHAOS_ENV
+
+__all__ = ["ChaosConfig", "ChaosError", "CHAOS_ENV"]

@@ -1,0 +1,161 @@
+"""Deterministic, env-gated fault injection for resilience testing.
+
+The resilience layer (:mod:`repro.campaign.resilience`,
+``PoolExecutor``) claims a chaos-ridden pool campaign completes
+bit-identical to a clean serial run.  This module is the proof
+mechanism: set ``REPRO_CHAOS`` and the worker dispatch path
+(:func:`repro.campaign.executors.run_batch_locally`) injects faults
+*deterministically per task key* before simulating anything::
+
+    REPRO_CHAOS=crash:0.1,hang:0.05,corrupt:0.02
+    REPRO_CHAOS=crash:0.3,seed:7,hang-seconds:30
+    REPRO_CHAOS=poison:0.2
+
+Kinds
+-----
+``crash``
+    the worker process exits immediately (``os._exit``), breaking the
+    pool — exercises ``BrokenProcessPool`` rebuild + chunk resubmit.
+``hang``
+    the worker sleeps ``hang-seconds`` before continuing — exercises
+    the per-chunk watchdog (abandon + resubmit).
+``corrupt``
+    the worker raises :class:`ChaosError` instead of simulating —
+    exercises retry, bisection, and in-process replay (the parent is
+    not a worker, so replay recovers the task).
+``poison``
+    raises :class:`ChaosError` in *any* process, parent replay
+    included — models a deterministic simulation bug that must end up
+    quarantined.
+
+Determinism
+-----------
+Every decision is a pure function of ``(seed, kind, task key, epoch)``
+via :func:`repro.campaign.resilience.stable_unit` — no ``random``
+module, no wall clock.  The *epoch* is the pool generation: the parent
+increments it on every pool rebuild, so a crash-injected task re-rolls
+its fate on retry and the campaign terminates almost surely (a given
+seed makes the whole schedule reproducible).  ``poison`` deliberately
+ignores the epoch — it must fail identically on every attempt in every
+process.  Worker-only kinds (``crash``/``hang``/``corrupt``) fire only
+in processes that entered worker context via :func:`enter_worker`; the
+parent and its in-process replays are never injected.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, fields
+
+from repro.campaign.resilience import stable_unit
+
+#: Environment variable arming the harness, e.g. ``crash:0.1,hang:0.05``.
+CHAOS_ENV = "REPRO_CHAOS"
+
+#: Exit status of a chaos-crashed worker (distinct from real faults).
+CRASH_EXIT_STATUS = 70
+
+
+class ChaosError(RuntimeError):
+    """An injected failure (the ``corrupt`` and ``poison`` kinds)."""
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Parsed ``REPRO_CHAOS`` value: per-kind rates plus the schedule
+    seed and the ``hang`` sleep duration."""
+
+    crash: float = 0.0
+    hang: float = 0.0
+    corrupt: float = 0.0
+    poison: float = 0.0
+    seed: int = 0
+    hang_seconds: float = 30.0
+
+    def __post_init__(self) -> None:
+        for kind in ("crash", "hang", "corrupt", "poison"):
+            rate = getattr(self, kind)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"chaos rate {kind} must be in [0, 1], got {rate}")
+        if self.hang_seconds <= 0:
+            raise ValueError("hang-seconds must be positive")
+
+    @classmethod
+    def parse(cls, text: str) -> "ChaosConfig":
+        """Parse the ``kind:value,kind:value`` environment format."""
+        values: dict = {}
+        for part in text.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            kind, _, raw = part.partition(":")
+            kind = kind.strip().replace("-", "_")
+            known = {f.name for f in fields(cls)}
+            if kind not in known or not raw:
+                raise ValueError(
+                    f"bad {CHAOS_ENV} entry {part!r} "
+                    f"(expected kind:value with kind in {sorted(known)})"
+                )
+            values[kind] = int(raw) if kind == "seed" else float(raw)
+        return cls(**values)
+
+    @property
+    def active(self) -> bool:
+        return any((self.crash, self.hang, self.corrupt, self.poison))
+
+
+# Parse-once cache keyed on the raw environment string, so the per-task
+# injection check costs one os.environ read on the hot path.
+_parsed: "tuple[str | None, ChaosConfig | None]" = (None, None)
+
+#: Pool-generation number when this process is a pool worker; ``None``
+#: in the parent (worker-only kinds stay disarmed there).
+_worker_epoch: "int | None" = None
+
+
+def enter_worker(epoch: int) -> None:
+    """Arm worker-only injection in this process (called by the pool
+    worker initializer with the current pool generation)."""
+    global _worker_epoch
+    _worker_epoch = epoch
+
+
+def config_from_env() -> "ChaosConfig | None":
+    """The active :class:`ChaosConfig`, or ``None`` when ``REPRO_CHAOS``
+    is unset/empty or names no positive rate."""
+    global _parsed
+    raw = os.environ.get(CHAOS_ENV) or None
+    if raw != _parsed[0]:
+        config = ChaosConfig.parse(raw) if raw else None
+        if config is not None and not config.active:
+            config = None
+        _parsed = (raw, config)
+    return _parsed[1]
+
+
+def _rolls(config: ChaosConfig, kind: str, key: str, epoch: "int | None") -> bool:
+    rate = getattr(config, kind)
+    return rate > 0 and stable_unit(config.seed, kind, key, epoch) < rate
+
+
+def maybe_inject(key: str) -> None:
+    """Fault-injection gate for one task, called on the dispatch path
+    before the task simulates.  No-op unless ``REPRO_CHAOS`` is armed.
+    At most one kind fires per (task, epoch), in crash > hang > corrupt
+    > poison priority."""
+    config = config_from_env()
+    if config is None:
+        return
+    if _worker_epoch is not None:
+        if _rolls(config, "crash", key, _worker_epoch):
+            os._exit(CRASH_EXIT_STATUS)
+        if _rolls(config, "hang", key, _worker_epoch):
+            time.sleep(config.hang_seconds)
+            return  # a recovered hang continues normally (parent decides)
+        if _rolls(config, "corrupt", key, _worker_epoch):
+            raise ChaosError(f"chaos corrupt injected for task {key[:12]}")
+    # Poison ignores the epoch and the process role: a deterministic
+    # "simulation bug" that fails identically everywhere, replay included.
+    if _rolls(config, "poison", key, None):
+        raise ChaosError(f"chaos poison injected for task {key[:12]}")

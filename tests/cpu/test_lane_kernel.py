@@ -11,6 +11,7 @@ the same batches through both paths and require byte-identical results
 from __future__ import annotations
 
 import os
+import subprocess
 
 import pytest
 
@@ -125,3 +126,38 @@ class TestBuildCache:
             if name.startswith("lane_kernel_") and name.endswith(".so")
         ]
         assert objects, "kernel loaded but no cached shared object found"
+
+
+class TestBuildFailureWarning:
+    @pytest.fixture(autouse=True)
+    def fresh_build_state(self, monkeypatch, tmp_path):
+        # Each test gets an empty kernel cache and pristine module state,
+        # restored afterwards so other tests keep the real kernel.
+        monkeypatch.setenv("REPRO_KERNEL_CACHE", str(tmp_path))
+        monkeypatch.setattr(lane_kernel, "_cached_fn", None)
+        monkeypatch.setattr(lane_kernel, "_build_failed", False)
+        monkeypatch.setattr(lane_kernel, "_warned", False)
+
+    def test_gcc_failure_warns_once_with_stderr_tail(self, monkeypatch):
+        def failing_gcc(*args, **kwargs):
+            raise subprocess.CalledProcessError(
+                1, ["gcc"], stderr=b"lane_kernel.c:1:1: error: something broke\n"
+            )
+
+        monkeypatch.setattr(lane_kernel.subprocess, "run", failing_gcc)
+        with pytest.warns(RuntimeWarning, match="something broke"):
+            assert lane_kernel.load() is None
+        # One-shot: the failure is memoised and the warning never repeats.
+        import warnings as warnings_module
+
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error")
+            assert lane_kernel.load() is None
+
+    def test_missing_compiler_warns_with_cause(self, monkeypatch):
+        def no_gcc(*args, **kwargs):
+            raise FileNotFoundError("No such file or directory: 'gcc'")
+
+        monkeypatch.setattr(lane_kernel.subprocess, "run", no_gcc)
+        with pytest.warns(RuntimeWarning, match="NumPy lane loop"):
+            assert lane_kernel.load() is None

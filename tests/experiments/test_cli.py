@@ -2,7 +2,22 @@
 
 import pytest
 
+import repro.experiments.__main__ as cli
+from repro.campaign.executors import SerialExecutor
+from repro.campaign.resilience import RetryPolicy
 from repro.experiments.__main__ import main
+
+FAST_PERF_ARGS = [
+    "fig8",
+    "--instructions",
+    "3000",
+    "--warmup",
+    "1000",
+    "--maps",
+    "2",
+    "--benchmarks",
+    "gzip",
+]
 
 
 class TestCLI:
@@ -126,6 +141,70 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "abl-l2" in out
         assert "outside the campaign store" in out
+
+    def test_max_retries_and_chunk_timeout_map_to_retry_policy(
+        self, capsys, monkeypatch
+    ):
+        captured = {}
+
+        class Recorder(SerialExecutor):
+            def __init__(self, workers, retry=None):
+                captured["workers"] = workers
+                captured["retry"] = retry
+
+        monkeypatch.setattr(cli, "PoolExecutor", Recorder)
+        args = FAST_PERF_ARGS + [
+            "--workers",
+            "2",
+            "--max-retries",
+            "5",
+            "--chunk-timeout",
+            "9.5",
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert captured["workers"] == 2
+        assert captured["retry"] == RetryPolicy(max_attempts=6, chunk_timeout=9.5)
+
+    def test_max_retries_zero_disables_retries(self, capsys, monkeypatch):
+        captured = {}
+
+        class Recorder(SerialExecutor):
+            def __init__(self, workers, retry=None):
+                captured["retry"] = retry
+
+        monkeypatch.setattr(cli, "PoolExecutor", Recorder)
+        assert main(FAST_PERF_ARGS + ["--workers", "2", "--max-retries", "0"]) == 0
+        capsys.readouterr()
+        assert captured["retry"].max_attempts == 1
+
+    def test_quarantine_exits_nonzero_with_summary(self, capsys, monkeypatch):
+        # Deterministic poison on every task: the campaign must not dump
+        # a traceback but report the quarantine ledger and exit 3.
+        monkeypatch.setenv("REPRO_CHAOS", "poison:1.0")
+        code = main(FAST_PERF_ARGS + ["--workers", "2", "--max-retries", "0"])
+        monkeypatch.delenv("REPRO_CHAOS")
+        assert code == 3
+        err = capsys.readouterr().err
+        assert "quarantined" in err
+        assert "re-run the same command" in err
+        assert "--max-retries" in err
+        assert "Traceback" not in err
+
+    def test_keyboard_interrupt_exits_130_with_resume_hint(
+        self, capsys, monkeypatch
+    ):
+        class Interrupting(SerialExecutor):
+            def __init__(self, workers, retry=None):
+                pass
+
+            def run(self, session, plan):
+                raise KeyboardInterrupt
+
+        monkeypatch.setattr(cli, "PoolExecutor", Interrupting)
+        assert main(FAST_PERF_ARGS + ["--workers", "2"]) == 130
+        err = capsys.readouterr().err
+        assert "interrupted" in err and "resume" in err
 
     def test_mega_batch_flag_reproduces_default_output(self, capsys):
         """Cross-point mega-batching (the default) must be byte-identical
