@@ -14,6 +14,11 @@ schedule passes.  The ``kernel`` smoke gates the compiled lane kernel:
 a heterogeneous-victim campaign must merge into one vectorised pass and
 stay bit-identical both with the C kernel and on the NumPy fallback,
 and the vectorised schedule compiler must match the reference replay.
+The ``store-chaos`` smoke gates the crash-consistent storage subsystem:
+per disk backend, a pool campaign checkpointing under I/O fault
+injection is SIGKILLed mid-write, resumed to byte-identical figures,
+then repaired and verified clean, and the jsonl → sqlite → jsonl
+migration round-trip must be lossless.
 
 Each smoke writes ``<name>-smoke.json`` into ``--json-dir`` (default:
 current directory) — the workflow uploads them as per-commit artifacts so
@@ -579,6 +584,155 @@ def smoke_chaos(json_dir: str) -> list[str]:
     return failures
 
 
+def smoke_store_chaos(json_dir: str) -> list[str]:
+    """Crash-consistent storage gate, per backend.
+
+    For each disk backend (jsonl / sharded / sqlite): a pool campaign
+    checkpointing under I/O fault injection is SIGKILLed as soon as its
+    store file materialises; a chaos-free resume against the survivor
+    directory must regenerate figures byte-identical to a storeless
+    reference run; ``store repair`` then ``store verify`` must leave
+    zero undetected-corrupt records.  Finally the repaired jsonl store
+    round-trips jsonl → sqlite → jsonl losslessly (sorted record lines
+    byte-identical — the checksums are backend-independent) and figures
+    re-derived from each migrated copy are pure store hits, still
+    byte-identical.
+    """
+    import signal
+    import time
+
+    failures: list[str] = []
+    summary: dict = {"backends": {}}
+    chaos_env = _env()
+    chaos_env["REPRO_CHAOS"] = (
+        "torn-write:0.3,fsync-fail:0.2,partial-append:0.2,seed:7"
+    )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        traces = os.path.join(tmp, "traces")
+        reference = _cli(_STORE_ARGS + ["--no-store", "--trace-cache", traces])
+        if reference.returncode != 0:
+            return [f"reference run exited {reference.returncode}: {reference.stderr}"]
+
+        def has_bytes(*parts: str) -> bool:
+            import glob
+
+            return any(
+                os.path.getsize(path) > 0
+                for path in glob.glob(os.path.join(*parts))
+            )
+
+        # Per backend: a predicate that turns true once the first record
+        # bytes reach the durable file (not merely once the store opens).
+        write_probes = {
+            "jsonl": lambda d: has_bytes(d, "results.jsonl"),
+            "sharded": lambda d: has_bytes(d, "shards", "shard-*.jsonl"),
+            "sqlite": lambda d: has_bytes(d, "results.sqlite-wal"),
+        }
+        for backend, probe in write_probes.items():
+            directory = os.path.join(tmp, backend)
+            persist = [
+                "--store", directory, "--store-backend", backend,
+                "--trace-cache", traces,
+            ]
+            victim = subprocess.Popen(
+                [sys.executable, "-m", "repro.experiments", *_STORE_ARGS,
+                 *persist, "--workers", "2"],
+                cwd=ROOT,
+                env=chaos_env,
+                stdout=subprocess.DEVNULL,
+                stderr=subprocess.DEVNULL,
+            )
+            # Kill mid-write: the moment record bytes hit the store the
+            # campaign is inside its checkpoint path.  A campaign that
+            # finishes before the probe trips still resumes cleanly.
+            deadline = time.monotonic() + 60.0
+            while victim.poll() is None and time.monotonic() < deadline:
+                if probe(directory):
+                    victim.send_signal(signal.SIGKILL)
+                    break
+                time.sleep(0.02)
+            victim.wait(timeout=60.0)
+            killed = victim.returncode == -signal.SIGKILL
+
+            resume = _cli(_STORE_ARGS + persist)
+            if resume.returncode != 0:
+                failures.append(
+                    f"{backend}: resume exited {resume.returncode}: {resume.stderr}"
+                )
+            identical = resume.stdout == reference.stdout
+            if not identical:
+                diff = "\n".join(
+                    difflib.unified_diff(
+                        reference.stdout.splitlines(),
+                        resume.stdout.splitlines(),
+                        lineterm="",
+                    )
+                )
+                failures.append(
+                    f"{backend}: resumed figures differ from the clean "
+                    f"reference:\n{diff}"
+                )
+            repair = _cli(["store", "repair", directory])
+            verify = _cli(["store", "verify", directory])
+            if repair.returncode != 0:
+                failures.append(f"{backend}: repair exited {repair.returncode}:"
+                                f"\n{repair.stdout}{repair.stderr}")
+            if verify.returncode != 0:
+                failures.append(f"{backend}: verify not clean after repair:"
+                                f"\n{verify.stdout}{verify.stderr}")
+            summary["backends"][backend] = {
+                "killed_mid_write": killed,
+                "resume_byte_identical": identical,
+                "repair_rc": repair.returncode,
+                "verify_rc": verify.returncode,
+            }
+
+        # Lossless migration round-trip off the repaired jsonl store.
+        jsonl_dir = os.path.join(tmp, "jsonl")
+        sqlite_dir = os.path.join(tmp, "migrated-sqlite")
+        back_dir = os.path.join(tmp, "migrated-jsonl")
+        for src, to, dest in (
+            (jsonl_dir, "sqlite", sqlite_dir),
+            (sqlite_dir, "jsonl", back_dir),
+        ):
+            proc = _cli(["store", "migrate", src, "--to", to, "--dest", dest])
+            if proc.returncode != 0:
+                failures.append(
+                    f"migrate {src} -> {to} exited {proc.returncode}:"
+                    f"\n{proc.stdout}{proc.stderr}"
+                )
+        def sorted_lines(directory: str) -> list:
+            path = os.path.join(directory, "results.jsonl")
+            with open(path, encoding="utf-8") as fh:
+                return sorted(fh.read().splitlines())
+
+        round_trip_identical = sorted_lines(jsonl_dir) == sorted_lines(back_dir)
+        if not round_trip_identical:
+            failures.append(
+                "jsonl -> sqlite -> jsonl migration round-trip is not "
+                "byte-identical record for record"
+            )
+        for directory in (sqlite_dir, back_dir):
+            rerun = _cli(
+                _STORE_ARGS + ["--store", directory, "--trace-cache", traces]
+            )
+            if rerun.stdout != reference.stdout:
+                failures.append(
+                    f"figures from migrated store {directory} differ from "
+                    "the clean reference"
+                )
+            if "simulations executed=0" not in rerun.stderr:
+                failures.append(
+                    f"migrated store {directory} was not pure store hits: "
+                    f"{rerun.stderr}"
+                )
+        summary["migration_round_trip_identical"] = round_trip_identical
+        summary["ok"] = not failures
+        _write(json_dir, "store-chaos", summary)
+    return failures
+
+
 SMOKES = {
     "goldens": smoke_goldens,
     "kips": smoke_kips,
@@ -588,6 +742,7 @@ SMOKES = {
     "mega-batch": smoke_mega_batch,
     "campaign": smoke_campaign,
     "chaos": smoke_chaos,
+    "store-chaos": smoke_store_chaos,
 }
 
 

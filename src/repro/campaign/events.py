@@ -25,6 +25,7 @@ from repro.experiments.configs import RunConfig
 
 from repro.campaign.plan import Plan, Task
 from repro.campaign.resilience import Quarantined
+from repro.store.base import StoreHealth
 
 
 @dataclass(frozen=True)
@@ -92,5 +93,41 @@ class TaskFailed:
         return self.quarantined.key
 
 
+@dataclass(frozen=True)
+class StoreCorruption:
+    """The session's result store detected (and contained) damaged
+    records when it loaded: checksum failures, stale schema epochs,
+    undecodable lines, shadowed duplicates.  Nothing damaged reaches
+    figures — the event exists so an operator learns the store needs a
+    ``store repair`` pass instead of discovering silent shrinkage."""
+
+    store: str
+    health: StoreHealth
+
+    @property
+    def detail(self) -> str:
+        return f"{self.store}: {self.health.describe()}"
+
+
+@dataclass(frozen=True)
+class StoreRecovered:
+    """A transient store-write failure (torn write, fsync error,
+    disk-full) was retried through the backoff policy and the
+    checkpoint landed.  ``attempts`` counts the failed tries."""
+
+    key: str
+    attempts: int
+    error: str
+
+
 #: Everything ``Session.run`` can yield.
-Event = PlanReady | PointResult | Progress | TaskRetried | WorkerCrashed | TaskFailed
+Event = (
+    PlanReady
+    | PointResult
+    | Progress
+    | TaskRetried
+    | WorkerCrashed
+    | TaskFailed
+    | StoreCorruption
+    | StoreRecovered
+)

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import abc
 import os
+import sqlite3
 import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
@@ -48,6 +49,7 @@ from repro.campaign.events import (
     Event,
     PointResult,
     Progress,
+    StoreRecovered,
     TaskFailed,
     TaskRetried,
     WorkerCrashed,
@@ -354,6 +356,29 @@ class PoolExecutor(Executor):
             self._abandon(old_pool)
             pool = self._make_pool(session, workers, epoch)
 
+        def store_with_retry(
+            key: str, task: Task, result: SimResult
+        ) -> "tuple[bool, int, str | None]":
+            # Checkpoint one finished simulation, absorbing *transient*
+            # store-write failures (torn write, fsync error, disk-full,
+            # sqlite contention) through the same deterministic backoff
+            # policy worker faults use — a flaky disk must not kill the
+            # drain loop while the result is already in hand.  Returns
+            # (stored, failed_attempts, last_error).
+            benchmark, config, map_index = task
+            failed = 0
+            last_error: "str | None" = None
+            while True:
+                try:
+                    session.store_result(benchmark, config, map_index, result)
+                    return True, failed, last_error
+                except (OSError, sqlite3.OperationalError) as exc:
+                    failed += 1
+                    last_error = repr(exc)
+                    if failed >= policy.max_attempts:
+                        return False, failed, last_error
+                    time.sleep(policy.backoff(failed, key))
+
         def fail_chunk(chunk: _Chunk, error: str) -> Iterator[Event]:
             # One failed attempt for this chunk: retry with deterministic
             # backoff while the budget lasts, then bisect toward the
@@ -437,16 +462,39 @@ class PoolExecutor(Executor):
                         )
                         for task, result in chunk_results:
                             benchmark, config, map_index = task
-                            session.store_result(benchmark, config, map_index, result)
+                            key = session.task_key(benchmark, config, map_index)
+                            stored, failed, error = store_with_retry(
+                                key, task, result
+                            )
+                            if not stored:
+                                # The write budget drained: quarantine the
+                                # task (replay below re-simulates and
+                                # re-puts) instead of losing the point or
+                                # the loop.
+                                quarantine.append(
+                                    Quarantined(
+                                        task,
+                                        key,
+                                        failed,
+                                        f"store write failed: {error}",
+                                    )
+                                )
+                                continue
+                            if failed:
+                                yield StoreRecovered(key, failed, error)
                             session.simulations_executed += 1
                             done += 1
                             yield PointResult(
-                                benchmark,
-                                config,
-                                map_index,
-                                session.task_key(benchmark, config, map_index),
-                                result,
+                                benchmark, config, map_index, key, result
                             )
+                        # Chunk-checkpoint boundary: the default durability
+                        # contract.  Individual puts flush to the OS cache;
+                        # the fsync lands here once per chunk (per-put
+                        # fsync is the opt-in --store-fsync knob).
+                        try:
+                            session.flush()
+                        except OSError:
+                            pass  # next boundary (or close) retries
                         yield Progress(
                             done,
                             total,

@@ -47,7 +47,14 @@ from repro.experiments.providers import FaultMapProvider, TraceProvider
 from repro.experiments.store import MemoryStore, ResultStore, task_key
 from repro.faults.fault_map import FaultMap, FaultMapPair
 
-from repro.campaign.events import Event, PlanReady, PointResult, Progress, TaskFailed
+from repro.campaign.events import (
+    Event,
+    PlanReady,
+    PointResult,
+    Progress,
+    StoreCorruption,
+    TaskFailed,
+)
 from repro.campaign.plan import Plan, PlanGroup, Planner, WorkItem
 from repro.campaign.resilience import CampaignError, Quarantined
 from repro.campaign.spec import CampaignSpec, RunnerSettings, adopt_execution
@@ -131,6 +138,22 @@ class Session:
         #: caller handed in stay open (the caller may share them).
         self.owns_store = store is None
         self.store = store if store is not None else MemoryStore()
+        # Under armed I/O chaos (REPRO_CHAOS=torn-write:...), checkpoint
+        # writes go through the fault-injecting wrapper so the executor's
+        # store-retry path is exercised exactly like worker faults are.
+        # Only the parent session wraps: pool workers' private stores are
+        # not the durable checkpoint path (see chaos.in_worker), and a
+        # store handed down from another session is already wrapped.
+        from repro.testing import chaos as _chaos
+
+        _chaos_config = _chaos.config_from_env()
+        if (
+            _chaos_config is not None
+            and _chaos_config.io_active
+            and not _chaos.in_worker()
+            and not isinstance(self.store, _chaos.ChaosStore)
+        ):
+            self.store = _chaos.ChaosStore(self.store, _chaos_config)
         #: Fault-map lanes simulated per batched pipeline pass: ``None``
         #: (default) batches every pending map of a campaign point into
         #: one :meth:`OutOfOrderPipeline.run_batch` call; ``1`` keeps the
@@ -505,6 +528,12 @@ class Session:
 
     def _stream(self, plan: Plan, executor: "Executor") -> Iterator[Event]:
         yield PlanReady(plan)
+        health = self.store.health()
+        if health.damaged:
+            # The store already contained the damage (nothing broken is
+            # served); surface it so the operator learns a `store repair`
+            # pass is due instead of silently re-simulating lost points.
+            yield StoreCorruption(store=self.store.description, health=health)
         failed: list[Quarantined] = []
         try:
             for event in executor.run(self, plan):

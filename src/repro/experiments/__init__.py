@@ -40,6 +40,9 @@ from repro.experiments.store import (
     DiskStore,
     MemoryStore,
     ResultStore,
+    ShardedDiskStore,
+    SqliteStore,
+    StoreHealth,
     open_store,
     task_key,
 )
@@ -95,6 +98,9 @@ __all__ = [
     "ResultStore",
     "MemoryStore",
     "DiskStore",
+    "ShardedDiskStore",
+    "SqliteStore",
+    "StoreHealth",
     "open_store",
     "task_key",
     "TraceProvider",

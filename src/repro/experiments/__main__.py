@@ -8,6 +8,8 @@ Usage::
     python -m repro.experiments fig8 fig9 --dry-run
     python -m repro.experiments all-analytical
     python -m repro.experiments all-performance --benchmarks crafty,gzip
+    python -m repro.experiments store verify CAMPAIGN_DIR
+    python -m repro.experiments store migrate CAMPAIGN_DIR --to sqlite
 
 The CLI is a thin shell over the campaign layer: flags build a
 :class:`~repro.campaign.session.Session` and one union
@@ -32,7 +34,7 @@ import argparse
 import os
 import sys
 
-from repro.campaign.events import PlanReady, Progress
+from repro.campaign.events import PlanReady, Progress, StoreCorruption, StoreRecovered
 from repro.campaign.executors import PoolExecutor
 from repro.campaign.resilience import CampaignError, RetryPolicy
 from repro.campaign.session import Session
@@ -176,6 +178,23 @@ def _build_parser() -> argparse.ArgumentParser:
         help="keep results in memory even if REPRO_STORE is set",
     )
     parser.add_argument(
+        "--store-backend",
+        choices=("auto", "jsonl", "sharded", "sqlite"),
+        default=None,
+        help="storage backend for --store (default: $REPRO_STORE_BACKEND, "
+        "else auto-detect from the directory, else jsonl; see "
+        "'python -m repro.experiments store migrate' to convert)",
+    )
+    parser.add_argument(
+        "--store-fsync",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="fsync every result write (default: $REPRO_STORE_FSYNC, else "
+        "off — pooled campaigns fsync at chunk-checkpoint boundaries "
+        "instead; per-put fsync trades throughput for power-loss "
+        "durability of every single point)",
+    )
+    parser.add_argument(
         "--trace-cache",
         type=str,
         default=None,
@@ -223,11 +242,23 @@ def _settings_from_args(args: argparse.Namespace) -> RunnerSettings:
 def _store_from_args(args: argparse.Namespace) -> ResultStore:
     if args.no_store:
         return MemoryStore()
-    return open_store(args.store or os.environ.get("REPRO_STORE"))
+    backend = args.store_backend if args.store_backend != "auto" else None
+    return open_store(
+        args.store or os.environ.get("REPRO_STORE"),
+        backend=backend,
+        fsync=args.store_fsync,
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
-    args = _build_parser().parse_args(argv)
+    raw_argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if raw_argv and raw_argv[0] == "store":
+        # Store tooling rides the same entry point: `python -m
+        # repro.experiments store verify|repair|compact|migrate DIR`.
+        from repro.store.tools import main as store_main
+
+        return store_main(raw_argv[1:])
+    args = _build_parser().parse_args(raw_argv)
 
     targets: list[str] = []
     for target in args.targets:
@@ -344,6 +375,20 @@ def main(argv: list[str] | None = None) -> int:
                 break
             if isinstance(event, Progress):
                 progress(event.done, event.total)
+            elif isinstance(event, StoreCorruption):
+                print(
+                    f"[campaign] store damage contained — {event.detail}; "
+                    "run `python -m repro.experiments store repair "
+                    "<dir>` to rewrite (lost points re-simulate now)",
+                    file=sys.stderr,
+                )
+            elif isinstance(event, StoreRecovered):
+                print(
+                    f"[campaign] store write recovered after "
+                    f"{event.attempts} failed attempt(s) for task "
+                    f"{event.key[:12]} ({event.error})",
+                    file=sys.stderr,
+                )
 
     prefilled = False
 

@@ -1,22 +1,11 @@
-"""Persistent result store for experiment campaigns.
+"""Task keys for the result store, plus the store compatibility surface.
 
-The paper's Section V methodology is a large campaign — every
-fault-dependent configuration x 26 SPEC benchmarks x 50 fault-map pairs —
-and a pure-Python simulator pays minutes-to-hours for it.  This module
-makes those simulations *durable*: every completed
-:class:`~repro.cpu.pipeline.SimResult` is keyed by a stable content hash of
-everything that determines it and written to a :class:`ResultStore`, so
-
-* a crashed paper-scale run resumes from its last checkpoint,
-* repeated CLI / figure / bench invocations share one set of runs, and
-* serial and parallel executors are interchangeable (same keys, same
-  bits).
-
-Two backends ship: :class:`MemoryStore` (the old process-private dict)
-and :class:`DiskStore` (append-only JSONL under a campaign directory).
-JSONL is deliberate: appends are atomic enough that a killed run loses at
-most its final, partially-written line, and :class:`DiskStore` skips any
-line it cannot parse instead of failing the whole campaign.
+The persistence layer itself lives in :mod:`repro.store` (checksummed
+record format, jsonl / sharded / sqlite backends, verify/repair/migrate
+tooling); this module keeps its historical import path alive — every
+store name that used to live here re-exports from :mod:`repro.store` —
+and owns the one piece that is about *experiments* rather than storage:
+the content-hash task key.
 
 Keys
 ----
@@ -35,27 +24,44 @@ first six map columns of a later ``--maps 50`` one.
 
 from __future__ import annotations
 
-import abc
 import dataclasses
 import hashlib
 import json
-import os
-import tempfile
-import warnings
-from typing import TYPE_CHECKING, Iterator
+from typing import TYPE_CHECKING
 
 from repro.cpu.config import PAPER_PIPELINE, PipelineConfig
-from repro.cpu.pipeline import SimResult
 from repro.experiments.configs import RunConfig
+
+# Historical home of the store API — kept importable from here forever.
+from repro.store import (  # noqa: F401  (re-exports)
+    BACKENDS,
+    RESULTS_FILENAME,
+    STORE_BACKEND_ENV,
+    STORE_FSYNC_ENV,
+    CorruptRecord,
+    DiskStore,
+    MalformedRecord,
+    MemoryStore,
+    RecordError,
+    ResultStore,
+    ShardedDiskStore,
+    SqliteStore,
+    StaleRecord,
+    StoreHealth,
+    detect_backend,
+    open_store,
+    result_from_dict,
+    result_to_dict,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runner imports us)
     from repro.experiments.runner import RunnerSettings
 
-#: Bump when the simulator's bits change incompatibly (invalidates stores).
+#: Bump when the simulator's bits change incompatibly (invalidates keys —
+#: every stored result keys off this, so old stores simply stop matching).
+#: Distinct from :data:`repro.store.RECORD_SCHEMA_VERSION`, which versions
+#: the on-disk *record format*.
 STORE_SCHEMA_VERSION = 1
-
-#: File name of the append-only result log inside a campaign directory.
-RESULTS_FILENAME = "results.jsonl"
 
 
 # --------------------------------------------------------------------------
@@ -103,270 +109,3 @@ def task_key(
     }
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
-
-
-# --------------------------------------------------------------------------
-# SimResult (de)serialization
-# --------------------------------------------------------------------------
-
-def result_to_dict(result: SimResult) -> dict:
-    """JSON-native rendering of a :class:`SimResult`."""
-    return {
-        "benchmark": result.benchmark,
-        "instructions": result.instructions,
-        "cycles": result.cycles,
-        "branch_mispredictions": result.branch_mispredictions,
-        "branch_predictions": result.branch_predictions,
-        "hierarchy_stats": result.hierarchy_stats,
-    }
-
-
-def result_from_dict(data: dict) -> SimResult:
-    """Inverse of :func:`result_to_dict` (raises on malformed input)."""
-    return SimResult(
-        benchmark=data["benchmark"],
-        instructions=int(data["instructions"]),
-        cycles=int(data["cycles"]),
-        branch_mispredictions=int(data["branch_mispredictions"]),
-        branch_predictions=int(data["branch_predictions"]),
-        hierarchy_stats=dict(data["hierarchy_stats"]),
-    )
-
-
-# --------------------------------------------------------------------------
-# Stores
-# --------------------------------------------------------------------------
-
-class ResultStore(abc.ABC):
-    """Keyed persistence for simulation results.
-
-    Implementations must make :meth:`put` durable immediately (a killed
-    campaign resumes from whatever was put), and must treat re-putting an
-    existing key as a harmless overwrite with identical content.
-    """
-
-    @abc.abstractmethod
-    def get(self, key: str) -> SimResult | None:
-        """The stored result, or ``None`` if absent."""
-
-    @abc.abstractmethod
-    def put(self, key: str, result: SimResult) -> None:
-        """Durably record ``result`` under ``key``."""
-
-    @abc.abstractmethod
-    def keys(self) -> Iterator[str]:
-        """Iterate over stored keys."""
-
-    def __contains__(self, key: str) -> bool:
-        return self.get(key) is not None
-
-    def __len__(self) -> int:
-        return sum(1 for _ in self.keys())
-
-    # ----- lifecycle ------------------------------------------------------------
-    #
-    # Stores are context managers: ``with open_store(dir) as store:``
-    # guarantees buffered state reaches disk even on error paths.  The
-    # default flush/close are no-ops (MemoryStore has nothing durable);
-    # DiskStore keeps a persistent append handle and releases it here.
-    # A closed store stays *readable* — and re-opens lazily on the next
-    # put — so long-lived callers sharing one store cannot be broken by
-    # a sibling's teardown.
-
-    def flush(self) -> None:
-        """Push buffered writes to durable storage (no-op by default)."""
-
-    def close(self) -> None:
-        """Flush and release any held resources (no-op by default)."""
-
-    def __enter__(self) -> "ResultStore":
-        return self
-
-    def __exit__(self, exc_type, exc, tb) -> None:
-        self.close()
-
-    #: Human-readable location for campaign summaries.
-    description: str = "memory"
-
-
-class MemoryStore(ResultStore):
-    """Process-private dict — the pre-campaign behaviour."""
-
-    description = "memory"
-
-    def __init__(self) -> None:
-        self._results: dict[str, SimResult] = {}
-
-    def get(self, key: str) -> SimResult | None:
-        return self._results.get(key)
-
-    def put(self, key: str, result: SimResult) -> None:
-        self._results[key] = result
-
-    def keys(self) -> Iterator[str]:
-        return iter(dict(self._results))
-
-    def __contains__(self, key: str) -> bool:
-        return key in self._results
-
-    def __len__(self) -> int:
-        return len(self._results)
-
-
-class DiskStore(MemoryStore):
-    """Append-only JSONL store under a campaign directory.
-
-    Layout: ``<directory>/results.jsonl``, one ``{"key": ..., "result":
-    {...}}`` object per line.  The full file is indexed into memory on
-    open (results are small — a few hundred bytes each; the in-memory
-    index is inherited from :class:`MemoryStore`), and every :meth:`put`
-    appends and flushes one line, so a killed run loses at most the line
-    being written.  Unreadable lines — truncated tails from a crash,
-    stray corruption — are counted and skipped, never fatal.
-
-    Concurrent writers (parallel campaigns racing on one directory, or a
-    resumed run overlapping a live one) can append the same key more
-    than once.  Loading deduplicates last-write-wins — the later append
-    is the later checkpoint of an identical simulation — counts the
-    shadowed lines in :attr:`duplicate_lines`, and warns so runaway file
-    growth is visible; :meth:`compact` rewrites the log without them.
-    """
-
-    def __init__(self, directory: str | os.PathLike) -> None:
-        super().__init__()
-        self.directory = os.fspath(directory)
-        self.description = self.directory
-        os.makedirs(self.directory, exist_ok=True)
-        self.path = os.path.join(self.directory, RESULTS_FILENAME)
-        self.skipped_lines = 0
-        self.duplicate_lines = 0
-        #: Persistent O_APPEND handle, opened lazily on the first put and
-        #: released by :meth:`close` (re-puts after close reopen it).
-        self._fh = None
-        self._load()
-
-    def _load(self) -> None:
-        if not os.path.exists(self.path):
-            return
-        with open(self.path, "r", encoding="utf-8") as fh:
-            for line in fh:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    entry = json.loads(line)
-                    key = entry["key"]
-                    result = result_from_dict(entry["result"])
-                except (ValueError, KeyError, TypeError):
-                    self.skipped_lines += 1
-                    continue
-                if key in self._results:
-                    self.duplicate_lines += 1
-                self._results[key] = result
-        if self.duplicate_lines:
-            warnings.warn(
-                f"{self.path}: {self.duplicate_lines} duplicate result "
-                "line(s) (concurrent writers?); kept the last write per "
-                "key — DiskStore.compact() rewrites the log without them",
-                stacklevel=2,
-            )
-        # A crash can leave the file without a trailing newline; repair it
-        # so the next append starts a fresh line instead of fusing onto
-        # (and losing along with) the truncated tail.
-        with open(self.path, "rb") as fh:
-            fh.seek(0, os.SEEK_END)
-            if fh.tell() > 0:
-                fh.seek(-1, os.SEEK_END)
-                needs_newline = fh.read(1) != b"\n"
-            else:
-                needs_newline = False
-        if needs_newline:
-            with open(self.path, "a", encoding="utf-8") as fh:
-                fh.write("\n")
-
-    def _append_handle(self):
-        if self._fh is None or self._fh.closed:
-            self._fh = open(self.path, "a", encoding="utf-8")
-        else:
-            # A sibling store (another process, or compact() here) may have
-            # replaced the log via rename; appending to the old inode would
-            # silently write into an unlinked file.  Reopen when the path
-            # no longer names the inode this handle holds — same semantics
-            # as the historical open-per-put, at one stat per put.
-            try:
-                stale = os.fstat(self._fh.fileno()).st_ino != os.stat(
-                    self.path
-                ).st_ino
-            except OSError:
-                stale = True
-            if stale:
-                self._fh.close()
-                self._fh = open(self.path, "a", encoding="utf-8")
-        return self._fh
-
-    def put(self, key: str, result: SimResult) -> None:
-        entry = {"key": key, "result": result_to_dict(result)}
-        fh = self._append_handle()
-        fh.write(json.dumps(entry, sort_keys=True) + "\n")
-        # Line-buffered durability: a killed campaign loses at most the
-        # line being written, exactly as the old open-per-put behaviour.
-        fh.flush()
-        super().put(key, result)
-
-    def flush(self) -> None:
-        if self._fh is not None and not self._fh.closed:
-            self._fh.flush()
-            os.fsync(self._fh.fileno())
-
-    def close(self) -> None:
-        if self._fh is not None and not self._fh.closed:
-            self._fh.flush()
-            self._fh.close()
-        self._fh = None
-
-    def compact(self) -> int:
-        """Rewrite ``results.jsonl`` without duplicate/unreadable lines
-        (one line per key, current in-memory value, insertion order) and
-        return the number of lines dropped.  The rewrite is atomic — a
-        temp file in the same directory replaces the log — so a reader
-        or crash mid-compact sees either the old or the new file, never
-        a partial one.  Opt-in: appends from writers racing the rename
-        can be lost, so compact only quiesced campaign directories."""
-        # Release the append handle first: the rename replaces the inode
-        # it points at, and the next put reopens the compacted log.
-        self.close()
-        removed = self.duplicate_lines + self.skipped_lines
-        fd, tmp_path = tempfile.mkstemp(
-            dir=self.directory, prefix=".results-", suffix=".tmp"
-        )
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                for key, result in self._results.items():
-                    entry = {"key": key, "result": result_to_dict(result)}
-                    fh.write(json.dumps(entry, sort_keys=True) + "\n")
-                fh.flush()
-                os.fsync(fh.fileno())
-            os.replace(tmp_path, self.path)
-        except BaseException:
-            try:
-                os.unlink(tmp_path)
-            except OSError:
-                pass
-            raise
-        self.duplicate_lines = 0
-        self.skipped_lines = 0
-        return removed
-
-
-def open_store(directory: str | os.PathLike | None) -> ResultStore:
-    """A :class:`DiskStore` at ``directory``, or a fresh
-    :class:`MemoryStore` when ``directory`` is ``None``/empty.
-
-    Stores are context managers::
-
-        with open_store(campaign_dir) as store:
-            ...  # flushed and closed on exit, even on error paths
-    """
-    if directory:
-        return DiskStore(directory)
-    return MemoryStore()

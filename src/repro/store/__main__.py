@@ -1,0 +1,8 @@
+"""``python -m repro.store`` — store verify/repair/compact/migrate CLI."""
+
+import sys
+
+from repro.store.tools import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,144 @@
+"""Sharded JSONL backend: sixteen per-prefix logs under ``<dir>/shards/``.
+
+One big ``results.jsonl`` serialises every writer on a single file and
+makes compaction an all-or-nothing rewrite.  Sharding splits the log by
+the first hex character of the task key — content-hash keys (sha256)
+spread uniformly, so a 16-way split cuts per-file contention and
+compaction cost by ~16x — while keeping every crash-consistency property
+of the single-file log, per shard:
+
+* appends take an ``flock`` on the shard file, so concurrent campaigns
+  racing one directory serialise per shard instead of interleaving
+  torn lines (writers on *different* shards never contend at all);
+* a killed writer loses at most one partially-written line per shard;
+* compaction rewrites one shard at a time, each atomically — damage in
+  one shard never risks the other fifteen.
+
+``<dir>/shards/MANIFEST.json`` records the layout so tooling (and
+future layouts with different shard counts) can validate before
+touching anything.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+
+from repro.store.base import MemoryStore
+from repro.store.format import RECORD_SCHEMA_VERSION, result_to_dict
+from repro.store.jsonl import DiskStore, JsonlLog
+
+#: Number of shards (one per first hex character of the task key).
+SHARD_COUNT = 16
+
+#: Subdirectory holding the shard files — its presence is how
+#: ``detect_backend`` recognises a sharded store.
+SHARDS_DIRNAME = "shards"
+
+MANIFEST_FILENAME = "MANIFEST.json"
+
+_SHARD_CHARS = "0123456789abcdef"
+
+
+def shard_for(key: str) -> str:
+    """The shard character owning ``key``.
+
+    Task keys are sha256 hex, so the first character is already a
+    uniform 4-bit hash; any other key shape is re-hashed so every legal
+    key still lands in exactly one shard.
+    """
+    first = key[0].lower()
+    if first in _SHARD_CHARS:
+        return first
+    return hashlib.sha256(key.encode("utf-8")).hexdigest()[0]
+
+
+def shard_filename(char: str) -> str:
+    return f"shard-{char}.jsonl"
+
+
+class ShardedDiskStore(DiskStore):
+    """Sixteen :class:`~repro.store.jsonl.JsonlLog` files keyed by task
+    key prefix, behind the same :class:`DiskStore` surface (same record
+    format, same damage classification, same last-write-wins dedup)."""
+
+    def __init__(self, directory: "str | os.PathLike", fsync: bool = False) -> None:
+        MemoryStore.__init__(self)
+        self.directory = os.fspath(directory)
+        self.description = f"{self.directory} (sharded x{SHARD_COUNT})"
+        self.shard_dir = os.path.join(self.directory, SHARDS_DIRNAME)
+        os.makedirs(self.shard_dir, exist_ok=True)
+        self._check_manifest()
+        self._shards = {
+            char: JsonlLog(
+                os.path.join(self.shard_dir, shard_filename(char)),
+                fsync=fsync,
+                lock=True,
+            )
+            for char in _SHARD_CHARS
+        }
+        self.duplicate_lines = 0
+        self._load()
+
+    # ----- manifest -------------------------------------------------------------
+
+    def _check_manifest(self) -> None:
+        """Write the layout manifest on first open; on later opens,
+        refuse to guess if an existing manifest declares a different
+        layout (a future shard count would scatter keys differently, and
+        appending under the wrong layout would duplicate keys across
+        shards)."""
+        path = os.path.join(self.shard_dir, MANIFEST_FILENAME)
+        manifest = {
+            "format": "repro-sharded-store",
+            "record_schema": RECORD_SCHEMA_VERSION,
+            "shard_count": SHARD_COUNT,
+            "shard_by": "key[0] (hex)",
+        }
+        if os.path.exists(path):
+            try:
+                with open(path, "r", encoding="utf-8") as fh:
+                    existing = json.load(fh)
+            except (OSError, ValueError):
+                existing = None  # unreadable manifest: rewrite below
+            if existing is not None:
+                count = existing.get("shard_count")
+                if count != SHARD_COUNT:
+                    raise ValueError(
+                        f"{path}: sharded store has shard_count={count!r}, "
+                        f"this build expects {SHARD_COUNT}"
+                    )
+                return
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(manifest, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, path)
+
+    # ----- DiskStore seams ------------------------------------------------------
+
+    @property
+    def path(self) -> str:
+        return self.shard_dir
+
+    @property
+    def _fh(self):
+        for log in self._shards.values():
+            if log._fh is not None and not log._fh.closed:
+                return log._fh
+        return None
+
+    def _logs(self) -> "list[JsonlLog]":
+        return list(self._shards.values())
+
+    def _log_for(self, key: str) -> JsonlLog:
+        return self._shards[shard_for(key)]
+
+    def _rewrite_all(self) -> None:
+        by_shard: dict[str, list[tuple[str, dict]]] = {c: [] for c in _SHARD_CHARS}
+        for key, result in self._results.items():
+            by_shard[shard_for(key)].append((key, result_to_dict(result)))
+        for char, log in self._shards.items():
+            if by_shard[char] or os.path.exists(log.path):
+                log.rewrite(by_shard[char])

@@ -1,0 +1,12 @@
+"""Shared fixtures for the storage-subsystem suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from store_helpers import make_key, make_result
+
+
+@pytest.fixture
+def records():
+    return [(make_key(i), make_result(i)) for i in range(12)]

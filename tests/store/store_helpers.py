@@ -1,0 +1,31 @@
+"""Shared builders for the storage-subsystem suite."""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.cpu.pipeline import SimResult
+
+
+def make_result(i: int) -> SimResult:
+    """A small, distinct, JSON-round-trippable result per index."""
+    return SimResult(
+        benchmark=f"bench{i % 3}",
+        instructions=1_000 + i,
+        cycles=2_000 + 7 * i,
+        branch_mispredictions=i,
+        branch_predictions=10 * i + 1,
+        hierarchy_stats={"l1i_hits": float(100 + i), "l2_misses": float(i)},
+    )
+
+
+def make_key(i: int) -> str:
+    """A realistic content-hash key (64 hex chars, varied first char)."""
+    return hashlib.sha256(f"task-{i}".encode()).hexdigest()
+
+
+def fill(store, n: int = 12) -> "list[tuple[str, SimResult]]":
+    pairs = [(make_key(i), make_result(i)) for i in range(n)]
+    for key, result in pairs:
+        store.put(key, result)
+    return pairs

@@ -1,0 +1,205 @@
+"""Operator tooling: store verify / repair / compact / migrate.
+
+Exercises the CLI exactly as an operator would — through ``main(argv)``
+and through the ``python -m repro.experiments store`` dispatch — against
+real damaged directories, asserting exit codes, report text, and the
+on-disk outcome (repair heals, migrate is lossless and verified).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.store import RESULTS_FILENAME, open_store
+from repro.store.format import RECORD_SCHEMA_VERSION
+from repro.store.tools import main
+
+from store_helpers import fill, make_key, make_result
+
+
+@pytest.fixture
+def damaged_dir(tmp_path):
+    """A jsonl store with one of each damage class plus a duplicate."""
+    with open_store(str(tmp_path), backend="jsonl") as store:
+        pairs = fill(store, 6)
+    path = tmp_path / RESULTS_FILENAME
+    lines = path.read_text().splitlines()
+    lines[0] = lines[0].replace('"instructions": 1000', '"instructions": 1001')
+    entry = json.loads(lines[1])
+    entry["schema"] = RECORD_SCHEMA_VERSION + 1
+    lines[1] = json.dumps(entry)
+    lines.append("garbage")
+    lines.append(lines[2])  # duplicate
+    path.write_text("\n".join(lines) + "\n")
+    return tmp_path, pairs
+
+
+class TestVerify:
+    def test_clean_store_exits_zero(self, tmp_path, capsys):
+        with open_store(str(tmp_path), backend="jsonl") as store:
+            fill(store, 3)
+        assert main(["verify", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "jsonl store" in out
+        assert "verify: clean" in out
+
+    def test_damaged_store_exits_one(self, damaged_dir, capsys):
+        directory, _ = damaged_dir
+        assert main(["verify", str(directory)]) == 1
+        out = capsys.readouterr().out
+        assert "DAMAGED" in out
+        assert "corrupt=1" in out and "stale=1" in out and "malformed=1" in out
+        assert "note:" in out  # the duplicate warning, folded into the report
+
+    def test_legacy_store_is_clean_but_flagged(self, tmp_path, capsys):
+        with open_store(str(tmp_path), backend="jsonl") as store:
+            fill(store, 2)
+        path = tmp_path / RESULTS_FILENAME
+        entries = [json.loads(line) for line in path.read_text().splitlines()]
+        path.write_text(
+            "\n".join(
+                json.dumps({"key": e["key"], "result": e["result"]})
+                for e in entries
+            )
+            + "\n"
+        )
+        assert main(["verify", str(tmp_path)]) == 0
+        assert "legacy v1" in capsys.readouterr().out
+
+    def test_backend_flag_forces_backend(self, tmp_path, capsys):
+        with open_store(str(tmp_path), backend="sqlite") as store:
+            fill(store, 2)
+        assert main(["verify", str(tmp_path), "--backend", "sqlite"]) == 0
+        assert "sqlite store" in capsys.readouterr().out
+
+
+class TestRepair:
+    def test_repair_heals_then_verify_is_clean(self, damaged_dir, capsys):
+        directory, pairs = damaged_dir
+        assert main(["repair", str(directory)]) == 0
+        out = capsys.readouterr().out
+        assert "dropped 4" in out  # corrupt + stale + malformed + duplicate
+        assert main(["verify", str(directory)]) == 0
+        assert "verify: clean" in capsys.readouterr().out
+        with open_store(str(directory)) as store:
+            # The corrupt and stale records are gone; the rest survived.
+            assert store.get(pairs[0][0]) is None
+            assert store.get(pairs[1][0]) is None
+            for key, result in pairs[2:]:
+                assert store.get(key) == result
+
+    def test_repair_clean_store_is_noop(self, tmp_path, capsys):
+        with open_store(str(tmp_path), backend="sharded") as store:
+            fill(store, 4)
+        before = (tmp_path / "shards").stat().st_mtime_ns
+        assert main(["repair", str(tmp_path)]) == 0
+        assert "nothing to do" in capsys.readouterr().out
+        assert (tmp_path / "shards").stat().st_mtime_ns == before
+
+    def test_repair_upgrades_legacy(self, tmp_path, capsys):
+        with open_store(str(tmp_path), backend="jsonl") as store:
+            pairs = fill(store, 2)
+        path = tmp_path / RESULTS_FILENAME
+        entries = [json.loads(line) for line in path.read_text().splitlines()]
+        path.write_text(
+            "\n".join(
+                json.dumps({"key": e["key"], "result": e["result"]})
+                for e in entries
+            )
+            + "\n"
+        )
+        assert main(["repair", str(tmp_path)]) == 0
+        assert "upgraded 2 legacy record(s)" in capsys.readouterr().out
+        for line in path.read_text().splitlines():
+            assert json.loads(line)["schema"] == RECORD_SCHEMA_VERSION
+        with open_store(str(tmp_path)) as store:
+            for key, result in pairs:
+                assert store.get(key) == result
+
+
+class TestCompact:
+    def test_compact_collapses_duplicates(self, tmp_path, capsys):
+        with open_store(str(tmp_path), backend="jsonl") as store:
+            fill(store, 3)
+            store.put(make_key(0), make_result(0))  # duplicate line
+        assert main(["compact", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "removed 1" in out and "kept 3" in out
+        assert len((tmp_path / RESULTS_FILENAME).read_text().splitlines()) == 3
+
+
+class TestMigrate:
+    @pytest.mark.parametrize(
+        "src,dst", [("jsonl", "sqlite"), ("jsonl", "sharded"),
+                    ("sharded", "sqlite"), ("sqlite", "jsonl")]
+    )
+    def test_migration_is_lossless_and_verified(self, tmp_path, capsys, src, dst):
+        source = tmp_path / "src"
+        dest = tmp_path / "dst"
+        with open_store(str(source), backend=src) as store:
+            pairs = fill(store, 8)
+        assert main(
+            ["migrate", str(source), "--to", dst, "--dest", str(dest)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert f"{src} -> {dst}: copied 8 record(s)" in out
+        assert "verified — every record reads back identically" in out
+        with open_store(str(dest)) as migrated:
+            assert sorted(migrated.keys()) == sorted(k for k, _ in pairs)
+            for key, result in pairs:
+                assert migrated.get(key) == result
+
+    def test_in_place_migration_wins_auto_detection(self, tmp_path, capsys):
+        with open_store(str(tmp_path), backend="jsonl") as store:
+            pairs = fill(store, 5)
+        assert main(["migrate", str(tmp_path), "--to", "sqlite"]) == 0
+        assert "auto-detection now resolves" in capsys.readouterr().out
+        with open_store(str(tmp_path)) as store:  # auto-detects sqlite now
+            assert type(store).__name__ == "SqliteStore"
+            for key, result in pairs:
+                assert store.get(key) == result
+
+    def test_round_trip_jsonl_sqlite_jsonl_is_byte_stable(self, tmp_path):
+        a = tmp_path / "a"
+        b = tmp_path / "b"
+        c = tmp_path / "c"
+        with open_store(str(a), backend="jsonl") as store:
+            fill(store, 8)
+        assert main(["migrate", str(a), "--to", "sqlite", "--dest", str(b)]) == 0
+        assert main(["migrate", str(b), "--to", "jsonl", "--dest", str(c)]) == 0
+        first = sorted((a / RESULTS_FILENAME).read_text().splitlines())
+        final = sorted((c / RESULTS_FILENAME).read_text().splitlines())
+        assert first == final  # checksums and all — byte-identical records
+
+    def test_same_backend_in_place_is_refused(self, tmp_path, capsys):
+        with open_store(str(tmp_path), backend="jsonl") as store:
+            fill(store, 2)
+        assert main(["migrate", str(tmp_path), "--to", "jsonl"]) == 1
+        assert "nothing to do" in capsys.readouterr().out
+
+    def test_migrate_skips_damaged_records(self, damaged_dir, capsys):
+        directory, pairs = damaged_dir
+        dest = directory / "migrated"
+        assert main(
+            ["migrate", str(directory), "--to", "sqlite", "--dest", str(dest)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "copied 4 record(s)" in out  # 6 - corrupt - stale
+        with open_store(str(dest)) as migrated:
+            assert not migrated.health().damaged
+            assert migrated.get(pairs[0][0]) is None
+
+
+class TestExperimentsDispatch:
+    def test_store_subcommand_routes_from_experiments_cli(self, tmp_path, capsys):
+        from repro.experiments.__main__ import main as experiments_main
+
+        with open_store(str(tmp_path), backend="jsonl") as store:
+            fill(store, 2)
+        assert experiments_main(["store", "verify", str(tmp_path)]) == 0
+        assert "verify: clean" in capsys.readouterr().out
+
+    def test_module_entrypoint_exists(self):
+        import repro.store.__main__  # noqa: F401  (importable = runnable)
