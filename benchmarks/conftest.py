@@ -4,7 +4,7 @@ The performance figures (8-12) share one session-scoped
 :class:`ExperimentRunner`, so simulations run once and are reused across
 benches — exactly how the paper's figures share the same runs.  Point
 ``REPRO_STORE`` at a campaign directory and the runner reads/writes a
-persistent :class:`~repro.experiments.store.DiskStore` instead, so
+persistent :class:`~repro.store.DiskStore` instead, so
 repeated bench sessions (and the CLI, and the figures) skip every
 simulation already on disk.
 
@@ -24,7 +24,7 @@ import os
 import pytest
 
 from repro.experiments.runner import ExperimentRunner, RunnerSettings
-from repro.experiments.store import open_store
+from repro.store import open_store
 
 
 @pytest.fixture(scope="session")

@@ -14,6 +14,18 @@ channel: :class:`TaskRetried` when a failed/hung chunk is resubmitted,
 quarantined (terminal — ``Session.run`` collects these and raises
 :class:`~repro.campaign.resilience.CampaignError` after the plan
 drains).  Consumers that only care about results may ignore all three.
+
+Wire codec
+----------
+Every event round-trips through JSON-native dicts via
+:func:`event_to_dict` / :func:`event_from_dict` — the campaign server's
+NDJSON wire format (one ``{"event": <Type>, "schema": N, ...}`` object
+per line), mirroring ``CampaignSpec.to_dict``/``from_dict``.  One
+deliberate lossy edge: a :class:`PlanReady`'s group batch *signatures*
+are session-local objects (live pipeline configs and latency tables,
+meaningless across processes), so they serialize as absent and decode
+as ``None`` — everything a remote consumer acts on (work items, keys,
+counts, grouping) survives byte-exactly.
 """
 
 from __future__ import annotations
@@ -23,9 +35,11 @@ from dataclasses import dataclass
 from repro.cpu.pipeline import SimResult
 from repro.experiments.configs import RunConfig
 
-from repro.campaign.plan import Plan, Task
+from repro.campaign.plan import Plan, PlanGroup, Task, WorkItem
 from repro.campaign.resilience import Quarantined
+from repro.campaign.spec import CampaignSpec, config_from_dict, config_to_dict
 from repro.store.base import StoreHealth
+from repro.store.format import result_from_dict, result_to_dict
 
 
 @dataclass(frozen=True)
@@ -131,3 +145,217 @@ Event = (
     | StoreCorruption
     | StoreRecovered
 )
+
+
+# --------------------------------------------------------------------------
+# Wire codec
+# --------------------------------------------------------------------------
+
+#: Bump when the event wire shape changes incompatibly (a decoder
+#: refuses other epochs instead of misreading them).
+EVENT_SCHEMA_VERSION = 1
+
+
+def _task_to_list(task: Task) -> list:
+    benchmark, config, map_index = task
+    return [benchmark, config_to_dict(config), map_index]
+
+
+def _task_from_list(data) -> Task:
+    benchmark, config, map_index = data
+    return (
+        str(benchmark),
+        config_from_dict(config),
+        None if map_index is None else int(map_index),
+    )
+
+
+def _item_to_dict(item: WorkItem) -> dict:
+    return {
+        "benchmark": item.benchmark,
+        "config": config_to_dict(item.config),
+        "map_index": item.map_index,
+        "key": item.key,
+    }
+
+
+def _item_from_dict(data: dict) -> WorkItem:
+    return WorkItem(
+        benchmark=str(data["benchmark"]),
+        config=config_from_dict(data["config"]),
+        map_index=None if data["map_index"] is None else int(data["map_index"]),
+        key=str(data["key"]),
+    )
+
+
+def _plan_to_dict(plan: Plan) -> dict:
+    return {
+        "spec": plan.spec.to_dict(),
+        "groups": [
+            {
+                "benchmark": group.benchmark,
+                "merged": group.merged,
+                "items": [_item_to_dict(item) for item in group.items],
+            }
+            for group in plan.groups
+        ],
+        "total_points": plan.total_points,
+        "dedup_hits": plan.dedup_hits,
+        "predicted_passes": plan.predicted_passes,
+    }
+
+
+def _plan_from_dict(data: dict) -> Plan:
+    return Plan(
+        spec=CampaignSpec.from_dict(data["spec"]),
+        groups=tuple(
+            PlanGroup(
+                benchmark=str(group["benchmark"]),
+                merged=bool(group["merged"]),
+                items=tuple(_item_from_dict(item) for item in group["items"]),
+                # Batch signatures are session-local (live pipeline
+                # objects); a decoded plan carries None — see the module
+                # docstring.
+                signature=None,
+            )
+            for group in data["groups"]
+        ),
+        total_points=int(data["total_points"]),
+        dedup_hits=int(data["dedup_hits"]),
+        predicted_passes=int(data["predicted_passes"]),
+    )
+
+
+def _quarantined_to_dict(entry: Quarantined) -> dict:
+    return {
+        "task": _task_to_list(entry.task),
+        "key": entry.key,
+        "attempts": entry.attempts,
+        "error": entry.error,
+        "replay_error": entry.replay_error,
+    }
+
+
+def _quarantined_from_dict(data: dict) -> Quarantined:
+    return Quarantined(
+        task=_task_from_list(data["task"]),
+        key=str(data["key"]),
+        attempts=int(data["attempts"]),
+        error=str(data["error"]),
+        replay_error=(
+            None if data.get("replay_error") is None else str(data["replay_error"])
+        ),
+    )
+
+
+def event_to_dict(event: Event) -> dict:
+    """JSON-native rendering of any :data:`Event` (inverse:
+    :func:`event_from_dict`) — the campaign server's wire format."""
+    head = {"event": type(event).__name__, "schema": EVENT_SCHEMA_VERSION}
+    if isinstance(event, PlanReady):
+        return {**head, "plan": _plan_to_dict(event.plan)}
+    if isinstance(event, PointResult):
+        return {
+            **head,
+            "benchmark": event.benchmark,
+            "config": config_to_dict(event.config),
+            "map_index": event.map_index,
+            "key": event.key,
+            "result": result_to_dict(event.result),
+        }
+    if isinstance(event, Progress):
+        return {
+            **head,
+            "done": event.done,
+            "total": event.total,
+            "simulations_executed": event.simulations_executed,
+            "schedule_passes": event.schedule_passes,
+        }
+    if isinstance(event, TaskRetried):
+        return {
+            **head,
+            "tasks": [_task_to_list(task) for task in event.tasks],
+            "attempt": event.attempt,
+            "delay": event.delay,
+            "error": event.error,
+        }
+    if isinstance(event, WorkerCrashed):
+        return {**head, "error": event.error, "resubmitted": event.resubmitted}
+    if isinstance(event, TaskFailed):
+        return {**head, "quarantined": _quarantined_to_dict(event.quarantined)}
+    if isinstance(event, StoreCorruption):
+        return {
+            **head,
+            "store": event.store,
+            "health": {
+                "records": event.health.records,
+                "duplicates": event.health.duplicates,
+                "corrupt": event.health.corrupt,
+                "stale": event.health.stale,
+                "malformed": event.health.malformed,
+                "legacy": event.health.legacy,
+            },
+        }
+    if isinstance(event, StoreRecovered):
+        return {
+            **head,
+            "key": event.key,
+            "attempts": event.attempts,
+            "error": event.error,
+        }
+    raise TypeError(f"not a campaign event: {event!r}")
+
+
+def event_from_dict(data: dict) -> Event:
+    """Inverse of :func:`event_to_dict` (raises on malformed input or a
+    foreign schema epoch)."""
+    schema = data.get("schema", EVENT_SCHEMA_VERSION)
+    if schema != EVENT_SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported event schema {schema!r} "
+            f"(this build reads {EVENT_SCHEMA_VERSION})"
+        )
+    kind = data.get("event")
+    if kind == "PlanReady":
+        return PlanReady(plan=_plan_from_dict(data["plan"]))
+    if kind == "PointResult":
+        return PointResult(
+            benchmark=str(data["benchmark"]),
+            config=config_from_dict(data["config"]),
+            map_index=(
+                None if data["map_index"] is None else int(data["map_index"])
+            ),
+            key=str(data["key"]),
+            result=result_from_dict(data["result"]),
+        )
+    if kind == "Progress":
+        return Progress(
+            done=int(data["done"]),
+            total=int(data["total"]),
+            simulations_executed=int(data["simulations_executed"]),
+            schedule_passes=int(data["schedule_passes"]),
+        )
+    if kind == "TaskRetried":
+        return TaskRetried(
+            tasks=tuple(_task_from_list(task) for task in data["tasks"]),
+            attempt=int(data["attempt"]),
+            delay=float(data["delay"]),
+            error=str(data["error"]),
+        )
+    if kind == "WorkerCrashed":
+        return WorkerCrashed(
+            error=str(data["error"]), resubmitted=int(data["resubmitted"])
+        )
+    if kind == "TaskFailed":
+        return TaskFailed(quarantined=_quarantined_from_dict(data["quarantined"]))
+    if kind == "StoreCorruption":
+        return StoreCorruption(
+            store=str(data["store"]), health=StoreHealth(**data["health"])
+        )
+    if kind == "StoreRecovered":
+        return StoreRecovered(
+            key=str(data["key"]),
+            attempts=int(data["attempts"]),
+            error=str(data["error"]),
+        )
+    raise ValueError(f"unknown campaign event type {kind!r}")

@@ -7,9 +7,11 @@ truthful, and yields :class:`~repro.campaign.events.PointResult` /
 :class:`~repro.campaign.events.Progress` as work lands.  Both built-in
 executors consume the *same* plan objects from the unified planner —
 the pool merely ships ``Plan.worker_batches`` slices to workers — so
-serial and parallel campaigns are bit-identical by construction.  A
-distributed executor (sharded stores, multi-machine fan-out) plugs in
-at the same seam later.
+serial and parallel campaigns are bit-identical by construction.  The
+:class:`~repro.service.distributed.DistributedExecutor` subclasses the
+pool executor at the ``_land_chunk``/``_drain_complete`` seams: its
+workers checkpoint into per-worker store partitions and the results
+merge into the session store when the pool drains.
 
 The pool executor is *resilient*: failures are handled per
 :class:`~repro.campaign.resilience.RetryPolicy` — failed chunks retry
@@ -35,7 +37,6 @@ from __future__ import annotations
 
 import abc
 import os
-import sqlite3
 import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
@@ -56,6 +57,7 @@ from repro.campaign.events import (
 )
 from repro.campaign.plan import Plan, Task
 from repro.campaign.resilience import Quarantined, RetryPolicy
+from repro.store import transient_write_errors
 from repro.testing import chaos
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -97,6 +99,31 @@ class SerialExecutor(Executor):
 _WORKER_SESSION: "Session | None" = None
 
 
+def _shed_parent_signal_plumbing() -> None:
+    """Detach this (forked) worker from the parent's signal machinery.
+
+    An asyncio parent (the campaign server) registers SIGINT/SIGTERM via
+    ``loop.add_signal_handler``, whose C-level handler writes the signal
+    number into a wakeup socketpair the loop reads.  A forked worker
+    inherits both the handler and the *shared* socketpair — so a SIGTERM
+    aimed at the worker (pool shutdown/terminate after a crash) would be
+    relayed into the parent's loop and gracefully stop the server
+    mid-campaign.  Workers restore default dispositions and drop the
+    inherited wakeup fd before doing anything else.
+    """
+    import signal
+
+    try:
+        signal.set_wakeup_fd(-1)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread
+        pass
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            signal.signal(signum, signal.SIG_DFL)
+        except (ValueError, OSError):  # pragma: no cover - non-main thread
+            pass
+
+
 def _worker_init(
     settings,
     pipeline_config,
@@ -108,6 +135,7 @@ def _worker_init(
     global _WORKER_SESSION
     from repro.campaign.session import Session
 
+    _shed_parent_signal_plumbing()
     # Arm worker-only chaos injection with the pool generation: a task
     # retried after a crash/hang rebuild re-rolls its injected fate.
     chaos.enter_worker(chaos_epoch)
@@ -303,6 +331,78 @@ class PoolExecutor(Executor):
             except Exception:  # already dead / mid-teardown
                 pass
 
+    # ----- result landing seams (overridden by DistributedExecutor) -----------
+
+    def _store_with_retry(
+        self, session: "Session", key: str, task: Task, result: SimResult
+    ) -> "tuple[bool, int, str | None]":
+        """Checkpoint one finished simulation, absorbing *transient*
+        store-write failures (torn write, fsync error, disk-full, sqlite
+        contention — see :func:`repro.store.transient_write_errors`)
+        through the same deterministic backoff policy worker faults use —
+        a flaky disk must not kill the drain loop while the result is
+        already in hand.  Returns (stored, failed_attempts, last_error)."""
+        benchmark, config, map_index = task
+        policy = self.retry
+        failed = 0
+        last_error: "str | None" = None
+        while True:
+            try:
+                session.store_result(benchmark, config, map_index, result)
+                return True, failed, last_error
+            except transient_write_errors() as exc:
+                failed += 1
+                last_error = repr(exc)
+                if failed >= policy.max_attempts:
+                    return False, failed, last_error
+                time.sleep(policy.backoff(failed, key))
+
+    def _land_chunk(
+        self,
+        session: "Session",
+        chunk_results: list,
+        quarantine: "list[Quarantined]",
+    ) -> "tuple[list[Event], int]":
+        """Land one completed chunk's payload: checkpoint each
+        ``(task, result)`` pair into the session store (retrying
+        transient write failures; quarantining a task whose write budget
+        drains), and return the events to stream plus how many points
+        completed.  :class:`~repro.service.distributed.DistributedExecutor`
+        overrides this — its workers ship ``(task, key)`` acks, and the
+        results land at :meth:`_drain_complete`."""
+        events: list[Event] = []
+        landed = 0
+        for task, result in chunk_results:
+            benchmark, config, map_index = task
+            key = session.task_key(benchmark, config, map_index)
+            stored, failed, error = self._store_with_retry(
+                session, key, task, result
+            )
+            if not stored:
+                # The write budget drained: quarantine the task (replay
+                # below re-simulates and re-puts) instead of losing the
+                # point or the loop.
+                quarantine.append(
+                    Quarantined(task, key, failed, f"store write failed: {error}")
+                )
+                continue
+            if failed:
+                events.append(StoreRecovered(key, failed, error))
+            session.simulations_executed += 1
+            landed += 1
+            events.append(PointResult(benchmark, config, map_index, key, result))
+        return events, landed
+
+    def _drain_complete(
+        self, session: "Session", quarantine: "list[Quarantined]"
+    ) -> Iterator[Event]:
+        """Executor-specific completion step after the pool has drained
+        and shut down, before the quarantine replay.  The pool executor
+        has nothing left to do (every chunk landed as it completed);
+        the distributed executor merges its per-worker store partitions
+        into the session store here."""
+        return iter(())
+
     # ----- the drain loop -------------------------------------------------------
 
     def run(self, session: "Session", plan: Plan) -> Iterator[Event]:
@@ -355,29 +455,6 @@ class PoolExecutor(Executor):
             deadlines.clear()
             self._abandon(old_pool)
             pool = self._make_pool(session, workers, epoch)
-
-        def store_with_retry(
-            key: str, task: Task, result: SimResult
-        ) -> "tuple[bool, int, str | None]":
-            # Checkpoint one finished simulation, absorbing *transient*
-            # store-write failures (torn write, fsync error, disk-full,
-            # sqlite contention) through the same deterministic backoff
-            # policy worker faults use — a flaky disk must not kill the
-            # drain loop while the result is already in hand.  Returns
-            # (stored, failed_attempts, last_error).
-            benchmark, config, map_index = task
-            failed = 0
-            last_error: "str | None" = None
-            while True:
-                try:
-                    session.store_result(benchmark, config, map_index, result)
-                    return True, failed, last_error
-                except (OSError, sqlite3.OperationalError) as exc:
-                    failed += 1
-                    last_error = repr(exc)
-                    if failed >= policy.max_attempts:
-                        return False, failed, last_error
-                    time.sleep(policy.backoff(failed, key))
 
         def fail_chunk(chunk: _Chunk, error: str) -> Iterator[Event]:
             # One failed attempt for this chunk: retry with deterministic
@@ -460,33 +537,11 @@ class PoolExecutor(Executor):
                         worker_counters[key] = merge_counters(
                             worker_counters.get(key), counters
                         )
-                        for task, result in chunk_results:
-                            benchmark, config, map_index = task
-                            key = session.task_key(benchmark, config, map_index)
-                            stored, failed, error = store_with_retry(
-                                key, task, result
-                            )
-                            if not stored:
-                                # The write budget drained: quarantine the
-                                # task (replay below re-simulates and
-                                # re-puts) instead of losing the point or
-                                # the loop.
-                                quarantine.append(
-                                    Quarantined(
-                                        task,
-                                        key,
-                                        failed,
-                                        f"store write failed: {error}",
-                                    )
-                                )
-                                continue
-                            if failed:
-                                yield StoreRecovered(key, failed, error)
-                            session.simulations_executed += 1
-                            done += 1
-                            yield PointResult(
-                                benchmark, config, map_index, key, result
-                            )
+                        events, landed = self._land_chunk(
+                            session, chunk_results, quarantine
+                        )
+                        done += landed
+                        yield from events
                         # Chunk-checkpoint boundary: the default durability
                         # contract.  Individual puts flush to the OS cache;
                         # the fsync lands here once per chunk (per-put
@@ -525,6 +580,12 @@ class PoolExecutor(Executor):
         finally:
             aggregate_counters()
             self._shutdown(pool)
+
+        # Executor-specific completion: the distributed executor merges
+        # its per-worker store partitions into the session store here and
+        # streams the merged PointResults (already counted into ``done``
+        # when their acks landed); the plain pool has nothing left.
+        yield from self._drain_complete(session, quarantine)
 
         # In-process replay of the quarantine ledger: worker-environment
         # failures (chaos injection, broken toolchains) recover here and

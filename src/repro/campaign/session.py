@@ -44,7 +44,8 @@ from repro.cpu.pipeline import OutOfOrderPipeline, SimResult
 from repro.cpu.trace import Trace
 from repro.experiments.configs import RunConfig
 from repro.experiments.providers import FaultMapProvider, TraceProvider
-from repro.experiments.store import MemoryStore, ResultStore, task_key
+from repro.experiments.keys import task_key
+from repro.store import MemoryStore, ResultStore
 from repro.faults.fault_map import FaultMap, FaultMapPair
 
 from repro.campaign.events import (
@@ -208,6 +209,24 @@ class Session:
             return self.settings.min_mega_lanes
         return MIN_MEGA_LANES
 
+    # ----- remote sessions ------------------------------------------------------
+
+    @classmethod
+    def connect(cls, url: str, timeout: "float | None" = 600.0):
+        """A :class:`~repro.service.client.RemoteSession` for the
+        campaign server at ``url`` — same streaming ``run(spec)`` /
+        ``run_all(spec)`` surface as a local session, with the server
+        doing the simulating (and the coalescing, when other clients
+        overlap)::
+
+            with Session.connect("http://127.0.0.1:8631") as remote:
+                for event in remote.run(spec):
+                    ...
+        """
+        from repro.service.client import RemoteSession
+
+        return RemoteSession(url, timeout=timeout)
+
     # ----- lifecycle ------------------------------------------------------------
 
     def __enter__(self) -> "Session":
@@ -256,7 +275,7 @@ class Session:
         self, benchmark: str, config: RunConfig, map_index: int | None = None
     ) -> str:
         """Stable store key of one simulation point (see
-        :func:`repro.experiments.store.task_key`)."""
+        :func:`repro.experiments.keys.task_key`)."""
         map_index = self._normalize_map_index(config, map_index)
         cache_key = (benchmark, config, map_index)
         key = self._key_cache.get(cache_key)

@@ -31,7 +31,7 @@ from typing import Iterator
 from repro.core.schemes import VoltageMode
 from repro.cpu.config import PAPER_PIPELINE, PipelineConfig
 from repro.experiments.configs import RunConfig
-from repro.experiments.store import task_key
+from repro.experiments.keys import task_key
 from repro.workloads.spec2000 import ALL_BENCHMARKS
 
 #: Bump when the spec's JSON shape changes incompatibly.

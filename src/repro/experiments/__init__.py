@@ -2,11 +2,13 @@
 
 The declarative campaign layer lives in :mod:`repro.campaign`
 (``CampaignSpec`` / ``Planner`` / ``Session``); this package keeps the
-figure registries, the Table III configurations, the result store, and
-the legacy :class:`ExperimentRunner` facade over it.
+figure registries, the Table III configurations, the content-hash task
+keys, and the legacy :class:`ExperimentRunner` facade over it.  The
+persistence layer is :mod:`repro.store` (the old
+``repro.experiments.store`` path survives as a deprecated shim).
 
 Import layering: the campaign layer depends on this package's *leaf*
-modules (``configs``, ``store``, ``providers``), while ``figures``,
+modules (``configs``, ``keys``, ``providers``), while ``figures``,
 ``runner``, and ``parallel`` depend on the campaign layer.  Only the
 leaves are imported eagerly here; the campaign-backed names resolve
 lazily on first attribute access (PEP 562), so ``import
@@ -36,7 +38,8 @@ from repro.experiments.configs import (
 )
 from repro.experiments.providers import FaultMapProvider, TraceProvider
 from repro.experiments.results import FigureResult
-from repro.experiments.store import (
+from repro.experiments.keys import task_key
+from repro.store import (
     DiskStore,
     MemoryStore,
     ResultStore,
@@ -44,7 +47,6 @@ from repro.experiments.store import (
     SqliteStore,
     StoreHealth,
     open_store,
-    task_key,
 )
 
 #: Lazily-resolved exports: name -> providing module (everything here

@@ -8,8 +8,16 @@ Usage::
     python -m repro.experiments fig8 fig9 --dry-run
     python -m repro.experiments all-analytical
     python -m repro.experiments all-performance --benchmarks crafty,gzip
+    python -m repro.experiments run fig8            # explicit subcommand form
+    python -m repro.experiments serve --store DIR --workers 4
+    python -m repro.experiments submit fig8 --url http://127.0.0.1:8631
     python -m repro.experiments store verify CAMPAIGN_DIR
     python -m repro.experiments store migrate CAMPAIGN_DIR --to sqlite
+
+The first token selects a subcommand — ``run`` (figure campaigns; the
+default, so every historical invocation works unchanged), ``serve`` (the
+campaign server of :mod:`repro.service`), ``submit`` (send a campaign to
+a running server and stream its events), ``store`` (storage tooling).
 
 The CLI is a thin shell over the campaign layer: flags build a
 :class:`~repro.campaign.session.Session` and one union
@@ -49,7 +57,7 @@ from repro.experiments.figures import (
 from repro.experiments.providers import TRACE_CACHE_ENV
 from repro.experiments.report import REPORT_CONFIGS, reproduction_report
 from repro.experiments.runner import ExperimentRunner
-from repro.experiments.store import DiskStore, MemoryStore, ResultStore, open_store
+from repro.store import DiskStore, MemoryStore, ResultStore, open_store
 from repro.workloads.spec2000 import ALL_BENCHMARKS
 
 
@@ -251,13 +259,32 @@ def _store_from_args(args: argparse.Namespace) -> ResultStore:
 
 
 def main(argv: list[str] | None = None) -> int:
+    """Dispatch on the first token.  ``run`` is the default subcommand
+    (and an explicit alias), so historical figure invocations —
+    ``python -m repro.experiments fig8 --dry-run`` — behave
+    byte-identically with or without it."""
     raw_argv = list(sys.argv[1:]) if argv is None else list(argv)
     if raw_argv and raw_argv[0] == "store":
         # Store tooling rides the same entry point: `python -m
-        # repro.experiments store verify|repair|compact|migrate DIR`.
+        # repro.experiments store verify|repair|compact|migrate|merge DIR`.
         from repro.store.tools import main as store_main
 
         return store_main(raw_argv[1:])
+    if raw_argv and raw_argv[0] == "serve":
+        return _serve_main(raw_argv[1:])
+    if raw_argv and raw_argv[0] == "submit":
+        return _submit_main(raw_argv[1:])
+    if raw_argv and raw_argv[0] == "run":
+        raw_argv = raw_argv[1:]
+    return _run_main(raw_argv)
+
+
+# --------------------------------------------------------------------------
+# run — figure campaigns (the historical CLI surface)
+# --------------------------------------------------------------------------
+
+
+def _run_main(raw_argv: list[str]) -> int:
     args = _build_parser().parse_args(raw_argv)
 
     targets: list[str] = []
@@ -494,6 +521,261 @@ def _render_targets(
             directory.mkdir(parents=True, exist_ok=True)
             (directory / f"{result.figure_id}.csv").write_text(result.to_csv())
     return 0
+
+
+# --------------------------------------------------------------------------
+# serve / submit — the campaign service (repro.service)
+# --------------------------------------------------------------------------
+
+
+def _add_fidelity_flags(parser: argparse.ArgumentParser) -> None:
+    """The fidelity knobs shared with ``run`` (same dests, so
+    :func:`_settings_from_args` reads either namespace)."""
+    parser.add_argument(
+        "--instructions", type=int, default=None, help="trace length per benchmark"
+    )
+    parser.add_argument(
+        "--maps", type=int, default=None, help="fault-map pairs (paper: 50)"
+    )
+    parser.add_argument(
+        "--benchmarks", type=str, default=None, help="comma-separated benchmark subset"
+    )
+    parser.add_argument("--seed", type=int, default=None, help="master seed")
+    parser.add_argument(
+        "--warmup",
+        type=int,
+        default=None,
+        help="warmup instructions before the measured region",
+    )
+    parser.add_argument(
+        "--min-batch-lanes", type=_positive_int, default=None, metavar="N",
+        help="per-point batching crossover override",
+    )
+    parser.add_argument(
+        "--min-mega-lanes", type=_positive_int, default=None, metavar="N",
+        help="merged-group crossover override",
+    )
+
+
+def _add_store_flags(parser: argparse.ArgumentParser) -> None:
+    """The store knobs shared with ``run`` (same dests, so
+    :func:`_store_from_args` reads either namespace)."""
+    store_group = parser.add_mutually_exclusive_group()
+    store_group.add_argument(
+        "--store", type=str, default=None, metavar="DIR",
+        help="campaign directory (default: $REPRO_STORE if set)",
+    )
+    store_group.add_argument(
+        "--no-store", action="store_true",
+        help="keep results in memory even if REPRO_STORE is set",
+    )
+    parser.add_argument(
+        "--store-backend",
+        choices=("auto", "jsonl", "sharded", "sqlite"),
+        default=None,
+        help="storage backend for --store (default: $REPRO_STORE_BACKEND, "
+        "else auto-detect)",
+    )
+    parser.add_argument(
+        "--store-fsync",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="fsync every result write",
+    )
+
+
+def _serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments serve",
+        description="Run a campaign server: accept CampaignSpec JSON from "
+        "concurrent clients over HTTP, coalesce overlapping specs against "
+        "the shared store, and stream typed campaign events back as NDJSON.",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=8631,
+        help="bind port (0 picks an ephemeral port, announced on stdout)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="simulate campaigns through a DistributedExecutor fanning "
+        "work across N partition-writing worker processes (default: "
+        "in-process serial)",
+    )
+    parser.add_argument(
+        "--max-retries", type=int, default=2, metavar="N",
+        help="resilience budget for --workers pools (see `run --help`)",
+    )
+    parser.add_argument(
+        "--chunk-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-chunk watchdog for --workers pools",
+    )
+    parser.add_argument(
+        "--partition-dir", type=str, default=None, metavar="DIR",
+        help="durable root for per-worker store partitions (default: a "
+        "temporary root per campaign, removed after the merge); recover a "
+        "crashed merge with `store merge DIR --from ROOT`",
+    )
+    parser.add_argument(
+        "--lanes", type=_positive_int, default=None, metavar="N",
+        help="fault-map lanes per batched simulation pass",
+    )
+    parser.add_argument(
+        "--mega-batch", action=argparse.BooleanOptionalAction, default=True,
+        help="merge pending lanes across campaign points (default: on)",
+    )
+    parser.add_argument(
+        "--trace-cache", type=str, default=None, metavar="DIR",
+        help="persistent trace cache (default: $REPRO_TRACE_CACHE if set)",
+    )
+    _add_fidelity_flags(parser)
+    _add_store_flags(parser)
+    return parser
+
+
+def _serve_main(argv: list[str]) -> int:
+    args = _serve_parser().parse_args(argv)
+    try:
+        store = _store_from_args(args)
+    except OSError as exc:
+        print(f"cannot open result store: {exc}", file=sys.stderr)
+        return 2
+    trace_cache = args.trace_cache or os.environ.get(TRACE_CACHE_ENV) or None
+    if trace_cache:
+        os.environ[TRACE_CACHE_ENV] = trace_cache
+    session = Session(
+        _settings_from_args(args),
+        store=store,
+        trace_cache=trace_cache,
+        lanes=args.lanes,
+        mega_batch=args.mega_batch,
+    )
+    executor = None
+    if args.workers > 1:
+        from repro.service import DistributedExecutor
+
+        executor = DistributedExecutor(
+            args.workers,
+            retry=RetryPolicy(
+                max_attempts=max(1, args.max_retries + 1),
+                chunk_timeout=args.chunk_timeout,
+            ),
+            partition_dir=args.partition_dir,
+        )
+    from repro.service.server import serve_blocking
+
+    try:
+        serve_blocking(session, executor=executor, host=args.host, port=args.port)
+    finally:
+        session.close()
+        store.close()
+    return 0
+
+
+def _submit_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments submit",
+        description="Send a campaign to a running campaign server and "
+        "stream its events: NDJSON on stdout (the wire lines, replayable "
+        "through repro.campaign.events.event_from_dict), progress on "
+        "stderr.  Exit 3 if any task failed terminally.",
+    )
+    parser.add_argument(
+        "targets",
+        nargs="+",
+        help="performance figure ids (fig8..fig12, all-performance) — the "
+        "union campaign they need — or one path to a CampaignSpec JSON "
+        "file (as written by CampaignSpec.to_dict)",
+    )
+    parser.add_argument(
+        "--url",
+        required=True,
+        help="campaign server base url, e.g. http://127.0.0.1:8631",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=600.0, metavar="SECONDS",
+        help="socket timeout while waiting for the next event line",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the NDJSON event stream on stdout (progress and the "
+        "summary still report on stderr)",
+    )
+    _add_fidelity_flags(parser)
+    return parser
+
+
+def _submit_spec(args: argparse.Namespace) -> "CampaignSpec | None":
+    """Resolve the submit targets to one spec: a JSON file path verbatim,
+    or figure ids through the same union-campaign path ``run`` uses."""
+    import json
+
+    if len(args.targets) == 1 and (
+        args.targets[0].endswith(".json") or os.path.exists(args.targets[0])
+    ):
+        with open(args.targets[0], "r", encoding="utf-8") as handle:
+            return CampaignSpec.from_dict(json.load(handle))
+    targets: list[str] = []
+    for target in args.targets:
+        if target == "all-performance":
+            targets.extend(PERFORMANCE_FIGURES)
+        else:
+            targets.append(target)
+    unknown = [t for t in targets if t not in PERFORMANCE_FIGURES]
+    if unknown:
+        print(
+            f"unknown submit targets: {', '.join(unknown)} (submit takes "
+            "performance figures or a spec JSON path; analytical figures "
+            "need no simulation)",
+            file=sys.stderr,
+        )
+        return None
+    needed = tuple(configs_for_targets(targets))
+    return CampaignSpec.from_settings(_settings_from_args(args), needed)
+
+
+def _submit_main(argv: list[str]) -> int:
+    args = _submit_parser().parse_args(argv)
+    spec = _submit_spec(args)
+    if spec is None:
+        return 2
+    from repro.service import protocol
+    from repro.service.client import RemoteCampaignError, connect
+
+    remote = connect(args.url, timeout=args.timeout)
+    code = 0
+    try:
+        for event in remote.run(spec):
+            if not args.quiet:
+                sys.stdout.buffer.write(protocol.event_line(event))
+                sys.stdout.buffer.flush()
+            if isinstance(event, Progress):
+                print(
+                    f"[submit] {event.done}/{event.total} points",
+                    file=sys.stderr,
+                )
+    except CampaignError as exc:
+        for line in exc.summary_lines():
+            print(f"[submit] quarantined {line}", file=sys.stderr)
+        code = 3
+    except RemoteCampaignError as exc:
+        print(f"[submit] {exc}", file=sys.stderr)
+        return 2
+    done = remote.last_done or {}
+    if not args.quiet:
+        # Forward the wire's done line too: stdout is the complete
+        # NDJSON stream, replayable by any protocol consumer.
+        sys.stdout.buffer.write(protocol.encode_line(done))
+        sys.stdout.buffer.flush()
+    print(
+        f"[submit] done: failures={done.get('failures', 0)} "
+        f"simulations executed={done.get('simulations_executed', 0)} "
+        f"server total={done.get('server_simulations', 0)}",
+        file=sys.stderr,
+    )
+    return code
 
 
 if __name__ == "__main__":

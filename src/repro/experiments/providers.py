@@ -8,7 +8,7 @@ inside ``ExperimentRunner``; a campaign
 :class:`~repro.campaign.session.Session` (and the legacy runner facade
 over it) is a thin façade over a :class:`TraceProvider`, a
 :class:`FaultMapProvider`, and a
-:class:`~repro.experiments.store.ResultStore`, opened once per session.
+:class:`~repro.store.ResultStore`, opened once per session.
 
 Persistent trace cache
 ----------------------

@@ -30,7 +30,7 @@ from repro.cpu.config import PAPER_PIPELINE, PipelineConfig
 from repro.cpu.pipeline import OutOfOrderPipeline, SimResult
 from repro.cpu.trace import Trace
 from repro.experiments.configs import RunConfig
-from repro.experiments.store import ResultStore
+from repro.store import ResultStore
 from repro.faults.fault_map import FaultMapPair
 
 from repro.campaign.events import PlanReady, Progress
@@ -173,7 +173,7 @@ class ExperimentRunner:
         self, benchmark: str, config: RunConfig, map_index: int | None = None
     ) -> str:
         """Stable store key of one simulation point (see
-        :func:`repro.experiments.store.task_key`)."""
+        :func:`repro.experiments.keys.task_key`)."""
         return self.session.task_key(benchmark, config, map_index)
 
     def cached(

@@ -1,39 +1,36 @@
-"""Task keys for the result store, plus the store compatibility surface.
+"""Deprecated re-export shim — use :mod:`repro.store` and
+:mod:`repro.experiments.keys` instead.
 
-The persistence layer itself lives in :mod:`repro.store` (checksummed
+This module was the original home of the result-store API.  PR 8 grew
+the persistence layer into the :mod:`repro.store` package (checksummed
 record format, jsonl / sharded / sqlite backends, verify/repair/migrate
-tooling); this module keeps its historical import path alive — every
-store name that used to live here re-exports from :mod:`repro.store` —
-and owns the one piece that is about *experiments* rather than storage:
-the content-hash task key.
-
-Keys
-----
-:func:`task_key` hashes the *fidelity* fields of
-:class:`~repro.experiments.runner.RunnerSettings` (trace length, warmup,
-pfail, master seed) plus the benchmark, the physical content of the
-:class:`~repro.experiments.configs.RunConfig` (scheme, voltage, victim
-entries — not the cosmetic label), and the fault-map index.  Fields that
-do not change the simulated bits stay out of the key on purpose:
-``benchmarks`` only scopes the campaign, and ``n_fault_maps`` is excluded
-because :func:`~repro.faults.fault_map.sample_fault_map_pairs` derives
-pair *i* from an independent seed stream, identical regardless of how
-many pairs are drawn.  A quick ``--maps 6`` campaign therefore seeds the
-first six map columns of a later ``--maps 50`` one.
+tooling), and the content-hash task keys now live in
+:mod:`repro.experiments.keys`.  Every name that ever lived here stays
+importable from here — existing scripts and notebooks keep working —
+but importing this module emits a :class:`DeprecationWarning` naming
+the real homes.
 """
 
 from __future__ import annotations
 
-import dataclasses
-import hashlib
-import json
-from typing import TYPE_CHECKING
+import warnings
 
-from repro.cpu.config import PAPER_PIPELINE, PipelineConfig
-from repro.experiments.configs import RunConfig
+warnings.warn(
+    "repro.experiments.store is deprecated: import the store API from "
+    "repro.store and task keys from repro.experiments.keys",
+    DeprecationWarning,
+    stacklevel=2,
+)
+
+# Keys moved to repro.experiments.keys — kept importable from here forever.
+from repro.experiments.keys import (  # noqa: F401, E402  (re-exports)
+    STORE_SCHEMA_VERSION,
+    fidelity_fingerprint,
+    task_key,
+)
 
 # Historical home of the store API — kept importable from here forever.
-from repro.store import (  # noqa: F401  (re-exports)
+from repro.store import (  # noqa: F401, E402  (re-exports)
     BACKENDS,
     RESULTS_FILENAME,
     STORE_BACKEND_ENV,
@@ -53,59 +50,3 @@ from repro.store import (  # noqa: F401  (re-exports)
     result_from_dict,
     result_to_dict,
 )
-
-if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runner imports us)
-    from repro.experiments.runner import RunnerSettings
-
-#: Bump when the simulator's bits change incompatibly (invalidates keys —
-#: every stored result keys off this, so old stores simply stop matching).
-#: Distinct from :data:`repro.store.RECORD_SCHEMA_VERSION`, which versions
-#: the on-disk *record format*.
-STORE_SCHEMA_VERSION = 1
-
-
-# --------------------------------------------------------------------------
-# Keys
-# --------------------------------------------------------------------------
-
-def fidelity_fingerprint(settings: "RunnerSettings") -> dict:
-    """The RunnerSettings fields that determine simulated bits.
-
-    Everything else (``benchmarks`` scope, ``n_fault_maps`` count) only
-    selects *which* simulations run, not what each one computes.
-    """
-    return {
-        "n_instructions": settings.n_instructions,
-        "warmup_instructions": settings.warmup_instructions,
-        "pfail": settings.pfail,
-        "seed": settings.seed,
-        "schema": STORE_SCHEMA_VERSION,
-    }
-
-
-def task_key(
-    settings: "RunnerSettings",
-    benchmark: str,
-    config: RunConfig,
-    map_index: int | None,
-    pipeline_config: PipelineConfig | None = None,
-) -> str:
-    """Stable content hash of one simulation point.
-
-    Identical across processes, interpreter restarts, and config *labels*
-    (two RunConfigs that build the same simulator share a key).
-    ``pipeline_config`` defaults to the paper's Table II pipeline; a runner
-    with a non-default pipeline gets disjoint keys, so mixed-pipeline
-    campaigns can share one store without cross-contamination.
-    """
-    payload = {
-        "fidelity": fidelity_fingerprint(settings),
-        "pipeline": dataclasses.asdict(pipeline_config or PAPER_PIPELINE),
-        "benchmark": benchmark,
-        "scheme": config.scheme,
-        "voltage": config.voltage.name,
-        "victim_entries": config.victim_entries,
-        "map_index": map_index,
-    }
-    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

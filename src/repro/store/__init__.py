@@ -15,7 +15,7 @@ On-disk format spec (v2)
 
     {"key": K, "result": R, "schema": 2, "sha": H}
 
-* ``K`` — the content-hash task key (``repro.experiments.store.task_key``),
+* ``K`` — the content-hash task key (``repro.experiments.keys.task_key``),
   a 64-char sha256 hex string in practice (any non-empty string is legal).
 * ``R`` — the JSON-native :class:`~repro.cpu.pipeline.SimResult` payload
   (``result_to_dict``).
@@ -59,7 +59,12 @@ to jsonl.  ``fsync=True`` (or ``REPRO_STORE_FSYNC=1``) makes every
 executor's chunk-boundary fsync instead.
 """
 
-from repro.store.base import MemoryStore, ResultStore, StoreHealth
+from repro.store.base import (
+    MemoryStore,
+    ResultStore,
+    StoreHealth,
+    transient_write_errors,
+)
 from repro.store.format import (
     RECORD_SCHEMA_VERSION,
     CorruptRecord,
@@ -171,4 +176,5 @@ __all__ = [
     "record_checksum",
     "result_from_dict",
     "result_to_dict",
+    "transient_write_errors",
 ]

@@ -49,6 +49,17 @@ class StoreHealth:
         return " ".join(parts)
 
 
+def transient_write_errors() -> tuple:
+    """Exception types a store ``put``/``flush`` may raise *transiently*
+    — worth retrying through a backoff policy rather than failing the
+    campaign (torn write, fsync error, disk-full, sqlite lock
+    contention).  The backend exception taxonomy lives here so executors
+    need no backend imports of their own."""
+    import sqlite3
+
+    return (OSError, sqlite3.OperationalError)
+
+
 class ResultStore(abc.ABC):
     """Keyed persistence for simulation results.
 

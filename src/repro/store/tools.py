@@ -7,6 +7,7 @@ Exposed as ``python -m repro.experiments store <command>`` (and
     store repair  DIR [--backend B]    # drop damaged records, upgrade legacy
     store compact DIR [--backend B]    # rewrite without duplicates/damage
     store migrate DIR --to B [--dest DIR2] [--backend B]
+    store merge   DIR --from ROOT      # fold per-worker partitions into DIR
 
 ``verify`` classifies every stored record (see
 :class:`~repro.store.base.StoreHealth`): duplicates, checksum failures,
@@ -154,6 +155,84 @@ def cmd_migrate(args: argparse.Namespace) -> int:
         return 0
 
 
+# --------------------------------------------------------------------------
+# Partition merging (the DistributedExecutor's drain step)
+# --------------------------------------------------------------------------
+
+def partition_dirs(root: "str | os.PathLike") -> "list[str]":
+    """Sorted store directories directly under ``root`` — the per-worker
+    partitions a :class:`~repro.service.distributed.DistributedExecutor`
+    campaign leaves behind.  Only subdirectories whose files actually
+    detect as a store backend count; stray directories are ignored."""
+    from repro.store import detect_backend
+
+    root = os.fspath(root)
+    if not os.path.isdir(root):
+        return []
+    found = []
+    for name in sorted(os.listdir(root)):
+        path = os.path.join(root, name)
+        if os.path.isdir(path) and detect_backend(path) is not None:
+            found.append(path)
+    return found
+
+
+def load_partitions(
+    root: "str | os.PathLike", backend: "str | None" = None
+) -> dict:
+    """Union key -> result map over every partition store under ``root``.
+
+    Workers are deterministic — a key appearing in more than one
+    partition (a chunk retried after a crash landed on another worker)
+    carries an identical result, so the union is order-independent; the
+    first partition's copy wins for definiteness."""
+    merged: dict = {}
+    for path in partition_dirs(root):
+        with _open(path, backend) as store:
+            for key in store.keys():
+                if key not in merged:
+                    merged[key] = store.get(key)
+    return merged
+
+
+def merge_stores(dest: ResultStore, sources) -> int:
+    """Copy every record of ``sources`` (stores, or directories to open)
+    into ``dest``, skipping keys ``dest`` already holds (re-putting an
+    existing key is a harmless identical overwrite — skipping merely
+    saves the writes).  Returns the number of records copied."""
+    copied = 0
+    for source in sources:
+        opened = None
+        if not isinstance(source, ResultStore):
+            opened = _open(os.fspath(source), None)
+            source = opened
+        try:
+            for key in source.keys():
+                if key not in dest:
+                    dest.put(key, source.get(key))
+                    copied += 1
+        finally:
+            if opened is not None:
+                opened.close()
+    return copied
+
+
+def cmd_merge(args: argparse.Namespace) -> int:
+    partitions = partition_dirs(args.source_root)
+    if not partitions:
+        print(f"merge: no partition stores under {args.source_root}")
+        return 1
+    with _open_reporting(args.directory, args.backend) as dest:
+        before = len(dest)
+        copied = merge_stores(dest, partitions)
+        print(f"{_backend_name(dest)} store at {dest.description}")
+        print(
+            f"merge: folded {len(partitions)} partition(s), copied {copied} "
+            f"record(s) ({before} already present, {len(dest)} total)"
+        )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-store",
@@ -208,6 +287,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="destination directory (default: alongside the source, in place)",
     )
     p.set_defaults(func=cmd_migrate)
+
+    p = sub.add_parser(
+        "merge",
+        help="fold every per-worker partition store under --from into DIR",
+    )
+    common(p)
+    p.add_argument(
+        "--from",
+        dest="source_root",
+        required=True,
+        metavar="ROOT",
+        help="directory whose store-bearing subdirectories are the partitions",
+    )
+    p.set_defaults(func=cmd_merge)
     return parser
 
 

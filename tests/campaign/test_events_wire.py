@@ -1,0 +1,302 @@
+"""The event wire codec: every campaign event survives JSON transit.
+
+``event_to_dict``/``event_from_dict`` are the campaign server's NDJSON
+wire format, so the round-trip property is the API contract: any event a
+``Session.run`` can yield must decode to an equal event on the far side
+(modulo the one documented lossy edge — a decoded ``PlanReady``'s group
+signatures are ``None``).  Hypothesis drives the spec/plan shapes;
+explicit cases pin every member of the union and the failure modes
+(foreign schema epoch, unknown type, non-event input).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.campaign.events import (
+    EVENT_SCHEMA_VERSION,
+    PlanReady,
+    PointResult,
+    Progress,
+    StoreCorruption,
+    StoreRecovered,
+    TaskFailed,
+    TaskRetried,
+    WorkerCrashed,
+    event_from_dict,
+    event_to_dict,
+)
+from repro.campaign.plan import Plan, PlanGroup, WorkItem
+from repro.campaign.resilience import Quarantined
+from repro.campaign.spec import CampaignSpec
+from repro.cpu.pipeline import SimResult
+from repro.experiments.configs import ALL_CONFIGS, HV_BASELINE, LV_BLOCK
+from repro.store.base import StoreHealth
+from repro.workloads.spec2000 import ALL_BENCHMARKS
+
+
+def roundtrip(event):
+    """Encode -> JSON text -> decode (the full wire path)."""
+    wire = json.loads(json.dumps(event_to_dict(event)))
+    return event_from_dict(wire)
+
+
+RESULT = SimResult(
+    benchmark="gzip",
+    instructions=1000,
+    cycles=1700,
+    branch_mispredictions=12,
+    branch_predictions=240,
+    hierarchy_stats={"l1d": {"hits": 900, "misses": 33}},
+)
+
+QUARANTINED = Quarantined(
+    task=("gzip", LV_BLOCK, 3),
+    key="deadbeef" * 8,
+    attempts=3,
+    error="ChaosWorkerCrash(...)",
+    replay_error="ValueError('poison')",
+)
+
+
+class TestExplicitRoundTrips:
+    def test_point_result(self):
+        event = PointResult("gzip", LV_BLOCK, 3, "ab" * 32, RESULT)
+        assert roundtrip(event) == event
+
+    def test_point_result_fault_independent(self):
+        event = PointResult("gzip", HV_BASELINE, None, "cd" * 32, RESULT)
+        assert roundtrip(event) == event
+
+    def test_progress(self):
+        event = Progress(done=7, total=12, simulations_executed=5, schedule_passes=3)
+        assert roundtrip(event) == event
+
+    def test_task_retried(self):
+        event = TaskRetried(
+            tasks=(("gzip", LV_BLOCK, 0), ("gzip", HV_BASELINE, None)),
+            attempt=2,
+            delay=0.125,
+            error="TimeoutError()",
+        )
+        assert roundtrip(event) == event
+
+    def test_worker_crashed(self):
+        event = WorkerCrashed(error="BrokenProcessPool", resubmitted=4)
+        assert roundtrip(event) == event
+
+    def test_task_failed(self):
+        event = TaskFailed(QUARANTINED)
+        assert roundtrip(event) == event
+
+    def test_task_failed_without_replay_error(self):
+        event = TaskFailed(
+            Quarantined(("gzip", LV_BLOCK, 0), "ef" * 32, 1, "boom")
+        )
+        assert roundtrip(event) == event
+
+    def test_store_corruption(self):
+        event = StoreCorruption(
+            store="sharded:/tmp/x",
+            health=StoreHealth(
+                records=90, duplicates=2, corrupt=1, stale=3, malformed=4, legacy=5
+            ),
+        )
+        assert roundtrip(event) == event
+
+    def test_store_recovered(self):
+        event = StoreRecovered(key="12" * 32, attempts=2, error="OSError(28)")
+        assert roundtrip(event) == event
+
+    def test_plan_ready_drops_only_signatures(self):
+        spec = CampaignSpec(
+            configs=(HV_BASELINE, LV_BLOCK),
+            benchmarks=("gzip",),
+            n_instructions=1000,
+            n_fault_maps=2,
+            pfail=0.001,
+            seed=7,
+            warmup_instructions=100,
+            figure="fig8",
+        )
+        items = tuple(
+            WorkItem("gzip", LV_BLOCK, m, f"{m:02d}" * 32) for m in range(2)
+        )
+        plan = Plan(
+            spec=spec,
+            groups=(
+                PlanGroup("gzip", merged=True, items=items, signature=("sig", 1)),
+            ),
+            total_points=3,
+            dedup_hits=1,
+            predicted_passes=1,
+        )
+        decoded = roundtrip(PlanReady(plan)).plan
+        assert decoded.spec == spec
+        assert decoded.total_points == 3
+        assert decoded.dedup_hits == 1
+        assert decoded.predicted_passes == 1
+        assert len(decoded.groups) == 1
+        group = decoded.groups[0]
+        assert group.items == items
+        assert group.merged is True
+        # the one documented lossy edge: signatures are session-local
+        assert group.signature is None
+
+
+class TestWireHygiene:
+    def test_every_payload_is_json_native(self):
+        payload = event_to_dict(PointResult("gzip", LV_BLOCK, 1, "ab" * 32, RESULT))
+        assert payload["event"] == "PointResult"
+        assert payload["schema"] == EVENT_SCHEMA_VERSION
+        json.dumps(payload)  # would raise on live objects
+
+    def test_non_event_rejected(self):
+        with pytest.raises(TypeError, match="not a campaign event"):
+            event_to_dict(object())
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError, match="unknown campaign event"):
+            event_from_dict({"event": "Nonsense", "schema": EVENT_SCHEMA_VERSION})
+
+    def test_foreign_schema_rejected(self):
+        payload = event_to_dict(Progress(1, 2, 3, 4))
+        payload["schema"] = EVENT_SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="unsupported event schema"):
+            event_from_dict(payload)
+
+
+# ---------------------------------------------------------------------------
+# Property: arbitrary events round-trip
+# ---------------------------------------------------------------------------
+
+configs = st.sampled_from(ALL_CONFIGS)
+benchmarks = st.sampled_from(ALL_BENCHMARKS)
+keys = st.text("0123456789abcdef", min_size=64, max_size=64)
+map_indices = st.one_of(st.none(), st.integers(min_value=0, max_value=63))
+
+tasks = st.tuples(benchmarks, configs, map_indices)
+
+results = st.builds(
+    SimResult,
+    benchmark=benchmarks,
+    instructions=st.integers(min_value=1, max_value=10**7),
+    cycles=st.integers(min_value=1, max_value=10**8),
+    branch_mispredictions=st.integers(min_value=0, max_value=10**6),
+    branch_predictions=st.integers(min_value=0, max_value=10**7),
+    hierarchy_stats=st.dictionaries(
+        st.sampled_from(["l1i", "l1d", "l2"]),
+        st.dictionaries(
+            st.sampled_from(["hits", "misses"]),
+            st.integers(min_value=0, max_value=10**6),
+            max_size=2,
+        ),
+        max_size=3,
+    ),
+)
+
+quarantined = st.builds(
+    Quarantined,
+    task=tasks,
+    key=keys,
+    attempts=st.integers(min_value=1, max_value=5),
+    error=st.text(max_size=40),
+    replay_error=st.one_of(st.none(), st.text(max_size=40)),
+)
+
+specs = st.builds(
+    CampaignSpec,
+    configs=st.lists(configs, min_size=1, max_size=3).map(tuple),
+    benchmarks=st.lists(benchmarks, min_size=1, max_size=2, unique=True).map(tuple),
+    n_instructions=st.integers(min_value=1, max_value=10**7),
+    n_fault_maps=st.integers(min_value=1, max_value=64),
+    pfail=st.floats(min_value=0.0, max_value=0.01, allow_nan=False),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    warmup_instructions=st.integers(min_value=0, max_value=10**6),
+    figure=st.one_of(st.none(), st.sampled_from(["fig8", "custom"])),
+)
+
+work_items = st.builds(
+    WorkItem, benchmark=benchmarks, config=configs, map_index=map_indices, key=keys
+)
+
+# Groups decode with signature=None, so generate them that way: the
+# property then *is* equality, with the lossy edge pinned separately in
+# TestExplicitRoundTrips.
+plan_groups = st.builds(
+    PlanGroup,
+    benchmark=benchmarks,
+    merged=st.booleans(),
+    items=st.lists(work_items, min_size=1, max_size=3).map(tuple),
+    signature=st.none(),
+)
+
+plans = st.builds(
+    Plan,
+    spec=specs,
+    groups=st.lists(plan_groups, max_size=3).map(tuple),
+    total_points=st.integers(min_value=0, max_value=100),
+    dedup_hits=st.integers(min_value=0, max_value=100),
+    predicted_passes=st.integers(min_value=0, max_value=100),
+)
+
+events = st.one_of(
+    st.builds(PlanReady, plan=plans),
+    st.builds(
+        PointResult,
+        benchmark=benchmarks,
+        config=configs,
+        map_index=map_indices,
+        key=keys,
+        result=results,
+    ),
+    st.builds(
+        Progress,
+        done=st.integers(min_value=0, max_value=10**4),
+        total=st.integers(min_value=0, max_value=10**4),
+        simulations_executed=st.integers(min_value=0, max_value=10**4),
+        schedule_passes=st.integers(min_value=0, max_value=10**4),
+    ),
+    st.builds(
+        TaskRetried,
+        tasks=st.lists(tasks, min_size=1, max_size=3).map(tuple),
+        attempt=st.integers(min_value=1, max_value=5),
+        delay=st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+        error=st.text(max_size=40),
+    ),
+    st.builds(
+        WorkerCrashed,
+        error=st.text(max_size=40),
+        resubmitted=st.integers(min_value=0, max_value=64),
+    ),
+    st.builds(TaskFailed, quarantined=quarantined),
+    st.builds(
+        StoreCorruption,
+        store=st.text(max_size=40),
+        health=st.builds(
+            StoreHealth,
+            records=st.integers(min_value=0, max_value=10**4),
+            duplicates=st.integers(min_value=0, max_value=100),
+            corrupt=st.integers(min_value=0, max_value=100),
+            stale=st.integers(min_value=0, max_value=100),
+            malformed=st.integers(min_value=0, max_value=100),
+            legacy=st.integers(min_value=0, max_value=100),
+        ),
+    ),
+    st.builds(
+        StoreRecovered,
+        key=keys,
+        attempts=st.integers(min_value=1, max_value=5),
+        error=st.text(max_size=40),
+    ),
+)
+
+
+@settings(max_examples=120, deadline=None)
+@given(event=events)
+def test_any_event_round_trips_through_the_wire(event):
+    assert roundtrip(event) == event

@@ -49,7 +49,7 @@ from repro.experiments.configs import (
     LV_BLOCK_V10,
     LV_WORD,
 )
-from repro.experiments.store import result_to_dict
+from repro.store import result_to_dict
 from repro.testing import chaos
 from repro.testing.chaos import ChaosConfig, ChaosError
 

@@ -13,7 +13,7 @@ from repro.experiments.configs import (
     LV_WORD,
 )
 from repro.experiments.runner import ExperimentRunner
-from repro.experiments.store import DiskStore, MemoryStore, open_store
+from repro.store import DiskStore, MemoryStore, open_store
 
 SETTINGS = RunnerSettings(
     n_instructions=3_000,

@@ -226,3 +226,116 @@ class TestCLI:
         default_out = capsys.readouterr().out
         assert main(args + ["--no-mega-batch"]) == 0
         assert capsys.readouterr().out == default_out
+
+
+class TestSubcommands:
+    """The subcommand dispatch: `run` (default + explicit alias),
+    `serve`, `submit` — the historical figure CLI must be byte-identical
+    with or without the `run` token."""
+
+    def test_run_alias_is_byte_identical_for_dry_run(self, capsys):
+        assert main(FAST_PERF_ARGS + ["--dry-run"]) == 0
+        default = capsys.readouterr()
+        assert main(["run"] + FAST_PERF_ARGS + ["--dry-run"]) == 0
+        alias = capsys.readouterr()
+        assert alias.out == default.out
+        assert alias.err == default.err
+
+    def test_run_alias_is_byte_identical_for_figures(self, capsys):
+        assert main(["fig3"]) == 0
+        default = capsys.readouterr().out
+        assert main(["run", "fig3"]) == 0
+        assert capsys.readouterr().out == default
+
+    def test_serve_parser_shares_run_dests(self):
+        args = cli._serve_parser().parse_args([])
+        assert (args.host, args.port, args.workers) == ("127.0.0.1", 8631, 1)
+        args = cli._serve_parser().parse_args(
+            [
+                "--port", "0",
+                "--workers", "3",
+                "--instructions", "2000",
+                "--benchmarks", "gzip",
+                "--no-store",
+            ]
+        )
+        settings = cli._settings_from_args(args)
+        assert settings.n_instructions == 2000
+        assert settings.benchmarks == ("gzip",)
+        store = cli._store_from_args(args)
+        assert type(store).__name__ == "MemoryStore"
+
+    def test_submit_spec_from_figures_matches_run_union(self):
+        from repro.campaign.spec import CampaignSpec
+        from repro.experiments.figures import configs_for_targets
+
+        args = cli._submit_parser().parse_args(
+            ["fig8", "--url", "http://x"] + FAST_PERF_ARGS[1:]
+        )
+        spec = cli._submit_spec(args)
+        expected = CampaignSpec.from_settings(
+            cli._settings_from_args(args), tuple(configs_for_targets(["fig8"]))
+        )
+        assert spec == expected
+
+    def test_submit_spec_from_json_file(self, tmp_path):
+        import json
+
+        from repro.campaign.spec import CampaignSpec, RunnerSettings
+        from repro.experiments.configs import LV_BASELINE
+
+        spec = CampaignSpec.from_settings(
+            RunnerSettings(n_instructions=1000, benchmarks=("gzip",)),
+            (LV_BASELINE,),
+        )
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec.to_dict()))
+        args = cli._submit_parser().parse_args([str(path), "--url", "http://x"])
+        assert cli._submit_spec(args) == spec
+
+    def test_submit_rejects_non_performance_targets(self, capsys):
+        assert main(["submit", "fig3", "--url", "http://x"]) == 2
+        assert "unknown submit targets" in capsys.readouterr().err
+
+    def test_submit_unreachable_server_exits_2(self, capsys):
+        code = main(
+            ["submit", "--url", "http://127.0.0.1:9", "--timeout", "0.5"]
+            + FAST_PERF_ARGS
+        )
+        assert code == 2
+        assert "[submit]" in capsys.readouterr().err
+
+    def test_submit_end_to_end_streams_ndjson(self, capsysbinary):
+        import json
+
+        from repro.campaign.session import Session
+        from repro.campaign.spec import RunnerSettings
+        from repro.service.server import ServerThread
+
+        settings = RunnerSettings(
+            n_instructions=3000,
+            warmup_instructions=1000,
+            n_fault_maps=2,
+            benchmarks=("gzip",),
+        )
+        with Session(settings) as session, ServerThread(session) as server:
+            code = main(["submit"] + FAST_PERF_ARGS + ["--url", server.url])
+        assert code == 0
+        captured = capsysbinary.readouterr()
+        lines = [
+            json.loads(line)
+            for line in captured.out.splitlines()
+            if line.strip()
+        ]
+        # stdout is the complete wire stream: events, then the done line
+        assert lines[-1]["done"] is True
+        assert lines[-1]["failures"] == 0
+        kinds = [line["event"] for line in lines[:-1]]
+        assert kinds[0] == "PlanReady"
+        assert kinds.count("PointResult") == 6
+        assert b"[submit] done: failures=0" in captured.err
+        # the NDJSON event lines replay through the wire codec
+        from repro.campaign.events import event_from_dict
+
+        for line in lines[:-1]:
+            event_from_dict(line)

@@ -14,7 +14,7 @@ from repro.experiments.parallel import (
     run_studies,
 )
 from repro.experiments.runner import ExperimentRunner, RunnerSettings
-from repro.experiments.store import DiskStore
+from repro.store import DiskStore
 
 SMALL = RunnerSettings(
     n_instructions=3000,

@@ -17,13 +17,13 @@ from repro.experiments.configs import (
 )
 from repro.experiments.parallel import pending_tasks, prefill_cache
 from repro.experiments.runner import ExperimentRunner, RunnerSettings
-from repro.experiments.store import (
+from repro.experiments.keys import task_key
+from repro.store import (
     DiskStore,
     MemoryStore,
     open_store,
     result_from_dict,
     result_to_dict,
-    task_key,
 )
 
 SMALL = RunnerSettings(
@@ -120,7 +120,7 @@ class TestTaskKey:
         interpreter computes the identical string."""
         code = (
             "from repro.experiments.runner import RunnerSettings\n"
-            "from repro.experiments.store import task_key\n"
+            "from repro.experiments.keys import task_key\n"
             "from repro.experiments.configs import LV_BLOCK\n"
             "s = RunnerSettings(n_instructions=3000, n_fault_maps=2,\n"
             "                   warmup_instructions=1000,\n"
@@ -464,6 +464,30 @@ class TestCLICampaign:
         assert main(argv) == 0
         assert "store=memory" in capsys.readouterr().err
         assert not (tmp_path / "results.jsonl").exists()
+
+
+class TestDeprecatedShim:
+    """``repro.experiments.store`` survives as a warning re-export shim."""
+
+    def test_import_warns_and_re_exports(self):
+        # A fresh interpreter so the module-level warning actually fires
+        # (this process has long since cached the module).
+        code = (
+            "import warnings\n"
+            "with warnings.catch_warnings(record=True) as caught:\n"
+            "    warnings.simplefilter('always')\n"
+            "    import repro.experiments.store as shim\n"
+            "assert any(issubclass(w.category, DeprecationWarning)\n"
+            "           for w in caught), caught\n"
+            "assert 'repro.store' in str(caught[0].message)\n"
+            "import repro.store, repro.experiments.keys\n"
+            "assert shim.DiskStore is repro.store.DiskStore\n"
+            "assert shim.open_store is repro.store.open_store\n"
+            "assert shim.task_key is repro.experiments.keys.task_key\n"
+            "assert shim.STORE_SCHEMA_VERSION == "
+            "repro.experiments.keys.STORE_SCHEMA_VERSION\n"
+        )
+        subprocess.run([sys.executable, "-c", code], check=True)
 
 
 def _fields(settings: RunnerSettings) -> dict:
