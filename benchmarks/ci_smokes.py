@@ -896,6 +896,183 @@ def smoke_service(json_dir: str) -> list[str]:
     return failures
 
 
+def smoke_predict(json_dir: str) -> list[str]:
+    """Predictive campaign gate: the active loop earns its keep.
+
+    On a fig8 slice (4 configs x 8 benchmarks x 50 fault maps = 816
+    points, low fidelity) the ``repro.predict`` loop must
+
+    * converge within its tolerance while simulating at most 50% of the
+      grid;
+    * land every simulated point in the store, so re-planning the full
+      grid dedups exactly the loop's labels;
+    * be replayable: ``replay_report`` over the loop's store re-derives
+      a byte-identical estimate with zero simulations;
+    * beat **random** acquisition at equal simulation budget on the
+      figure's average series against the fully-simulated ground truth
+      (the paper's fig8 bars), with its own error under a pinned bound.
+
+    Everything is seeded, so the errors are deterministic; the JSON
+    artifact records the active-vs-random comparison per run.
+    """
+    from repro.campaign.session import Session
+    from repro.campaign.spec import CampaignSpec, RunnerSettings
+    from repro.experiments.configs import (
+        LV_BASELINE,
+        LV_BLOCK,
+        LV_BLOCK_V10,
+        LV_WORD,
+    )
+    from repro.predict import ActiveCampaign, PredictSettings, replay_report
+
+    benchmarks = ("ammp", "art", "equake", "crafty", "gcc", "gzip", "mcf", "vpr")
+    settings = RunnerSettings(
+        n_instructions=2_000,
+        warmup_instructions=500,
+        n_fault_maps=50,
+        benchmarks=benchmarks,
+    )
+    spec = CampaignSpec.from_settings(
+        settings, (LV_BASELINE, LV_WORD, LV_BLOCK, LV_BLOCK_V10), figure="fig8"
+    )
+    # batch (24) deliberately under cells x maps_step (16 x 3): every
+    # round must *choose* cells, so the gate exercises acquisition, not
+    # just round-robin depth.
+    predict = PredictSettings(
+        budget=0.5, batch=24, tolerance=0.01, patience=2, seed=2010
+    )
+    avg_error_bound = 0.005  # measured 0.0026 on this slice; headroom for drift
+
+    failures: list[str] = []
+
+    def figure_error(estimate: dict, truth: dict) -> "tuple[float, float]":
+        """Max abs error on the average series (and the min series,
+        informational) across every non-baseline config x benchmark."""
+        avg_err = min_err = 0.0
+        for label, series in truth.items():
+            est = estimate[label]
+            for a, b in zip(series["average"], est["average"]):
+                avg_err = max(avg_err, abs(a - b))
+            if series["minimum"] is not None and est["minimum"] is not None:
+                for a, b in zip(series["minimum"], est["minimum"]):
+                    min_err = max(min_err, abs(a - b))
+        return avg_err, min_err
+
+    with tempfile.TemporaryDirectory() as traces:
+        with Session(settings, trace_cache=traces) as session:
+            loop = ActiveCampaign(session, spec, predict)
+            report = loop.run_all()
+            loop.close()
+            if report.coverage > 0.5:
+                failures.append(
+                    f"active loop simulated {report.simulated}/{report.total} "
+                    f"({report.coverage:.0%}) — over the 50% ceiling"
+                )
+            if report.reason not in ("tolerance", "budget"):
+                failures.append(f"unexpected stop reason {report.reason!r}")
+
+            # replayable: the store alone re-derives the estimate
+            replay = replay_report(session, spec, predict)
+            replay_identical = replay.estimate == report.estimate
+            if not replay_identical:
+                failures.append("replay_report estimate differs from the run's")
+            if replay.simulated != 0:
+                failures.append(f"replay simulated {replay.simulated} points")
+
+            # economics: a follow-up full campaign is pure dedup ...
+            plan = session.plan(spec)
+            if plan.dedup_hits != report.labeled:
+                failures.append(
+                    f"full-grid plan dedups {plan.dedup_hits}, loop "
+                    f"labeled {report.labeled} — some work was not durable"
+                )
+            # ... then fill the grid for ground truth
+            session.run_all(spec)
+            truth = {}
+            for config in (LV_WORD, LV_BLOCK, LV_BLOCK_V10):
+                avgs, mins = [], []
+                for benchmark in benchmarks:
+                    base = session.cached(benchmark, LV_BASELINE, None).cycles
+                    if config.needs_fault_map:
+                        values = [
+                            base / session.cached(benchmark, config, m).cycles
+                            for m in range(settings.n_fault_maps)
+                        ]
+                    else:
+                        values = [
+                            base / session.cached(benchmark, config, None).cycles
+                        ]
+                    avgs.append(sum(values) / len(values))
+                    mins.append(min(values))
+                truth[config.label] = {
+                    "average": avgs,
+                    "minimum": mins if config.needs_fault_map else None,
+                }
+
+        active_avg, active_min = figure_error(report.estimate, truth)
+        if active_avg > avg_error_bound:
+            failures.append(
+                f"active figure error {active_avg:.4f} exceeds the "
+                f"{avg_error_bound} bound"
+            )
+
+        # the control: random acquisition at the same simulation budget,
+        # forced to spend it all (no tolerance stop), on a fresh store
+        random_settings = PredictSettings(
+            budget=report.coverage,
+            batch=24,
+            tolerance=1e-9,
+            patience=10**6,
+            strategy="random",
+            initial_maps=predict.initial_maps,
+            maps_step=predict.maps_step,
+            seed=predict.seed,
+        )
+        with Session(settings, trace_cache=traces) as control:
+            loop = ActiveCampaign(control, spec, random_settings)
+            random_report = loop.run_all()
+            loop.close()
+        random_avg, random_min = figure_error(random_report.estimate, truth)
+        if active_avg >= random_avg:
+            failures.append(
+                f"active acquisition ({active_avg:.4f}) does not beat "
+                f"random ({random_avg:.4f}) at equal budget "
+                f"({report.simulated} vs {random_report.simulated} sims)"
+            )
+
+    _write(
+        json_dir,
+        "predict",
+        {
+            "grid": {
+                "configs": 4,
+                "benchmarks": len(benchmarks),
+                "fault_maps": settings.n_fault_maps,
+                "total_points": report.total,
+            },
+            "active": {
+                "strategy": predict.strategy,
+                "simulated": report.simulated,
+                "coverage": report.coverage,
+                "rounds": report.rounds,
+                "reason": report.reason,
+                "avg_series_error": active_avg,
+                "min_series_error": active_min,
+            },
+            "random": {
+                "simulated": random_report.simulated,
+                "avg_series_error": random_avg,
+                "min_series_error": random_min,
+            },
+            "avg_error_bound": avg_error_bound,
+            "replay_identical": replay_identical,
+            "full_plan_dedup_hits": plan.dedup_hits,
+            "failures": failures,
+        },
+    )
+    return failures
+
+
 SMOKES = {
     "goldens": smoke_goldens,
     "kips": smoke_kips,
@@ -907,6 +1084,7 @@ SMOKES = {
     "chaos": smoke_chaos,
     "store-chaos": smoke_store_chaos,
     "service": smoke_service,
+    "predict": smoke_predict,
 }
 
 

@@ -23,13 +23,17 @@ bit-identical (``benchmarks/ci_smokes.py campaign``).
 """
 
 from repro.campaign.events import (
+    BatchProposed,
+    Converged,
     Event,
     PlanReady,
     PointResult,
     Progress,
+    SurrogateFit,
     TaskFailed,
     TaskRetried,
     WorkerCrashed,
+    signature_digest,
 )
 from repro.campaign.executors import (
     Executor,
@@ -73,6 +77,10 @@ __all__ = [
     "TaskRetried",
     "TaskFailed",
     "WorkerCrashed",
+    "SurrogateFit",
+    "BatchProposed",
+    "Converged",
+    "signature_digest",
     "RetryPolicy",
     "Quarantined",
     "CampaignError",

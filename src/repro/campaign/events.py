@@ -21,14 +21,22 @@ Every event round-trips through JSON-native dicts via
 :func:`event_to_dict` / :func:`event_from_dict` — the campaign server's
 NDJSON wire format (one ``{"event": <Type>, "schema": N, ...}`` object
 per line), mirroring ``CampaignSpec.to_dict``/``from_dict``.  One
-deliberate lossy edge: a :class:`PlanReady`'s group batch *signatures*
-are session-local objects (live pipeline configs and latency tables,
-meaningless across processes), so they serialize as absent and decode
-as ``None`` — everything a remote consumer acts on (work items, keys,
-counts, grouping) survives byte-exactly.
+group's batch *signature* is a session-local object (live pipeline
+configs and latency tables, meaningless across processes), so it
+crosses the wire as a stable content-hash digest
+(:func:`signature_digest`): remote consumers can still tell which
+groups would share a mega-batch pass, and everything they act on (work
+items, keys, counts, grouping) survives byte-exactly.  Schema epoch 2
+added the digest (epoch-1 payloads, which dropped signatures entirely,
+still decode — their groups carry ``None``) and the predict-loop events
+:class:`SurrogateFit` / :class:`BatchProposed` / :class:`Converged`.
 """
 
 from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
 
 from dataclasses import dataclass
 
@@ -134,6 +142,51 @@ class StoreRecovered:
     error: str
 
 
+@dataclass(frozen=True)
+class SurrogateFit:
+    """The predict loop retrained its surrogate: which round, on how many
+    labeled points, with how many ensemble members, and how far the
+    mixed simulated+predicted figure estimate moved since the previous
+    fit (``None`` on the first fit — there is nothing to diff)."""
+
+    round_index: int
+    training: int
+    members: int
+    delta: float | None
+
+
+@dataclass(frozen=True)
+class BatchProposed:
+    """The acquisition strategy proposed the next batch: ``proposed`` new
+    work items across ``specs`` (ordinary campaign specs — the Planner
+    dedups their already-labeled prefixes), with the loop's running
+    simulated/total coverage counters."""
+
+    round_index: int
+    strategy: str
+    proposed: int
+    simulated: int
+    total: int
+    specs: tuple[CampaignSpec, ...]
+
+
+@dataclass(frozen=True)
+class Converged:
+    """Terminal predict-loop event: why the loop stopped (``tolerance``,
+    ``budget``, ``exhausted``, or ``stalled``), after how many rounds,
+    and what fraction of the full grid was actually simulated."""
+
+    rounds: int
+    simulated: int
+    total: int
+    delta: float | None
+    reason: str
+
+    @property
+    def coverage(self) -> float:
+        return self.simulated / self.total if self.total else 1.0
+
+
 #: Everything ``Session.run`` can yield.
 Event = (
     PlanReady
@@ -144,6 +197,9 @@ Event = (
     | TaskFailed
     | StoreCorruption
     | StoreRecovered
+    | SurrogateFit
+    | BatchProposed
+    | Converged
 )
 
 
@@ -152,8 +208,54 @@ Event = (
 # --------------------------------------------------------------------------
 
 #: Bump when the event wire shape changes incompatibly (a decoder
-#: refuses other epochs instead of misreading them).
-EVENT_SCHEMA_VERSION = 1
+#: refuses unknown epochs instead of misreading them).  Epoch 2: plan
+#: groups carry a signature digest; predict-loop events exist.
+EVENT_SCHEMA_VERSION = 2
+
+#: Epochs :func:`event_from_dict` accepts.  Epoch 1 payloads are a
+#: strict subset of epoch 2 (groups simply lack the ``signature`` key),
+#: so old servers stay readable.
+READABLE_EVENT_SCHEMAS = (1, 2)
+
+
+def _canonical(value):
+    """JSON-able canonical form of a batch-signature component: nested
+    dataclasses (pipeline config, latency tables, geometries) become
+    ``[type, {field: ...}]`` pairs, tuples become lists, everything else
+    must already be JSON-native (``repr`` as a last resort keeps the
+    digest total rather than crashing on exotic members)."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return [
+            type(value).__name__,
+            {
+                f.name: _canonical(getattr(value, f.name))
+                for f in dataclasses.fields(value)
+            },
+        ]
+    if isinstance(value, (tuple, list)):
+        return [_canonical(item) for item in value]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return repr(value)
+
+
+def signature_digest(signature) -> "str | None":
+    """Stable content-hash digest of a plan group's batch signature.
+
+    Signatures are session-local tuples of live objects; the digest is
+    what crosses the wire — equal signatures hash equal in every
+    process, so remote consumers can still group mega-batchable work.
+    Idempotent: a digest (an already-decoded plan's signature) passes
+    through unchanged, and ``None`` stays ``None``.
+    """
+    if signature is None:
+        return None
+    if isinstance(signature, str):
+        return signature
+    canonical = json.dumps(
+        _canonical(signature), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
 
 
 def _task_to_list(task: Task) -> list:
@@ -195,6 +297,7 @@ def _plan_to_dict(plan: Plan) -> dict:
             {
                 "benchmark": group.benchmark,
                 "merged": group.merged,
+                "signature": signature_digest(group.signature),
                 "items": [_item_to_dict(item) for item in group.items],
             }
             for group in plan.groups
@@ -213,10 +316,10 @@ def _plan_from_dict(data: dict) -> Plan:
                 benchmark=str(group["benchmark"]),
                 merged=bool(group["merged"]),
                 items=tuple(_item_from_dict(item) for item in group["items"]),
-                # Batch signatures are session-local (live pipeline
-                # objects); a decoded plan carries None — see the module
-                # docstring.
-                signature=None,
+                # Live signatures never cross the wire: a decoded plan
+                # carries the content-hash digest (or None from an
+                # epoch-1 payload) — see the module docstring.
+                signature=group.get("signature"),
             )
             for group in data["groups"]
         ),
@@ -303,6 +406,33 @@ def event_to_dict(event: Event) -> dict:
             "attempts": event.attempts,
             "error": event.error,
         }
+    if isinstance(event, SurrogateFit):
+        return {
+            **head,
+            "round_index": event.round_index,
+            "training": event.training,
+            "members": event.members,
+            "delta": event.delta,
+        }
+    if isinstance(event, BatchProposed):
+        return {
+            **head,
+            "round_index": event.round_index,
+            "strategy": event.strategy,
+            "proposed": event.proposed,
+            "simulated": event.simulated,
+            "total": event.total,
+            "specs": [spec.to_dict() for spec in event.specs],
+        }
+    if isinstance(event, Converged):
+        return {
+            **head,
+            "rounds": event.rounds,
+            "simulated": event.simulated,
+            "total": event.total,
+            "delta": event.delta,
+            "reason": event.reason,
+        }
     raise TypeError(f"not a campaign event: {event!r}")
 
 
@@ -310,10 +440,10 @@ def event_from_dict(data: dict) -> Event:
     """Inverse of :func:`event_to_dict` (raises on malformed input or a
     foreign schema epoch)."""
     schema = data.get("schema", EVENT_SCHEMA_VERSION)
-    if schema != EVENT_SCHEMA_VERSION:
+    if schema not in READABLE_EVENT_SCHEMAS:
         raise ValueError(
             f"unsupported event schema {schema!r} "
-            f"(this build reads {EVENT_SCHEMA_VERSION})"
+            f"(this build reads {READABLE_EVENT_SCHEMAS})"
         )
     kind = data.get("event")
     if kind == "PlanReady":
@@ -357,5 +487,29 @@ def event_from_dict(data: dict) -> Event:
             key=str(data["key"]),
             attempts=int(data["attempts"]),
             error=str(data["error"]),
+        )
+    if kind == "SurrogateFit":
+        return SurrogateFit(
+            round_index=int(data["round_index"]),
+            training=int(data["training"]),
+            members=int(data["members"]),
+            delta=None if data["delta"] is None else float(data["delta"]),
+        )
+    if kind == "BatchProposed":
+        return BatchProposed(
+            round_index=int(data["round_index"]),
+            strategy=str(data["strategy"]),
+            proposed=int(data["proposed"]),
+            simulated=int(data["simulated"]),
+            total=int(data["total"]),
+            specs=tuple(CampaignSpec.from_dict(spec) for spec in data["specs"]),
+        )
+    if kind == "Converged":
+        return Converged(
+            rounds=int(data["rounds"]),
+            simulated=int(data["simulated"]),
+            total=int(data["total"]),
+            delta=None if data["delta"] is None else float(data["delta"]),
+            reason=str(data["reason"]),
         )
     raise ValueError(f"unknown campaign event type {kind!r}")

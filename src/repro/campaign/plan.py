@@ -67,7 +67,10 @@ class PlanGroup:
     benchmark: str
     merged: bool
     items: tuple[WorkItem, ...]
-    signature: "tuple | None" = None
+    #: Session-local batch signature tuple — or, on a plan decoded from
+    #: the event wire, its content-hash digest string (see
+    #: ``repro.campaign.events.signature_digest``).
+    signature: "tuple | str | None" = None
 
     def __len__(self) -> int:
         return len(self.items)

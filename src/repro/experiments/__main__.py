@@ -11,13 +11,16 @@ Usage::
     python -m repro.experiments run fig8            # explicit subcommand form
     python -m repro.experiments serve --store DIR --workers 4
     python -m repro.experiments submit fig8 --url http://127.0.0.1:8631
+    python -m repro.experiments predict fig8 --budget 0.4 --maps 50
     python -m repro.experiments store verify CAMPAIGN_DIR
     python -m repro.experiments store migrate CAMPAIGN_DIR --to sqlite
 
 The first token selects a subcommand — ``run`` (figure campaigns; the
 default, so every historical invocation works unchanged), ``serve`` (the
 campaign server of :mod:`repro.service`), ``submit`` (send a campaign to
-a running server and stream its events), ``store`` (storage tooling).
+a running server and stream its events), ``predict`` (active-learning
+figure campaigns through :mod:`repro.predict`), ``store`` (storage
+tooling).
 
 The CLI is a thin shell over the campaign layer: flags build a
 :class:`~repro.campaign.session.Session` and one union
@@ -274,6 +277,8 @@ def main(argv: list[str] | None = None) -> int:
         return _serve_main(raw_argv[1:])
     if raw_argv and raw_argv[0] == "submit":
         return _submit_main(raw_argv[1:])
+    if raw_argv and raw_argv[0] == "predict":
+        return _predict_main(raw_argv[1:])
     if raw_argv and raw_argv[0] == "run":
         raw_argv = raw_argv[1:]
     return _run_main(raw_argv)
@@ -775,6 +780,234 @@ def _submit_main(argv: list[str]) -> int:
         f"server total={done.get('server_simulations', 0)}",
         file=sys.stderr,
     )
+    return code
+
+
+# --------------------------------------------------------------------------
+# predict — active-learning figure campaigns (repro.predict)
+# --------------------------------------------------------------------------
+
+
+def _predict_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments predict",
+        description="Reproduce a performance figure from a fraction of its "
+        "grid: an active-learning loop proposes per-cell fault-map "
+        "extensions, the Planner dedups them against the store, a "
+        "pure-NumPy surrogate predicts the rest, and the loop stops when "
+        "the mixed simulated+predicted figure stops moving.  Exit 3 if "
+        "any task failed terminally.",
+    )
+    parser.add_argument(
+        "target",
+        help="one performance figure id (fig8..fig12, ext-incremental)",
+    )
+    parser.add_argument(
+        "--budget", type=float, default=0.5, metavar="FRACTION",
+        help="stop once this fraction of the grid is labeled (default 0.5)",
+    )
+    parser.add_argument(
+        "--batch", type=int, default=24, metavar="N",
+        help="new work items proposed per round (default 24)",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.02, metavar="DELTA",
+        help="convergence threshold on the figure estimate's max movement",
+    )
+    parser.add_argument(
+        "--patience", type=int, default=2, metavar="N",
+        help="consecutive converged fits before stopping (default 2)",
+    )
+    parser.add_argument(
+        "--strategy",
+        choices=("figure-error", "uncertainty", "random"),
+        default="figure-error",
+        help="acquisition strategy (default figure-error)",
+    )
+    parser.add_argument(
+        "--initial-maps", type=_positive_int, default=4, metavar="N",
+        help="fault-map prefix per cell in the seed round (default 4)",
+    )
+    parser.add_argument(
+        "--maps-step", type=_positive_int, default=3, metavar="N",
+        help="largest per-cell extension per round (default 3)",
+    )
+    parser.add_argument(
+        "--predict-seed", type=int, default=None, metavar="N",
+        help="surrogate/acquisition seed (default: the settings default; "
+        "independent of the campaign's --seed)",
+    )
+    parser.add_argument(
+        "--url", type=str, default=None,
+        help="run the proposed campaigns on a campaign server instead of "
+        "locally (store flags then configure nothing)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="local execution: fan proposed campaigns across N processes",
+    )
+    parser.add_argument(
+        "--max-retries", type=int, default=2, metavar="N",
+        help="resilience budget for --workers pools (see `run --help`)",
+    )
+    parser.add_argument(
+        "--chunk-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-chunk watchdog for --workers pools",
+    )
+    parser.add_argument(
+        "--lanes", type=_positive_int, default=None, metavar="N",
+        help="fault-map lanes per batched simulation pass",
+    )
+    parser.add_argument(
+        "--mega-batch", action=argparse.BooleanOptionalAction, default=True,
+        help="merge pending lanes across campaign points (default: on)",
+    )
+    parser.add_argument(
+        "--trace-cache", type=str, default=None, metavar="DIR",
+        help="persistent trace cache (default: $REPRO_TRACE_CACHE if set)",
+    )
+    parser.add_argument(
+        "--csv", action="store_true", help="emit the estimated figure as CSV"
+    )
+    parser.add_argument(
+        "--report-json", type=str, default=None, metavar="FILE",
+        help="write the full PredictReport (estimate, coverage, settings) "
+        "as JSON",
+    )
+    _add_fidelity_flags(parser)
+    _add_store_flags(parser)
+    return parser
+
+
+def _predict_main(argv: list[str]) -> int:
+    args = _predict_parser().parse_args(argv)
+    from repro.experiments.figures import FIGURE_BASELINES, figure_spec
+    from repro.predict import ActiveCampaign, PredictSettings
+
+    if args.target not in PERFORMANCE_FIGURES:
+        print(
+            f"unknown predict target {args.target!r} (predict takes one "
+            f"performance figure: {', '.join(PERFORMANCE_FIGURES)})",
+            file=sys.stderr,
+        )
+        return 2
+
+    settings = _settings_from_args(args)
+    spec = figure_spec(args.target, settings)
+    predict_kwargs = dict(
+        budget=args.budget,
+        batch=args.batch,
+        tolerance=args.tolerance,
+        patience=args.patience,
+        strategy=args.strategy,
+        initial_maps=args.initial_maps,
+        maps_step=args.maps_step,
+    )
+    if args.predict_seed is not None:
+        predict_kwargs["seed"] = args.predict_seed
+    try:
+        predict_settings = PredictSettings(**predict_kwargs)
+    except ValueError as exc:
+        print(f"bad predict settings: {exc}", file=sys.stderr)
+        return 2
+
+    store = None
+    if args.url:
+        session = Session.connect(args.url)
+    else:
+        try:
+            store = _store_from_args(args)
+        except OSError as exc:
+            print(f"cannot open result store: {exc}", file=sys.stderr)
+            return 2
+        trace_cache = args.trace_cache or os.environ.get(TRACE_CACHE_ENV) or None
+        if trace_cache:
+            os.environ[TRACE_CACHE_ENV] = trace_cache
+        session = Session(
+            settings,
+            store=store,
+            trace_cache=trace_cache,
+            lanes=args.lanes,
+            mega_batch=args.mega_batch,
+        )
+    executor = None
+    if args.workers > 1 and not args.url:
+        executor = PoolExecutor(
+            args.workers,
+            retry=RetryPolicy(
+                max_attempts=max(1, args.max_retries + 1),
+                chunk_timeout=args.chunk_timeout,
+            ),
+        )
+
+    loop = ActiveCampaign(
+        session,
+        spec,
+        settings=predict_settings,
+        baseline=FIGURE_BASELINES[args.target],
+        executor=executor,
+    )
+    from repro.campaign.events import BatchProposed, Converged, SurrogateFit
+
+    code = 0
+    try:
+        for event in loop.run():
+            if isinstance(event, BatchProposed):
+                print(
+                    f"[predict] round {event.round_index}: {event.strategy} "
+                    f"proposed {event.proposed} point(s) across "
+                    f"{len(event.specs)} spec(s) "
+                    f"({event.simulated}/{event.total} simulated so far)",
+                    file=sys.stderr,
+                )
+            elif isinstance(event, SurrogateFit):
+                delta = "n/a" if event.delta is None else f"{event.delta:.4f}"
+                print(
+                    f"[predict] fit on {event.training} label(s), "
+                    f"delta={delta}",
+                    file=sys.stderr,
+                )
+            elif isinstance(event, Converged):
+                print(
+                    f"[predict] converged ({event.reason}) after "
+                    f"{event.rounds} round(s): {event.simulated}/"
+                    f"{event.total} points simulated "
+                    f"({event.coverage:.0%} of the grid)",
+                    file=sys.stderr,
+                )
+    except CampaignError as exc:
+        for line in exc.summary_lines():
+            print(f"[predict] quarantined {line}", file=sys.stderr)
+        print(
+            f"[predict] {len(exc.failures)} task(s) quarantined after "
+            "retries; completed results are durable — re-run to retry",
+            file=sys.stderr,
+        )
+        code = 3
+    finally:
+        loop.close()
+        close = getattr(session, "close", None)
+        if close is not None and not args.url:
+            close()
+        if store is not None:
+            store.close()
+        elif args.url:
+            session.close()
+
+    if code == 0:
+        report = loop.report()
+        result = report.figure_result()
+        print(result.to_csv() if args.csv else result.to_text())
+        print(
+            f"[predict] coverage {report.coverage:.1%} "
+            f"(labeled {report.labeled_fraction:.1%}) at tolerance "
+            f"{predict_settings.tolerance} — stopped on {report.reason}",
+            file=sys.stderr,
+        )
+        if args.report_json:
+            with open(args.report_json, "w", encoding="utf-8") as handle:
+                handle.write(report.to_json(indent=2) + "\n")
+            print(f"[predict] report written to {args.report_json}", file=sys.stderr)
     return code
 
 

@@ -67,6 +67,19 @@ FIGURE_CONFIGS = {
 }
 
 
+#: The configuration each performance figure normalizes against (always
+#: fault-independent and always a member of the figure's config tuple) —
+#: what the predict CLI hands ActiveCampaign as its baseline.
+FIGURE_BASELINES = {
+    "fig8": LV_BASELINE,
+    "fig9": LV_BASELINE_V,
+    "fig10": LV_BASELINE,
+    "fig11": HV_BASELINE,
+    "fig12": HV_BASELINE_V,
+    "ext-incremental": LV_BASELINE,
+}
+
+
 def figure_spec(
     target: str, settings: RunnerSettings | None = None
 ) -> CampaignSpec:

@@ -1,0 +1,221 @@
+"""Batch proposal strategies: which points to simulate next.
+
+The unit of acquisition is a *cell* — one (benchmark, config) pair —
+extended by a contiguous prefix of fault-map indices.  Store task keys
+deliberately exclude ``n_fault_maps`` (see ``repro.experiments.keys``),
+so a partial-depth :class:`~repro.campaign.spec.CampaignSpec` proposed
+here seeds exactly the first columns of the eventual full grid: the
+Planner dedups every already-simulated prefix for free, and a follow-up
+full-depth campaign over the same store is pure dedup.
+
+Strategies rank cells from the surrogate's per-item predictions:
+
+* ``uncertainty`` — mean ensemble disagreement over the cell's next
+  unlabeled window (classic active learning);
+* ``figure-error`` — expected effect on the *figure*: the standard error
+  a cell's unlabeled maps contribute to its per-benchmark average, plus
+  an extra term when the cell's predicted minimum sits on an unlabeled
+  point (the min series is the paper's tail metric and one bad draw
+  moves it);
+* ``random`` — seeded shuffle, the control every smoke compares against.
+
+All three are pure functions of (cells, budget, seed, round): proposals
+are byte-deterministic and never contain an already-labeled item — the
+windows are carved from each cell's unlabeled indices only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.campaign.spec import CampaignSpec
+from repro.experiments.configs import RunConfig
+
+#: Strategy registry (CLI choices; loop validation).
+STRATEGIES = ("uncertainty", "figure-error", "random")
+
+
+@dataclass(frozen=True)
+class CellView:
+    """One (benchmark, config) cell as the strategies see it: which map
+    indices are labeled, which are not, and the surrogate's (mean, std)
+    for each unlabeled one (aligned with ``unlabeled``)."""
+
+    benchmark: str
+    config: RunConfig
+    max_depth: int
+    labeled: tuple["int | None", ...]
+    unlabeled: tuple["int | None", ...]
+    mean: tuple[float, ...]
+    std: tuple[float, ...]
+    true: tuple[float, ...]  # labels of `labeled`, same order
+
+    def __post_init__(self) -> None:
+        if len(self.unlabeled) != len(self.mean) or len(self.mean) != len(self.std):
+            raise ValueError("unlabeled/mean/std must align")
+        if len(self.labeled) != len(self.true):
+            raise ValueError("labeled/true must align")
+
+
+@dataclass(frozen=True)
+class Proposal:
+    """One cell extension: the exact new work items to simulate.
+
+    ``map_indices`` is sorted and disjoint from the cell's labeled set by
+    construction; ``(None,)`` means the single fault-independent point.
+    """
+
+    benchmark: str
+    config: RunConfig
+    map_indices: tuple["int | None", ...]
+
+    @property
+    def cost(self) -> int:
+        return len(self.map_indices)
+
+    @property
+    def depth(self) -> int:
+        """The ``n_fault_maps`` a spec must carry to cover this proposal."""
+        last = self.map_indices[-1]
+        return 1 if last is None else last + 1
+
+    def items(self) -> "list[tuple[str, RunConfig, int | None]]":
+        return [(self.benchmark, self.config, m) for m in self.map_indices]
+
+
+def _window(cell: CellView, take: int) -> tuple["int | None", ...]:
+    """The next ``take`` unlabeled indices, lowest first — the contiguous
+    prefix extension (holes first, then new depth)."""
+    ordered = sorted(cell.unlabeled, key=lambda m: -1 if m is None else m)
+    return tuple(ordered[:take])
+
+
+def _score_uncertainty(cell: CellView, take: int) -> float:
+    window = set(_window(cell, take))
+    stds = [s for m, s in zip(cell.unlabeled, cell.std) if m in window]
+    return float(np.mean(stds)) if stds else 0.0
+
+
+def _score_figure_error(cell: CellView, take: int) -> float:
+    window = set(_window(cell, take))
+    stds = np.array(
+        [s for m, s in zip(cell.unlabeled, cell.std) if m in window], dtype=np.float64
+    )
+    if stds.size == 0:
+        return 0.0
+    # Resolving the window collapses its variance contribution to the
+    # cell's average series (sum in quadrature over the cell's depth).
+    average_term = float(np.sqrt((stds**2).sum())) / cell.max_depth
+    # Minimum-series term: if the optimistic prediction of some unlabeled
+    # point undercuts every simulated value, the figure's min bar is
+    # currently resting on a prediction — weight by that point's spread.
+    min_true = min(cell.true) if cell.true else np.inf
+    optimistic = [
+        (mean - std, std)
+        for m, mean, std in zip(cell.unlabeled, cell.mean, cell.std)
+        if m in window
+    ]
+    minimum_term = 0.0
+    if optimistic:
+        lowest, spread = min(optimistic, key=lambda pair: pair[0])
+        if lowest < min_true:
+            minimum_term = spread
+    return average_term + minimum_term
+
+
+def propose_batch(
+    strategy: str,
+    cells: "list[CellView]",
+    budget: int,
+    step: int,
+    seed: int,
+    round_index: int,
+) -> tuple[Proposal, ...]:
+    """At most ``budget`` new work items as per-cell extensions.
+
+    Cells are ranked by the strategy (stable: ties keep input order),
+    then windows of up to ``step`` items are carved round-robin down the
+    ranking until the budget or the unlabeled pool is exhausted — one
+    cell may receive several windows when the budget outlasts the
+    candidate list, and its windows merge into a single proposal.
+    """
+    if strategy not in STRATEGIES:
+        raise ValueError(f"unknown strategy {strategy!r} (have: {STRATEGIES})")
+    if step < 1:
+        raise ValueError("step must be >= 1")
+    candidates = [cell for cell in cells if cell.unlabeled]
+    if budget < 1 or not candidates:
+        return ()
+
+    if strategy == "random":
+        rng = np.random.default_rng(
+            np.random.SeedSequence(entropy=seed, spawn_key=(round_index,))
+        )
+        order = rng.permutation(len(candidates))
+        ranked = [candidates[i] for i in order]
+    else:
+        score = (
+            _score_uncertainty if strategy == "uncertainty" else _score_figure_error
+        )
+        scored = [(-score(cell, step), i) for i, cell in enumerate(candidates)]
+        ranked = [candidates[i] for _, i in sorted(scored, key=lambda t: (t[0], t[1]))]
+
+    taken = {id(cell): 0 for cell in ranked}
+    remaining = budget
+    progressed = True
+    while remaining > 0 and progressed:
+        progressed = False
+        for cell in ranked:
+            if remaining <= 0:
+                break
+            available = len(cell.unlabeled) - taken[id(cell)]
+            grab = min(step, available, remaining)
+            if grab <= 0:
+                continue
+            taken[id(cell)] += grab
+            remaining -= grab
+            progressed = True
+
+    proposals = []
+    for cell in ranked:
+        count = taken[id(cell)]
+        if count:
+            proposals.append(
+                Proposal(
+                    benchmark=cell.benchmark,
+                    config=cell.config,
+                    map_indices=_window(cell, count),
+                )
+            )
+    return tuple(proposals)
+
+
+def proposal_specs(
+    proposals: "tuple[Proposal, ...] | list[Proposal]",
+    reference: CampaignSpec,
+) -> tuple[CampaignSpec, ...]:
+    """Ordinary :class:`CampaignSpec` s covering ``proposals``.
+
+    Proposals sharing a (config, depth) merge into one spec (benchmarks
+    in first-seen order); everything else about the reference spec —
+    fidelity, seed, figure tag — carries over verbatim, so the emitted
+    specs resolve to store keys inside the reference grid.  Labeled
+    prefixes below a proposal's depth ride along in the spec and fall
+    out as Planner dedup hits, never re-simulations.
+    """
+    grouped: dict[tuple[RunConfig, int], list[str]] = {}
+    for proposal in proposals:
+        benchmarks = grouped.setdefault((proposal.config, proposal.depth), [])
+        if proposal.benchmark not in benchmarks:
+            benchmarks.append(proposal.benchmark)
+    return tuple(
+        replace(
+            reference,
+            configs=(config,),
+            benchmarks=tuple(benchmarks),
+            n_fault_maps=depth,
+        )
+        for (config, depth), benchmarks in grouped.items()
+    )

@@ -1,0 +1,257 @@
+"""Deterministic featurization of campaign work items.
+
+The surrogate never sees a simulator: each (benchmark, config, map_index)
+work item becomes a fixed-width NumPy vector built from data that is
+already a pure function of :class:`~repro.campaign.spec.RunnerSettings` —
+the benchmark's :class:`~repro.workloads.profiles.WorkloadProfile`, the
+configuration's scheme/voltage/victim knobs, and summary statistics of
+the fault-map pair that ``map_index`` names (the same
+:class:`~repro.experiments.providers.FaultMapProvider` draw the simulator
+consumes).  Two featurizers built from equal settings produce
+byte-identical matrices, which is what makes the whole predict loop
+replayable from a filled store.
+
+The vector deliberately encodes the paper's mechanics rather than raw
+bits: scheme one-hots, the effective L1 capacity each scheme salvages
+from the map (block-disabling keeps ~capacity_fraction, word-disabling a
+flat half), per-set associativity damage (what the victim cache
+rescues), and the profile parameters that modulate sensitivity to each
+(working-set size, access-pattern mix, conflict pressure, front-end
+predictability).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.campaign.spec import RunnerSettings
+from repro.core.schemes import VoltageMode
+from repro.cpu.config import L1_GEOMETRY
+from repro.experiments.configs import RunConfig
+from repro.experiments.providers import FaultMapProvider
+from repro.faults.fault_map import FaultMap
+from repro.workloads.spec2000 import get_profile
+
+#: Scheme registry names in one-hot order (stable across releases: new
+#: schemes append).
+SCHEME_ORDER = (
+    "baseline",
+    "word-disable",
+    "block-disable",
+    "incremental-word-disable",
+)
+
+#: Per-cache fault-map summary statistics (computed for the i-cache and
+#: d-cache halves of a pair).
+_MAP_STATS = (
+    "capacity",        # fault-free block fraction, tag+data view
+    "data_capacity",   # fault-free block fraction, data-only view
+    "word_capacity",   # fault-free data-word fraction
+    "mean_ways",       # mean usable ways per set / ways
+    "min_ways",        # min usable ways per set / ways
+    "std_ways",        # std of usable ways per set / ways
+    "crippled_sets",   # fraction of sets at <= half associativity
+)
+
+
+def _map_stats(fault_map: FaultMap) -> np.ndarray:
+    geometry = fault_map.geometry
+    usable = fault_map.usable_ways_per_set()
+    ways = float(geometry.ways)
+    words = geometry.num_blocks * geometry.words_per_block
+    return np.array(
+        [
+            fault_map.capacity_fraction(include_tag=True),
+            fault_map.capacity_fraction(include_tag=False),
+            1.0 - float(fault_map.faulty_words_per_block().sum()) / words,
+            float(usable.mean()) / ways,
+            float(usable.min()) / ways,
+            float(usable.std()) / ways,
+            float((usable <= geometry.ways / 2).mean()),
+        ],
+        dtype=np.float64,
+    )
+
+
+#: Stats of a fault-free array (high voltage, or a low-voltage scheme
+#: that ignores the draw): full capacity, zero damage.
+_CLEAN_STATS = np.array([1.0, 1.0, 1.0, 1.0, 1.0, 0.0, 0.0], dtype=np.float64)
+
+_PROFILE_FEATURES = (
+    "load_frac",
+    "store_frac",
+    "branch_frac",
+    "call_frac",
+    "fp_frac",
+    "mul_frac",
+    "log2_ws_kb",
+    "stream_w",
+    "stride_w",
+    "random_w",
+    "conflict_w",
+    "conflict_blocks",
+    "conflict_sets",
+    "log2_stride",
+    "log2_code_kb",
+    "basic_block",
+    "predictability",
+    "dep_density",
+    "suite_fp",
+)
+
+
+def _profile_vector(benchmark: str) -> np.ndarray:
+    profile = get_profile(benchmark)
+    stream_w, stride_w, random_w, conflict_w = profile.pattern_weights
+    return np.array(
+        [
+            profile.load_frac,
+            profile.store_frac,
+            profile.branch_frac,
+            profile.call_frac,
+            profile.fp_frac,
+            profile.mul_frac,
+            np.log2(profile.ws_kb) / 8.0,
+            stream_w,
+            stride_w,
+            random_w,
+            conflict_w,
+            profile.conflict_blocks / 32.0,
+            profile.conflict_sets / 8.0,
+            np.log2(profile.stride_bytes) / 16.0,
+            np.log2(profile.code_kb) / 8.0,
+            profile.basic_block_mean / 16.0,
+            profile.predictability,
+            profile.dep_density,
+            1.0 if profile.suite == "fp" else 0.0,
+        ],
+        dtype=np.float64,
+    )
+
+
+_CONFIG_FEATURES = (
+    *(f"scheme_{name}" for name in SCHEME_ORDER),
+    "low_voltage",
+    "victim_norm",
+    "pfail_x1000",
+)
+
+_INTERACTION_FEATURES = (
+    "eff_capacity_i",   # L1I capacity the scheme actually delivers
+    "eff_capacity_d",   # L1D capacity the scheme actually delivers
+    "min_ways_eff",     # worst-set associativity under the scheme (d-cache)
+    "latency_adder",    # +1-cycle L1 hit penalty (word schemes at low V)
+    "victim_x_damage",  # victim entries x associativity damage (d-cache)
+)
+
+
+def _effective_capacity(config: RunConfig, stats: np.ndarray) -> float:
+    """L1 capacity fraction the scheme delivers given the map stats."""
+    if config.voltage is VoltageMode.HIGH:
+        return 1.0
+    if config.scheme == "baseline":
+        return 1.0  # unprotected: capacity nominal (correctness aside)
+    if config.scheme == "word-disable":
+        return 0.5  # fixed half-capacity cache
+    if config.scheme == "incremental-word-disable":
+        return float(stats[2])  # ~word-level capacity survives
+    return float(stats[0])  # block-disable: fault-free block fraction
+
+
+class Featurizer:
+    """Deterministic work-item -> vector mapping for one campaign fidelity.
+
+    Construction is cheap; the first fault-dependent :meth:`vector` call
+    materialises the settings' fault-map pairs (the provider memoises
+    them) and per-index stats are cached after first use, so featurizing
+    a whole grid costs one pass over the maps.
+    """
+
+    def __init__(self, settings: RunnerSettings) -> None:
+        self.settings = settings
+        self._provider = FaultMapProvider(settings)
+        self._stats_cache: dict[int | None, tuple[np.ndarray, np.ndarray]] = {
+            None: (_CLEAN_STATS, _CLEAN_STATS)
+        }
+        self._profile_cache: dict[str, np.ndarray] = {}
+
+    #: Feature names, in vector order.
+    names: tuple[str, ...] = (
+        *_PROFILE_FEATURES,
+        *_CONFIG_FEATURES,
+        *(f"imap_{name}" for name in _MAP_STATS),
+        *(f"dmap_{name}" for name in _MAP_STATS),
+        *_INTERACTION_FEATURES,
+    )
+
+    @property
+    def width(self) -> int:
+        return len(self.names)
+
+    def _pair_stats(self, map_index: int | None) -> tuple[np.ndarray, np.ndarray]:
+        cached = self._stats_cache.get(map_index)
+        if cached is None:
+            pair = self._provider.pair(map_index)
+            cached = (_map_stats(pair.icache), _map_stats(pair.dcache))
+            self._stats_cache[map_index] = cached
+        return cached
+
+    def _profile(self, benchmark: str) -> np.ndarray:
+        cached = self._profile_cache.get(benchmark)
+        if cached is None:
+            cached = _profile_vector(benchmark)
+            self._profile_cache[benchmark] = cached
+        return cached
+
+    def vector(
+        self, benchmark: str, config: RunConfig, map_index: int | None
+    ) -> np.ndarray:
+        """The feature vector of one work item.  ``map_index`` follows
+        work-item canonicalisation: ``None`` for fault-independent
+        configurations, a provider index otherwise."""
+        if config.needs_fault_map:
+            if map_index is None:
+                raise ValueError(f"{config.label} requires a fault-map index")
+            istats, dstats = self._pair_stats(map_index)
+        else:
+            istats, dstats = self._pair_stats(None)
+
+        low = config.voltage is VoltageMode.LOW
+        scheme_onehot = [
+            1.0 if config.scheme == name else 0.0 for name in SCHEME_ORDER
+        ]
+        if config.scheme not in SCHEME_ORDER:
+            raise ValueError(f"unknown scheme {config.scheme!r} for featurization")
+        victim_norm = config.victim_entries / 16.0
+
+        eff_i = _effective_capacity(config, istats)
+        eff_d = _effective_capacity(config, dstats)
+        block_like = low and config.needs_fault_map
+        min_ways_eff = float(dstats[4]) if block_like else 1.0
+        latency_adder = (
+            1.0 if low and config.scheme in ("word-disable", "incremental-word-disable")
+            else 0.0
+        )
+        damage = 1.0 - float(dstats[3]) if block_like else 0.0
+        config_block = np.array(
+            [*scheme_onehot, 1.0 if low else 0.0, victim_norm,
+             self.settings.pfail * 1000.0],
+            dtype=np.float64,
+        )
+        interactions = np.array(
+            [eff_i, eff_d, min_ways_eff, latency_adder, victim_norm * damage],
+            dtype=np.float64,
+        )
+        vector = np.concatenate(
+            [self._profile(benchmark), config_block, istats, dstats, interactions]
+        )
+        assert vector.shape == (len(self.names),)
+        return vector
+
+    def matrix(
+        self, items: "list[tuple[str, RunConfig, int | None]]"
+    ) -> np.ndarray:
+        """Feature matrix of ``items`` (rows in item order)."""
+        if not items:
+            return np.empty((0, self.width), dtype=np.float64)
+        return np.stack([self.vector(b, c, m) for b, c, m in items])

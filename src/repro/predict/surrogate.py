@@ -1,0 +1,177 @@
+"""Pure-NumPy surrogate: a seeded bootstrap ensemble of ridge + k-NN.
+
+No new dependencies, no wall-clock, no global RNG: ``fit`` and
+``predict`` are pure functions of (training set, constructor arguments).
+Member *m*'s bootstrap resample is drawn from an independent
+``SeedSequence(entropy=seed, spawn_key=(m,))`` stream, so the ensemble is
+byte-reproducible and member *m* is identical regardless of how many
+members are configured — the same subset-stability convention the
+fault-map sampler uses.
+
+Each member is a closed-form ridge regression on standardised features
+(the smooth global trend: capacity lost -> performance lost) plus a
+distance-weighted k-NN correction on the member's *residuals* (the local
+structure ridge cannot express, e.g. one pathological set-conflict
+benchmark).  The ensemble mean is the prediction; the across-member
+standard deviation is the uncertainty the acquisition strategies consume
+— near-zero on interpolations the members agree on, large where
+bootstrap resamples disagree (exactly the points worth simulating).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Surrogate:
+    """Bootstrap ensemble regressor with per-point uncertainty.
+
+    Parameters are data, not state: two surrogates constructed with equal
+    arguments and fit on equal arrays predict byte-identically.
+    """
+
+    def __init__(
+        self,
+        members: int = 8,
+        ridge: float = 1e-2,
+        knn: int = 5,
+        knn_weight: float = 0.6,
+        seed: int = 0,
+    ) -> None:
+        if members < 2:
+            raise ValueError("an ensemble needs at least 2 members")
+        if ridge <= 0:
+            raise ValueError("ridge penalty must be positive")
+        if knn < 0:
+            raise ValueError("knn must be non-negative")
+        if not 0.0 <= knn_weight <= 1.0:
+            raise ValueError("knn_weight must be in [0, 1]")
+        self.members = members
+        self.ridge = ridge
+        self.knn = knn
+        self.knn_weight = knn_weight
+        self.seed = seed
+        self._fit: list[tuple[np.ndarray, np.ndarray, np.ndarray]] | None = None
+        self._mu: np.ndarray | None = None
+        self._sigma: np.ndarray | None = None
+        self._oob: np.ndarray | None = None
+
+    @property
+    def fitted(self) -> bool:
+        return self._fit is not None
+
+    # ----- fit --------------------------------------------------------------------
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "Surrogate":
+        """Fit on ``X`` (n x d) -> ``y`` (n,).  Returns self."""
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if X.ndim != 2 or y.ndim != 1 or X.shape[0] != y.shape[0]:
+            raise ValueError(f"bad training shapes: X {X.shape}, y {y.shape}")
+        n = X.shape[0]
+        if n == 0:
+            raise ValueError("cannot fit on an empty training set")
+        mu = X.mean(axis=0)
+        sigma = X.std(axis=0)
+        sigma = np.where(sigma < 1e-12, 1.0, sigma)
+        Z = (X - mu) / sigma
+        self._mu, self._sigma = mu, sigma
+        self._fit = []
+        row_sets = []
+        for member in range(self.members):
+            if member == 0:
+                # Member 0 always sees the full training set: the point
+                # prediction never degrades below the un-bagged model.
+                rows = np.arange(n)
+            else:
+                rng = np.random.default_rng(
+                    np.random.SeedSequence(entropy=self.seed, spawn_key=(member,))
+                )
+                rows = rng.integers(0, n, size=n)
+            Zm, ym = Z[rows], y[rows]
+            weights = self._solve_ridge(Zm, ym)
+            residuals = ym - self._ridge_predict(Zm, weights)
+            self._fit.append((weights, Zm, residuals))
+            row_sets.append(set(rows.tolist()))
+
+        # Out-of-bag residuals: each training point predicted only by the
+        # bootstrap members whose resample excluded it.  Unlike in-sample
+        # residuals (the k-NN correction memorises its own training
+        # rows), OOB residuals measure real generalisation error — bias
+        # included — which is what acquisition needs to see.  Points
+        # every resample happened to include stay NaN.
+        oob_sum = np.zeros(n)
+        oob_count = np.zeros(n)
+        for member_fit, rows in zip(self._fit[1:], row_sets[1:]):
+            mask = np.array([j not in rows for j in range(n)], dtype=bool)
+            if not mask.any():
+                continue
+            pred = self._member_predict(Z[mask], member_fit)
+            oob_sum[mask] += pred
+            oob_count[mask] += 1.0
+        self._oob = np.where(
+            oob_count > 0, y - oob_sum / np.maximum(oob_count, 1.0), np.nan
+        )
+        return self
+
+    def _solve_ridge(self, Z: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Closed-form ridge with an unpenalised intercept (last weight)."""
+        n, d = Z.shape
+        A = np.concatenate([Z, np.ones((n, 1))], axis=1)
+        penalty = np.diag(np.concatenate([np.full(d, self.ridge), [0.0]]))
+        gram = A.T @ A + penalty
+        return np.linalg.solve(gram, A.T @ y)
+
+    @staticmethod
+    def _ridge_predict(Z: np.ndarray, weights: np.ndarray) -> np.ndarray:
+        return Z @ weights[:-1] + weights[-1]
+
+    def oob_residuals(self) -> np.ndarray:
+        """Per-training-point out-of-bag residuals, aligned with the
+        ``fit`` call's rows.  NaN where no bootstrap member left the
+        point out (rare: ~``0.63 ** (members - 1)`` of points)."""
+        if self._oob is None:
+            raise RuntimeError("oob_residuals before fit")
+        return self._oob
+
+    # ----- predict ----------------------------------------------------------------
+
+    def predict(self, X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Per-point ``(mean, std)`` across the ensemble, each shape (n,)."""
+        if self._fit is None:
+            raise RuntimeError("predict before fit")
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-D, got shape {X.shape}")
+        if X.shape[0] == 0:
+            return np.empty(0), np.empty(0)
+        Z = (X - self._mu) / self._sigma
+        preds = np.stack([self._member_predict(Z, m) for m in self._fit])
+        return preds.mean(axis=0), preds.std(axis=0)
+
+    def _member_predict(
+        self, Z: np.ndarray, member: tuple[np.ndarray, np.ndarray, np.ndarray]
+    ) -> np.ndarray:
+        weights, Zm, residuals = member
+        base = self._ridge_predict(Z, weights)
+        k = min(self.knn, Zm.shape[0])
+        if k == 0 or self.knn_weight == 0.0:
+            return base
+        # Pairwise distances query x train; stable argsort keeps the
+        # neighbour choice deterministic under distance ties (bootstrap
+        # resamples duplicate rows, so exact ties are common).
+        dists = np.sqrt(
+            np.maximum(
+                ((Z[:, None, :] - Zm[None, :, :]) ** 2).sum(axis=2), 0.0
+            )
+        )
+        order = np.argsort(dists, axis=1, kind="stable")[:, :k]
+        picked = np.take_along_axis(dists, order, axis=1)
+        weights_knn = 1.0 / (picked + 1e-6)
+        correction = (
+            np.take_along_axis(
+                np.broadcast_to(residuals, (Z.shape[0], Zm.shape[0])), order, axis=1
+            )
+            * weights_knn
+        ).sum(axis=1) / weights_knn.sum(axis=1)
+        return base + self.knn_weight * correction

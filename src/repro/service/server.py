@@ -97,12 +97,22 @@ class CampaignServer:
         self._inflight: "dict[str, asyncio.Event]" = {}
         #: derived sessions by their settings value (fidelity coalescing).
         self._derived: dict = {}
+        #: Coalescing/claim counters, all served verbatim on /healthz so
+        #: remote clients (the predict loop among them) can observe how
+        #: effective dedup is: ``store_hits`` (answered from the store),
+        #: ``claimed`` (work items this server took ownership of),
+        #: ``awaited`` (items served by waiting on another client's
+        #: in-flight claim), ``reclaim_rounds`` (campaigns that needed
+        #: the second claim round after a claimer failed or vanished).
         self.stats = {
             "campaigns": 0,
             "active_clients": 0,
             "simulations_executed": 0,
             "shared_hits": 0,
             "store_hits": 0,
+            "claimed": 0,
+            "awaited": 0,
+            "reclaim_rounds": 0,
         }
 
     # ----- lifecycle ------------------------------------------------------------
@@ -279,6 +289,8 @@ class CampaignServer:
             item for group in plan.groups for item in group.items
         ]
         for round_index in range(2):
+            if round_index:
+                self.stats["reclaim_rounds"] += 1
             failed_keys = {entry.key for entry in failed}
             # -- atomic partition (no awaits between inflight reads/writes) --
             claimed: "list[WorkItem]" = []
@@ -294,6 +306,8 @@ class CampaignServer:
                 else:
                     self._inflight[item.key] = asyncio.Event()
                     claimed.append(item)
+            self.stats["claimed"] += len(claimed)
+            self.stats["awaited"] += len(shared)
 
             for item in hits:
                 self.stats["store_hits"] += 1

@@ -2,11 +2,13 @@
 
 ``event_to_dict``/``event_from_dict`` are the campaign server's NDJSON
 wire format, so the round-trip property is the API contract: any event a
-``Session.run`` can yield must decode to an equal event on the far side
-(modulo the one documented lossy edge — a decoded ``PlanReady``'s group
-signatures are ``None``).  Hypothesis drives the spec/plan shapes;
-explicit cases pin every member of the union and the failure modes
-(foreign schema epoch, unknown type, non-event input).
+``Session.run`` can yield must decode to an equal event on the far side.
+Schema epoch 2 closed the one lossy edge epoch 1 had: group signatures
+now cross the wire as stable content-hash digests instead of being
+dropped, and epoch-1 payloads (no ``"signature"`` key) still decode.
+Hypothesis drives the spec/plan shapes; explicit cases pin every member
+of the union and the failure modes (foreign schema epoch, unknown type,
+non-event input).
 """
 
 from __future__ import annotations
@@ -19,16 +21,21 @@ from hypothesis import strategies as st
 
 from repro.campaign.events import (
     EVENT_SCHEMA_VERSION,
+    READABLE_EVENT_SCHEMAS,
+    BatchProposed,
+    Converged,
     PlanReady,
     PointResult,
     Progress,
     StoreCorruption,
     StoreRecovered,
+    SurrogateFit,
     TaskFailed,
     TaskRetried,
     WorkerCrashed,
     event_from_dict,
     event_to_dict,
+    signature_digest,
 )
 from repro.campaign.plan import Plan, PlanGroup, WorkItem
 from repro.campaign.resilience import Quarantined
@@ -112,7 +119,7 @@ class TestExplicitRoundTrips:
         event = StoreRecovered(key="12" * 32, attempts=2, error="OSError(28)")
         assert roundtrip(event) == event
 
-    def test_plan_ready_drops_only_signatures(self):
+    def test_plan_ready_carries_signature_digests(self):
         spec = CampaignSpec(
             configs=(HV_BASELINE, LV_BLOCK),
             benchmarks=("gzip",),
@@ -144,8 +151,49 @@ class TestExplicitRoundTrips:
         group = decoded.groups[0]
         assert group.items == items
         assert group.merged is True
-        # the one documented lossy edge: signatures are session-local
-        assert group.signature is None
+        # epoch 2: the signature crosses the wire as a stable digest
+        assert group.signature == signature_digest(("sig", 1))
+        # and the digest survives a second transit unchanged
+        assert roundtrip(PlanReady(decoded)).plan.groups[0].signature == (
+            group.signature
+        )
+
+    def test_surrogate_fit(self):
+        event = SurrogateFit(round_index=2, training=40, members=8, delta=0.013)
+        assert roundtrip(event) == event
+
+    def test_surrogate_fit_first_round_has_no_delta(self):
+        event = SurrogateFit(round_index=0, training=12, members=8, delta=None)
+        assert roundtrip(event) == event
+
+    def test_batch_proposed(self):
+        spec = CampaignSpec(
+            configs=(LV_BLOCK,),
+            benchmarks=("gzip", "mcf"),
+            n_instructions=1000,
+            n_fault_maps=6,
+            pfail=0.001,
+            seed=7,
+            warmup_instructions=100,
+            figure="fig8",
+        )
+        event = BatchProposed(
+            round_index=1,
+            strategy="figure-error",
+            proposed=8,
+            simulated=20,
+            total=66,
+            specs=(spec,),
+        )
+        assert roundtrip(event) == event
+
+    def test_converged(self):
+        event = Converged(
+            rounds=4, simulated=30, total=66, delta=0.004, reason="tolerance"
+        )
+        decoded = roundtrip(event)
+        assert decoded == event
+        assert decoded.coverage == pytest.approx(30 / 66)
 
 
 class TestWireHygiene:
@@ -168,6 +216,73 @@ class TestWireHygiene:
         payload["schema"] = EVENT_SCHEMA_VERSION + 1
         with pytest.raises(ValueError, match="unsupported event schema"):
             event_from_dict(payload)
+
+    def test_every_prior_epoch_is_still_readable(self):
+        assert EVENT_SCHEMA_VERSION in READABLE_EVENT_SCHEMAS
+        for epoch in range(1, EVENT_SCHEMA_VERSION + 1):
+            assert epoch in READABLE_EVENT_SCHEMAS
+
+    def test_epoch_one_plan_payload_decodes_without_signatures(self):
+        # An epoch-1 peer dropped signatures entirely: its group dicts
+        # have no "signature" key at all.  That payload must still decode,
+        # with the signature honestly absent.
+        payload = event_to_dict(
+            PlanReady(
+                Plan(
+                    spec=CampaignSpec(
+                        configs=(LV_BLOCK,),
+                        benchmarks=("gzip",),
+                        n_instructions=1000,
+                        n_fault_maps=1,
+                        pfail=0.001,
+                        seed=7,
+                        warmup_instructions=100,
+                        figure=None,
+                    ),
+                    groups=(
+                        PlanGroup(
+                            "gzip",
+                            merged=False,
+                            items=(WorkItem("gzip", LV_BLOCK, 0, "ab" * 32),),
+                            signature=("sig", 1),
+                        ),
+                    ),
+                    total_points=1,
+                    dedup_hits=0,
+                    predicted_passes=1,
+                )
+            )
+        )
+        payload["schema"] = 1
+        for group in payload["plan"]["groups"]:
+            del group["signature"]
+        decoded = event_from_dict(json.loads(json.dumps(payload)))
+        assert decoded.plan.groups[0].signature is None
+
+
+class TestSignatureDigest:
+    def test_none_passes_through(self):
+        assert signature_digest(None) is None
+
+    def test_idempotent_on_digest_strings(self):
+        digest = signature_digest(("sig", 1))
+        assert signature_digest(digest) == digest
+
+    def test_stable_and_content_addressed(self):
+        a = signature_digest(("gzip", (0, 1, 2), 0.001))
+        b = signature_digest(("gzip", (0, 1, 2), 0.001))
+        c = signature_digest(("gzip", (0, 1, 3), 0.001))
+        assert a == b
+        assert a != c
+        assert isinstance(a, str) and len(a) == 16
+        int(a, 16)  # hex digest
+
+    def test_lists_and_tuples_digest_identically(self):
+        # the canonical form flattens tuple/list so schedule signatures
+        # rebuilt from JSON keep the same digest
+        assert signature_digest(("sig", (1, 2))) == signature_digest(
+            ["sig", [1, 2]]
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -224,15 +339,17 @@ work_items = st.builds(
     WorkItem, benchmark=benchmarks, config=configs, map_index=map_indices, key=keys
 )
 
-# Groups decode with signature=None, so generate them that way: the
-# property then *is* equality, with the lossy edge pinned separately in
-# TestExplicitRoundTrips.
+# Digest strings pass through signature_digest unchanged, so generating
+# string-or-None signatures makes the property exact equality; the
+# live-tuple -> digest edge is pinned in TestExplicitRoundTrips.
 plan_groups = st.builds(
     PlanGroup,
     benchmark=benchmarks,
     merged=st.booleans(),
     items=st.lists(work_items, min_size=1, max_size=3).map(tuple),
-    signature=st.none(),
+    signature=st.one_of(
+        st.none(), st.text("0123456789abcdef", min_size=16, max_size=16)
+    ),
 )
 
 plans = st.builds(
@@ -292,6 +409,34 @@ events = st.one_of(
         key=keys,
         attempts=st.integers(min_value=1, max_value=5),
         error=st.text(max_size=40),
+    ),
+    st.builds(
+        SurrogateFit,
+        round_index=st.integers(min_value=0, max_value=50),
+        training=st.integers(min_value=0, max_value=10**4),
+        members=st.integers(min_value=2, max_value=32),
+        delta=st.one_of(
+            st.none(), st.floats(min_value=0.0, max_value=10.0, allow_nan=False)
+        ),
+    ),
+    st.builds(
+        BatchProposed,
+        round_index=st.integers(min_value=0, max_value=50),
+        strategy=st.sampled_from(["seed", "uncertainty", "figure-error", "random"]),
+        proposed=st.integers(min_value=0, max_value=10**3),
+        simulated=st.integers(min_value=0, max_value=10**4),
+        total=st.integers(min_value=0, max_value=10**4),
+        specs=st.lists(specs, max_size=2).map(tuple),
+    ),
+    st.builds(
+        Converged,
+        rounds=st.integers(min_value=0, max_value=50),
+        simulated=st.integers(min_value=0, max_value=10**4),
+        total=st.integers(min_value=1, max_value=10**4),
+        delta=st.one_of(
+            st.none(), st.floats(min_value=0.0, max_value=10.0, allow_nan=False)
+        ),
+        reason=st.sampled_from(["tolerance", "budget", "exhausted", "stalled"]),
     ),
 )
 

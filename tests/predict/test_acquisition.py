@@ -1,0 +1,234 @@
+"""Acquisition: proposals are disjoint from labels, bounded by budget,
+deterministic, and compile to in-grid campaign specs.
+
+The non-negotiable safety property is that ``propose_batch`` never
+proposes an already-labeled item (re-simulation would be pure waste —
+and the loop counts on every PointResult being new).  The spec compiler
+is pinned to the prefix-depth convention: a proposal covering map index
+``m`` needs ``n_fault_maps == m + 1``, and everything else about the
+reference spec carries over verbatim so the keys stay inside the grid.
+"""
+
+import pytest
+
+from repro.campaign.spec import CampaignSpec, RunnerSettings
+from repro.experiments.configs import (
+    LV_BASELINE,
+    LV_BLOCK,
+    LV_BLOCK_V10,
+    LV_WORD,
+)
+from repro.predict.acquisition import (
+    STRATEGIES,
+    CellView,
+    Proposal,
+    proposal_specs,
+    propose_batch,
+)
+
+REFERENCE = CampaignSpec.from_settings(
+    RunnerSettings(
+        n_instructions=2_000,
+        warmup_instructions=500,
+        n_fault_maps=8,
+        benchmarks=("gzip", "mcf"),
+    ),
+    (LV_BASELINE, LV_WORD, LV_BLOCK, LV_BLOCK_V10),
+    figure="fig8",
+)
+
+
+def cell(
+    benchmark="gzip",
+    config=LV_BLOCK,
+    max_depth=8,
+    labeled=(0, 1),
+    std=None,
+    mean=None,
+    true=None,
+):
+    unlabeled = tuple(m for m in range(max_depth) if m not in labeled)
+    return CellView(
+        benchmark=benchmark,
+        config=config,
+        max_depth=max_depth,
+        labeled=tuple(labeled),
+        unlabeled=unlabeled,
+        mean=tuple(mean if mean is not None else [0.9] * len(unlabeled)),
+        std=tuple(std if std is not None else [0.1] * len(unlabeled)),
+        true=tuple(true if true is not None else [0.9] * len(labeled)),
+    )
+
+
+class TestCellView:
+    def test_misaligned_predictions_rejected(self):
+        with pytest.raises(ValueError, match="unlabeled/mean/std"):
+            CellView("gzip", LV_BLOCK, 4, (), (0, 1), (0.9,), (0.1,), ())
+        with pytest.raises(ValueError, match="labeled/true"):
+            CellView("gzip", LV_BLOCK, 4, (0,), (1,), (0.9,), (0.1,), ())
+
+
+class TestProposal:
+    def test_depth_is_the_spec_n_fault_maps(self):
+        assert Proposal("gzip", LV_BLOCK, (2, 3, 5)).depth == 6
+        assert Proposal("gzip", LV_BASELINE, (None,)).depth == 1
+
+    def test_cost_and_items(self):
+        proposal = Proposal("gzip", LV_BLOCK, (2, 3))
+        assert proposal.cost == 2
+        assert proposal.items() == [("gzip", LV_BLOCK, 2), ("gzip", LV_BLOCK, 3)]
+
+
+class TestProposeBatch:
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            propose_batch("greedy", [cell()], budget=4, step=2, seed=0, round_index=1)
+
+    def test_step_must_be_positive(self):
+        with pytest.raises(ValueError, match="step"):
+            propose_batch(
+                "uncertainty", [cell()], budget=4, step=0, seed=0, round_index=1
+            )
+
+    def test_empty_inputs_propose_nothing(self):
+        assert propose_batch("random", [], budget=4, step=2, seed=0, round_index=1) == ()
+        assert (
+            propose_batch("random", [cell()], budget=0, step=2, seed=0, round_index=1)
+            == ()
+        )
+        exhausted = cell(labeled=tuple(range(8)))
+        assert (
+            propose_batch(
+                "uncertainty", [exhausted], budget=4, step=2, seed=0, round_index=1
+            )
+            == ()
+        )
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_proposals_never_include_labeled_items(self, strategy):
+        cells = [
+            cell("gzip", LV_BLOCK, labeled=(0, 1, 4)),
+            cell("mcf", LV_BLOCK_V10, labeled=(0,)),
+            cell("gzip", LV_BASELINE, max_depth=1, labeled=()),
+        ]
+        # the fault-independent cell's single point is (None,)
+        cells[2] = CellView(
+            "gzip", LV_BASELINE, 1, (), (None,), (0.9,), (0.1,), ()
+        )
+        proposals = propose_batch(
+            strategy, cells, budget=6, step=3, seed=9, round_index=2
+        )
+        assert proposals
+        by_cell = {(c.benchmark, c.config): set(c.labeled) for c in cells}
+        for proposal in proposals:
+            labeled = by_cell[(proposal.benchmark, proposal.config)]
+            assert not labeled.intersection(proposal.map_indices)
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_budget_is_respected(self, strategy):
+        cells = [cell("gzip"), cell("mcf", LV_BLOCK_V10, labeled=())]
+        for budget in (1, 3, 5):
+            proposals = propose_batch(
+                strategy, cells, budget=budget, step=2, seed=0, round_index=1
+            )
+            assert sum(p.cost for p in proposals) <= budget
+
+    def test_windows_extend_the_prefix_lowest_first(self):
+        # labeled (0, 1, 4): the next window fills the hole at 2 before
+        # any new depth
+        proposals = propose_batch(
+            "uncertainty",
+            [cell(labeled=(0, 1, 4))],
+            budget=3,
+            step=3,
+            seed=0,
+            round_index=1,
+        )
+        assert proposals[0].map_indices == (2, 3, 5)
+
+    def test_budget_beyond_step_revisits_the_ranking(self):
+        proposals = propose_batch(
+            "uncertainty", [cell(labeled=())], budget=5, step=2, seed=0, round_index=1
+        )
+        # one cell, several windows: they merge into one sorted proposal
+        assert len(proposals) == 1
+        assert proposals[0].map_indices == (0, 1, 2, 3, 4)
+
+    def test_uncertainty_ranks_by_window_std(self):
+        quiet = cell("gzip", std=[0.01] * 6)
+        loud = cell("mcf", std=[0.5] * 6)
+        proposals = propose_batch(
+            "uncertainty", [quiet, loud], budget=2, step=2, seed=0, round_index=1
+        )
+        assert [p.benchmark for p in proposals] == ["mcf"]
+
+    def test_figure_error_prefers_a_resting_minimum(self):
+        # both cells have the same per-point std, but b's predicted min
+        # undercuts its simulated min -> the min term breaks the tie
+        settled = cell("gzip", mean=[0.9] * 6, true=[0.5, 0.5])
+        resting = cell("mcf", mean=[0.3] * 6, true=[0.9, 0.9])
+        proposals = propose_batch(
+            "figure-error", [settled, resting], budget=2, step=2, seed=0, round_index=1
+        )
+        assert [p.benchmark for p in proposals] == ["mcf"]
+
+    def test_scored_strategies_are_deterministic(self):
+        cells = [cell("gzip"), cell("mcf", LV_BLOCK_V10, labeled=())]
+        for strategy in ("uncertainty", "figure-error"):
+            a = propose_batch(strategy, cells, budget=4, step=2, seed=0, round_index=3)
+            b = propose_batch(strategy, cells, budget=4, step=2, seed=0, round_index=3)
+            assert a == b
+
+    def test_random_is_seed_and_round_deterministic(self):
+        cells = [
+            cell(benchmark, LV_BLOCK, labeled=())
+            for benchmark in ("gzip", "mcf", "vpr", "gcc", "parser", "crafty")
+        ]
+        a = propose_batch("random", cells, budget=4, step=2, seed=5, round_index=1)
+        b = propose_batch("random", cells, budget=4, step=2, seed=5, round_index=1)
+        assert a == b
+        other_round = propose_batch(
+            "random", cells, budget=4, step=2, seed=5, round_index=2
+        )
+        other_seed = propose_batch(
+            "random", cells, budget=4, step=2, seed=6, round_index=1
+        )
+        assert other_round != a or other_seed != a  # the shuffle is live
+
+
+class TestProposalSpecs:
+    def test_same_config_and_depth_merge(self):
+        specs = proposal_specs(
+            (
+                Proposal("gzip", LV_BLOCK, (0, 1)),
+                Proposal("mcf", LV_BLOCK, (1,)),
+                Proposal("gzip", LV_BLOCK_V10, (0, 1)),
+            ),
+            REFERENCE,
+        )
+        assert len(specs) == 2
+        first, second = specs
+        assert first.configs == (LV_BLOCK,)
+        assert first.benchmarks == ("gzip", "mcf")
+        assert first.n_fault_maps == 2
+        assert second.configs == (LV_BLOCK_V10,)
+        assert second.benchmarks == ("gzip",)
+
+    def test_depths_split_specs(self):
+        specs = proposal_specs(
+            (
+                Proposal("gzip", LV_BLOCK, (0, 1)),
+                Proposal("mcf", LV_BLOCK, (2, 3)),
+            ),
+            REFERENCE,
+        )
+        assert [s.n_fault_maps for s in specs] == [2, 4]
+
+    def test_fidelity_carries_over_verbatim(self):
+        (spec,) = proposal_specs((Proposal("gzip", LV_BASELINE, (None,)),), REFERENCE)
+        assert spec.n_instructions == REFERENCE.n_instructions
+        assert spec.warmup_instructions == REFERENCE.warmup_instructions
+        assert spec.pfail == REFERENCE.pfail
+        assert spec.seed == REFERENCE.seed
+        assert spec.figure == REFERENCE.figure
+        assert spec.n_fault_maps == 1

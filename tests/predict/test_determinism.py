@@ -1,0 +1,139 @@
+"""Hypothesis properties: the predict loop is a pure function of
+(store contents, spec, seed).
+
+Two campaigns over the same labels, spec, and settings must fit
+byte-identical estimate vectors and propose identical batches — that is
+what makes an active campaign replayable and its CI smoke pin-able.
+And no proposal may ever contain an already-stored key: re-simulating a
+labeled point would waste budget and break the loop's accounting.
+
+The label sets are synthetic (any subset of the grid with the baseline
+column present, any positive cycle counts), so the properties quantify
+over far more store states than the end-to-end suite can reach.
+"""
+
+from hypothesis import given, settings as hyp_settings
+from hypothesis import strategies as st
+
+from repro.campaign.spec import CampaignSpec, RunnerSettings
+from repro.experiments.configs import LV_BASELINE, LV_BLOCK, LV_WORD
+from repro.predict.features import Featurizer
+from repro.predict.loop import ActiveCampaign, PredictSettings
+
+SETTINGS = RunnerSettings(
+    n_instructions=2_000,
+    warmup_instructions=500,
+    n_fault_maps=3,
+    benchmarks=("gzip", "mcf"),
+)
+SPEC = CampaignSpec.from_settings(
+    SETTINGS, (LV_BASELINE, LV_WORD, LV_BLOCK), figure="fig8"
+)
+ITEMS = list(SPEC.work_items())
+BASELINE_ITEMS = [item for item in ITEMS if item[1] == LV_BASELINE]
+OPTIONAL_ITEMS = [item for item in ITEMS if item[1] != LV_BASELINE]
+
+# Featurization is deterministic (pinned in test_features) and slow
+# enough to dominate hypothesis examples; share one grid matrix.
+GRID_X = Featurizer(SETTINGS).matrix(ITEMS)
+
+
+class _NullSession:
+    """No store, no runner: exactly what fit/propose purity requires."""
+
+
+def build_campaign(labels: dict, predict: PredictSettings) -> ActiveCampaign:
+    campaign = ActiveCampaign(_NullSession(), SPEC, predict)
+    campaign._X = GRID_X
+    campaign.labels = dict(labels)
+    return campaign
+
+
+# Any store state the loop can be in: every baseline labeled (the loop
+# seeds them before its first fit), any subset of the rest.
+label_sets = st.builds(
+    lambda chosen, cycles: {
+        item: float(cycle)
+        for item, cycle in zip(
+            BASELINE_ITEMS + [i for i, keep in zip(OPTIONAL_ITEMS, chosen) if keep],
+            cycles,
+        )
+    },
+    chosen=st.lists(
+        st.booleans(), min_size=len(OPTIONAL_ITEMS), max_size=len(OPTIONAL_ITEMS)
+    ),
+    cycles=st.lists(
+        st.integers(min_value=1_000, max_value=50_000),
+        min_size=len(ITEMS),
+        max_size=len(ITEMS),
+    ),
+)
+
+predict_settings = st.builds(
+    PredictSettings,
+    budget=st.just(1.0),
+    batch=st.integers(min_value=1, max_value=8),
+    strategy=st.sampled_from(["uncertainty", "figure-error", "random"]),
+    maps_step=st.integers(min_value=1, max_value=3),
+    members=st.integers(min_value=2, max_value=6),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+
+
+@hyp_settings(max_examples=25, deadline=None)
+@given(
+    labels=label_sets,
+    predict=predict_settings,
+    round_index=st.integers(min_value=1, max_value=5),
+)
+def test_fit_and_propose_are_pure_functions_of_store_spec_seed(
+    labels, predict, round_index
+):
+    first = build_campaign(labels, predict)
+    second = build_campaign(labels, predict)
+    vec_a = first._refit()
+    vec_b = second._refit()
+    assert vec_a.tobytes() == vec_b.tobytes()
+    assert first._estimate == second._estimate
+    assert first._propose(round_index) == second._propose(round_index)
+
+
+@hyp_settings(max_examples=25, deadline=None)
+@given(
+    labels=label_sets,
+    predict=predict_settings,
+    round_index=st.integers(min_value=1, max_value=5),
+)
+def test_proposals_never_include_stored_keys_and_respect_the_budget(
+    labels, predict, round_index
+):
+    campaign = build_campaign(labels, predict)
+    campaign._refit()
+    proposals = campaign._propose(round_index)
+    proposed = [item for proposal in proposals for item in proposal.items()]
+    # never a stored key, never outside the grid, never a duplicate
+    assert not set(proposed) & set(labels)
+    assert set(proposed) <= set(ITEMS)
+    assert len(proposed) == len(set(proposed))
+    assert len(proposed) <= min(predict.batch, campaign.budget_items - len(labels))
+
+
+@hyp_settings(max_examples=50, deadline=None)
+@given(
+    settings_=st.builds(
+        PredictSettings,
+        budget=st.floats(min_value=0.05, max_value=1.0, allow_nan=False),
+        batch=st.integers(min_value=1, max_value=100),
+        tolerance=st.floats(min_value=1e-6, max_value=1.0, allow_nan=False),
+        patience=st.integers(min_value=1, max_value=10),
+        strategy=st.sampled_from(["uncertainty", "figure-error", "random"]),
+        initial_maps=st.integers(min_value=1, max_value=10),
+        maps_step=st.integers(min_value=1, max_value=10),
+        members=st.integers(min_value=2, max_value=16),
+        knn=st.integers(min_value=0, max_value=10),
+        knn_weight=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+)
+def test_predict_settings_round_trip_json(settings_):
+    assert PredictSettings.from_json(settings_.to_json()) == settings_

@@ -1,0 +1,133 @@
+"""The featurizer: deterministic, fixed-width, mechanics-encoding.
+
+The surrogate's replayability rests on one invariant: two featurizers
+built from equal :class:`RunnerSettings` map any work item to
+byte-identical vectors.  The rest pins the semantic content — clean
+stats for fault-independent items, effective-capacity interactions that
+actually order the schemes, and loud failures for malformed items.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.campaign.spec import RunnerSettings
+from repro.experiments.configs import (
+    HV_BASELINE,
+    LV_BASELINE,
+    LV_BLOCK,
+    LV_BLOCK_V10,
+    LV_INCREMENTAL,
+    LV_WORD,
+)
+from repro.predict.features import SCHEME_ORDER, Featurizer
+
+SETTINGS = RunnerSettings(
+    n_instructions=2_000,
+    warmup_instructions=500,
+    n_fault_maps=3,
+    benchmarks=("gzip", "mcf"),
+)
+
+
+@pytest.fixture()
+def featurizer():
+    return Featurizer(SETTINGS)
+
+
+def feature(vector: np.ndarray, name: str) -> float:
+    return float(vector[Featurizer.names.index(name)])
+
+
+class TestShape:
+    def test_names_and_width_align(self, featurizer):
+        assert featurizer.width == len(featurizer.names)
+        assert len(set(featurizer.names)) == featurizer.width  # no duplicates
+        vector = featurizer.vector("gzip", LV_BLOCK, 0)
+        assert vector.shape == (featurizer.width,)
+        assert vector.dtype == np.float64
+
+    def test_matrix_stacks_rows_in_item_order(self, featurizer):
+        items = [("gzip", LV_BLOCK, 0), ("mcf", LV_BASELINE, None)]
+        matrix = featurizer.matrix(items)
+        assert matrix.shape == (2, featurizer.width)
+        assert np.array_equal(matrix[0], featurizer.vector("gzip", LV_BLOCK, 0))
+        assert np.array_equal(matrix[1], featurizer.vector("mcf", LV_BASELINE, None))
+
+    def test_empty_matrix(self, featurizer):
+        assert featurizer.matrix([]).shape == (0, featurizer.width)
+
+
+class TestDeterminism:
+    def test_equal_settings_give_byte_identical_matrices(self):
+        items = [
+            (benchmark, config, m if config.needs_fault_map else None)
+            for benchmark in SETTINGS.benchmarks
+            for config in (LV_BASELINE, LV_WORD, LV_BLOCK, LV_BLOCK_V10)
+            for m in range(SETTINGS.n_fault_maps)
+        ]
+        a = Featurizer(SETTINGS).matrix(items)
+        b = Featurizer(SETTINGS).matrix(items)
+        assert a.tobytes() == b.tobytes()
+
+    def test_different_maps_differ(self, featurizer):
+        # fault-map geometry must actually reach the vector
+        v0 = featurizer.vector("gzip", LV_BLOCK, 0)
+        v1 = featurizer.vector("gzip", LV_BLOCK, 1)
+        assert not np.array_equal(v0, v1)
+
+
+class TestSemantics:
+    def test_fault_independent_items_get_clean_stats(self, featurizer):
+        for config in (HV_BASELINE, LV_BASELINE, LV_WORD):
+            vector = featurizer.vector("gzip", config, None)
+            assert feature(vector, "imap_capacity") == 1.0
+            assert feature(vector, "dmap_capacity") == 1.0
+            assert feature(vector, "dmap_crippled_sets") == 0.0
+
+    def test_scheme_onehot(self, featurizer):
+        vector = featurizer.vector("gzip", LV_BLOCK, 0)
+        for name in SCHEME_ORDER:
+            expected = 1.0 if name == "block-disable" else 0.0
+            assert feature(vector, f"scheme_{name}") == expected
+
+    def test_effective_capacity_orders_the_schemes(self, featurizer):
+        # word-disable pins a flat half; block-disable delivers the map's
+        # fault-free block fraction (close to 1 at this pfail); HIGH is 1.
+        word = feature(featurizer.vector("gzip", LV_WORD, None), "eff_capacity_d")
+        block = feature(featurizer.vector("gzip", LV_BLOCK, 0), "eff_capacity_d")
+        high = feature(featurizer.vector("gzip", HV_BASELINE, None), "eff_capacity_d")
+        assert word == 0.5
+        assert word < block <= high == 1.0
+
+    def test_victim_entries_reach_the_vector(self, featurizer):
+        plain = featurizer.vector("gzip", LV_BLOCK, 0)
+        victim = featurizer.vector("gzip", LV_BLOCK_V10, 0)
+        assert feature(plain, "victim_norm") == 0.0
+        assert feature(victim, "victim_norm") > 0.0
+
+    def test_latency_adder_marks_word_schemes_at_low_voltage(self, featurizer):
+        assert feature(featurizer.vector("gzip", LV_WORD, None), "latency_adder") == 1.0
+        assert (
+            feature(featurizer.vector("gzip", LV_INCREMENTAL, 0), "latency_adder")
+            == 1.0
+        )
+        assert feature(featurizer.vector("gzip", LV_BLOCK, 0), "latency_adder") == 0.0
+
+    def test_benchmarks_differ(self, featurizer):
+        assert not np.array_equal(
+            featurizer.vector("gzip", LV_BLOCK, 0),
+            featurizer.vector("mcf", LV_BLOCK, 0),
+        )
+
+
+class TestFailures:
+    def test_fault_dependent_config_requires_an_index(self, featurizer):
+        with pytest.raises(ValueError, match="requires a fault-map index"):
+            featurizer.vector("gzip", LV_BLOCK, None)
+
+    def test_unknown_scheme_rejected(self, featurizer):
+        bogus = dataclasses.replace(LV_BASELINE, scheme="quantum-disable")
+        with pytest.raises(ValueError, match="unknown scheme"):
+            featurizer.vector("gzip", bogus, None)

@@ -1,0 +1,141 @@
+"""The surrogate: a pure function of (training set, constructor args).
+
+Determinism is the load-bearing claim — equal arguments and equal arrays
+must predict byte-identically, because the predict loop's replayability
+is built on it.  The rest pins the model's useful behaviours: it
+interpolates a smooth trend, its uncertainty is zero where the ensemble
+must agree and positive where bootstrap resamples can disagree, and its
+validation fails loudly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.predict.surrogate import Surrogate
+
+
+def toy_problem(n=40, d=6, seed=3):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, d))
+    w = rng.normal(size=d)
+    y = X @ w + 0.01 * rng.normal(size=n)
+    return X, y
+
+
+class TestValidation:
+    def test_constructor_rejects_bad_knobs(self):
+        with pytest.raises(ValueError, match="at least 2 members"):
+            Surrogate(members=1)
+        with pytest.raises(ValueError, match="ridge penalty"):
+            Surrogate(ridge=0.0)
+        with pytest.raises(ValueError, match="knn must be non-negative"):
+            Surrogate(knn=-1)
+        with pytest.raises(ValueError, match="knn_weight"):
+            Surrogate(knn_weight=1.5)
+
+    def test_fit_rejects_bad_shapes(self):
+        with pytest.raises(ValueError, match="bad training shapes"):
+            Surrogate().fit(np.zeros((3, 2)), np.zeros(4))
+        with pytest.raises(ValueError, match="empty training set"):
+            Surrogate().fit(np.zeros((0, 2)), np.zeros(0))
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError, match="predict before fit"):
+            Surrogate().predict(np.zeros((1, 2)))
+
+    def test_predict_requires_two_dims(self):
+        X, y = toy_problem()
+        model = Surrogate().fit(X, y)
+        with pytest.raises(ValueError, match="must be 2-D"):
+            model.predict(X[0])
+
+
+class TestDeterminism:
+    def test_equal_args_and_data_predict_byte_identically(self):
+        X, y = toy_problem()
+        query = np.linspace(-2, 2, 5 * X.shape[1]).reshape(5, X.shape[1])
+        a_mean, a_std = Surrogate(seed=7).fit(X, y).predict(query)
+        b_mean, b_std = Surrogate(seed=7).fit(X, y).predict(query)
+        assert a_mean.tobytes() == b_mean.tobytes()
+        assert a_std.tobytes() == b_std.tobytes()
+
+    def test_seed_changes_the_ensemble(self):
+        X, y = toy_problem()
+        query = np.linspace(-2, 2, 5 * X.shape[1]).reshape(5, X.shape[1])
+        _, a_std = Surrogate(seed=7).fit(X, y).predict(query)
+        _, b_std = Surrogate(seed=8).fit(X, y).predict(query)
+        assert a_std.tobytes() != b_std.tobytes()
+
+    def test_refit_resets_state(self):
+        X, y = toy_problem()
+        model = Surrogate(seed=7)
+        first, _ = model.fit(X, y).predict(X)
+        model.fit(X * 2, y * 2)
+        model.fit(X, y)
+        again, _ = model.predict(X)
+        assert first.tobytes() == again.tobytes()
+
+
+class TestBehaviour:
+    def test_fit_returns_self_and_sets_fitted(self):
+        X, y = toy_problem()
+        model = Surrogate()
+        assert not model.fitted
+        assert model.fit(X, y) is model
+        assert model.fitted
+
+    def test_interpolates_a_linear_trend(self):
+        X, y = toy_problem(n=60)
+        mean, _ = Surrogate(members=4).fit(X, y).predict(X)
+        assert float(np.abs(mean - y).mean()) < 0.1
+
+    def test_uncertainty_grows_away_from_the_data(self):
+        X, y = toy_problem(n=60)
+        model = Surrogate().fit(X, y)
+        _, near = model.predict(X[:5])
+        _, far = model.predict(X[:5] + 25.0)
+        assert float(far.mean()) > float(near.mean())
+
+    def test_uncertainty_is_nonnegative(self):
+        X, y = toy_problem()
+        _, std = Surrogate().fit(X, y).predict(X)
+        assert (std >= 0).all()
+
+    def test_constant_features_survive_standardisation(self):
+        X, y = toy_problem()
+        X = np.concatenate([X, np.ones((X.shape[0], 1))], axis=1)
+        mean, std = Surrogate().fit(X, y).predict(X)
+        assert np.isfinite(mean).all() and np.isfinite(std).all()
+
+    def test_empty_query(self):
+        X, y = toy_problem()
+        mean, std = Surrogate().fit(X, y).predict(np.empty((0, X.shape[1])))
+        assert mean.shape == std.shape == (0,)
+
+    def test_oob_residuals_align_with_training_rows(self):
+        X, y = toy_problem(n=50)
+        model = Surrogate(seed=3).fit(X, y)
+        oob = model.oob_residuals()
+        assert oob.shape == y.shape
+        finite = np.isfinite(oob)
+        # each point is OOB of a bootstrap member with prob ~1/e, so
+        # with 7 resamples almost every point gets a residual
+        assert finite.mean() > 0.8
+        # held-out residuals on a near-linear problem stay small
+        assert float(np.abs(oob[finite]).mean()) < 0.5
+
+    def test_oob_before_fit_raises(self):
+        with pytest.raises(RuntimeError, match="oob_residuals before fit"):
+            Surrogate().oob_residuals()
+
+    def test_oob_is_deterministic(self):
+        X, y = toy_problem()
+        a = Surrogate(seed=5).fit(X, y).oob_residuals()
+        b = Surrogate(seed=5).fit(X, y).oob_residuals()
+        assert a.tobytes() == b.tobytes()
+
+    def test_zero_knn_weight_is_pure_ridge(self):
+        X, y = toy_problem()
+        a, _ = Surrogate(knn_weight=0.0, seed=1).fit(X, y).predict(X)
+        b, _ = Surrogate(knn=0, seed=1).fit(X, y).predict(X)
+        assert a.tobytes() == b.tobytes()
